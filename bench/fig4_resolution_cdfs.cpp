@@ -1,0 +1,65 @@
+// Figure 4 — Resolution-time CDFs per resolver: DoH1, DoHR, and Do53.
+//
+// Paper highlight: Cloudflare's DoHR curve closely tracks the Do53 curve.
+// Emits the CDF series as CSV next to the summary table.
+#include <cstdio>
+
+#include "report/csv.h"
+#include "stats/cdf.h"
+#include "support.h"
+
+using namespace dohperf;
+
+int main() {
+  benchsupport::print_banner("Figure 4: resolution-time CDFs by resolver");
+  const auto& data = benchsupport::Env::instance().dataset();
+
+  const stats::EmpiricalCdf do53(data.do53_values());
+
+  report::Table table("Resolution-time percentiles (ms)");
+  table.header({"Series", "p10", "p25", "p50", "p75", "p90"});
+  auto add_series = [&table](const std::string& name,
+                             const stats::EmpiricalCdf& cdf) {
+    table.row({name, report::fmt(cdf.value_at(0.10), 0),
+               report::fmt(cdf.value_at(0.25), 0),
+               report::fmt(cdf.value_at(0.50), 0),
+               report::fmt(cdf.value_at(0.75), 0),
+               report::fmt(cdf.value_at(0.90), 0)});
+  };
+  add_series("Do53 (default)", do53);
+
+  report::CsvWriter csv({"series", "ms", "cdf"});
+  const auto dump = [&csv](const std::string& name,
+                           const stats::EmpiricalCdf& cdf) {
+    for (const auto& [value, fraction] : cdf.curve(50)) {
+      csv.add_row({name, report::fmt(value, 1), report::fmt(fraction, 3)});
+    }
+  };
+  dump("Do53", do53);
+
+  double cf_dohr_gap = 0.0;
+  for (const char* provider : benchsupport::kProviders) {
+    const stats::EmpiricalCdf doh1(data.tdoh_values(provider));
+    const stats::EmpiricalCdf dohr(data.tdohr_values(provider));
+    add_series(std::string(provider) + " DoH1", doh1);
+    add_series(std::string(provider) + " DoHR", dohr);
+    dump(std::string(provider) + "-DoH1", doh1);
+    dump(std::string(provider) + "-DoHR", dohr);
+    if (std::string(provider) == "Cloudflare") {
+      cf_dohr_gap = dohr.value_at(0.5) - do53.value_at(0.5);
+    }
+  }
+  table.caption(
+      "Paper medians: Do53 250 (Cloudflare clients), DoH1 338/429/467/447, "
+      "DoHR 257/315/324/298 for Cloudflare/Google/NextDNS/Quad9.");
+  std::fputs(table.render().c_str(), stdout);
+
+  csv.write_file("fig4_cdfs.csv");
+  std::printf("CDF series written to fig4_cdfs.csv (%zu rows)\n",
+              csv.row_count());
+  std::printf(
+      "Cloudflare DoHR median - Do53 median: %.0f ms (paper: ~+7 ms; "
+      "\"DoHR closely tracks Do53\")\n",
+      cf_dohr_gap);
+  return 0;
+}

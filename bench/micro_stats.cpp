@@ -1,0 +1,79 @@
+// Micro-benchmarks: statistics kernels (quantiles, OLS, logistic IRLS).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "netsim/random.h"
+#include "stats/cdf.h"
+#include "stats/linreg.h"
+#include "stats/logreg.h"
+#include "stats/summary.h"
+
+namespace {
+
+using namespace dohperf;
+
+std::vector<double> sample(std::size_t n) {
+  netsim::Rng rng(1);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.lognormal_median(200.0, 0.6);
+  return xs;
+}
+
+void BM_Median(benchmark::State& state) {
+  const auto xs = sample(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::median(xs));
+  }
+}
+BENCHMARK(BM_Median)->Arg(1000)->Arg(100000);
+
+void BM_CdfBuild(benchmark::State& state) {
+  const auto xs = sample(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    stats::EmpiricalCdf cdf(xs);
+    benchmark::DoNotOptimize(cdf.value_at(0.5));
+  }
+}
+BENCHMARK(BM_CdfBuild)->Arg(1000)->Arg(100000);
+
+void BM_OlsFit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  netsim::Rng rng(2);
+  stats::Matrix x(n, 5);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) x.at(i, j) = rng.uniform(0, 1);
+    y[i] = x.at(i, 0) * 3 - x.at(i, 3) + rng.normal(0, 0.2);
+  }
+  const std::vector<std::string> names{"a", "b", "c", "d", "e"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::fit_ols(x, y, names));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_OlsFit)->Arg(1000)->Arg(20000);
+
+void BM_LogisticFit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  netsim::Rng rng(3);
+  stats::Matrix x(n, 8);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      x.at(i, j) = rng.bernoulli(0.4) ? 1.0 : 0.0;
+    }
+    y[i] = rng.bernoulli(0.3 + 0.4 * x.at(i, 0)) ? 1.0 : 0.0;
+  }
+  const std::vector<std::string> names{"a", "b", "c", "d",
+                                       "e", "f", "g", "h"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::fit_logistic(x, y, names));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_LogisticFit)->Arg(1000)->Arg(20000);
+
+}  // namespace

@@ -1,0 +1,69 @@
+// Micro-benchmarks: world construction and campaign throughput.
+#include <benchmark/benchmark.h>
+
+#include "measure/campaign.h"
+#include "measure/flows.h"
+#include "resolver/stub.h"
+#include "world/world_model.h"
+
+namespace {
+
+using namespace dohperf;
+
+void BM_WorldBuild(benchmark::State& state) {
+  const double scale = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    world::WorldConfig config;
+    config.seed = 42;
+    config.client_scale = scale;
+    world::WorldModel world(config);
+    benchmark::DoNotOptimize(world.exit_count());
+  }
+}
+BENCHMARK(BM_WorldBuild)->Arg(5)->Arg(25)->Unit(benchmark::kMillisecond);
+
+void BM_MeasurementSessionThroughput(benchmark::State& state) {
+  world::WorldConfig config;
+  config.seed = 42;
+  config.client_scale = 0.1;
+  config.only_countries = {"SE", "BR", "ZA", "TH", "PL"};
+  world::WorldModel world(config);
+
+  std::size_t sessions = 0;
+  for (auto _ : state) {
+    measure::CampaignConfig campaign_config;
+    campaign_config.atlas_measurements_per_country = 0;
+    measure::Campaign campaign(world, campaign_config);
+    const measure::Dataset data = campaign.run();
+    sessions += data.clients().size() * 2;  // two runs per client
+    benchmark::DoNotOptimize(data.doh().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(sessions));
+  state.SetLabel("sessions (5 flows each)");
+}
+BENCHMARK(BM_MeasurementSessionThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_GroundTruthFlow(benchmark::State& state) {
+  world::WorldConfig config;
+  config.seed = 7;
+  config.only_countries = {"SE"};
+  world::WorldModel world(config);
+  const proxy::ExitNode* exit =
+      world.brightdata().pick_exit("SE", world.rng());
+  if (exit == nullptr) {
+    state.SkipWithError("no exit nodes");
+    return;
+  }
+  for (auto _ : state) {
+    auto net = world.ctx();
+    auto task = measure::do53_direct(
+        net, exit->site, exit->default_resolver,
+        world.origin().with_subdomain(resolver::uuid_label(net.rng)));
+    world.sim().run();
+    benchmark::DoNotOptimize(task.result());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GroundTruthFlow);
+
+}  // namespace

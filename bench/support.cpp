@@ -1,0 +1,50 @@
+#include "support.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dohperf::benchsupport {
+
+double scale_from_env() {
+  const char* value = std::getenv("DOHPERF_SCALE");
+  if (value == nullptr) return 1.0;
+  const double scale = std::atof(value);
+  return scale > 0.0 ? scale : 1.0;
+}
+
+std::uint64_t seed_from_env() {
+  const char* value = std::getenv("DOHPERF_SEED");
+  if (value == nullptr) return 42;
+  return static_cast<std::uint64_t>(std::atoll(value));
+}
+
+Env& Env::instance() {
+  static Env env;
+  return env;
+}
+
+Env::Env() : scale_(scale_from_env()) {
+  world::WorldConfig config;
+  config.seed = seed_from_env();
+  config.client_scale = scale_;
+  world_ = std::make_unique<world::WorldModel>(config);
+
+  measure::CampaignConfig campaign_config;
+  campaign_config.atlas_measurements_per_country =
+      std::max(10, static_cast<int>(250 * scale_));
+  measure::Campaign campaign(*world_, campaign_config);
+  dataset_ = campaign.run();
+}
+
+void print_banner(const std::string& title) {
+  Env& env = Env::instance();
+  std::printf("%s\n", title.c_str());
+  std::printf(
+      "world scale %.2f | %zu exit nodes | %zu retained clients | "
+      "%llu mismatch-discarded | %llu failed measurements\n\n",
+      env.scale(), env.world().exit_count(), env.dataset().clients().size(),
+      static_cast<unsigned long long>(env.dataset().discarded_mismatch),
+      static_cast<unsigned long long>(env.dataset().failed_measurements));
+}
+
+}  // namespace dohperf::benchsupport

@@ -1,0 +1,49 @@
+// Shared environment for the reproduction benches: builds the world and
+// runs the campaign once per process.
+//
+// DOHPERF_SCALE   scales the client population (default 1.0 = paper scale,
+//                 ~22k clients; use 0.1 for a quick look).
+// DOHPERF_SEED    world seed (default 42).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "measure/campaign.h"
+#include "measure/dataset.h"
+#include "measure/regression.h"
+#include "report/table.h"
+#include "stats/summary.h"
+#include "world/world_model.h"
+
+namespace dohperf::benchsupport {
+
+/// The four studied providers, in the paper's order.
+inline constexpr const char* kProviders[] = {"Cloudflare", "Google",
+                                             "NextDNS", "Quad9"};
+
+/// Scale / seed from the environment.
+[[nodiscard]] double scale_from_env();
+[[nodiscard]] std::uint64_t seed_from_env();
+
+/// Lazily-built world + campaign dataset (shared by all queries in one
+/// bench process).
+class Env {
+ public:
+  static Env& instance();
+
+  [[nodiscard]] world::WorldModel& world() { return *world_; }
+  [[nodiscard]] const measure::Dataset& dataset() const { return dataset_; }
+  [[nodiscard]] double scale() const { return scale_; }
+
+ private:
+  Env();
+  double scale_;
+  std::unique_ptr<world::WorldModel> world_;
+  measure::Dataset dataset_;
+};
+
+/// Prints the standard bench banner (scale, client counts, runtime note).
+void print_banner(const std::string& title);
+
+}  // namespace dohperf::benchsupport

@@ -1,0 +1,67 @@
+// Provider comparison: a miniature of the paper's Figure 4 / Figure 7 for
+// a handful of countries — run the campaign and compare the four public
+// DoH services against the default resolvers.
+//
+//   ./provider_comparison [ISO2 ISO2 ...]   (default: SE BR ZA TH)
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "measure/campaign.h"
+#include "report/table.h"
+#include "stats/summary.h"
+#include "world/world_model.h"
+
+using namespace dohperf;
+
+int main(int argc, char** argv) {
+  std::vector<std::string> countries;
+  for (int i = 1; i < argc; ++i) countries.emplace_back(argv[i]);
+  if (countries.empty()) countries = {"SE", "BR", "ZA", "TH"};
+
+  world::WorldConfig config;
+  config.seed = 2;
+  config.only_countries = countries;
+  world::WorldModel world(config);
+
+  measure::CampaignConfig campaign_config;
+  campaign_config.atlas_measurements_per_country = 30;
+  measure::Campaign campaign(world, campaign_config);
+  const measure::Dataset data = campaign.run();
+
+  std::printf("measured %zu clients in %zu countries\n\n",
+              data.clients().size(), countries.size());
+
+  const auto do53 = data.country_do53_medians();
+  for (const std::string& iso2 : countries) {
+    report::Table table("Country " + iso2);
+    table.header({"Resolver", "DoH1 (ms)", "DoHR (ms)", "DoH10 (ms)",
+                  "vs Do53"});
+    const double base =
+        do53.count(iso2) ? do53.at(iso2) : stats::median(data.do53_values());
+    for (const char* provider :
+         {"Cloudflare", "Google", "NextDNS", "Quad9"}) {
+      const auto doh1 = data.country_doh_medians(provider, 1);
+      const auto dohr_values = [&] {
+        std::vector<double> out;
+        for (const auto& rec : data.doh()) {
+          if (rec.provider == provider && rec.iso2 == iso2) {
+            out.push_back(rec.tdohr_ms);
+          }
+        }
+        return out;
+      }();
+      const auto doh10 = data.country_doh_medians(provider, 10);
+      if (!doh1.count(iso2)) continue;
+      const double delta = doh10.at(iso2) - base;
+      table.row({provider, report::fmt(doh1.at(iso2), 0),
+                 report::fmt(stats::median(dohr_values), 0),
+                 report::fmt(doh10.at(iso2), 0),
+                 (delta >= 0 ? "+" : "") + report::fmt(delta, 0) + " ms"});
+    }
+    table.caption("Do53 (default resolvers) median: " +
+                  report::fmt(base, 0) + " ms");
+    std::fputs(table.render().c_str(), stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,141 @@
+#include "anycast/catalog.h"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "geo/country.h"
+
+namespace dohperf::anycast {
+namespace {
+
+using geo::Region;
+
+/// Countries no studied provider serves from inside (the paper found 99%
+/// of DoH queries from Chinese exit nodes were dropped in 2021).
+bool excluded_host(std::string_view iso2) {
+  return iso2 == "CN" || iso2 == "KP";
+}
+
+/// Round-robin across regions in a fixed order, taking each region's
+/// cities in table order, until `target` PoPs are selected. `keep`
+/// filters candidate cities.
+template <typename Filter>
+std::vector<Pop> region_balanced(std::size_t target, Filter keep) {
+  // Group candidate cities by host-country region, preserving table order
+  // (the table lists each region's most prominent metros first).
+  std::map<Region, std::vector<const geo::City*>> by_region;
+  for (const geo::City& city : geo::city_table()) {
+    if (excluded_host(city.country_iso2)) continue;
+    const geo::Country* country = geo::find_country(city.country_iso2);
+    if (country == nullptr || !keep(city, *country)) continue;
+    by_region[country->region].push_back(&city);
+  }
+
+  std::vector<Pop> pops;
+  pops.reserve(target);
+  std::map<Region, std::size_t> cursor;
+  while (pops.size() < target) {
+    bool any = false;
+    for (auto& [region, cities] : by_region) {
+      auto& i = cursor[region];
+      if (i >= cities.size()) continue;
+      pops.push_back(make_pop(*cities[i++]));
+      any = true;
+      if (pops.size() == target) break;
+    }
+    if (!any) break;  // candidates exhausted
+  }
+  return pops;
+}
+
+}  // namespace
+
+std::vector<Pop> cloudflare_pops() {
+  // Broad, region-balanced build-out; explicitly includes Dakar.
+  auto pops = region_balanced(kCloudflarePopCount,
+                              [](const geo::City&, const geo::Country&) {
+                                return true;
+                              });
+  const bool has_dakar =
+      std::any_of(pops.begin(), pops.end(),
+                  [](const Pop& p) { return p.city == "Dakar"; });
+  if (!has_dakar) {
+    if (const geo::City* dakar = geo::find_city("Dakar")) {
+      pops.back() = make_pop(*dakar);
+    }
+  }
+  return pops;
+}
+
+std::vector<Pop> google_pops() {
+  // Hand-picked hub metros matching Google's centralised strategy: no
+  // African PoP was observed in the paper.
+  constexpr std::array<std::string_view, kGooglePopCount> kHubs{
+      "Ashburn",     "Chicago",   "Dallas",     "Los Angeles",
+      "San Jose",    "Seattle",   "Atlanta",    "New York",
+      "Toronto",     "Sao Paulo", "Santiago",   "London",
+      "Frankfurt",   "Amsterdam", "Paris",      "Madrid",
+      "Warsaw",      "Stockholm", "Milan",      "Mumbai",
+      "Singapore",   "Tokyo",     "Taipei",     "Hong Kong",
+      "Sydney",      "Tel Aviv",
+  };
+  std::vector<Pop> pops;
+  pops.reserve(kHubs.size());
+  for (const auto name : kHubs) {
+    const geo::City* city = geo::find_city(name);
+    if (city == nullptr) {
+      throw std::logic_error("google_pops: missing city " +
+                             std::string(name));
+    }
+    pops.push_back(make_pop(*city));
+  }
+  return pops;
+}
+
+std::vector<Pop> nextdns_pops() {
+  // Partner-hosted resolvers: only in markets with solid infrastructure
+  // (fast nationwide broadband), which skews away from Africa and other
+  // low-investment regions.
+  return region_balanced(kNextDnsPopCount,
+                         [](const geo::City&, const geo::Country& country) {
+                           return country.bandwidth_mbps >= 20.0;
+                         });
+}
+
+std::vector<Pop> quad9_pops() {
+  // Every African metro first (paper: "far more points of presence in
+  // Sub-Saharan Africa than other resolvers"), then region-balanced fill.
+  std::vector<Pop> pops;
+  for (const geo::City& city : geo::city_table()) {
+    if (excluded_host(city.country_iso2)) continue;
+    const geo::Country* country = geo::find_country(city.country_iso2);
+    if (country != nullptr && country->region == Region::kAfrica) {
+      pops.push_back(make_pop(city));
+    }
+  }
+  const auto rest = region_balanced(
+      kQuad9PopCount, [](const geo::City&, const geo::Country&) {
+        return true;
+      });
+  for (const Pop& p : rest) {
+    if (pops.size() >= kQuad9PopCount) break;
+    if (std::none_of(pops.begin(), pops.end(),
+                     [&](const Pop& q) { return q.city == p.city; })) {
+      pops.push_back(p);
+    }
+  }
+  return pops;
+}
+
+std::vector<Pop> pops_for(std::string_view provider) {
+  if (provider == "Cloudflare") return cloudflare_pops();
+  if (provider == "Google") return google_pops();
+  if (provider == "NextDNS") return nextdns_pops();
+  if (provider == "Quad9") return quad9_pops();
+  throw std::invalid_argument("unknown provider: " + std::string(provider));
+}
+
+}  // namespace dohperf::anycast

@@ -1,0 +1,37 @@
+// Points-of-presence for anycast DoH services.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/cities.h"
+#include "geo/coordinates.h"
+#include "geo/country.h"
+
+namespace dohperf::anycast {
+
+/// One provider point-of-presence, hosted in a metro area.
+struct Pop {
+  std::string city;           ///< Metro name (from geo::city_table).
+  std::string country_iso2;   ///< Host country.
+  geo::LatLon position;
+  geo::Region region;
+
+  friend bool operator==(const Pop&, const Pop&) = default;
+};
+
+/// Builds a Pop from a city-table entry. The host country must exist in
+/// the world table (checked; throws std::invalid_argument otherwise).
+[[nodiscard]] Pop make_pop(const geo::City& city);
+
+/// Index of the PoP nearest to `p`; requires a non-empty span.
+[[nodiscard]] std::size_t nearest_pop_index(std::span<const Pop> pops,
+                                            const geo::LatLon& p);
+
+/// Indices of all PoPs ordered by increasing distance from `p`.
+[[nodiscard]] std::vector<std::size_t> pops_by_distance(
+    std::span<const Pop> pops, const geo::LatLon& p);
+
+}  // namespace dohperf::anycast

@@ -1,0 +1,120 @@
+#include "anycast/provider.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dohperf::anycast {
+
+Provider::Provider(ProviderConfig config, std::vector<Pop> pops)
+    : config_(std::move(config)),
+      pops_(std::move(pops)),
+      router_(pops_, config_.routing) {}
+
+netsim::Site Provider::frontend_site(std::size_t index,
+                                     double host_route_inflation) const {
+  const Pop& pop = pops_.at(index);
+  netsim::Site site;
+  site.position = pop.position;
+  site.lastmile_ms = config_.pop_lastmile_ms;
+  site.route_inflation =
+      std::max(config_.access_floor,
+               host_route_inflation * config_.access_factor);
+  site.jitter_sigma = config_.jitter_sigma;
+  return site;
+}
+
+netsim::Site Provider::backend_site(std::size_t index,
+                                    double host_route_inflation) const {
+  netsim::Site site = frontend_site(index, host_route_inflation);
+  site.route_inflation =
+      std::max(config_.upstream_floor,
+               host_route_inflation * config_.upstream_factor);
+  return site;
+}
+
+ProviderConfig cloudflare_config() {
+  ProviderConfig cfg;
+  cfg.name = "Cloudflare";
+  cfg.doh_hostname = "cloudflare-dns.com";
+  // Figure 6: median potential improvement 46 mi, but 26% of clients
+  // could move >= 1000 mi closer — dense catalog, noticeable BGP tail.
+  cfg.routing.p_nearest = 0.58;
+  cfg.routing.p_neighborhood = 0.22;
+  cfg.routing.neighborhood_k = 2;
+  cfg.routing.p_region_hub = 0.07;
+  cfg.access_factor = 0.75;  // best-connected edge of the four
+  cfg.access_floor = 1.10;
+  cfg.upstream_factor = 1.22;
+  cfg.pop_lastmile_ms = 0.3;
+  cfg.processing_ms = 14.0;
+  return cfg;
+}
+
+ProviderConfig google_config() {
+  ProviderConfig cfg;
+  cfg.name = "Google";
+  cfg.doh_hostname = "dns.google";
+  cfg.sends_ecs = true;
+  // Few PoPs but disciplined routing: only 10% of clients >= 1000 mi from
+  // optimal; median improvement 44 mi.
+  cfg.routing.p_nearest = 0.62;
+  cfg.routing.p_neighborhood = 0.31;
+  cfg.routing.neighborhood_k = 2;
+  cfg.routing.p_region_hub = 0.02;
+  cfg.access_factor = 0.55;  // clients onboard at the nearest Google edge
+  cfg.access_floor = 1.05;
+  cfg.upstream_factor = 1.55;  // centralised backend resolution
+  cfg.pop_lastmile_ms = 0.5;
+  cfg.processing_ms = 85.0;
+  return cfg;
+}
+
+ProviderConfig nextdns_config() {
+  ProviderConfig cfg;
+  cfg.name = "NextDNS";
+  cfg.doh_hostname = "dns.nextdns.io";
+  // Unicast-style steering to the nearest partner resolver: median
+  // improvement just 6 mi.
+  cfg.routing.p_nearest = 0.90;
+  cfg.routing.p_neighborhood = 0.07;
+  cfg.routing.neighborhood_k = 2;
+  cfg.routing.p_region_hub = 0.01;
+  // Partner-AS hosting: traffic hairpins through third-party networks.
+  cfg.access_factor = 1.25;  // partner-AS hairpinning on the client legs
+  cfg.access_floor = 1.30;
+  cfg.upstream_factor = 1.65;
+  // Hairpinning through the partner AS adds a fixed detour on every leg.
+  cfg.pop_lastmile_ms = 12.0;
+  cfg.processing_ms = 28.0;
+  return cfg;
+}
+
+ProviderConfig quad9_config() {
+  ProviderConfig cfg;
+  cfg.name = "Quad9";
+  cfg.doh_hostname = "dns.quad9.net";
+  // Paper: only 21% of clients assigned to the closest PoP; median
+  // potential improvement 769 mi — routes collapse onto regional hubs.
+  cfg.routing.p_nearest = 0.21;
+  cfg.routing.p_neighborhood = 0.20;
+  cfg.routing.neighborhood_k = 4;
+  cfg.routing.p_region_hub = 0.40;
+  cfg.access_factor = 0.75;
+  cfg.access_floor = 1.10;
+  cfg.upstream_factor = 1.40;
+  cfg.pop_lastmile_ms = 1.0;
+  cfg.processing_ms = 45.0;
+  return cfg;
+}
+
+std::vector<Provider> studied_providers() {
+  std::vector<Provider> providers;
+  providers.reserve(4);
+  providers.emplace_back(cloudflare_config(), cloudflare_pops());
+  providers.emplace_back(google_config(), google_pops());
+  providers.emplace_back(nextdns_config(), nextdns_pops());
+  providers.emplace_back(quad9_config(), quad9_pops());
+  return providers;
+}
+
+}  // namespace dohperf::anycast

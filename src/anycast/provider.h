@@ -1,0 +1,99 @@
+// DoH provider profiles: catalog + routing behaviour + backbone quality.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "anycast/catalog.h"
+#include "anycast/routing.h"
+#include "netsim/latency.h"
+
+namespace dohperf::anycast {
+
+/// Static description of a provider deployment.
+struct ProviderConfig {
+  std::string name;          ///< "Cloudflare" etc.
+  std::string doh_hostname;  ///< e.g. "cloudflare-dns.com".
+  RoutingParams routing;
+  /// Multiplier on the PoP host country's route inflation for the
+  /// *client-facing* front-end legs. Anycast providers onboard clients at
+  /// nearby edges, so this is usually well below 1; NextDNS's partner-AS
+  /// hairpinning puts it above 1.
+  double access_factor = 0.6;
+  /// Floor on the resulting front-end inflation.
+  double access_floor = 1.08;
+  /// Multiplier on the host country's route inflation for the backend
+  /// resolver's *upstream* legs (PoP -> authoritative). Near 1.0 means
+  /// upstream queries ride the same long-haul transit as local ISPs —
+  /// which is what the paper's DoHR ~= Do53 parity for Cloudflare
+  /// implies.
+  double upstream_factor = 1.0;
+  /// Floor on the resulting upstream inflation.
+  double upstream_floor = 1.15;
+  /// PoP access delay (ms, one-way).
+  double pop_lastmile_ms = 0.2;
+  /// Per-query processing time at the resolver (ms).
+  double processing_ms = 0.5;
+  double jitter_sigma = 0.05;
+  /// Whether backend resolvers forward EDNS Client Subnet (RFC 7871).
+  /// Google does; Cloudflare famously refuses on privacy grounds.
+  bool sends_ecs = false;
+};
+
+/// A provider: configuration plus its instantiated PoP catalog.
+class Provider {
+ public:
+  Provider(ProviderConfig config, std::vector<Pop> pops);
+
+  // Movable but not copyable: the router holds a span over pops_, which
+  // stays valid across moves (the heap buffer transfers) but not copies.
+  Provider(Provider&&) noexcept = default;
+  Provider& operator=(Provider&&) noexcept = default;
+  Provider(const Provider&) = delete;
+  Provider& operator=(const Provider&) = delete;
+
+  /// Routes a client to a PoP index under this provider's anycast policy.
+  [[nodiscard]] std::size_t route(const geo::LatLon& client,
+                                  geo::Region region,
+                                  netsim::Rng& rng) const {
+    return router_.select(client, region, rng);
+  }
+
+  /// Index of the geographically nearest PoP.
+  [[nodiscard]] std::size_t nearest(const geo::LatLon& client) const {
+    return router_.nearest(client);
+  }
+
+  /// Client-facing front-end site of PoP `index`, given the host
+  /// country's route inflation (derived from country covariates by the
+  /// world model).
+  [[nodiscard]] netsim::Site frontend_site(std::size_t index,
+                                           double host_route_inflation) const;
+  /// Backend (upstream-facing) site of PoP `index`.
+  [[nodiscard]] netsim::Site backend_site(std::size_t index,
+                                          double host_route_inflation) const;
+
+  [[nodiscard]] const ProviderConfig& config() const { return config_; }
+  [[nodiscard]] const std::string& name() const { return config_.name; }
+  [[nodiscard]] std::span<const Pop> pops() const { return pops_; }
+  [[nodiscard]] const AnycastRouter& router() const { return router_; }
+
+ private:
+  ProviderConfig config_;
+  std::vector<Pop> pops_;
+  AnycastRouter router_;
+};
+
+/// The four studied providers with calibrated routing parameters
+/// (calibration targets: paper Figure 6 and Section 5.2).
+[[nodiscard]] ProviderConfig cloudflare_config();
+[[nodiscard]] ProviderConfig google_config();
+[[nodiscard]] ProviderConfig nextdns_config();
+[[nodiscard]] ProviderConfig quad9_config();
+
+/// Instantiates all four studied providers in paper order
+/// (Cloudflare, Google, NextDNS, Quad9).
+[[nodiscard]] std::vector<Provider> studied_providers();
+
+}  // namespace dohperf::anycast

@@ -1,0 +1,110 @@
+#include "client/policy.h"
+
+#include "dns/wire.h"
+#include "resolver/stub.h"
+#include "transport/http.h"
+#include "transport/tcp.h"
+
+namespace dohperf::client {
+namespace {
+
+using netsim::NetCtx;
+using netsim::SimTime;
+using netsim::Task;
+
+/// Plain Do53 resolution of a fresh name; true on success.
+Task<bool> resolve_do53(NetCtx& net, const PolicyContext& ctx) {
+  const resolver::StubResult result = co_await resolver::stub_resolve(
+      net, ctx.client, *ctx.default_resolver,
+      resolver::make_probe_query(net.rng, ctx.origin));
+  co_return result.ok();
+}
+
+/// Full first-use DoH resolution; true on success. Assumes reachability
+/// was already established (the unreachable case is handled by the
+/// caller via the timeout, because the client cannot distinguish a slow
+/// resolver from a blackholed one).
+Task<bool> resolve_doh(NetCtx& net, const PolicyContext& ctx) {
+  // Bootstrap the resolver name.
+  {
+    const auto id = static_cast<std::uint16_t>(net.rng.next() & 0xFFFF);
+    const resolver::StubResult bootstrap = co_await resolver::stub_resolve(
+        net, ctx.client, *ctx.default_resolver,
+        dns::Message::make_query(id,
+                                 dns::DomainName::parse(ctx.doh_hostname)));
+    if (!bootstrap.ok()) co_return false;
+  }
+
+  const transport::TcpConnection tcp =
+      co_await transport::tcp_connect(net, ctx.client, ctx.doh->site());
+  co_await transport::tls_handshake(net, tcp,
+                                    transport::TlsVersion::kTls13);
+
+  const dns::Message query =
+      resolver::make_probe_query(net.rng, ctx.origin);
+  transport::HttpRequest req;
+  req.method = "GET";
+  req.target = resolver::doh_get_target(query);
+  req.headers.add("host", ctx.doh_hostname);
+  co_await net.hop(ctx.client, ctx.doh->site(),
+                   req.wire_size() + transport::kRecordOverheadBytes);
+  const transport::HttpResponse resp = co_await ctx.doh->handle(net, req);
+  co_await net.hop(ctx.doh->site(), ctx.client,
+                   resp.wire_size() + transport::kRecordOverheadBytes);
+  co_return resp.status == 200;
+}
+
+}  // namespace
+
+std::string_view to_string(DohMode mode) {
+  switch (mode) {
+    case DohMode::kOff:
+      return "off (Do53)";
+    case DohMode::kOpportunistic:
+      return "opportunistic (DoH with Do53 fallback)";
+    case DohMode::kStrict:
+      return "strict (DoH only)";
+  }
+  return "?";
+}
+
+netsim::Task<PolicyOutcome> resolve_with_policy(netsim::NetCtx& net,
+                                                const PolicyContext& ctx,
+                                                DohMode mode) {
+  PolicyOutcome outcome;
+  const SimTime start = net.sim.now();
+
+  if (mode == DohMode::kOff) {
+    outcome.resolved = co_await resolve_do53(net, ctx);
+    outcome.elapsed_ms = netsim::ms_between(start, net.sim.now());
+    co_return outcome;
+  }
+
+  // DoH first. An unreachable resolver manifests as silence: the client
+  // burns its full timeout before acting.
+  if (ctx.doh_unreachable) {
+    co_await net.sim.sleep(ctx.doh_timeout);
+    if (mode == DohMode::kStrict) {
+      // Fail closed: no resolution, privacy preserved.
+      outcome.elapsed_ms = netsim::ms_between(start, net.sim.now());
+      co_return outcome;
+    }
+    outcome.downgraded = true;
+    outcome.resolved = co_await resolve_do53(net, ctx);
+    outcome.elapsed_ms = netsim::ms_between(start, net.sim.now());
+    co_return outcome;
+  }
+
+  const bool ok = co_await resolve_doh(net, ctx);
+  if (ok) {
+    outcome.resolved = true;
+    outcome.used_doh = true;
+  } else if (mode == DohMode::kOpportunistic) {
+    outcome.downgraded = true;
+    outcome.resolved = co_await resolve_do53(net, ctx);
+  }
+  outcome.elapsed_ms = netsim::ms_between(start, net.sim.now());
+  co_return outcome;
+}
+
+}  // namespace dohperf::client

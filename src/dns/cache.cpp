@@ -1,0 +1,66 @@
+#include "dns/cache.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace dohperf::dns {
+
+void Cache::insert(netsim::SimTime now, const DomainName& name,
+                   RecordType type, std::vector<ResourceRecord> records) {
+  if (records.empty()) return;
+  if (entries_.size() >= max_entries_) {
+    // Simple pressure relief: evict expired entries; if still full, drop
+    // the insert rather than evicting live data at random.
+    purge(now);
+    if (entries_.size() >= max_entries_) return;
+  }
+  std::uint32_t min_ttl = records.front().ttl;
+  for (const auto& rr : records) min_ttl = std::min(min_ttl, rr.ttl);
+
+  Entry entry;
+  entry.records = std::move(records);
+  entry.stored_at = now;
+  entry.expires_at = now + std::chrono::seconds(min_ttl);
+  entries_[Key{name, type}] = std::move(entry);
+  ++stats_.insertions;
+}
+
+std::optional<std::vector<ResourceRecord>> Cache::lookup(
+    netsim::SimTime now, const DomainName& name, RecordType type) {
+  const auto it = entries_.find(Key{name, type});
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (now >= it->second.expires_at) {
+    entries_.erase(it);
+    ++stats_.expirations;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  const auto age_s = std::chrono::duration_cast<std::chrono::seconds>(
+                         now - it->second.stored_at)
+                         .count();
+  std::vector<ResourceRecord> out = it->second.records;
+  for (auto& rr : out) {
+    rr.ttl = rr.ttl > age_s ? rr.ttl - static_cast<std::uint32_t>(age_s) : 0;
+  }
+  ++stats_.hits;
+  return out;
+}
+
+std::size_t Cache::purge(netsim::SimTime now) {
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (now >= it->second.expires_at) {
+      it = entries_.erase(it);
+      ++removed;
+      ++stats_.expirations;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+}  // namespace dohperf::dns

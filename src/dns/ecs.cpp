@@ -1,0 +1,90 @@
+#include "dns/ecs.h"
+
+namespace dohperf::dns {
+namespace {
+
+constexpr std::uint16_t kFamilyIpv4 = 1;
+
+std::uint32_t truncate_to_prefix(std::uint32_t address,
+                                 std::uint8_t prefix_length) {
+  if (prefix_length == 0) return 0;
+  if (prefix_length >= 32) return address;
+  const std::uint32_t mask = ~std::uint32_t{0} << (32 - prefix_length);
+  return address & mask;
+}
+
+}  // namespace
+
+EdnsOption make_ecs_option(std::uint32_t address,
+                           std::uint8_t prefix_length) {
+  const std::uint32_t truncated = truncate_to_prefix(address, prefix_length);
+  const std::size_t address_octets = (prefix_length + 7) / 8;
+
+  EdnsOption option;
+  option.code = kEdnsClientSubnetCode;
+  option.data.reserve(4 + address_octets);
+  option.data.push_back(kFamilyIpv4 >> 8);
+  option.data.push_back(kFamilyIpv4 & 0xFF);
+  option.data.push_back(prefix_length);
+  option.data.push_back(0);  // scope: 0 in queries per the RFC
+  for (std::size_t i = 0; i < address_octets; ++i) {
+    option.data.push_back(
+        static_cast<std::uint8_t>(truncated >> (24 - 8 * i)));
+  }
+  return option;
+}
+
+std::optional<ClientSubnet> parse_ecs_option(const EdnsOption& option) {
+  if (option.code != kEdnsClientSubnetCode) return std::nullopt;
+  if (option.data.size() < 4) return std::nullopt;
+  const std::uint16_t family =
+      static_cast<std::uint16_t>((option.data[0] << 8) | option.data[1]);
+  if (family != kFamilyIpv4) return std::nullopt;
+
+  ClientSubnet subnet;
+  subnet.source_prefix_length = option.data[2];
+  subnet.scope_prefix_length = option.data[3];
+  if (subnet.source_prefix_length > 32) return std::nullopt;
+  const std::size_t expected_octets =
+      (subnet.source_prefix_length + 7) / 8;
+  if (option.data.size() != 4 + expected_octets) return std::nullopt;
+
+  std::uint32_t prefix = 0;
+  for (std::size_t i = 0; i < expected_octets; ++i) {
+    prefix |= static_cast<std::uint32_t>(option.data[4 + i])
+              << (24 - 8 * i);
+  }
+  subnet.prefix = truncate_to_prefix(prefix, subnet.source_prefix_length);
+  return subnet;
+}
+
+const OptRecord* find_opt(const Message& msg) {
+  for (const ResourceRecord& rr : msg.additionals) {
+    if (const auto* opt = std::get_if<OptRecord>(&rr.rdata)) return opt;
+  }
+  return nullptr;
+}
+
+void attach_ecs(Message& msg, const EdnsOption& option) {
+  for (ResourceRecord& rr : msg.additionals) {
+    if (auto* opt = std::get_if<OptRecord>(&rr.rdata)) {
+      opt->options.push_back(option);
+      return;
+    }
+  }
+  ResourceRecord rr;
+  OptRecord opt;
+  opt.options.push_back(option);
+  rr.rdata = std::move(opt);
+  msg.additionals.push_back(std::move(rr));
+}
+
+std::optional<ClientSubnet> extract_ecs(const Message& msg) {
+  const OptRecord* opt = find_opt(msg);
+  if (opt == nullptr) return std::nullopt;
+  const EdnsOption* option = opt->find_option(kEdnsClientSubnetCode);
+  if (option == nullptr) return std::nullopt;
+  return parse_ecs_option(*option);
+}
+
+}  // namespace dohperf::dns

@@ -1,0 +1,48 @@
+// EDNS Client Subnet (RFC 7871) helpers.
+//
+// The paper's ethics appendix notes the authors "take careful note not to
+// inspect any potentially sensitive client data (e.g., client IPs present
+// in the ECS-client-subnet DNS extension)". We model ECS so that part of
+// the pipeline is faithful: Google-style resolvers forward a truncated
+// /24, Cloudflare-style resolvers never send it, and the authoritative
+// server counts but does not retain it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "dns/message.h"
+
+namespace dohperf::dns {
+
+/// A parsed ECS option (IPv4 only, as the study's clients are IPv4).
+struct ClientSubnet {
+  std::uint8_t source_prefix_length = 24;
+  std::uint8_t scope_prefix_length = 0;
+  /// The address bits, already truncated to the prefix (host order).
+  std::uint32_t prefix = 0;
+
+  friend bool operator==(const ClientSubnet&, const ClientSubnet&) = default;
+};
+
+/// Encodes a /`prefix_length` ECS option for `address` (host order). Bits
+/// beyond the prefix are zeroed before encoding, per the RFC's privacy
+/// rules.
+[[nodiscard]] EdnsOption make_ecs_option(std::uint32_t address,
+                                         std::uint8_t prefix_length = 24);
+
+/// Decodes an ECS option; nullopt if malformed or not IPv4.
+[[nodiscard]] std::optional<ClientSubnet> parse_ecs_option(
+    const EdnsOption& option);
+
+/// Returns the message's OPT record, or nullptr.
+[[nodiscard]] const OptRecord* find_opt(const Message& msg);
+
+/// Appends an OPT record carrying `option` to the message's additional
+/// section (creating the OPT if absent).
+void attach_ecs(Message& msg, const EdnsOption& option);
+
+/// The ECS subnet carried by `msg`, if any.
+[[nodiscard]] std::optional<ClientSubnet> extract_ecs(const Message& msg);
+
+}  // namespace dohperf::dns

@@ -1,0 +1,23 @@
+// Error types for the DNS library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dohperf::dns {
+
+/// Malformed wire data (truncation, bad compression pointers, overflow).
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what)
+      : std::runtime_error("dns parse error: " + what) {}
+};
+
+/// Invalid domain-name syntax (label/name length, empty label, ...).
+class NameError : public std::runtime_error {
+ public:
+  explicit NameError(const std::string& what)
+      : std::runtime_error("dns name error: " + what) {}
+};
+
+}  // namespace dohperf::dns

@@ -1,0 +1,143 @@
+#include "dns/name.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "dns/errors.h"
+
+namespace dohperf::dns {
+namespace {
+
+char ascii_lower(char c) {
+  return static_cast<char>(
+      std::tolower(static_cast<unsigned char>(c)));
+}
+
+bool label_less(const std::string& a, const std::string& b) {
+  return std::lexicographical_compare(
+      a.begin(), a.end(), b.begin(), b.end(),
+      [](char x, char y) { return ascii_lower(x) < ascii_lower(y); });
+}
+
+bool label_equal(const std::string& a, const std::string& b) {
+  return a.size() == b.size() &&
+         std::equal(a.begin(), a.end(), b.begin(), [](char x, char y) {
+           return ascii_lower(x) == ascii_lower(y);
+         });
+}
+
+}  // namespace
+
+void DomainName::validate_label(std::string_view label) {
+  if (label.empty()) throw NameError("empty label");
+  if (label.size() > 63) {
+    throw NameError("label longer than 63 octets: " + std::string(label));
+  }
+  // RFC 1035 is permissive about octet values; we require printable,
+  // non-dot characters so presentation form round-trips.
+  for (const char c : label) {
+    if (c == '.' || !std::isprint(static_cast<unsigned char>(c))) {
+      throw NameError("invalid character in label");
+    }
+  }
+}
+
+void DomainName::validate_total_length() const {
+  if (wire_length() > 255) throw NameError("name exceeds 255 wire octets");
+}
+
+DomainName DomainName::parse(std::string_view text) {
+  DomainName name;
+  if (text == "." || text.empty()) return name;
+  if (text.back() == '.') text.remove_suffix(1);
+
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t dot = text.find('.', start);
+    const std::string_view label =
+        text.substr(start, dot == std::string_view::npos ? std::string_view::npos
+                                                         : dot - start);
+    validate_label(label);
+    name.labels_.emplace_back(label);
+    if (dot == std::string_view::npos) break;
+    start = dot + 1;
+  }
+  name.validate_total_length();
+  return name;
+}
+
+DomainName DomainName::from_labels(std::vector<std::string> labels) {
+  DomainName name;
+  for (const auto& l : labels) validate_label(l);
+  name.labels_ = std::move(labels);
+  name.validate_total_length();
+  return name;
+}
+
+std::string DomainName::to_string() const {
+  if (labels_.empty()) return ".";
+  std::string out;
+  out.reserve(wire_length());
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (i != 0) out.push_back('.');
+    out += labels_[i];
+  }
+  return out;
+}
+
+std::size_t DomainName::wire_length() const {
+  std::size_t n = 1;  // root length byte
+  for (const auto& l : labels_) n += 1 + l.size();
+  return n;
+}
+
+bool DomainName::is_subdomain_of(const DomainName& ancestor) const {
+  if (ancestor.labels_.size() > labels_.size()) return false;
+  // Compare trailing labels.
+  auto self_it = labels_.end() - static_cast<std::ptrdiff_t>(ancestor.labels_.size());
+  return std::equal(ancestor.labels_.begin(), ancestor.labels_.end(), self_it,
+                    label_equal);
+}
+
+DomainName DomainName::parent() const {
+  DomainName p;
+  p.labels_.assign(labels_.begin() + 1, labels_.end());
+  return p;
+}
+
+DomainName DomainName::with_subdomain(std::string_view label) const {
+  validate_label(label);
+  DomainName child;
+  child.labels_.reserve(labels_.size() + 1);
+  child.labels_.emplace_back(label);
+  child.labels_.insert(child.labels_.end(), labels_.begin(), labels_.end());
+  child.validate_total_length();
+  return child;
+}
+
+bool operator==(const DomainName& a, const DomainName& b) {
+  return a.labels_.size() == b.labels_.size() &&
+         std::equal(a.labels_.begin(), a.labels_.end(), b.labels_.begin(),
+                    label_equal);
+}
+
+bool operator<(const DomainName& a, const DomainName& b) {
+  return std::lexicographical_compare(a.labels_.begin(), a.labels_.end(),
+                                      b.labels_.begin(), b.labels_.end(),
+                                      label_less);
+}
+
+std::size_t DomainNameHash::operator()(const DomainName& n) const {
+  std::size_t h = 0xcbf29ce484222325ULL;
+  for (const auto& label : n.labels()) {
+    for (const char c : label) {
+      h ^= static_cast<unsigned char>(ascii_lower(c));
+      h *= 0x100000001b3ULL;
+    }
+    h ^= '.';
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace dohperf::dns

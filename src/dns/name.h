@@ -1,0 +1,69 @@
+// Domain names (RFC 1035 section 3.1).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dohperf::dns {
+
+/// A fully-qualified domain name stored as a sequence of labels (without
+/// the trailing empty root label).
+///
+/// Invariants: each label is 1..63 octets; total presentation length
+/// (labels + separating dots) is <= 253; comparison is ASCII
+/// case-insensitive as required by RFC 1035 section 2.3.3.
+class DomainName {
+ public:
+  /// The empty (root) name.
+  DomainName() = default;
+
+  /// Parses dotted presentation format ("www.example.com", trailing dot
+  /// optional). Throws NameError on invalid syntax.
+  static DomainName parse(std::string_view text);
+
+  /// Builds from raw labels. Throws NameError on invalid labels.
+  static DomainName from_labels(std::vector<std::string> labels);
+
+  [[nodiscard]] const std::vector<std::string>& labels() const {
+    return labels_;
+  }
+  [[nodiscard]] bool empty() const { return labels_.empty(); }
+  [[nodiscard]] std::size_t label_count() const { return labels_.size(); }
+
+  /// Presentation form without trailing dot; "." for the root.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Length in wire octets (sum of length bytes + labels + root byte).
+  [[nodiscard]] std::size_t wire_length() const;
+
+  /// True if this name equals or is underneath `ancestor`
+  /// ("a.b.example.com" is under "example.com" and under itself).
+  [[nodiscard]] bool is_subdomain_of(const DomainName& ancestor) const;
+
+  /// Returns the name with the leftmost label removed ("parent" name).
+  /// Requires !empty().
+  [[nodiscard]] DomainName parent() const;
+
+  /// Returns `label` prepended to this name (e.g. "uuid" + "a.com").
+  [[nodiscard]] DomainName with_subdomain(std::string_view label) const;
+
+  /// Case-insensitive equality.
+  friend bool operator==(const DomainName& a, const DomainName& b);
+  /// Case-insensitive lexicographic order (for map keys).
+  friend bool operator<(const DomainName& a, const DomainName& b);
+
+ private:
+  std::vector<std::string> labels_;
+
+  static void validate_label(std::string_view label);
+  void validate_total_length() const;
+};
+
+/// FNV-1a hash over the lowercased presentation form.
+struct DomainNameHash {
+  std::size_t operator()(const DomainName& n) const;
+};
+
+}  // namespace dohperf::dns

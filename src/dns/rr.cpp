@@ -1,0 +1,74 @@
+#include "dns/rr.h"
+
+#include <cstdio>
+
+namespace dohperf::dns {
+
+std::string_view to_string(RecordType t) {
+  switch (t) {
+    case RecordType::kA:
+      return "A";
+    case RecordType::kNs:
+      return "NS";
+    case RecordType::kCname:
+      return "CNAME";
+    case RecordType::kSoa:
+      return "SOA";
+    case RecordType::kTxt:
+      return "TXT";
+    case RecordType::kAaaa:
+      return "AAAA";
+    case RecordType::kOpt:
+      return "OPT";
+  }
+  return "?";
+}
+
+std::string ARecord::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (address >> 24) & 0xff,
+                (address >> 16) & 0xff, (address >> 8) & 0xff,
+                address & 0xff);
+  return buf;
+}
+
+std::string AaaaRecord::to_string() const {
+  // Uncompressed colon-hex form; sufficient for logs and tests.
+  std::string out;
+  char buf[6];
+  for (std::size_t i = 0; i < 16; i += 2) {
+    std::snprintf(buf, sizeof buf, "%x",
+                  (static_cast<unsigned>(address[i]) << 8) | address[i + 1]);
+    if (i != 0) out.push_back(':');
+    out += buf;
+  }
+  return out;
+}
+
+const EdnsOption* OptRecord::find_option(std::uint16_t code) const {
+  for (const EdnsOption& option : options) {
+    if (option.code == code) return &option;
+  }
+  return nullptr;
+}
+
+RecordType rdata_type(const RData& rdata) {
+  struct Visitor {
+    RecordType operator()(const ARecord&) const { return RecordType::kA; }
+    RecordType operator()(const NsRecord&) const { return RecordType::kNs; }
+    RecordType operator()(const CnameRecord&) const {
+      return RecordType::kCname;
+    }
+    RecordType operator()(const SoaRecord&) const { return RecordType::kSoa; }
+    RecordType operator()(const TxtRecord&) const { return RecordType::kTxt; }
+    RecordType operator()(const AaaaRecord&) const {
+      return RecordType::kAaaa;
+    }
+    RecordType operator()(const OptRecord&) const {
+      return RecordType::kOpt;
+    }
+  };
+  return std::visit(Visitor{}, rdata);
+}
+
+}  // namespace dohperf::dns

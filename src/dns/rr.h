@@ -1,0 +1,119 @@
+// Resource records (RFC 1035 section 3.2, RFC 3596 for AAAA).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+#include <string>
+#include <variant>
+
+#include "dns/name.h"
+
+namespace dohperf::dns {
+
+/// Record types used by the study (queries are A; infrastructure needs
+/// NS/SOA/CNAME; TXT appears in tests).
+enum class RecordType : std::uint16_t {
+  kA = 1,
+  kNs = 2,
+  kCname = 5,
+  kSoa = 6,
+  kTxt = 16,
+  kAaaa = 28,
+  kOpt = 41,  ///< EDNS0 pseudo-record (RFC 6891).
+};
+
+[[nodiscard]] std::string_view to_string(RecordType t);
+
+/// Record classes; only IN is used.
+enum class RecordClass : std::uint16_t {
+  kIn = 1,
+};
+
+/// IPv4 address in host byte order.
+struct ARecord {
+  std::uint32_t address = 0;
+
+  [[nodiscard]] std::string to_string() const;
+  friend bool operator==(const ARecord&, const ARecord&) = default;
+};
+
+/// IPv6 address as 16 raw octets.
+struct AaaaRecord {
+  std::array<std::uint8_t, 16> address{};
+
+  [[nodiscard]] std::string to_string() const;
+  friend bool operator==(const AaaaRecord&, const AaaaRecord&) = default;
+};
+
+struct NsRecord {
+  DomainName nameserver;
+  friend bool operator==(const NsRecord&, const NsRecord&) = default;
+};
+
+struct CnameRecord {
+  DomainName target;
+  friend bool operator==(const CnameRecord&, const CnameRecord&) = default;
+};
+
+struct SoaRecord {
+  DomainName mname;
+  DomainName rname;
+  std::uint32_t serial = 0;
+  std::uint32_t refresh = 0;
+  std::uint32_t retry = 0;
+  std::uint32_t expire = 0;
+  std::uint32_t minimum = 0;
+  friend bool operator==(const SoaRecord&, const SoaRecord&) = default;
+};
+
+struct TxtRecord {
+  std::string text;
+  friend bool operator==(const TxtRecord&, const TxtRecord&) = default;
+};
+
+/// One EDNS option (RFC 6891 section 6.1.2).
+struct EdnsOption {
+  std::uint16_t code = 0;
+  std::vector<std::uint8_t> data;
+  friend bool operator==(const EdnsOption&, const EdnsOption&) = default;
+};
+
+/// EDNS Client Subnet option code (RFC 7871).
+inline constexpr std::uint16_t kEdnsClientSubnetCode = 8;
+
+/// The EDNS0 OPT pseudo-record. On the wire, OPT repurposes the class
+/// field as the UDP payload size and the TTL as extended flags; this
+/// struct keeps them explicit and the codec maps them.
+struct OptRecord {
+  std::uint16_t udp_payload = 1232;
+  std::uint32_t extended_flags = 0;
+  std::vector<EdnsOption> options;
+
+  /// First option with `code`, or nullptr.
+  [[nodiscard]] const EdnsOption* find_option(std::uint16_t code) const;
+
+  friend bool operator==(const OptRecord&, const OptRecord&) = default;
+};
+
+using RData =
+    std::variant<ARecord, NsRecord, CnameRecord, SoaRecord, TxtRecord,
+                 AaaaRecord, OptRecord>;
+
+/// Maps an RData alternative to its RecordType tag.
+[[nodiscard]] RecordType rdata_type(const RData& rdata);
+
+/// A complete resource record.
+struct ResourceRecord {
+  DomainName name;
+  RecordClass rclass = RecordClass::kIn;
+  std::uint32_t ttl = 0;
+  RData rdata;
+
+  [[nodiscard]] RecordType type() const { return rdata_type(rdata); }
+
+  friend bool operator==(const ResourceRecord&,
+                         const ResourceRecord&) = default;
+};
+
+}  // namespace dohperf::dns

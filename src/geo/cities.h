@@ -1,0 +1,31 @@
+// City coordinate table used to place DoH provider points-of-presence.
+//
+// The paper observed 146 Cloudflare, 26 Google, 107 NextDNS and ~150 Quad9
+// PoPs; we place synthetic catalogs of the same sizes over this table of
+// real metro areas (see anycast::catalogs).
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "geo/coordinates.h"
+
+namespace dohperf::geo {
+
+/// A metro area that can host a point-of-presence.
+struct City {
+  std::string_view name;
+  std::string_view country_iso2;  ///< Host country (ISO 3166-1 alpha-2).
+  LatLon position;
+};
+
+/// The embedded city table (~230 metros worldwide), in no particular order.
+[[nodiscard]] std::span<const City> city_table();
+
+/// Finds a city by name; returns nullptr if absent.
+[[nodiscard]] const City* find_city(std::string_view name);
+
+/// Returns the city nearest to `p`, or nullptr for an empty table.
+[[nodiscard]] const City* nearest_city(const LatLon& p);
+
+}  // namespace dohperf::geo

@@ -1,0 +1,78 @@
+#include "geo/country.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace dohperf::geo {
+
+std::string_view to_string(IncomeGroup g) {
+  switch (g) {
+    case IncomeGroup::kLow:
+      return "Low";
+    case IncomeGroup::kLowerMiddle:
+      return "Lower-middle";
+    case IncomeGroup::kUpperMiddle:
+      return "Upper-middle";
+    case IncomeGroup::kHigh:
+      return "High";
+  }
+  return "?";
+}
+
+std::string_view to_string(Region r) {
+  switch (r) {
+    case Region::kNorthAmerica:
+      return "North America";
+    case Region::kSouthAmerica:
+      return "South America";
+    case Region::kEurope:
+      return "Europe";
+    case Region::kAfrica:
+      return "Africa";
+    case Region::kMiddleEast:
+      return "Middle East";
+    case Region::kCentralAsia:
+      return "Central Asia";
+    case Region::kSouthAsia:
+      return "South Asia";
+    case Region::kEastAsia:
+      return "East Asia";
+    case Region::kSoutheastAsia:
+      return "Southeast Asia";
+    case Region::kOceania:
+      return "Oceania";
+    case Region::kCaribbean:
+      return "Caribbean";
+  }
+  return "?";
+}
+
+IncomeGroup Country::income_group() const {
+  // World Bank FY2021 GNI thresholds; we use GDP per capita as the proxy,
+  // as the paper does ("Determined via GDP data by the World Bank").
+  if (gdp_per_capita_usd < 1046.0) return IncomeGroup::kLow;
+  if (gdp_per_capita_usd < 4096.0) return IncomeGroup::kLowerMiddle;
+  if (gdp_per_capita_usd < 12696.0) return IncomeGroup::kUpperMiddle;
+  return IncomeGroup::kHigh;
+}
+
+const Country* find_country(std::string_view iso2) {
+  const auto table = world_table();
+  const auto it = std::lower_bound(
+      table.begin(), table.end(), iso2,
+      [](const Country& c, std::string_view code) { return c.iso2 < code; });
+  if (it != table.end() && it->iso2 == iso2) return &*it;
+  return nullptr;
+}
+
+int median_as_count() {
+  const auto table = world_table();
+  std::vector<int> counts;
+  counts.reserve(table.size());
+  for (const Country& c : table) counts.push_back(c.num_ases);
+  auto mid = counts.begin() + static_cast<std::ptrdiff_t>(counts.size() / 2);
+  std::nth_element(counts.begin(), mid, counts.end());
+  return *mid;
+}
+
+}  // namespace dohperf::geo

@@ -1,0 +1,82 @@
+// Country records and the embedded world table.
+//
+// The paper's regressions (Section 6) use four country-level covariates:
+// GDP per capita / World Bank income group, nationwide fixed-broadband
+// bandwidth (Ookla), and the number of ASes registered in the country
+// (IPInfo). We embed an approximate 224-row table covering every country
+// and territory the study touches; values are documented approximations of
+// the 2021 public datasets (see DESIGN.md, substitution table).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "geo/coordinates.h"
+
+namespace dohperf::geo {
+
+/// World Bank income classification (paper Table 4 "Income Group").
+enum class IncomeGroup : std::uint8_t {
+  kLow,
+  kLowerMiddle,
+  kUpperMiddle,
+  kHigh,
+};
+
+[[nodiscard]] std::string_view to_string(IncomeGroup g);
+
+/// Continental region, used for anycast hub assignment and reporting.
+enum class Region : std::uint8_t {
+  kNorthAmerica,
+  kSouthAmerica,
+  kEurope,
+  kAfrica,
+  kMiddleEast,
+  kCentralAsia,
+  kSouthAsia,
+  kEastAsia,
+  kSoutheastAsia,
+  kOceania,
+  kCaribbean,
+};
+
+[[nodiscard]] std::string_view to_string(Region r);
+
+/// One row of the world table.
+struct Country {
+  std::string_view iso2;      ///< ISO 3166-1 alpha-2 code.
+  std::string_view name;      ///< English short name.
+  LatLon centroid;            ///< Representative population-weighted point.
+  Region region;
+  double gdp_per_capita_usd;  ///< Approximate 2021 GDP per capita.
+  double bandwidth_mbps;      ///< Approximate national fixed-broadband speed.
+  int num_ases;               ///< Approximate registered AS count.
+
+  /// World Bank income group, derived from GDP per capita using the FY2021
+  /// thresholds (low < $1,046; lower-middle < $4,096; upper-middle
+  /// < $12,696; high otherwise). The paper derives the same grouping from
+  /// World Bank data.
+  [[nodiscard]] IncomeGroup income_group() const;
+
+  /// FCC "fast Internet" test used by the paper (Table 4): > 25 Mbps.
+  [[nodiscard]] bool has_fast_internet() const {
+    return bandwidth_mbps > 25.0;
+  }
+};
+
+/// The full embedded world table (234 countries and territories; the
+/// paper's campaign retains 224), sorted by ISO code. Storage has static
+/// lifetime.
+[[nodiscard]] std::span<const Country> world_table();
+
+/// Looks up a country by ISO 3166-1 alpha-2 code (case-sensitive, upper).
+[[nodiscard]] const Country* find_country(std::string_view iso2);
+
+/// Median AS count across the world table; the paper dichotomises the
+/// "Num ASes" covariate at the global median (25 in their data).
+[[nodiscard]] int median_as_count();
+
+}  // namespace dohperf::geo

@@ -1,0 +1,17 @@
+#include "geo/geolocation.h"
+
+#include <utility>
+
+namespace dohperf::geo {
+
+void GeolocationService::add(NetPrefix prefix, GeoRecord record) {
+  db_[prefix] = std::move(record);
+}
+
+std::optional<GeoRecord> GeolocationService::lookup(NetPrefix prefix) const {
+  const auto it = db_.find(prefix);
+  if (it == db_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace dohperf::geo

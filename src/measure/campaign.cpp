@@ -1,0 +1,206 @@
+#include "measure/campaign.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "measure/flows.h"
+#include "resolver/stub.h"
+
+namespace dohperf::measure {
+namespace {
+
+/// One client session: 4 DoH measurements + 1 Do53 measurement.
+netsim::Task<void> measure_session(world::WorldModel& world,
+                                   const proxy::ExitNode& exit, int run,
+                                   const CampaignConfig& config,
+                                   Dataset& out) {
+  netsim::NetCtx net = world.ctx();
+  const geo::Country* true_country = geo::find_country(exit.true_iso2);
+  const netsim::Site sp_site =
+      world.brightdata().nearest_super_proxy(exit.site.position).site;
+
+  // Distances in the dataset are computed from the geolocated (/24)
+  // position, as the paper does — not from ground truth.
+  const auto geo_record = world.maxmind().lookup(exit.prefix);
+  const geo::LatLon located =
+      geo_record ? geo_record->position : exit.site.position;
+
+  // --- DoH: one measurement per studied provider ---------------------
+  for (std::size_t p = 0; p < world.providers().size(); ++p) {
+    anycast::Provider& provider = world.providers()[p];
+    // Failures persist per (client, provider) pair — a resolver that is
+    // unreachable from a client's network stays unreachable across runs,
+    // which is what makes Table 3's per-provider client counts fall
+    // short of the Do53 total.
+    netsim::Rng failure_rng = net.rng.split(
+        "provider-fail-" + provider.name() + "-" +
+        std::to_string(exit.id));
+    if (failure_rng.bernoulli(config.provider_failure_rate)) {
+      ++out.failed_measurements;
+      continue;
+    }
+
+    const std::size_t pop_index =
+        provider.route(exit.site.position, true_country->region, net.rng);
+    const std::size_t nearest_index =
+        provider.nearest(exit.site.position);
+
+    DohProxyParams params;
+    params.client = world.measurement_client();
+    params.super_proxy = sp_site;
+    params.exit = &exit;
+    params.doh = &world.doh_server(p, pop_index);
+    params.doh_hostname = provider.config().doh_hostname;
+    params.tls = world.config().tls_version;
+    params.origin = world.origin();
+
+    const DohProxyObservation obs =
+        co_await doh_via_proxy(net, std::move(params));
+    if (!obs.ok) {
+      ++out.failed_measurements;
+      continue;
+    }
+
+    DohRecord rec;
+    rec.exit_id = exit.id;
+    rec.iso2 = exit.advertised_iso2;
+    rec.provider = provider.name();
+    rec.run = run;
+    rec.pop_index = pop_index;
+    rec.pop_distance_miles = geo::distance_miles(
+        located, provider.pops()[pop_index].position);
+    // "Potential improvement": distance to the PoP actually used minus
+    // distance to the closest PoP *as geolocation sees it* (Figure 6).
+    double nearest_located_miles = geo::distance_miles(
+        located, provider.pops()[nearest_index].position);
+    for (const anycast::Pop& pop : provider.pops()) {
+      nearest_located_miles =
+          std::min(nearest_located_miles,
+                   geo::distance_miles(located, pop.position));
+    }
+    rec.potential_improvement_miles =
+        rec.pop_distance_miles - nearest_located_miles;
+    rec.tdoh_ms = estimate_tdoh_ms(obs.inputs);
+    rec.tdohr_ms = estimate_tdohr_ms(obs.inputs);
+    out.add_doh(std::move(rec));
+  }
+
+  // --- Do53 via the default resolver ----------------------------------
+  Do53ProxyParams params;
+  params.client = world.measurement_client();
+  params.super_proxy = sp_site;
+  params.exit = &exit;
+  params.web_server = world.authority().site();  // co-hosted with a.com NS
+  params.origin = world.origin();
+  params.resolve_at_super_proxy =
+      proxy::resolves_dns_at_super_proxy(exit.advertised_iso2);
+  params.authority = &world.authority();
+
+  const Do53ProxyObservation obs =
+      co_await do53_via_proxy(net, std::move(params));
+  if (!obs.ok) {
+    ++out.failed_measurements;
+    co_return;
+  }
+  if (!obs.resolved_at_super_proxy) {
+    Do53Record rec;
+    rec.exit_id = exit.id;
+    rec.iso2 = exit.advertised_iso2;
+    rec.run = run;
+    rec.via_atlas = false;
+    rec.do53_ms = obs.tun.dns_ms;
+    out.add_do53(std::move(rec));
+  }
+  // In Super Proxy countries the header value reflects the Super Proxy's
+  // own resolution and is discarded; Atlas fills the gap below.
+}
+
+/// One Atlas Do53 measurement in `iso2`.
+// `iso2` is taken by value: the caller's string may die while this
+// coroutine is suspended in the batch queue.
+netsim::Task<void> atlas_session(world::WorldModel& world, std::string iso2,
+                                 Dataset& out) {
+  netsim::NetCtx net = world.ctx();
+  const proxy::AtlasProbe* probe = world.atlas().pick_probe(iso2, net.rng);
+  if (probe == nullptr) co_return;
+  // Fresh UUID per measurement (cache-miss by construction).
+  const double ms = co_await world.atlas().measure_do53(
+      net, *probe,
+      world.origin().with_subdomain(resolver::uuid_label(net.rng)));
+  if (ms < 0) {
+    ++out.failed_measurements;
+    co_return;
+  }
+  Do53Record rec;
+  rec.exit_id = kAtlasExitId;
+  rec.iso2 = iso2;
+  rec.run = 0;
+  rec.via_atlas = true;
+  rec.do53_ms = ms;
+  out.add_do53(std::move(rec));
+}
+
+}  // namespace
+
+Campaign::Campaign(world::WorldModel& world, CampaignConfig config)
+    : world_(world), config_(config) {}
+
+Dataset Campaign::run() {
+  Dataset out;
+
+  // Enumerate retained clients (Maxmind cross-check first).
+  std::vector<const proxy::ExitNode*> retained;
+  for (const std::string& iso2 : world_.countries()) {
+    for (const std::uint64_t id : world_.brightdata().exits_in(iso2)) {
+      const proxy::ExitNode* exit = world_.brightdata().find(id);
+      const auto geo_record = world_.maxmind().lookup(exit->prefix);
+      if (!geo_record || geo_record->country_iso2 != exit->advertised_iso2) {
+        ++out.discarded_mismatch;
+        continue;
+      }
+      retained.push_back(exit);
+
+      ClientInfo info;
+      info.exit_id = exit->id;
+      info.iso2 = exit->advertised_iso2;
+      info.position = geo_record->position;
+      info.nameserver_distance_miles = geo::distance_miles(
+          geo_record->position, world_.authority().site().position);
+      out.add_client(std::move(info));
+    }
+  }
+
+  // Run sessions in batches so coroutine frames stay bounded.
+  std::vector<netsim::Task<void>> batch;
+  batch.reserve(config_.batch_size);
+  auto drain = [&] {
+    world_.sim().run();
+    for (auto& task : batch) task.result();  // propagate exceptions
+    batch.clear();
+  };
+
+  for (int run = 0; run < config_.runs_per_client; ++run) {
+    for (const proxy::ExitNode* exit : retained) {
+      batch.push_back(measure_session(world_, *exit, run, config_, out));
+      if (batch.size() >= config_.batch_size) drain();
+    }
+  }
+  drain();
+
+  // The Atlas remedy for the 11 Super Proxy countries.
+  for (const std::string_view iso2_sv : proxy::kSuperProxyCountries) {
+    const std::string iso2(iso2_sv);
+    if (!world_.atlas().has_probes_in(iso2)) continue;
+    const int n = config_.atlas_measurements_per_country;
+    for (int i = 0; i < n; ++i) {
+      batch.push_back(atlas_session(world_, iso2, out));
+      if (batch.size() >= config_.batch_size) drain();
+    }
+  }
+  drain();
+
+  return out;
+}
+
+}  // namespace dohperf::measure

@@ -1,0 +1,43 @@
+// The full measurement campaign (paper Sections 3 and 5.1).
+//
+// For every reachable exit node: cross-check BrightData's country label
+// against the Maxmind-like geolocation service (discarding mismatches),
+// then run `runs_per_client` sessions of 5 measurements each — one DoH
+// resolution per studied provider plus one Do53 resolution via the
+// client's default resolver. Do53 in the 11 Super Proxy countries is
+// collected from the RIPE Atlas-like network instead (Section 3.5).
+#pragma once
+
+#include "measure/dataset.h"
+#include "world/world_model.h"
+
+namespace dohperf::measure {
+
+/// Campaign knobs.
+struct CampaignConfig {
+  int runs_per_client = 2;
+  /// Per-(client, provider) probability that a DoH measurement fails
+  /// (unreachable resolver, dropped tunnel, ...). This is why Table 3's
+  /// per-provider client counts fall slightly below the Do53 total.
+  double provider_failure_rate = 0.006;
+  /// Atlas Do53 sample size per Super Proxy country (paper: >= 250 in
+  /// the validation experiments).
+  int atlas_measurements_per_country = 250;
+  /// Measurement flows launched concurrently per simulator batch.
+  std::size_t batch_size = 256;
+};
+
+/// Runs the campaign over an assembled world.
+class Campaign {
+ public:
+  explicit Campaign(world::WorldModel& world, CampaignConfig config = {});
+
+  /// Executes every session and returns the collected dataset.
+  [[nodiscard]] Dataset run();
+
+ private:
+  world::WorldModel& world_;
+  CampaignConfig config_;
+};
+
+}  // namespace dohperf::measure

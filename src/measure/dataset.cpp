@@ -1,0 +1,180 @@
+#include "measure/dataset.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "stats/summary.h"
+
+namespace dohperf::measure {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace
+
+void Dataset::add_client(ClientInfo info) {
+  clients_[info.exit_id] = std::move(info);
+}
+
+void Dataset::add_doh(DohRecord rec) { doh_.push_back(std::move(rec)); }
+
+void Dataset::add_do53(Do53Record rec) { do53_.push_back(std::move(rec)); }
+
+std::size_t Dataset::unique_clients(std::string_view provider) const {
+  std::unordered_set<std::uint64_t> ids;
+  for (const auto& r : doh_) {
+    if (r.provider == provider) ids.insert(r.exit_id);
+  }
+  return ids.size();
+}
+
+std::size_t Dataset::unique_countries(std::string_view provider) const {
+  std::set<std::string> countries;
+  for (const auto& r : doh_) {
+    if (r.provider == provider) countries.insert(r.iso2);
+  }
+  return countries.size();
+}
+
+std::size_t Dataset::do53_clients() const {
+  std::unordered_set<std::uint64_t> ids;
+  for (const auto& r : do53_) {
+    if (r.exit_id != kAtlasExitId) ids.insert(r.exit_id);
+  }
+  return ids.size();
+}
+
+std::size_t Dataset::do53_countries() const {
+  std::set<std::string> countries;
+  for (const auto& r : do53_) countries.insert(r.iso2);
+  return countries.size();
+}
+
+std::vector<std::string> Dataset::analysis_countries(int min_clients) const {
+  // country -> provider -> unique client ids.
+  std::map<std::string, std::map<std::string, std::unordered_set<uint64_t>>>
+      seen;
+  std::set<std::string> providers;
+  for (const auto& r : doh_) {
+    seen[r.iso2][r.provider].insert(r.exit_id);
+    providers.insert(r.provider);
+  }
+  std::vector<std::string> out;
+  for (const auto& [iso2, per_provider] : seen) {
+    const bool ok = std::all_of(
+        providers.begin(), providers.end(), [&](const std::string& p) {
+          const auto it = per_provider.find(p);
+          return it != per_provider.end() &&
+                 it->second.size() >= static_cast<std::size_t>(min_clients);
+        });
+    if (ok) out.push_back(iso2);
+  }
+  return out;
+}
+
+std::map<std::string, std::size_t> Dataset::clients_per_country() const {
+  std::map<std::string, std::unordered_set<std::uint64_t>> sets;
+  for (const auto& [id, info] : clients_) sets[info.iso2].insert(id);
+  std::map<std::string, std::size_t> out;
+  for (const auto& [iso2, ids] : sets) out[iso2] = ids.size();
+  return out;
+}
+
+std::vector<double> Dataset::tdoh_values(std::string_view provider) const {
+  std::vector<double> out;
+  for (const auto& r : doh_) {
+    if (provider.empty() || r.provider == provider) {
+      out.push_back(r.tdoh_ms);
+    }
+  }
+  return out;
+}
+
+std::vector<double> Dataset::tdohr_values(std::string_view provider) const {
+  std::vector<double> out;
+  for (const auto& r : doh_) {
+    if (provider.empty() || r.provider == provider) {
+      out.push_back(r.tdohr_ms);
+    }
+  }
+  return out;
+}
+
+std::vector<double> Dataset::do53_values(std::string_view iso2) const {
+  std::vector<double> out;
+  for (const auto& r : do53_) {
+    if (iso2.empty() || r.iso2 == iso2) out.push_back(r.do53_ms);
+  }
+  return out;
+}
+
+std::vector<ClientProviderStat> Dataset::client_provider_stats() const {
+  // Per-client Do53 medians (Atlas rows have no client attribution).
+  std::unordered_map<std::uint64_t, std::vector<double>> do53_by_client;
+  for (const auto& r : do53_) {
+    if (r.exit_id != kAtlasExitId) do53_by_client[r.exit_id].push_back(r.do53_ms);
+  }
+
+  struct Acc {
+    std::vector<double> tdoh, tdohr, pop_dist, pot_imp;
+  };
+  std::map<std::pair<std::uint64_t, std::string>, Acc> acc;
+  for (const auto& r : doh_) {
+    Acc& a = acc[{r.exit_id, r.provider}];
+    a.tdoh.push_back(r.tdoh_ms);
+    a.tdohr.push_back(r.tdohr_ms);
+    a.pop_dist.push_back(r.pop_distance_miles);
+    a.pot_imp.push_back(r.potential_improvement_miles);
+  }
+
+  std::vector<ClientProviderStat> out;
+  out.reserve(acc.size());
+  for (const auto& [key, a] : acc) {
+    const auto& [exit_id, provider] = key;
+    const auto client_it = clients_.find(exit_id);
+    if (client_it == clients_.end()) continue;
+
+    ClientProviderStat s;
+    s.exit_id = exit_id;
+    s.provider = provider;
+    s.iso2 = client_it->second.iso2;
+    s.nameserver_distance_miles =
+        client_it->second.nameserver_distance_miles;
+    s.tdoh_ms = stats::median(a.tdoh);
+    s.tdohr_ms = stats::median(a.tdohr);
+    s.pop_distance_miles = stats::median(a.pop_dist);
+    s.potential_improvement_miles = stats::median(a.pot_imp);
+
+    const auto d_it = do53_by_client.find(exit_id);
+    s.do53_ms = d_it == do53_by_client.end() ? kNaN
+                                             : stats::median(d_it->second);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::map<std::string, double> Dataset::country_do53_medians() const {
+  std::map<std::string, std::vector<double>> values;
+  for (const auto& r : do53_) values[r.iso2].push_back(r.do53_ms);
+  std::map<std::string, double> out;
+  for (const auto& [iso2, v] : values) out[iso2] = stats::median(v);
+  return out;
+}
+
+std::map<std::string, double> Dataset::country_doh_medians(
+    std::string_view provider, int n) const {
+  std::map<std::string, std::vector<double>> values;
+  for (const auto& r : doh_) {
+    if (provider.empty() || r.provider == provider) {
+      values[r.iso2].push_back(r.doh_n(n));
+    }
+  }
+  std::map<std::string, double> out;
+  for (const auto& [iso2, v] : values) out[iso2] = stats::median(v);
+  return out;
+}
+
+}  // namespace dohperf::measure

@@ -1,0 +1,137 @@
+// The campaign's collected measurements and aggregation helpers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geo/coordinates.h"
+#include "measure/estimator.h"
+
+namespace dohperf::measure {
+
+/// One measured client (exit node) retained after the Maxmind check.
+struct ClientInfo {
+  std::uint64_t exit_id = 0;
+  std::string iso2;  ///< Analysis country.
+  geo::LatLon position;
+  double nameserver_distance_miles = 0.0;  ///< Client -> authoritative NS.
+};
+
+/// One DoH measurement (one provider, one run).
+struct DohRecord {
+  std::uint64_t exit_id = 0;
+  std::string iso2;
+  std::string provider;
+  int run = 0;
+  std::size_t pop_index = 0;
+  double pop_distance_miles = 0.0;  ///< Client -> PoP actually used.
+  double potential_improvement_miles = 0.0;  ///< vs nearest PoP (Figure 6).
+  double tdoh_ms = 0.0;   ///< Equation 7 estimate (DoH1).
+  double tdohr_ms = 0.0;  ///< Equation 8 estimate (DoHR).
+
+  /// DoHN per-request average for this record.
+  [[nodiscard]] double doh_n(int n) const {
+    return doh_n_ms(tdoh_ms, tdohr_ms, n);
+  }
+};
+
+/// One Do53 measurement.
+struct Do53Record {
+  std::uint64_t exit_id = 0;  ///< kAtlasExitId for RIPE Atlas rows.
+  std::string iso2;
+  int run = 0;
+  bool via_atlas = false;
+  double do53_ms = 0.0;
+};
+
+inline constexpr std::uint64_t kAtlasExitId =
+    std::numeric_limits<std::uint64_t>::max();
+
+/// Per-(client, provider) aggregate: medians across runs, joined with the
+/// client's Do53 median. The unit of analysis for Tables 4-6.
+struct ClientProviderStat {
+  std::uint64_t exit_id = 0;
+  std::string iso2;
+  std::string provider;
+  double tdoh_ms = 0.0;
+  double tdohr_ms = 0.0;
+  double do53_ms = 0.0;  ///< NaN when no per-client Do53 exists (the 11
+                         ///< Super Proxy countries).
+  double pop_distance_miles = 0.0;
+  double potential_improvement_miles = 0.0;
+  double nameserver_distance_miles = 0.0;
+
+  [[nodiscard]] double doh_n(int n) const {
+    return doh_n_ms(tdoh_ms, tdohr_ms, n);
+  }
+  [[nodiscard]] bool has_do53() const { return do53_ms == do53_ms; }
+};
+
+/// The full campaign output.
+class Dataset {
+ public:
+  void add_client(ClientInfo info);
+  void add_doh(DohRecord rec);
+  void add_do53(Do53Record rec);
+
+  [[nodiscard]] std::span<const DohRecord> doh() const { return doh_; }
+  [[nodiscard]] std::span<const Do53Record> do53() const { return do53_; }
+  [[nodiscard]] const std::map<std::uint64_t, ClientInfo>& clients() const {
+    return clients_;
+  }
+
+  /// Campaign bookkeeping.
+  std::uint64_t discarded_mismatch = 0;  ///< Maxmind-vs-BrightData (0.88%).
+  std::uint64_t failed_measurements = 0;
+
+  // ---- Aggregations ---------------------------------------------------
+
+  /// Unique client count per provider (Table 3 rows).
+  [[nodiscard]] std::size_t unique_clients(std::string_view provider) const;
+  /// Country count per provider (Table 3 rows).
+  [[nodiscard]] std::size_t unique_countries(
+      std::string_view provider) const;
+  /// Unique clients / countries with Do53 data.
+  [[nodiscard]] std::size_t do53_clients() const;
+  [[nodiscard]] std::size_t do53_countries() const;
+
+  /// Countries with at least `min_clients` unique clients measured for
+  /// EVERY studied provider (the paper's per-country analysis filter).
+  [[nodiscard]] std::vector<std::string> analysis_countries(
+      int min_clients = 10) const;
+
+  /// Clients measured per country (for Figure 3).
+  [[nodiscard]] std::map<std::string, std::size_t> clients_per_country()
+      const;
+
+  /// All DoH1 / DoHR values for a provider (Figure 4 CDFs); empty
+  /// provider matches all.
+  [[nodiscard]] std::vector<double> tdoh_values(
+      std::string_view provider = {}) const;
+  [[nodiscard]] std::vector<double> tdohr_values(
+      std::string_view provider = {}) const;
+  /// All Do53 values (optionally restricted to one country).
+  [[nodiscard]] std::vector<double> do53_values(
+      std::string_view iso2 = {}) const;
+
+  /// Per-(client, provider) medians joined with per-client Do53 medians.
+  [[nodiscard]] std::vector<ClientProviderStat> client_provider_stats()
+      const;
+
+  /// Median Do53 per country (Atlas rows included).
+  [[nodiscard]] std::map<std::string, double> country_do53_medians() const;
+  /// Median DoH1 (or DoHN) per country per provider.
+  [[nodiscard]] std::map<std::string, double> country_doh_medians(
+      std::string_view provider, int n = 1) const;
+
+ private:
+  std::map<std::uint64_t, ClientInfo> clients_;
+  std::vector<DohRecord> doh_;
+  std::vector<Do53Record> do53_;
+};
+
+}  // namespace dohperf::measure

@@ -1,0 +1,23 @@
+// Dataset persistence.
+//
+// The paper released its measurement dataset alongside publication; this
+// module gives the reproduction the same property. A dataset serialises
+// to three CSV files in a directory (clients.csv, doh.csv, do53.csv) and
+// loads back bit-exactly (doubles are round-tripped via %.17g).
+#pragma once
+
+#include <string>
+
+#include "measure/dataset.h"
+
+namespace dohperf::measure {
+
+/// Writes `dataset` into `directory` (created if missing). Throws
+/// std::runtime_error on I/O failure.
+void save_dataset(const Dataset& dataset, const std::string& directory);
+
+/// Loads a dataset previously written by save_dataset. Throws
+/// std::runtime_error on missing files or malformed rows.
+[[nodiscard]] Dataset load_dataset(const std::string& directory);
+
+}  // namespace dohperf::measure

@@ -1,0 +1,46 @@
+// DNS-over-TLS (RFC 7858) measurement flows — an extension beyond the
+// paper, which focused on DoH but compares against the DoT literature
+// (Doan et al., PAM 2021) in its related-work section.
+//
+// DoT rides the same provider PoPs as DoH (Cloudflare, Google and Quad9
+// all serve both from the same anycast fleets) but skips the HTTP layer:
+// DNS messages travel length-prefixed directly over the TLS session.
+#pragma once
+
+#include <string>
+
+#include "dns/name.h"
+#include "netsim/netctx.h"
+#include "resolver/doh_server.h"
+#include "transport/tls.h"
+
+namespace dohperf::measure {
+
+/// Output of a direct DoT measurement at a controlled vantage.
+struct DirectDotObservation {
+  bool ok = false;
+  double dns_ms = 0.0;      ///< Bootstrap resolution of the DoT hostname.
+  double connect_ms = 0.0;  ///< TCP handshake.
+  double tls_ms = 0.0;      ///< TLS handshake.
+  double query_ms = 0.0;    ///< First query on the session.
+  double reuse_ms = 0.0;    ///< Second query reusing the session.
+
+  [[nodiscard]] double tdot_ms() const {
+    return dns_ms + connect_ms + tls_ms + query_ms;
+  }
+  [[nodiscard]] double tdotr_ms() const { return reuse_ms; }
+};
+
+/// Two-octet length prefix per RFC 7858 message framing.
+inline constexpr std::size_t kDotFramingBytes = 2;
+
+/// Runs a DoT resolution (plus one reuse query) against the PoP behind
+/// `doh` — the same front-end terminates both protocols; DoT simply skips
+/// the HTTP encapsulation.
+[[nodiscard]] netsim::Task<DirectDotObservation> dot_direct(
+    netsim::NetCtx& net, netsim::Site vantage,
+    resolver::RecursiveResolver* default_resolver,
+    resolver::DohServer& doh, std::string hostname,
+    transport::TlsVersion tls, dns::DomainName origin);
+
+}  // namespace dohperf::measure

@@ -1,0 +1,37 @@
+#include "measure/estimator.h"
+
+#include <stdexcept>
+
+namespace dohperf::measure {
+namespace {
+
+double tunnel_setup_ms(const EstimatorInputs& in) {
+  return in.tun.dns_ms + in.tun.connect_ms;
+}
+
+}  // namespace
+
+double estimate_rtt_ms(const EstimatorInputs& in) {
+  return (in.stamps.t_b - in.stamps.t_a) - tunnel_setup_ms(in) -
+         in.brightdata_ms;
+}
+
+double estimate_tdoh_ms(const EstimatorInputs& in) {
+  return (in.stamps.t_d - in.stamps.t_c) -
+         2.0 * (in.stamps.t_b - in.stamps.t_a) + 3.0 * tunnel_setup_ms(in) +
+         2.0 * in.brightdata_ms;
+}
+
+double estimate_tdohr_ms(const EstimatorInputs& in) {
+  return (in.stamps.t_d - in.stamps.t_c) -
+         2.0 * (in.stamps.t_b - in.stamps.t_a) + 2.0 * tunnel_setup_ms(in) +
+         2.0 * in.brightdata_ms - in.tun.connect_ms;
+}
+
+double doh_n_ms(double tdoh_ms, double tdohr_ms, int n) {
+  if (n < 1) throw std::invalid_argument("doh_n_ms: n must be >= 1");
+  return (tdoh_ms + static_cast<double>(n - 1) * tdohr_ms) /
+         static_cast<double>(n);
+}
+
+}  // namespace dohperf::measure

@@ -1,0 +1,49 @@
+// The paper's timing estimators (Section 3.2-3.4, Equations 1-8).
+//
+// The measurement client cannot observe the exit node directly; it sees
+// only its own four timestamps (T_A..T_D) and the Super Proxy's timing
+// headers. Under two assumptions — (1) the client<->exit RTT is stable
+// across the session's three exchanges, and (2) BrightData overhead is
+// paid only during tunnel establishment — the DoH resolution time at the
+// exit node is recoverable in closed form.
+#pragma once
+
+#include "proxy/headers.h"
+
+namespace dohperf::measure {
+
+/// The four client-side timestamps of Figure 2, in milliseconds.
+///   t_a: CONNECT sent          t_b: "200 OK" received
+///   t_c: ClientHello sent      t_d: DoH response received
+struct ClientTimestamps {
+  double t_a = 0.0;
+  double t_b = 0.0;
+  double t_c = 0.0;
+  double t_d = 0.0;
+};
+
+/// Everything the estimator may legally use.
+struct EstimatorInputs {
+  ClientTimestamps stamps;
+  proxy::TunTimeline tun;  ///< dns = t3+t4, connect = t5+t6.
+  double brightdata_ms = 0.0;  ///< Summed x-luminati-timeline.
+};
+
+/// Equation 6: RTT = (T_B - T_A) - (t3+t4+t5+t6) - t_BrightData.
+[[nodiscard]] double estimate_rtt_ms(const EstimatorInputs& in);
+
+/// Equation 7:
+/// t_DoH = (T_D-T_C) - 2(T_B-T_A) + 3(t3+t4+t5+t6) + 2 t_BrightData.
+[[nodiscard]] double estimate_tdoh_ms(const EstimatorInputs& in);
+
+/// Equation 8 (with the (t11+t12) ~= (t5+t6) assumption):
+/// t_DoHR = (T_D-T_C) - 2(T_B-T_A) + 2(t3+t4+t5+t6) + 2 t_BrightData
+///          - (t5+t6).
+[[nodiscard]] double estimate_tdohr_ms(const EstimatorInputs& in);
+
+/// DoHN (Section 5 terminology): average per-request time over a
+/// connection serving `n` resolutions, the first paying the handshake.
+/// Requires n >= 1.
+[[nodiscard]] double doh_n_ms(double tdoh_ms, double tdohr_ms, int n);
+
+}  // namespace dohperf::measure

@@ -1,0 +1,346 @@
+#include "measure/flows.h"
+
+#include <chrono>
+#include <limits>
+#include <utility>
+
+#include "dns/wire.h"
+#include "proxy/headers.h"
+#include "resolver/stub.h"
+#include "transport/http.h"
+#include "transport/tcp.h"
+
+namespace dohperf::measure {
+namespace {
+
+using netsim::Duration;
+using netsim::NetCtx;
+using netsim::SimTime;
+using netsim::Site;
+using netsim::Task;
+using netsim::from_ms;
+using netsim::ms_between;
+
+constexpr SimTime kEpoch{};
+
+/// One message crossing the established tunnel client -> exit.
+Task<void> tunnel_forward(NetCtx& net, const Site& client, const Site& sp,
+                          const Site& exit, std::size_t bytes) {
+  co_await net.hop(client, sp, bytes);
+  co_await net.process(from_ms(kSuperProxyForwardMs));
+  co_await net.hop(sp, exit, bytes);
+  co_await net.process(from_ms(proxy::kExitForwardingMs));
+}
+
+/// One message crossing the tunnel exit -> client.
+Task<void> tunnel_backward(NetCtx& net, const Site& client, const Site& sp,
+                           const Site& exit, std::size_t bytes) {
+  co_await net.process(from_ms(proxy::kExitForwardingMs));
+  co_await net.hop(exit, sp, bytes);
+  co_await net.process(from_ms(kSuperProxyForwardMs));
+  co_await net.hop(sp, client, bytes);
+}
+
+/// A stub resolution at `vantage` against `resolver`; returns elapsed ms
+/// (negative on failure). Thin adapter over resolver::stub_resolve.
+Task<double> resolve_at(NetCtx& net, Site vantage,
+                        resolver::RecursiveResolver* resolver,
+                        dns::Message query,
+                        std::uint32_t client_address = 0) {
+  const resolver::StubResult result = co_await resolver::stub_resolve(
+      net, vantage, *resolver, std::move(query), client_address);
+  co_return result.ok() ? result.elapsed_ms : -1.0;
+}
+
+/// The Super Proxy's "200 OK" carrying the timing headers of step 8.
+transport::HttpResponse make_tunnel_response(
+    const proxy::TunTimeline& tun,
+    const proxy::BrightDataNetwork::OverheadSample& overheads) {
+  transport::HttpResponse resp;
+  resp.status = 200;
+  resp.reason = "OK";
+  resp.headers.add(std::string(proxy::kTunTimelineHeader),
+                   proxy::format_tun_timeline(tun));
+  proxy::BrightDataTimeline bd;
+  bd.auth_ms = overheads.auth_ms;
+  bd.init_ms = overheads.init_ms;
+  bd.select_ms = overheads.select_ms;
+  bd.vld_ms = overheads.vld_ms;
+  resp.headers.add(std::string(proxy::kTimelineHeader),
+                   proxy::format_timeline(bd));
+  return resp;
+}
+
+/// Client-side header extraction; false on malformed headers.
+bool extract_inputs(const transport::HttpResponse& resp,
+                    EstimatorInputs& out) {
+  const auto tun_text = resp.headers.get(proxy::kTunTimelineHeader);
+  const auto bd_text = resp.headers.get(proxy::kTimelineHeader);
+  if (!tun_text || !bd_text) return false;
+  const auto tun = proxy::parse_tun_timeline(*tun_text);
+  const auto bd = proxy::parse_timeline(*bd_text);
+  if (!tun || !bd) return false;
+  out.tun = *tun;
+  out.brightdata_ms = bd->total_ms();
+  return true;
+}
+
+}  // namespace
+
+Task<DohProxyObservation> doh_via_proxy(NetCtx& net, DohProxyParams params) {
+  DohProxyObservation obs;
+  const Site& client = params.client;
+  const Site& sp = params.super_proxy;
+  const Site& exit = params.exit->site;
+  const Site pop = params.doh->site();
+
+  // ---- Steps 1-8: establish the TCP tunnel -------------------------
+  obs.inputs.stamps.t_a = ms_between(kEpoch, net.sim.now());
+
+  transport::HttpRequest connect_req;
+  connect_req.method = "CONNECT";
+  connect_req.target = params.doh_hostname + ":443";
+  connect_req.headers.add("host", connect_req.target);
+  co_await net.hop(client, sp, connect_req.wire_size());  // t1
+
+  const auto overheads =
+      proxy::BrightDataNetwork::sample_overheads(net.rng);
+  co_await net.process(from_ms(overheads.total_ms()));
+  co_await net.hop(sp, exit, connect_req.wire_size());  // t2
+  co_await net.process(from_ms(proxy::kExitForwardingMs));
+
+  // t3+t4: the exit node resolves the DoH hostname with its default
+  // resolver (a cache hit for these ultra-hot names).
+  const auto bootstrap_id =
+      static_cast<std::uint16_t>(net.rng.next() & 0xFFFF);
+  const double dns_ms = co_await resolve_at(
+      net, exit, params.exit->default_resolver,
+      dns::Message::make_query(bootstrap_id,
+                               dns::DomainName::parse(params.doh_hostname)));
+  if (dns_ms < 0) co_return obs;
+  obs.true_dns_ms = dns_ms;
+
+  // t5+t6: TCP handshake exit <-> PoP.
+  const transport::TcpConnection tcp =
+      co_await transport::tcp_connect(net, exit, pop);
+  obs.true_connect_ms = netsim::to_ms(tcp.handshake_time);
+
+  // t7-t8: tunnel-established reply with the timing headers.
+  proxy::TunTimeline tun;
+  tun.dns_ms = dns_ms;
+  tun.connect_ms = obs.true_connect_ms;
+  const transport::HttpResponse ok_resp =
+      make_tunnel_response(tun, overheads);
+  const std::string ok_wire = ok_resp.serialize();
+  co_await net.process(from_ms(proxy::kExitForwardingMs));
+  co_await net.hop(exit, sp, 80);                     // t7
+  co_await net.process(from_ms(kSuperProxyForwardMs));
+  co_await net.hop(sp, client, ok_wire.size());       // t8
+
+  obs.inputs.stamps.t_b = ms_between(kEpoch, net.sim.now());
+  const auto parsed = transport::parse_response(ok_wire);
+  if (!parsed || !extract_inputs(*parsed, obs.inputs)) co_return obs;
+
+  // ---- Steps 9-14: TLS handshake through the tunnel ------------------
+  obs.inputs.stamps.t_c = ms_between(kEpoch, net.sim.now());
+
+  co_await tunnel_forward(net, client, sp, exit,
+                          transport::kClientHelloBytes);  // t9, t10
+  SimTime leg_start = net.sim.now();
+  co_await net.hop(exit, pop, transport::kClientHelloBytes);  // t11
+  co_await net.process(from_ms(0.3));  // key schedule at the resolver
+  co_await net.hop(pop, exit, transport::kServerHelloBytes);  // t12
+  obs.true_tls_ms = ms_between(leg_start, net.sim.now());
+  co_await tunnel_backward(net, client, sp, exit,
+                           transport::kServerHelloBytes);  // t13, t14
+
+  if (params.tls == transport::TlsVersion::kTls12) {
+    // Legacy second round trip: client Finished -> server Finished.
+    co_await tunnel_forward(net, client, sp, exit,
+                            transport::kClientFinishedBytes);
+    co_await net.hop(exit, pop, transport::kClientFinishedBytes);
+    co_await net.hop(pop, exit, transport::kRecordOverheadBytes + 32);
+    co_await tunnel_backward(net, client, sp, exit,
+                             transport::kRecordOverheadBytes + 32);
+  }
+
+  // ---- Steps 15-22: the DoH query -----------------------------------
+  const dns::Message query =
+      resolver::make_probe_query(net.rng, params.origin);
+  transport::HttpRequest get_req;
+  get_req.method = "GET";
+  get_req.target = resolver::doh_get_target(query);
+  get_req.headers.add("host", params.doh_hostname);
+  get_req.headers.add("accept", "application/dns-message");
+  const std::size_t get_bytes =
+      get_req.wire_size() + transport::kRecordOverheadBytes +
+      transport::kClientFinishedBytes;  // Finished piggybacks (TLS 1.3)
+
+  co_await tunnel_forward(net, client, sp, exit, get_bytes);  // t15, t16
+  leg_start = net.sim.now();
+  co_await net.hop(exit, pop, get_bytes);  // t17
+  const transport::HttpResponse doh_resp = co_await params.doh->handle(
+      net, get_req, params.exit->prefix);  // t18, t19 inside
+  const std::size_t resp_bytes =
+      doh_resp.wire_size() + transport::kRecordOverheadBytes;
+  co_await net.hop(pop, exit, resp_bytes);  // t20
+  obs.true_query_ms = ms_between(leg_start, net.sim.now());
+  co_await tunnel_backward(net, client, sp, exit, resp_bytes);  // t21, t22
+
+  obs.inputs.stamps.t_d = ms_between(kEpoch, net.sim.now());
+  obs.http_status = doh_resp.status;
+  obs.ok = doh_resp.status == 200;
+  co_return obs;
+}
+
+Task<DirectDohObservation> doh_direct(NetCtx& net, Site vantage,
+                                      resolver::RecursiveResolver*
+                                          default_resolver,
+                                      resolver::DohServer& doh,
+                                      std::string doh_hostname,
+                                      transport::TlsVersion tls,
+                                      dns::DomainName origin) {
+  DirectDohObservation obs;
+  const Site pop = doh.site();
+
+  // Bootstrap (t3+t4).
+  const auto id = static_cast<std::uint16_t>(net.rng.next() & 0xFFFF);
+  obs.dns_ms = co_await resolve_at(
+      net, vantage, default_resolver,
+      dns::Message::make_query(id, dns::DomainName::parse(doh_hostname)));
+  if (obs.dns_ms < 0) co_return obs;
+
+  // TCP + TLS.
+  const transport::TcpConnection tcp =
+      co_await transport::tcp_connect(net, vantage, pop);
+  obs.connect_ms = netsim::to_ms(tcp.handshake_time);
+  const transport::TlsSession session =
+      co_await transport::tls_handshake(net, tcp, tls);
+  obs.tls_ms = netsim::to_ms(session.handshake_time);
+
+  // First query.
+  auto one_query = [&](double& out_ms) -> Task<void> {
+    const dns::Message query = resolver::make_probe_query(net.rng, origin);
+    transport::HttpRequest req;
+    req.method = "GET";
+    req.target = resolver::doh_get_target(query);
+    req.headers.add("host", doh_hostname);
+    const std::size_t req_bytes =
+        req.wire_size() + transport::kRecordOverheadBytes;
+
+    const SimTime start = net.sim.now();
+    co_await net.hop(vantage, pop, req_bytes);
+    const transport::HttpResponse resp = co_await doh.handle(net, req);
+    co_await net.hop(pop, vantage,
+                     resp.wire_size() + transport::kRecordOverheadBytes);
+    out_ms = ms_between(start, net.sim.now());
+    obs.http_status = resp.status;
+    obs.ok = resp.status == 200;
+  };
+
+  co_await one_query(obs.query_ms);
+  if (!obs.ok) co_return obs;
+  // Connection reuse: a second query on the same TLS session.
+  co_await one_query(obs.reuse_ms);
+  co_return obs;
+}
+
+Task<Do53ProxyObservation> do53_via_proxy(NetCtx& net,
+                                          Do53ProxyParams params) {
+  Do53ProxyObservation obs;
+  const Site& client = params.client;
+  const Site& sp = params.super_proxy;
+  const Site& exit = params.exit->site;
+
+  const dns::Message query =
+      resolver::make_probe_query(net.rng, params.origin);
+  const dns::DomainName target_name = query.questions.front().name;
+
+  // Steps 1-2: CONNECT through the Super Proxy.
+  transport::HttpRequest connect_req;
+  connect_req.method = "CONNECT";
+  connect_req.target = target_name.to_string() + ":80";
+  co_await net.hop(client, sp, connect_req.wire_size());
+  const auto overheads =
+      proxy::BrightDataNetwork::sample_overheads(net.rng);
+  co_await net.process(from_ms(overheads.total_ms()));
+
+  double dns_ms = 0.0;
+  if (params.resolve_at_super_proxy) {
+    // BrightData quirk in the 11 Super Proxy countries: the Super Proxy
+    // resolves the name itself (datacenter-grade path to the
+    // authoritative server), so the header value does NOT reflect the
+    // exit node (paper Section 3.5).
+    obs.resolved_at_super_proxy = true;
+    const SimTime start = net.sim.now();
+    const std::size_t query_bytes = dns::wire_size(query) + 28;
+    co_await net.hop(sp, params.authority->site(), query_bytes);
+    co_await net.process(params.authority->processing_delay());
+    const dns::Message auth_resp = params.authority->handle(query, 0xFFFF);
+    co_await net.hop(params.authority->site(), sp,
+                     dns::wire_size(auth_resp) + 28);
+    dns_ms = ms_between(start, net.sim.now());
+    obs.true_do53_ms = std::numeric_limits<double>::quiet_NaN();
+    co_await net.hop(sp, exit, connect_req.wire_size());
+    co_await net.process(from_ms(proxy::kExitForwardingMs));
+  } else {
+    co_await net.hop(sp, exit, connect_req.wire_size());
+    co_await net.process(from_ms(proxy::kExitForwardingMs));
+    // The exit node resolves the fresh name with its default resolver —
+    // a guaranteed cache miss recursing to the authoritative server.
+    dns_ms = co_await resolve_at(net, exit, params.exit->default_resolver,
+                                 query, params.exit->prefix);
+    if (dns_ms < 0) co_return obs;
+    obs.true_do53_ms = dns_ms;
+  }
+
+  // TCP handshake exit <-> web server, then the tunnel reply (t7-t8).
+  const transport::TcpConnection tcp =
+      co_await transport::tcp_connect(net, exit, params.web_server);
+
+  proxy::TunTimeline tun;
+  tun.dns_ms = dns_ms;
+  tun.connect_ms = netsim::to_ms(tcp.handshake_time);
+  const transport::HttpResponse ok_resp =
+      make_tunnel_response(tun, overheads);
+  const std::string ok_wire = ok_resp.serialize();
+  co_await net.process(from_ms(proxy::kExitForwardingMs));
+  co_await net.hop(exit, sp, 80);
+  co_await net.process(from_ms(kSuperProxyForwardMs));
+  co_await net.hop(sp, client, ok_wire.size());
+
+  const auto parsed = transport::parse_response(ok_wire);
+  if (!parsed) co_return obs;
+  const auto tun_text = parsed->headers.get(proxy::kTunTimelineHeader);
+  const auto bd_text = parsed->headers.get(proxy::kTimelineHeader);
+  if (!tun_text || !bd_text) co_return obs;
+  const auto tun_parsed = proxy::parse_tun_timeline(*tun_text);
+  const auto bd_parsed = proxy::parse_timeline(*bd_text);
+  if (!tun_parsed || !bd_parsed) co_return obs;
+  obs.tun = *tun_parsed;
+  obs.brightdata_ms = bd_parsed->total_ms();
+
+  // Complete the page fetch for realism (GET + 200), not timed.
+  transport::HttpRequest get_req;
+  get_req.method = "GET";
+  get_req.target = "/";
+  get_req.headers.add("host", target_name.to_string());
+  co_await tunnel_forward(net, client, sp, exit, get_req.wire_size());
+  co_await net.hop(exit, params.web_server, get_req.wire_size());
+  co_await net.process(from_ms(0.4));  // static page
+  co_await net.hop(params.web_server, exit, 2048);
+  co_await tunnel_backward(net, client, sp, exit, 2048);
+
+  obs.ok = true;
+  co_return obs;
+}
+
+Task<double> do53_direct(NetCtx& net, Site vantage,
+                         resolver::RecursiveResolver* resolver,
+                         dns::DomainName name) {
+  const auto id = static_cast<std::uint16_t>(net.rng.next() & 0xFFFF);
+  co_return co_await resolve_at(net, vantage, resolver,
+                                dns::Message::make_query(id, std::move(name)));
+}
+
+}  // namespace dohperf::measure

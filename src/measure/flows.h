@@ -1,0 +1,120 @@
+// The measurement flows of Figure 2.
+//
+// doh_via_proxy() simulates all 22 steps of the proxied DoH measurement:
+// tunnel establishment through the Super Proxy (steps 1-8, yielding the
+// timing headers), the tunnelled TLS handshake with the DoH resolver
+// (9-14), and the tunnelled query (15-22). It returns both what the
+// measurement client could legally observe (timestamps + headers, feeding
+// the Equation-7/8 estimators) and the simulator-internal ground truth.
+//
+// doh_direct() and do53_direct() are the ground-truth variants run "at
+// the exit node" for the validation experiments (paper Section 4).
+#pragma once
+
+#include <string>
+
+#include "dns/name.h"
+#include "measure/estimator.h"
+#include "netsim/netctx.h"
+#include "proxy/brightdata.h"
+#include "proxy/exit_node.h"
+#include "resolver/doh_server.h"
+#include "resolver/recursive.h"
+#include "transport/tls.h"
+
+namespace dohperf::measure {
+
+/// Super Proxy per-message forwarding cost once the tunnel exists (ms).
+/// Nonzero values violate the paper's Assumption 2 slightly, which is
+/// precisely the estimator error Table 1 quantifies.
+inline constexpr double kSuperProxyForwardMs = 0.25;
+
+/// Parameters for a proxied DoH measurement.
+struct DohProxyParams {
+  netsim::Site client;       ///< The measurement client (paper: Illinois).
+  netsim::Site super_proxy;  ///< Serving Super Proxy.
+  const proxy::ExitNode* exit = nullptr;
+  resolver::DohServer* doh = nullptr;  ///< At the anycast-selected PoP.
+  std::string doh_hostname;            ///< Bootstrap name (e.g. dns.google).
+  transport::TlsVersion tls = transport::TlsVersion::kTls13;
+  dns::DomainName origin;              ///< Study zone ("a.com").
+};
+
+/// Output of a proxied DoH measurement.
+struct DohProxyObservation {
+  bool ok = false;
+  int http_status = 0;
+  /// What the client observed (legal estimator inputs).
+  EstimatorInputs inputs;
+  /// Simulator-internal ground truth, by component (ms):
+  double true_dns_ms = 0.0;      ///< t3+t4 at the exit node.
+  double true_connect_ms = 0.0;  ///< t5+t6.
+  double true_tls_ms = 0.0;      ///< t11+t12.
+  double true_query_ms = 0.0;    ///< t17+t18+t19+t20.
+
+  /// True end-to-end DoH resolution time as defined by Equation 1.
+  [[nodiscard]] double true_tdoh_ms() const {
+    return true_dns_ms + true_connect_ms + true_tls_ms + true_query_ms;
+  }
+};
+
+[[nodiscard]] netsim::Task<DohProxyObservation> doh_via_proxy(
+    netsim::NetCtx& net, DohProxyParams params);
+
+/// Direct DoH measurement at a controlled vantage (ground truth).
+struct DirectDohObservation {
+  bool ok = false;
+  int http_status = 0;
+  double dns_ms = 0.0;
+  double connect_ms = 0.0;
+  double tls_ms = 0.0;
+  double query_ms = 0.0;
+  double reuse_ms = 0.0;  ///< A second query on the same session.
+
+  [[nodiscard]] double tdoh_ms() const {
+    return dns_ms + connect_ms + tls_ms + query_ms;
+  }
+  [[nodiscard]] double tdohr_ms() const { return reuse_ms; }
+};
+
+[[nodiscard]] netsim::Task<DirectDohObservation> doh_direct(
+    netsim::NetCtx& net, netsim::Site vantage,
+    resolver::RecursiveResolver* default_resolver,
+    resolver::DohServer& doh, std::string doh_hostname,
+    transport::TlsVersion tls, dns::DomainName origin);
+
+/// Parameters for a proxied Do53 measurement (HTTP GET to the study web
+/// server, forcing a default-resolver resolution at the exit node).
+struct Do53ProxyParams {
+  netsim::Site client;
+  netsim::Site super_proxy;
+  const proxy::ExitNode* exit = nullptr;
+  netsim::Site web_server;  ///< a.com's web host.
+  dns::DomainName origin;
+  /// When true (the 11 Super Proxy countries), DNS resolution happens at
+  /// the Super Proxy and the reported value is useless for the study.
+  bool resolve_at_super_proxy = false;
+  /// Authoritative server the Super Proxy consults in that case.
+  resolver::AuthoritativeServer* authority = nullptr;
+};
+
+/// Output of a proxied Do53 measurement.
+struct Do53ProxyObservation {
+  bool ok = false;
+  proxy::TunTimeline tun;           ///< dns value = the Do53 query time.
+  double brightdata_ms = 0.0;
+  bool resolved_at_super_proxy = false;
+  /// Ground truth: the exit node's actual resolution time (NaN when the
+  /// Super Proxy resolved instead).
+  double true_do53_ms = 0.0;
+};
+
+[[nodiscard]] netsim::Task<Do53ProxyObservation> do53_via_proxy(
+    netsim::NetCtx& net, Do53ProxyParams params);
+
+/// One direct Do53 resolution at a controlled vantage; returns ms.
+[[nodiscard]] netsim::Task<double> do53_direct(
+    netsim::NetCtx& net, netsim::Site vantage,
+    resolver::RecursiveResolver* resolver, dns::DomainName name);
+
+}  // namespace dohperf::measure

@@ -1,0 +1,84 @@
+// Regression analyses of Section 6: logistic modelling of who suffers a
+// worse-than-median DoH slowdown (Table 4) and linear modelling of the
+// raw Do53 -> DoH delta (Tables 5 and 6).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "measure/dataset.h"
+#include "stats/linreg.h"
+#include "stats/logreg.h"
+
+namespace dohperf::measure {
+
+/// Term names used by the logistic model (Table 4 rows).
+inline constexpr const char* kTermSlowBandwidth = "bandwidth:slow";
+inline constexpr const char* kTermUpperMiddle = "income:upper-middle";
+inline constexpr const char* kTermLowerMiddle = "income:lower-middle";
+inline constexpr const char* kTermLowIncome = "income:low";
+inline constexpr const char* kTermFewAses = "ases:below-median";
+inline constexpr const char* kTermGoogle = "resolver:Google";
+inline constexpr const char* kTermNextDns = "resolver:NextDNS";
+inline constexpr const char* kTermQuad9 = "resolver:Quad9";
+
+/// Term names used by the linear models (Table 5/6 rows).
+inline constexpr const char* kTermGdp = "gdp_per_capita";
+inline constexpr const char* kTermBandwidth = "bandwidth_mbps";
+inline constexpr const char* kTermNumAses = "num_ases";
+inline constexpr const char* kTermNsDistance = "nameserver_distance";
+inline constexpr const char* kTermResolverDistance = "resolver_distance";
+
+/// One analysis row: a (client, provider) pair with covariates attached.
+/// Only clients with per-client Do53 data participate (the paper excludes
+/// the 11 Super Proxy countries from per-client comparisons).
+struct RegressionRow {
+  double multiplier_1 = 0.0;     ///< DoH1 / Do53.
+  double multiplier_10 = 0.0;
+  double multiplier_100 = 0.0;
+  double multiplier_1000 = 0.0;
+  double delta_1 = 0.0;          ///< DoH1 - Do53 (ms).
+  double delta_10 = 0.0;
+  double delta_100 = 0.0;
+  bool slow_bandwidth = false;
+  int income_group = 3;          ///< 0 low .. 3 high.
+  bool few_ases = false;
+  std::string provider;
+  double gdp_per_capita = 0.0;
+  double bandwidth_mbps = 0.0;
+  int num_ases = 0;
+  double ns_distance_miles = 0.0;
+  double resolver_distance_miles = 0.0;
+};
+
+/// Extracts analysis rows from a dataset (joins country covariates).
+[[nodiscard]] std::vector<RegressionRow> regression_rows(
+    const Dataset& dataset);
+
+/// Global median multipliers for N = 1/10/100/1000 (the paper reports
+/// 1.84x / 1.24x / 1.18x / 1.17x).
+struct MultiplierMedians {
+  double m1 = 0.0;
+  double m10 = 0.0;
+  double m100 = 0.0;
+  double m1000 = 0.0;
+};
+[[nodiscard]] MultiplierMedians multiplier_medians(
+    std::span<const RegressionRow> rows);
+
+/// Table 4: logistic regression of "worse than the global median
+/// multiplier" on the categorical covariates, for a given N. Returns the
+/// fitted model; odds ratios of interest are read off by term name.
+[[nodiscard]] stats::LogisticFit fit_slowdown_logistic(
+    std::span<const RegressionRow> rows, int n_requests);
+
+/// Table 5: linear regression of delta_N on the continuous covariates.
+[[nodiscard]] stats::LinearFit fit_delta_linear(
+    std::span<const RegressionRow> rows, int n_requests);
+
+/// Table 6: per-resolver linear regression of delta_1.
+[[nodiscard]] stats::LinearFit fit_delta_linear_for_provider(
+    std::span<const RegressionRow> rows, std::string_view provider);
+
+}  // namespace dohperf::measure

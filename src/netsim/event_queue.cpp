@@ -1,0 +1,19 @@
+#include "netsim/event_queue.h"
+
+#include <memory>
+#include <utility>
+
+namespace dohperf::netsim {
+
+void EventQueue::push(SimTime at, Callback fn) {
+  heap_.push(Event{at, next_seq_++,
+                   std::make_shared<Callback>(std::move(fn))});
+}
+
+EventQueue::Callback EventQueue::pop() {
+  Callback fn = std::move(*heap_.top().fn);
+  heap_.pop();
+  return fn;
+}
+
+}  // namespace dohperf::netsim

@@ -1,0 +1,53 @@
+// Time-ordered event queue for the discrete-event simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "netsim/time.h"
+
+namespace dohperf::netsim {
+
+/// A min-heap of (time, sequence, callback). Events at equal times fire in
+/// insertion order, making simulations fully deterministic.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Enqueues `fn` to fire at absolute time `at`.
+  void push(SimTime at, Callback fn);
+
+  /// True if no events remain.
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event. Requires !empty().
+  [[nodiscard]] SimTime next_time() const { return heap_.top().at; }
+
+  /// Removes and returns the earliest event's callback. Requires !empty().
+  [[nodiscard]] Callback pop();
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    // Shared rather than unique because std::priority_queue only exposes
+    // const access to top(); shared_ptr lets us move the callback out
+    // without mutating the heap node.
+    std::shared_ptr<Callback> fn;
+
+    bool operator>(const Event& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace dohperf::netsim

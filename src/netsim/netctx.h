@@ -1,0 +1,83 @@
+// Bundles the pieces a protocol flow needs: simulator, latency model, RNG.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netsim/latency.h"
+#include "netsim/simulator.h"
+#include "netsim/task.h"
+
+namespace dohperf::netsim {
+
+/// One captured message transmission (the simulator's "Wireshark"). The
+/// paper validated its assumptions by capturing exit-node traffic
+/// (Section 4.3); attaching a TraceSink to a NetCtx gives flows the same
+/// observability.
+struct TraceEvent {
+  SimTime sent_at{};
+  SimTime delivered_at{};
+  geo::LatLon from;
+  geo::LatLon to;
+  std::size_t bytes = 0;
+};
+
+/// Collects TraceEvents from every hop routed through a NetCtx.
+class TraceSink {
+ public:
+  void record(TraceEvent event) { events_.push_back(event); }
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Execution context threaded through every protocol coroutine.
+///
+/// Non-owning; the owner (usually world::WorldModel) keeps the referenced
+/// objects alive for the duration of the simulation.
+struct NetCtx {
+  Simulator& sim;
+  const LatencyModel& latency;
+  Rng& rng;
+  /// Optional capture point; when set, every hop is recorded.
+  TraceSink* trace = nullptr;
+
+  /// Simulates one message travelling a -> b; completes at arrival time.
+  Task<void> hop(const Site& a, const Site& b, std::size_t bytes) {
+    const SimTime sent = sim.now();
+    co_await sim.sleep(latency.one_way(a, b, bytes, rng));
+    if (trace != nullptr) {
+      trace->record(
+          TraceEvent{sent, sim.now(), a.position, b.position, bytes});
+    }
+  }
+
+  /// Simulates a request/response exchange; returns the measured RTT.
+  Task<Duration> round_trip(const Site& a, const Site& b,
+                            std::size_t fwd_bytes, std::size_t back_bytes) {
+    const SimTime start = sim.now();
+    co_await hop(a, b, fwd_bytes);
+    co_await hop(b, a, back_bytes);
+    co_return sim.now() - start;
+  }
+
+  /// Pure processing delay at a host.
+  Task<void> process(Duration d) { co_await sim.sleep(d); }
+
+  /// Samples whether a datagram on the path a<->b is lost; if so, returns
+  /// the application-level retry penalty (UDP DNS clients typically
+  /// retransmit after a fixed timeout), else zero.
+  Duration sample_loss_penalty(const Site& a, const Site& b,
+                               Duration retry_timeout) {
+    const double combined =
+        1.0 - (1.0 - a.loss_rate) * (1.0 - b.loss_rate);
+    return rng.bernoulli(combined) ? retry_timeout : Duration::zero();
+  }
+};
+
+}  // namespace dohperf::netsim

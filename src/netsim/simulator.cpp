@@ -1,0 +1,40 @@
+#include "netsim/simulator.h"
+
+#include <utility>
+
+namespace dohperf::netsim {
+
+void Simulator::schedule_at(SimTime at, EventQueue::Callback fn) {
+  if (at < now_) at = now_;
+  queue_.push(at, std::move(fn));
+}
+
+void Simulator::schedule_in(Duration delay, EventQueue::Callback fn) {
+  if (delay < Duration::zero()) delay = Duration::zero();
+  queue_.push(now_ + delay, std::move(fn));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  now_ = queue_.next_time();
+  auto fn = queue_.pop();
+  fn();
+  return true;
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::uint64_t Simulator::run_until(SimTime deadline) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    step();
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace dohperf::netsim

@@ -1,0 +1,52 @@
+// The discrete-event simulator driving all measurements.
+#pragma once
+
+#include <cstdint>
+
+#include "netsim/event_queue.h"
+#include "netsim/time.h"
+
+namespace dohperf::netsim {
+
+/// Owns the simulated clock and the event queue.
+///
+/// Protocol flows are written as coroutines (see task.h) that co_await
+/// Simulator::sleep(); the simulator advances time event by event until
+/// the queue drains.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (clamped to now for past times).
+  void schedule_at(SimTime at, EventQueue::Callback fn);
+
+  /// Schedules `fn` after `delay` (negative delays fire immediately).
+  void schedule_in(Duration delay, EventQueue::Callback fn);
+
+  /// Runs a single event; returns false if the queue was empty.
+  bool step();
+
+  /// Runs until no events remain. Returns the number of events processed.
+  std::uint64_t run();
+
+  /// Runs until the queue is empty or the clock passes `deadline`.
+  std::uint64_t run_until(SimTime deadline);
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+  /// Awaitable that suspends the current coroutine for `delay`.
+  /// Defined in task.h to keep coroutine machinery out of this header.
+  struct SleepAwaitable;
+  [[nodiscard]] SleepAwaitable sleep(Duration delay);
+
+ private:
+  SimTime now_{};
+  EventQueue queue_;
+};
+
+}  // namespace dohperf::netsim

@@ -1,0 +1,46 @@
+// Simulated time.
+//
+// All simulation timestamps are std::chrono time-points on a dedicated
+// clock so they cannot be mixed up with wall-clock time or with durations.
+// Microsecond resolution comfortably resolves the sub-millisecond jitter
+// the latency model produces while leaving ~292k years of range.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace dohperf::netsim {
+
+/// Simulation duration with microsecond ticks.
+using Duration = std::chrono::duration<std::int64_t, std::micro>;
+
+/// The simulated clock. Never advances by itself; only the Simulator
+/// moves it. Not a Cpp17Clock (no now()) on purpose.
+struct SimClock {
+  using rep = Duration::rep;
+  using period = Duration::period;
+  using duration = Duration;
+  using time_point = std::chrono::time_point<SimClock, Duration>;
+  static constexpr bool is_steady = true;
+};
+
+/// A point in simulated time.
+using SimTime = SimClock::time_point;
+
+/// Converts a (possibly fractional) millisecond count to a Duration.
+[[nodiscard]] constexpr Duration from_ms(double ms) {
+  return std::chrono::duration_cast<Duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+/// Converts a Duration to fractional milliseconds.
+[[nodiscard]] constexpr double to_ms(Duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+/// Milliseconds elapsed between two sim-time points.
+[[nodiscard]] constexpr double ms_between(SimTime from, SimTime to) {
+  return to_ms(to - from);
+}
+
+}  // namespace dohperf::netsim

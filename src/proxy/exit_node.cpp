@@ -1,0 +1,5 @@
+#include "proxy/exit_node.h"
+
+// Currently header-only data; translation unit kept so the target always
+// has at least one object file and future behaviour has a home.
+namespace dohperf::proxy {}

@@ -1,0 +1,94 @@
+#include "proxy/headers.h"
+
+#include <charconv>
+#include <cstdio>
+#include <vector>
+
+namespace dohperf::proxy {
+namespace {
+
+std::string format_ms(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+/// Parses "k1=v1 k2=v2 ..." into ordered (key, value) pairs; nullopt on
+/// malformed tokens.
+std::optional<std::vector<std::pair<std::string_view, double>>> parse_kv(
+    std::string_view text) {
+  std::vector<std::pair<std::string_view, double>> out;
+  while (!text.empty()) {
+    while (!text.empty() && text.front() == ' ') text.remove_prefix(1);
+    if (text.empty()) break;
+    const std::size_t space = text.find(' ');
+    const std::string_view token =
+        space == std::string_view::npos ? text : text.substr(0, space);
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos || eq == 0) return std::nullopt;
+    const std::string_view value_str = token.substr(eq + 1);
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(
+        value_str.data(), value_str.data() + value_str.size(), value);
+    if (ec != std::errc() || ptr != value_str.data() + value_str.size()) {
+      return std::nullopt;
+    }
+    out.emplace_back(token.substr(0, eq), value);
+    if (space == std::string_view::npos) break;
+    text.remove_prefix(space + 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string format_tun_timeline(const TunTimeline& t) {
+  return "dns=" + format_ms(t.dns_ms) + " connect=" + format_ms(t.connect_ms);
+}
+
+std::string format_timeline(const BrightDataTimeline& t) {
+  return "auth=" + format_ms(t.auth_ms) + " init=" + format_ms(t.init_ms) +
+         " select=" + format_ms(t.select_ms) + " vld=" + format_ms(t.vld_ms);
+}
+
+std::optional<TunTimeline> parse_tun_timeline(std::string_view text) {
+  const auto kv = parse_kv(text);
+  if (!kv) return std::nullopt;
+  TunTimeline t;
+  bool have_dns = false, have_connect = false;
+  for (const auto& [key, value] : *kv) {
+    if (key == "dns") {
+      t.dns_ms = value;
+      have_dns = true;
+    } else if (key == "connect") {
+      t.connect_ms = value;
+      have_connect = true;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!have_dns || !have_connect) return std::nullopt;
+  return t;
+}
+
+std::optional<BrightDataTimeline> parse_timeline(std::string_view text) {
+  const auto kv = parse_kv(text);
+  if (!kv) return std::nullopt;
+  BrightDataTimeline t;
+  for (const auto& [key, value] : *kv) {
+    if (key == "auth") {
+      t.auth_ms = value;
+    } else if (key == "init") {
+      t.init_ms = value;
+    } else if (key == "select") {
+      t.select_ms = value;
+    } else if (key == "vld") {
+      t.vld_ms = value;
+    } else {
+      return std::nullopt;
+    }
+  }
+  return t;
+}
+
+}  // namespace dohperf::proxy

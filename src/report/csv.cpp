@@ -1,0 +1,54 @@
+#include "report/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dohperf::report {
+namespace {
+
+std::string escape(const std::string& cell) {
+  const bool needs_quoting =
+      cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quoting) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void write_line(std::ostream& os, const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) os << ',';
+    os << escape(cells[i]);
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::str() const {
+  std::ostringstream os;
+  write_line(os, columns_);
+  for (const auto& r : rows_) write_line(os, r);
+  return os.str();
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << str();
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace dohperf::report

@@ -1,0 +1,29 @@
+// CSV output for figure data series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dohperf::report {
+
+/// Accumulates rows and writes RFC 4180-style CSV (quoting cells that
+/// contain commas, quotes, or newlines).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::string str() const;
+
+  /// Writes to `path`; throws std::runtime_error on I/O failure.
+  void write_file(const std::string& path) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dohperf::report

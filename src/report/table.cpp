@@ -1,0 +1,116 @@
+#include "report/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace dohperf::report {
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+        c != '-' && c != '+' && c != '%' && c != 'x' && c != 'e') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Table& Table::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+Table& Table::caption(std::string text) {
+  caption_ = std::move(text);
+  return *this;
+}
+
+std::string Table::render() const {
+  std::size_t n_cols = header_.size();
+  for (const auto& r : rows_) n_cols = std::max(n_cols, r.size());
+
+  std::vector<std::size_t> widths(n_cols, 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  // Decide alignment per column: right if every data cell is numeric.
+  std::vector<bool> right(n_cols, true);
+  for (std::size_t c = 0; c < n_cols; ++c) {
+    for (const auto& r : rows_) {
+      if (c < r.size() && !r[c].empty() && !looks_numeric(r[c])) {
+        right[c] = false;
+        break;
+      }
+    }
+  }
+
+  std::ostringstream os;
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < n_cols; ++c) {
+      os << std::string(widths[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < n_cols; ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      const std::size_t pad = widths[c] - cell.size();
+      if (right[c]) {
+        os << ' ' << std::string(pad, ' ') << cell << " |";
+      } else {
+        os << ' ' << cell << std::string(pad, ' ') << " |";
+      }
+    }
+    os << '\n';
+  };
+
+  os << "== " << title_ << " ==\n";
+  rule();
+  if (!header_.empty()) {
+    line(header_);
+    rule();
+  }
+  for (const auto& r : rows_) line(r);
+  rule();
+  if (!caption_.empty()) os << caption_ << '\n';
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.render();
+}
+
+std::string fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string fmt_ratio(double value, int decimals) {
+  return fmt(value, decimals) + "x";
+}
+
+std::string fmt_percent(double fraction, int decimals) {
+  return fmt(fraction * 100.0, decimals) + "%";
+}
+
+}  // namespace dohperf::report

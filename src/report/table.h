@@ -1,0 +1,45 @@
+// ASCII table rendering for the bench harnesses.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dohperf::report {
+
+/// A simple column-aligned table with a title and optional caption.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row.
+  Table& header(std::vector<std::string> cells);
+  /// Appends a data row.
+  Table& row(std::vector<std::string> cells);
+  /// Sets an explanatory caption printed under the table.
+  Table& caption(std::string text);
+
+  /// Renders with box-drawing rules and per-column alignment (numbers
+  /// right, text left).
+  [[nodiscard]] std::string render() const;
+
+  /// Renders to a stream.
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  std::string title_;
+  std::string caption_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `decimals` places.
+[[nodiscard]] std::string fmt(double value, int decimals = 1);
+
+/// Formats a ratio as "1.84x".
+[[nodiscard]] std::string fmt_ratio(double value, int decimals = 2);
+
+/// Formats a fraction as "26.3%".
+[[nodiscard]] std::string fmt_percent(double fraction, int decimals = 1);
+
+}  // namespace dohperf::report

@@ -1,0 +1,107 @@
+#include "resolver/recursive.h"
+
+#include <chrono>
+#include <utility>
+
+#include "dns/ecs.h"
+#include "dns/wire.h"
+
+namespace dohperf::resolver {
+
+RecursiveResolver::RecursiveResolver(std::string name, netsim::Site site,
+                                     std::uint32_t address,
+                                     AuthoritativeServer* authority,
+                                     netsim::Duration processing)
+    : name_(std::move(name)),
+      site_(site),
+      address_(address),
+      authority_(authority),
+      processing_(processing) {}
+
+netsim::Task<dns::Message> RecursiveResolver::resolve(
+    netsim::NetCtx& net, dns::Message query, std::uint32_t client_address) {
+  ++stats_.queries;
+
+  if (query.questions.empty()) {
+    ++stats_.failures;
+    co_return dns::Message::make_response(query, dns::Rcode::kFormErr);
+  }
+  const dns::Question q = query.questions.front();
+
+  if (auto cached = cache_.lookup(net.sim.now(), q.name, q.type)) {
+    ++stats_.cache_hits;
+    // Hot-name hits are served from the frontend cache: cheap even on an
+    // overloaded resolver.
+    co_await net.process(netsim::from_ms(0.5) + processing_ / 10);
+    dns::Message resp = dns::Message::make_response(query);
+    resp.answers = std::move(*cached);
+    co_return resp;
+  }
+
+  // Negative caches (RFC 2308): a recent NXDOMAIN or NODATA answers
+  // immediately with the cached SOA and the original rcode.
+  if (auto negative =
+          negative_cache_.lookup(net.sim.now(), q.name, q.type)) {
+    ++stats_.negative_hits;
+    co_await net.process(netsim::from_ms(0.5) + processing_ / 10);
+    dns::Message resp =
+        dns::Message::make_response(query, dns::Rcode::kNxDomain);
+    resp.authorities = std::move(*negative);
+    co_return resp;
+  }
+  if (auto nodata = nodata_cache_.lookup(net.sim.now(), q.name, q.type)) {
+    ++stats_.negative_hits;
+    co_await net.process(netsim::from_ms(0.5) + processing_ / 10);
+    dns::Message resp = dns::Message::make_response(query);
+    resp.authorities = std::move(*nodata);
+    co_return resp;
+  }
+
+  ++stats_.recursions;
+  co_await net.process(processing_);
+  // Forward the query to the authoritative server as real wire bytes.
+  dns::Message upstream = dns::Message::make_query(query.header.id, q.name,
+                                                   q.type);
+  if (ecs_policy_ == EcsPolicy::kForwardSlash24 && client_address != 0) {
+    dns::attach_ecs(upstream, dns::make_ecs_option(client_address, 24));
+  }
+  const std::size_t query_bytes = dns::wire_size(upstream) + 28;  // IP+UDP
+  // Recursive resolvers retry lost upstream datagrams after ~800 ms.
+  co_await net.process(net.sample_loss_penalty(
+      site_, authority_->site(), std::chrono::milliseconds(800)));
+  co_await net.hop(site_, authority_->site(), query_bytes);
+
+  co_await net.process(authority_->processing_delay());
+  dns::Message auth_resp = authority_->handle(upstream, address_);
+
+  const std::size_t resp_bytes = dns::wire_size(auth_resp) + 28;
+  co_await net.hop(authority_->site(), site_, resp_bytes);
+
+  if (auth_resp.header.rcode == dns::Rcode::kNoError &&
+      !auth_resp.answers.empty()) {
+    cache_.insert(net.sim.now(), q.name, q.type, auth_resp.answers);
+  } else if (auth_resp.header.rcode == dns::Rcode::kNxDomain &&
+             !auth_resp.authorities.empty()) {
+    // Cache the denial for the SOA minimum (RFC 2308).
+    negative_cache_.insert(net.sim.now(), q.name, q.type,
+                           auth_resp.authorities);
+    ++stats_.failures;
+  } else if (auth_resp.header.rcode == dns::Rcode::kNoError &&
+             auth_resp.answers.empty() &&
+             !auth_resp.authorities.empty()) {
+    // NODATA is negatively cacheable too (RFC 2308 section 2.2); the
+    // SOA's minimum bounds the lifetime exactly as for NXDOMAIN.
+    nodata_cache_.insert(net.sim.now(), q.name, q.type,
+                         auth_resp.authorities);
+  } else if (auth_resp.header.rcode != dns::Rcode::kNoError) {
+    ++stats_.failures;
+  }
+
+  dns::Message resp = dns::Message::make_response(query,
+                                                  auth_resp.header.rcode);
+  resp.answers = auth_resp.answers;
+  resp.authorities = auth_resp.authorities;
+  co_return resp;
+}
+
+}  // namespace dohperf::resolver

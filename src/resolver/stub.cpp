@@ -1,0 +1,60 @@
+#include "resolver/stub.h"
+
+#include <cstdio>
+
+#include <chrono>
+
+#include "dns/wire.h"
+#include "transport/base64.h"
+
+namespace dohperf::resolver {
+
+netsim::Task<StubResult> stub_resolve(netsim::NetCtx& net,
+                                      const netsim::Site& vantage,
+                                      RecursiveResolver& resolver,
+                                      dns::Message query,
+                                      std::uint32_t client_address) {
+  StubResult result;
+  const netsim::SimTime start = net.sim.now();
+  const std::size_t query_bytes = dns::wire_size(query) + 28;  // IP+UDP
+  // Stub resolvers retransmit lost UDP datagrams after a fixed timeout
+  // (~1 s in common implementations) — the classic Do53 tail.
+  co_await net.process(net.sample_loss_penalty(
+      vantage, resolver.site(), std::chrono::milliseconds(1000)));
+  co_await net.hop(vantage, resolver.site(), query_bytes);
+  const dns::Message resp =
+      co_await resolver.resolve(net, std::move(query), client_address);
+  co_await net.hop(resolver.site(), vantage, dns::wire_size(resp) + 28);
+  result.rcode = resp.header.rcode;
+  result.elapsed_ms = netsim::ms_between(start, net.sim.now());
+  co_return result;
+}
+
+std::string uuid_label(netsim::Rng& rng) {
+  const std::uint64_t hi = rng.next();
+  const std::uint64_t lo = rng.next();
+  char buf[40];
+  // Version/variant bits set per RFC 4122 for cosmetic fidelity.
+  std::snprintf(buf, sizeof buf,
+                "%08x-%04x-4%03x-%04x-%012llx",
+                static_cast<unsigned>(hi >> 32),
+                static_cast<unsigned>((hi >> 16) & 0xFFFF),
+                static_cast<unsigned>(hi & 0x0FFF),
+                static_cast<unsigned>(0x8000 | ((lo >> 48) & 0x3FFF)),
+                static_cast<unsigned long long>(lo & 0xFFFFFFFFFFFFULL));
+  return buf;
+}
+
+dns::Message make_probe_query(netsim::Rng& rng,
+                              const dns::DomainName& origin) {
+  const auto id = static_cast<std::uint16_t>(rng.next() & 0xFFFF);
+  return dns::Message::make_query(id, origin.with_subdomain(uuid_label(rng)),
+                                  dns::RecordType::kA);
+}
+
+std::string doh_get_target(const dns::Message& query) {
+  const auto wire = dns::encode(query);
+  return "/dns-query?dns=" + transport::base64url_encode(wire);
+}
+
+}  // namespace dohperf::resolver

@@ -1,0 +1,54 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/summary.h"
+
+namespace dohperf::stats {
+
+BootstrapInterval bootstrap_ci(
+    std::span<const double> sample,
+    const std::function<double(std::span<const double>)>& statistic,
+    netsim::Rng& rng, int resamples, double confidence) {
+  if (sample.empty()) {
+    throw std::invalid_argument("bootstrap_ci: empty sample");
+  }
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    throw std::invalid_argument("bootstrap_ci: bad confidence");
+  }
+  if (resamples < 2) {
+    throw std::invalid_argument("bootstrap_ci: need >= 2 resamples");
+  }
+
+  BootstrapInterval interval;
+  interval.point = statistic(sample);
+  interval.confidence = confidence;
+
+  std::vector<double> resample(sample.size());
+  std::vector<double> stats;
+  stats.reserve(static_cast<std::size_t>(resamples));
+  const auto n = static_cast<std::int64_t>(sample.size());
+  for (int r = 0; r < resamples; ++r) {
+    for (auto& x : resample) {
+      x = sample[static_cast<std::size_t>(rng.uniform_int(0, n - 1))];
+    }
+    stats.push_back(statistic(resample));
+  }
+
+  const double alpha = (1.0 - confidence) / 2.0;
+  interval.lo = quantile(stats, alpha);
+  interval.hi = quantile(stats, 1.0 - alpha);
+  return interval;
+}
+
+BootstrapInterval median_ci(std::span<const double> sample,
+                            netsim::Rng& rng, int resamples,
+                            double confidence) {
+  return bootstrap_ci(
+      sample, [](std::span<const double> xs) { return median(xs); }, rng,
+      resamples, confidence);
+}
+
+}  // namespace dohperf::stats

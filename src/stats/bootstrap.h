@@ -1,0 +1,40 @@
+// Bootstrap confidence intervals for medians and other statistics.
+//
+// The paper reports point medians; for a simulation-based reproduction it
+// is useful to know how tight those medians are, so the benches can print
+// uncertainty alongside each headline value.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "netsim/random.h"
+
+namespace dohperf::stats {
+
+/// A two-sided percentile-bootstrap confidence interval.
+struct BootstrapInterval {
+  double point = 0.0;  ///< Statistic on the original sample.
+  double lo = 0.0;
+  double hi = 0.0;
+  double confidence = 0.95;
+
+  [[nodiscard]] double width() const { return hi - lo; }
+  [[nodiscard]] bool contains(double v) const { return v >= lo && v <= hi; }
+};
+
+/// Percentile bootstrap for an arbitrary statistic. `resamples` draws of
+/// size n with replacement; interval from the (1-conf)/2 quantiles.
+/// Requires a non-empty sample and 0 < confidence < 1.
+[[nodiscard]] BootstrapInterval bootstrap_ci(
+    std::span<const double> sample,
+    const std::function<double(std::span<const double>)>& statistic,
+    netsim::Rng& rng, int resamples = 1000, double confidence = 0.95);
+
+/// Convenience: bootstrap CI of the median.
+[[nodiscard]] BootstrapInterval median_ci(std::span<const double> sample,
+                                          netsim::Rng& rng,
+                                          int resamples = 1000,
+                                          double confidence = 0.95);
+
+}  // namespace dohperf::stats

@@ -1,0 +1,39 @@
+#include "stats/cdf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/summary.h"
+
+namespace dohperf::stats {
+
+EmpiricalCdf::EmpiricalCdf(std::span<const double> sample)
+    : sorted_(sample.begin(), sample.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::at(double x) const {
+  if (sorted_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::value_at(double q) const {
+  return quantile(sorted_, q);
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::curve(
+    std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (sorted_.empty() || points == 0) return out;
+  out.reserve(points + 1);
+  for (std::size_t i = 0; i <= points; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(points);
+    out.emplace_back(value_at(q), q);
+  }
+  return out;
+}
+
+}  // namespace dohperf::stats

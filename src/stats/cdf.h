@@ -1,0 +1,34 @@
+// Empirical cumulative distribution functions (paper Figures 4 and 6).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace dohperf::stats {
+
+/// An empirical CDF over a fixed sample.
+class EmpiricalCdf {
+ public:
+  /// Copies and sorts the sample. Empty samples are allowed; queries on
+  /// them return NaN.
+  explicit EmpiricalCdf(std::span<const double> sample);
+
+  /// F(x): fraction of the sample <= x.
+  [[nodiscard]] double at(double x) const;
+
+  /// Inverse CDF with interpolation; q in [0,1].
+  [[nodiscard]] double value_at(double q) const;
+
+  [[nodiscard]] std::size_t size() const { return sorted_.size(); }
+  [[nodiscard]] const std::vector<double>& sorted() const { return sorted_; }
+
+  /// Evaluates the CDF on `points` evenly spaced quantiles, returning
+  /// (value, cumulative_fraction) pairs for plotting.
+  [[nodiscard]] std::vector<std::pair<double, double>> curve(
+      std::size_t points = 100) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace dohperf::stats

@@ -1,0 +1,16 @@
+#include "stats/distributions.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace dohperf::stats {
+
+double normal_cdf(double z) {
+  return 0.5 * std::erfc(-z / std::numbers::sqrt2);
+}
+
+double two_sided_p(double z) {
+  return 2.0 * (1.0 - normal_cdf(std::abs(z)));
+}
+
+}  // namespace dohperf::stats

@@ -1,0 +1,12 @@
+// Distribution functions for significance testing.
+#pragma once
+
+namespace dohperf::stats {
+
+/// Standard normal CDF.
+[[nodiscard]] double normal_cdf(double z);
+
+/// Two-sided p-value for a z (or large-df t) statistic.
+[[nodiscard]] double two_sided_p(double z);
+
+}  // namespace dohperf::stats

@@ -1,0 +1,76 @@
+#include "stats/linreg.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/distributions.h"
+
+namespace dohperf::stats {
+
+const LinearTerm& LinearFit::term(std::string_view name) const {
+  for (const auto& t : terms) {
+    if (t.name == name) return t;
+  }
+  throw std::out_of_range("no term named " + std::string(name));
+}
+
+LinearFit fit_ols(const Matrix& x, std::span<const double> y,
+                  std::span<const std::string> names) {
+  const std::size_t n = x.rows();
+  const std::size_t k = x.cols();
+  if (names.size() != k) throw std::invalid_argument("names size mismatch");
+  if (y.size() != n) throw std::invalid_argument("y size mismatch");
+  if (n <= k + 1) throw std::invalid_argument("underdetermined system");
+
+  // Design with intercept column prepended.
+  Matrix design(n, k + 1);
+  for (std::size_t r = 0; r < n; ++r) {
+    design.at(r, 0) = 1.0;
+    for (std::size_t c = 0; c < k; ++c) design.at(r, c + 1) = x.at(r, c);
+  }
+
+  const Matrix xtx = design.gram();
+  const std::vector<double> xty = design.transpose_times(y);
+  const std::vector<double> beta = solve_spd(xtx, xty);
+
+  // Residuals and fit quality.
+  const std::vector<double> yhat = design * std::span<const double>(beta);
+  double rss = 0.0, tss = 0.0, ybar = 0.0;
+  for (const double v : y) ybar += v;
+  ybar /= static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rss += (y[i] - yhat[i]) * (y[i] - yhat[i]);
+    tss += (y[i] - ybar) * (y[i] - ybar);
+  }
+  const double sigma2 = rss / static_cast<double>(n - (k + 1));
+  const Matrix cov = invert_spd(xtx);
+
+  LinearFit fit;
+  fit.n = n;
+  fit.sigma = std::sqrt(sigma2);
+  fit.r_squared = tss > 0.0 ? 1.0 - rss / tss : 0.0;
+
+  for (std::size_t j = 0; j <= k; ++j) {
+    LinearTerm term;
+    term.name = j == 0 ? "(intercept)" : names[j - 1];
+    term.coef = beta[j];
+    term.std_error = std::sqrt(std::max(0.0, sigma2 * cov.at(j, j)));
+    term.t_stat = term.std_error > 0.0 ? term.coef / term.std_error : 0.0;
+    term.p_value = two_sided_p(term.t_stat);
+
+    if (j == 0) {
+      term.scaled_coef = term.coef;
+    } else {
+      double lo = x.at(0, j - 1), hi = x.at(0, j - 1);
+      for (std::size_t r = 1; r < n; ++r) {
+        lo = std::min(lo, x.at(r, j - 1));
+        hi = std::max(hi, x.at(r, j - 1));
+      }
+      term.scaled_coef = term.coef * (hi - lo);
+    }
+    fit.terms.push_back(std::move(term));
+  }
+  return fit;
+}
+
+}  // namespace dohperf::stats

@@ -1,0 +1,43 @@
+// Ordinary least squares with the paper's reporting conventions.
+//
+// Table 5/6 report raw coefficients plus "scaled" coefficients obtained by
+// min-max scaling each explanatory variable to [0, 1]; the scaled
+// coefficient is then coef * (max - min), i.e. the predicted outcome
+// change across the variable's full observed range.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/matrix.h"
+
+namespace dohperf::stats {
+
+/// Per-term OLS output.
+struct LinearTerm {
+  std::string name;
+  double coef = 0.0;
+  double scaled_coef = 0.0;  ///< coef x observed range of the variable.
+  double std_error = 0.0;
+  double t_stat = 0.0;
+  double p_value = 1.0;
+};
+
+/// Whole-model OLS output.
+struct LinearFit {
+  std::vector<LinearTerm> terms;  ///< Intercept first.
+  double r_squared = 0.0;
+  double sigma = 0.0;  ///< Residual standard error.
+  std::size_t n = 0;
+
+  /// Term lookup by name; throws std::out_of_range if absent.
+  [[nodiscard]] const LinearTerm& term(std::string_view name) const;
+};
+
+/// Fits y ~ 1 + X. `names` labels X's columns (size == X.cols()).
+/// Requires X.rows() == y.size() > X.cols() + 1.
+[[nodiscard]] LinearFit fit_ols(const Matrix& x, std::span<const double> y,
+                                std::span<const std::string> names);
+
+}  // namespace dohperf::stats

@@ -1,0 +1,156 @@
+#include "stats/logreg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/distributions.h"
+
+namespace dohperf::stats {
+namespace {
+
+double sigmoid(double t) {
+  if (t >= 0) {
+    const double e = std::exp(-t);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(t);
+  return e / (1.0 + e);
+}
+
+double log_likelihood(std::span<const double> y,
+                      std::span<const double> eta) {
+  double ll = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    // log sigma(eta) and log(1 - sigma(eta)) in a numerically stable form.
+    const double t = eta[i];
+    const double log1pe = t > 30 ? t : std::log1p(std::exp(t));
+    ll += y[i] * t - log1pe;
+  }
+  return ll;
+}
+
+}  // namespace
+
+const LogisticTerm& LogisticFit::term(std::string_view name) const {
+  for (const auto& t : terms) {
+    if (t.name == name) return t;
+  }
+  throw std::out_of_range("no term named " + std::string(name));
+}
+
+double LogisticFit::predict(std::span<const double> features) const {
+  if (features.size() + 1 != terms.size()) {
+    throw std::invalid_argument("feature count mismatch");
+  }
+  double eta = terms[0].coef;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    eta += terms[i + 1].coef * features[i];
+  }
+  return sigmoid(eta);
+}
+
+LogisticFit fit_logistic(const Matrix& x, std::span<const double> y,
+                         std::span<const std::string> names, int max_iter,
+                         double tol) {
+  const std::size_t n = x.rows();
+  const std::size_t k = x.cols();
+  if (names.size() != k) throw std::invalid_argument("names size mismatch");
+  if (y.size() != n) throw std::invalid_argument("y size mismatch");
+  for (const double v : y) {
+    if (v != 0.0 && v != 1.0) {
+      throw std::invalid_argument("y must be binary");
+    }
+  }
+
+  Matrix design(n, k + 1);
+  for (std::size_t r = 0; r < n; ++r) {
+    design.at(r, 0) = 1.0;
+    for (std::size_t c = 0; c < k; ++c) design.at(r, c + 1) = x.at(r, c);
+  }
+
+  std::vector<double> beta(k + 1, 0.0);
+  std::vector<double> eta(n, 0.0);
+  double ll = log_likelihood(y, eta);
+
+  LogisticFit fit;
+  fit.n = n;
+
+  for (int iter = 0; iter < max_iter; ++iter) {
+    // Weighted Gram: X' W X with w_i = p_i (1 - p_i), and the score
+    // X' (y - p).
+    Matrix xtwx(k + 1, k + 1);
+    std::vector<double> score(k + 1, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double p = sigmoid(eta[i]);
+      const double w = std::max(p * (1.0 - p), 1e-10);
+      const double resid = y[i] - p;
+      for (std::size_t a = 0; a <= k; ++a) {
+        const double xa = design.at(i, a);
+        score[a] += xa * resid;
+        for (std::size_t b = a; b <= k; ++b) {
+          xtwx.at(a, b) += w * xa * design.at(i, b);
+        }
+      }
+    }
+    for (std::size_t a = 0; a <= k; ++a) {
+      for (std::size_t b = 0; b < a; ++b) xtwx.at(a, b) = xtwx.at(b, a);
+    }
+
+    const std::vector<double> delta = solve_spd(xtwx, score);
+
+    // Newton step with halving to guarantee likelihood ascent.
+    double step = 1.0;
+    double new_ll = -1e300;
+    std::vector<double> new_beta(k + 1), new_eta(n);
+    for (int halving = 0; halving < 30; ++halving, step *= 0.5) {
+      for (std::size_t a = 0; a <= k; ++a) {
+        new_beta[a] = beta[a] + step * delta[a];
+      }
+      new_eta = design * std::span<const double>(new_beta);
+      new_ll = log_likelihood(y, new_eta);
+      if (new_ll >= ll - 1e-12) break;
+    }
+
+    const double improvement = new_ll - ll;
+    beta = std::move(new_beta);
+    eta = std::move(new_eta);
+    ll = new_ll;
+    fit.iterations = iter + 1;
+    if (std::abs(improvement) < tol) {
+      fit.converged = true;
+      break;
+    }
+  }
+
+  // Covariance from the final information matrix.
+  Matrix xtwx(k + 1, k + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p = sigmoid(eta[i]);
+    const double w = std::max(p * (1.0 - p), 1e-10);
+    for (std::size_t a = 0; a <= k; ++a) {
+      for (std::size_t b = a; b <= k; ++b) {
+        xtwx.at(a, b) += w * design.at(i, a) * design.at(i, b);
+      }
+    }
+  }
+  for (std::size_t a = 0; a <= k; ++a) {
+    for (std::size_t b = 0; b < a; ++b) xtwx.at(a, b) = xtwx.at(b, a);
+  }
+  const Matrix cov = invert_spd(xtwx);
+
+  fit.log_likelihood = ll;
+  for (std::size_t j = 0; j <= k; ++j) {
+    LogisticTerm term;
+    term.name = j == 0 ? "(intercept)" : names[j - 1];
+    term.coef = beta[j];
+    term.odds_ratio = std::exp(beta[j]);
+    term.std_error = std::sqrt(std::max(0.0, cov.at(j, j)));
+    term.z_stat = term.std_error > 0.0 ? term.coef / term.std_error : 0.0;
+    term.p_value = two_sided_p(term.z_stat);
+    fit.terms.push_back(std::move(term));
+  }
+  return fit;
+}
+
+}  // namespace dohperf::stats

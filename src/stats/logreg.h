@@ -1,0 +1,48 @@
+// Logistic regression via iteratively reweighted least squares.
+//
+// Table 4 of the paper models whether a client beats the global median
+// DoH/Do53 slowdown multiplier as a binary outcome of categorical
+// covariates, and reports effect sizes as odds ratios.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/matrix.h"
+
+namespace dohperf::stats {
+
+/// Per-term logistic output.
+struct LogisticTerm {
+  std::string name;
+  double coef = 0.0;        ///< Log-odds coefficient.
+  double odds_ratio = 1.0;  ///< exp(coef).
+  double std_error = 0.0;
+  double z_stat = 0.0;
+  double p_value = 1.0;
+};
+
+/// Whole-model logistic output.
+struct LogisticFit {
+  std::vector<LogisticTerm> terms;  ///< Intercept first.
+  double log_likelihood = 0.0;
+  std::size_t n = 0;
+  int iterations = 0;
+  bool converged = false;
+
+  [[nodiscard]] const LogisticTerm& term(std::string_view name) const;
+
+  /// Predicted probability for a feature row (without intercept column).
+  [[nodiscard]] double predict(std::span<const double> features) const;
+};
+
+/// Fits P(y=1) = sigmoid(b0 + X b). `y` entries must be 0 or 1.
+/// IRLS with step-halving; throws on dimension errors.
+[[nodiscard]] LogisticFit fit_logistic(const Matrix& x,
+                                       std::span<const double> y,
+                                       std::span<const std::string> names,
+                                       int max_iter = 50,
+                                       double tol = 1e-8);
+
+}  // namespace dohperf::stats

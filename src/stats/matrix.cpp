@@ -1,0 +1,178 @@
+#include "stats/matrix.h"
+
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+
+namespace dohperf::stats {
+namespace {
+
+/// Cholesky factorisation A = L L'; nullopt if not positive definite.
+std::optional<Matrix> cholesky(const Matrix& a) {
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a.at(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l.at(i, k) * l.at(j, k);
+      if (i == j) {
+        if (sum <= 0.0 || !std::isfinite(sum)) return std::nullopt;
+        l.at(i, i) = std::sqrt(sum);
+      } else {
+        l.at(i, j) = sum / l.at(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+std::optional<Matrix> cholesky_with_ridge(const Matrix& a) {
+  if (auto l = cholesky(a)) return l;
+  // Escalating jitter on the diagonal for near-singular designs
+  // (e.g. collinear dummies).
+  double ridge = 1e-10;
+  for (int attempt = 0; attempt < 8; ++attempt, ridge *= 100.0) {
+    Matrix aj = a;
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      aj.at(i, i) += ridge * (1.0 + std::abs(a.at(i, i)));
+    }
+    if (auto l = cholesky(aj)) return l;
+  }
+  return std::nullopt;
+}
+
+/// Solves L y = b (forward) then L' x = y (backward).
+std::vector<double> cholesky_solve(const Matrix& l,
+                                   std::span<const double> b) {
+  const std::size_t n = l.rows();
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l.at(i, k) * y[k];
+    y[i] = sum / l.at(i, i);
+  }
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= l.at(k, ii) * x[k];
+    x[ii] = sum / l.at(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::from_rows(
+    std::initializer_list<std::initializer_list<double>> rows) {
+  Matrix m(rows.size(), rows.size() == 0 ? 0 : rows.begin()->size());
+  std::size_t r = 0;
+  for (const auto& row : rows) {
+    if (row.size() != m.cols_) {
+      throw std::invalid_argument("ragged initializer");
+    }
+    std::size_t c = 0;
+    for (const double v : row) m.at(r, c++) = v;
+    ++r;
+  }
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_) throw std::invalid_argument("shape mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = at(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) {
+        out.at(i, j) += aik * rhs.at(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::operator*(std::span<const double> v) const {
+  if (cols_ != v.size()) throw std::invalid_argument("shape mismatch");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) sum += at(i, j) * v[j];
+    out[i] = sum;
+  }
+  return out;
+}
+
+Matrix Matrix::gram() const {
+  Matrix g(cols_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const double xi = at(r, i);
+      if (xi == 0.0) continue;
+      for (std::size_t j = i; j < cols_; ++j) {
+        g.at(i, j) += xi * at(r, j);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < cols_; ++i) {
+    for (std::size_t j = 0; j < i; ++j) g.at(i, j) = g.at(j, i);
+  }
+  return g;
+}
+
+std::vector<double> Matrix::transpose_times(std::span<const double> v) const {
+  if (rows_ != v.size()) throw std::invalid_argument("shape mismatch");
+  std::vector<double> out(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double vr = v[r];
+    if (vr == 0.0) continue;
+    for (std::size_t c = 0; c < cols_; ++c) out[c] += at(r, c) * vr;
+  }
+  return out;
+}
+
+std::vector<double> solve_spd(const Matrix& a, std::span<const double> b) {
+  if (a.rows() != a.cols() || a.rows() != b.size()) {
+    throw std::invalid_argument("solve_spd: shape mismatch");
+  }
+  const auto l = cholesky_with_ridge(a);
+  if (!l) throw std::runtime_error("solve_spd: matrix not positive definite");
+  return cholesky_solve(*l, b);
+}
+
+Matrix invert_spd(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("invert_spd: not square");
+  }
+  const auto l = cholesky_with_ridge(a);
+  if (!l) throw std::runtime_error("invert_spd: matrix not positive definite");
+  const std::size_t n = a.rows();
+  Matrix inv(n, n);
+  std::vector<double> e(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    e[j] = 1.0;
+    const auto col = cholesky_solve(*l, e);
+    for (std::size_t i = 0; i < n; ++i) inv.at(i, j) = col[i];
+    e[j] = 0.0;
+  }
+  return inv;
+}
+
+}  // namespace dohperf::stats

@@ -1,0 +1,63 @@
+// Small dense matrices for the regression solvers.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace dohperf::stats {
+
+/// Row-major dense matrix of doubles. Sized for regression design
+/// matrices (thousands of rows, tens of columns) — no BLAS needed.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Builds from nested initializer lists; all rows must be equal length.
+  static Matrix from_rows(
+      std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Identity of size n.
+  static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] Matrix transposed() const;
+  [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+  [[nodiscard]] std::vector<double> operator*(
+      std::span<const double> v) const;
+
+  /// X' * X (the Gram matrix), computed without materialising X'.
+  [[nodiscard]] Matrix gram() const;
+
+  /// X' * v.
+  [[nodiscard]] std::vector<double> transpose_times(
+      std::span<const double> v) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky; applies
+/// a small ridge (jitter) automatically if A is near-singular. Throws
+/// std::runtime_error if no factorisation succeeds.
+[[nodiscard]] std::vector<double> solve_spd(const Matrix& a,
+                                            std::span<const double> b);
+
+/// Inverse of a symmetric positive-definite matrix (for covariance /
+/// standard errors). Same ridge behaviour as solve_spd.
+[[nodiscard]] Matrix invert_spd(const Matrix& a);
+
+}  // namespace dohperf::stats

@@ -1,0 +1,60 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace dohperf::stats {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) return kNaN;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double h = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(h);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return kNaN;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double stdev(std::span<const double> xs) {
+  if (xs.size() < 2) return kNaN;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (const double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double min_value(std::span<const double> xs) {
+  if (xs.empty()) return kNaN;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) {
+  if (xs.empty()) return kNaN;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double fraction_below(std::span<const double> xs, double threshold) {
+  if (xs.empty()) return kNaN;
+  const auto n = std::count_if(xs.begin(), xs.end(),
+                               [&](double x) { return x < threshold; });
+  return static_cast<double>(n) / static_cast<double>(xs.size());
+}
+
+}  // namespace dohperf::stats

@@ -1,0 +1,29 @@
+// Descriptive statistics used throughout the analysis (the paper reports
+// medians almost exclusively).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace dohperf::stats {
+
+/// Median of a sample; NaN for an empty sample. Does not modify input.
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Quantile in [0,1] with linear interpolation between order statistics
+/// (type-7, the R/NumPy default); NaN for an empty sample.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1 denominator); NaN for n < 2.
+[[nodiscard]] double stdev(std::span<const double> xs);
+
+[[nodiscard]] double min_value(std::span<const double> xs);
+[[nodiscard]] double max_value(std::span<const double> xs);
+
+/// Fraction of values strictly below `threshold`; NaN when empty.
+[[nodiscard]] double fraction_below(std::span<const double> xs,
+                                    double threshold);
+
+}  // namespace dohperf::stats

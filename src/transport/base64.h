@@ -1,0 +1,21 @@
+// Base64url (RFC 4648 section 5) without padding, as used by DoH GET
+// requests (RFC 8484: ?dns=<base64url(message)>).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dohperf::transport {
+
+/// Encodes bytes to unpadded base64url.
+[[nodiscard]] std::string base64url_encode(std::span<const std::uint8_t> in);
+
+/// Decodes unpadded base64url; nullopt on invalid characters or length.
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> base64url_decode(
+    std::string_view in);
+
+}  // namespace dohperf::transport

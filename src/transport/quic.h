@@ -1,0 +1,43 @@
+// Simulated QUIC connection establishment (RFC 9000/9001), for the
+// DNS-over-QUIC extension (RFC 9250) — one of the five encrypted-DNS
+// protocols the paper's background section enumerates.
+//
+// Timing structure: a fresh QUIC connection completes its combined
+// transport + TLS 1.3 handshake in one round trip (Initial ->
+// Initial+Handshake), after which the client may send 1-RTT data; with a
+// cached session ticket, 0-RTT lets the first request travel with the
+// ClientHello.
+#pragma once
+
+#include "netsim/netctx.h"
+
+namespace dohperf::transport {
+
+/// Handshake datagram sizes (octets). QUIC pads the client Initial to at
+/// least 1200 bytes to prevent amplification (RFC 9000 section 8.1).
+inline constexpr std::size_t kQuicClientInitialBytes = 1200;
+inline constexpr std::size_t kQuicServerHandshakeBytes = 3000;
+inline constexpr std::size_t kQuicShortHeaderOverhead = 28;
+
+/// An established QUIC connection.
+struct QuicConnection {
+  netsim::Site client;
+  netsim::Site server;
+  bool zero_rtt = false;
+  netsim::Duration handshake_time{};
+  netsim::SimTime established_at{};
+};
+
+/// Fresh connection: one round trip before application data flows.
+[[nodiscard]] netsim::Task<QuicConnection> quic_connect(
+    netsim::NetCtx& net, const netsim::Site& client,
+    const netsim::Site& server);
+
+/// Resumed connection with a cached ticket: 0-RTT — application data may
+/// accompany the first flight, so the "handshake" contributes no
+/// round trip of its own.
+[[nodiscard]] netsim::Task<QuicConnection> quic_resume(
+    netsim::NetCtx& net, const netsim::Site& client,
+    const netsim::Site& server);
+
+}  // namespace dohperf::transport

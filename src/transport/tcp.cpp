@@ -1,0 +1,19 @@
+#include "transport/tcp.h"
+
+namespace dohperf::transport {
+
+netsim::Task<TcpConnection> tcp_connect(netsim::NetCtx& net,
+                                        const netsim::Site& client,
+                                        const netsim::Site& server) {
+  const netsim::SimTime start = net.sim.now();
+  co_await net.hop(client, server, kSynBytes);     // SYN
+  co_await net.hop(server, client, kSynAckBytes);  // SYN/ACK
+  TcpConnection conn;
+  conn.client = client;
+  conn.server = server;
+  conn.handshake_time = net.sim.now() - start;
+  conn.established_at = net.sim.now();
+  co_return conn;
+}
+
+}  // namespace dohperf::transport

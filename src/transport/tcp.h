@@ -1,0 +1,34 @@
+// Simulated TCP connection establishment.
+//
+// Only the timing structure matters to the study: a connect costs one
+// round trip (SYN, SYN/ACK) before the client may send data with its ACK,
+// which is exactly the "Connect" value BrightData's tun-timeline reports
+// (paper Figure 2, steps 5-6).
+#pragma once
+
+#include "netsim/netctx.h"
+
+namespace dohperf::transport {
+
+/// Typical segment sizes (octets, incl. IP/TCP headers) used for the
+/// serialisation component of the delay.
+inline constexpr std::size_t kSynBytes = 60;
+inline constexpr std::size_t kSynAckBytes = 60;
+inline constexpr std::size_t kAckBytes = 52;
+
+/// An established connection; records what the endpoints were and what the
+/// handshake cost, so later exchanges can reuse the path.
+struct TcpConnection {
+  netsim::Site client;
+  netsim::Site server;
+  netsim::Duration handshake_time{};
+  netsim::SimTime established_at{};
+};
+
+/// Performs the 3-way handshake; completes when the client may transmit
+/// (i.e. after SYN/ACK arrives — the final ACK travels with first data).
+[[nodiscard]] netsim::Task<TcpConnection> tcp_connect(
+    netsim::NetCtx& net, const netsim::Site& client,
+    const netsim::Site& server);
+
+}  // namespace dohperf::transport

@@ -1,0 +1,39 @@
+#include "transport/tls.h"
+
+namespace dohperf::transport {
+
+std::string_view to_string(TlsVersion v) {
+  switch (v) {
+    case TlsVersion::kTls12:
+      return "TLS 1.2";
+    case TlsVersion::kTls13:
+      return "TLS 1.3";
+  }
+  return "?";
+}
+
+netsim::Task<TlsSession> tls_handshake(netsim::NetCtx& net,
+                                       const TcpConnection& conn,
+                                       TlsVersion version) {
+  const netsim::SimTime start = net.sim.now();
+
+  // ClientHello -> ServerHello (+EncryptedExtensions/Certificate/Finished
+  // for 1.3; Certificate/ServerHelloDone for 1.2).
+  co_await net.hop(conn.client, conn.server, kClientHelloBytes);
+  co_await net.hop(conn.server, conn.client, kServerHelloBytes);
+
+  if (version == TlsVersion::kTls12) {
+    // ClientKeyExchange/Finished -> ChangeCipherSpec/Finished.
+    co_await net.hop(conn.client, conn.server, kClientFinishedBytes);
+    co_await net.hop(conn.server, conn.client, kRecordOverheadBytes + 32);
+  }
+  // For 1.3 the client Finished piggybacks on the first application data.
+
+  TlsSession session;
+  session.version = version;
+  session.handshake_time = net.sim.now() - start;
+  session.established_at = net.sim.now();
+  co_return session;
+}
+
+}  // namespace dohperf::transport

@@ -1,0 +1,41 @@
+// Simulated TLS session establishment.
+//
+// TLS 1.3 completes in one round trip (ClientHello -> ServerHello..
+// Finished; RFC 8446), TLS 1.2 in two. The paper's headline numbers
+// assume 1.3, which all four studied DoH resolvers prefer; 1.2 is kept
+// for the ablation bench (paper Section 7, Limitations).
+#pragma once
+
+#include "netsim/netctx.h"
+#include "transport/tcp.h"
+
+namespace dohperf::transport {
+
+enum class TlsVersion {
+  kTls12,
+  kTls13,
+};
+
+[[nodiscard]] std::string_view to_string(TlsVersion v);
+
+/// Handshake message sizes (octets).
+inline constexpr std::size_t kClientHelloBytes = 320;
+inline constexpr std::size_t kServerHelloBytes = 3200;  // incl. certificate
+inline constexpr std::size_t kClientFinishedBytes = 80;
+inline constexpr std::size_t kRecordOverheadBytes = 29;  // per app record
+
+/// An established TLS session over a TCP connection.
+struct TlsSession {
+  TlsVersion version = TlsVersion::kTls13;
+  netsim::Duration handshake_time{};
+  netsim::SimTime established_at{};
+};
+
+/// Runs the handshake on an established connection. For 1.3 the client
+/// can transmit application data together with its Finished, so the flow
+/// completes one RTT after ClientHello; 1.2 requires a second round trip.
+[[nodiscard]] netsim::Task<TlsSession> tls_handshake(
+    netsim::NetCtx& net, const TcpConnection& conn,
+    TlsVersion version = TlsVersion::kTls13);
+
+}  // namespace dohperf::transport

@@ -1,0 +1,137 @@
+#include "web/pageload.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "dns/wire.h"
+#include "resolver/stub.h"
+#include "transport/tcp.h"
+
+namespace dohperf::web {
+namespace {
+
+using netsim::NetCtx;
+using netsim::SimTime;
+using netsim::Task;
+using netsim::from_ms;
+using netsim::ms_between;
+
+/// Resolves one fresh name in the requested mode; returns elapsed ms
+/// (negative on failure).
+Task<double> resolve_name(NetCtx& net, const PageLoadContext& ctx,
+                          DnsMode mode, dns::Message query) {
+  const SimTime start = net.sim.now();
+  if (mode == DnsMode::kDo53) {
+    const resolver::StubResult result = co_await resolver::stub_resolve(
+        net, ctx.client, *ctx.default_resolver, std::move(query));
+    co_return result.ok() ? result.elapsed_ms : -1.0;
+  }
+
+  // DoH: an HTTPS GET multiplexed over the (already established) session.
+  transport::HttpRequest req;
+  req.method = "GET";
+  req.target = resolver::doh_get_target(query);
+  req.headers.add("host", ctx.doh_hostname);
+  const std::size_t req_bytes =
+      req.wire_size() + transport::kRecordOverheadBytes;
+  co_await net.hop(ctx.client, ctx.doh->site(), req_bytes);
+  const transport::HttpResponse resp = co_await ctx.doh->handle(net, req);
+  co_await net.hop(ctx.doh->site(), ctx.client,
+                   resp.wire_size() + transport::kRecordOverheadBytes);
+  co_return resp.status == 200 ? ms_between(start, net.sim.now()) : -1.0;
+}
+
+/// Resolves then fetches one domain; returns (dns_ms, completion offset
+/// from page start in ms), dns < 0 on failure.
+struct DomainOutcome {
+  double dns_ms = -1.0;
+  double done_ms = 0.0;
+};
+
+Task<DomainOutcome> load_domain(NetCtx& net, const PageLoadContext& ctx,
+                                const PageSpec& spec, DnsMode mode,
+                                SimTime page_start) {
+  DomainOutcome out;
+  const dns::Message query =
+      resolver::make_probe_query(net.rng, ctx.origin);
+
+  out.dns_ms = co_await resolve_name(net, ctx, mode, query);
+  if (out.dns_ms < 0) co_return out;
+
+  // Fetch: connection to the content host, then the objects in sequence.
+  const transport::TcpConnection tcp =
+      co_await transport::tcp_connect(net, ctx.client, ctx.web_server);
+  if (spec.https) {
+    co_await transport::tls_handshake(net, tcp,
+                                      transport::TlsVersion::kTls13);
+  }
+  for (int i = 0; i < spec.objects_per_domain; ++i) {
+    transport::HttpRequest req;
+    req.method = "GET";
+    req.target = "/obj" + std::to_string(i);
+    co_await net.hop(ctx.client, ctx.web_server, req.wire_size() + 64);
+    co_await net.process(from_ms(0.4));  // static content
+    co_await net.hop(ctx.web_server, ctx.client,
+                     spec.object_bytes + transport::kRecordOverheadBytes);
+  }
+  out.done_ms = ms_between(page_start, net.sim.now());
+  co_return out;
+}
+
+}  // namespace
+
+std::string_view to_string(DnsMode mode) {
+  switch (mode) {
+    case DnsMode::kDo53:
+      return "Do53";
+    case DnsMode::kDohCold:
+      return "DoH (cold session)";
+    case DnsMode::kDohWarm:
+      return "DoH (warm session)";
+  }
+  return "?";
+}
+
+netsim::Task<PageLoadResult> load_page(netsim::NetCtx& net,
+                                       const PageLoadContext& ctx,
+                                       PageSpec spec, DnsMode mode) {
+  PageLoadResult result;
+  const SimTime page_start = net.sim.now();
+
+  // A cold DoH session pays bootstrap + TCP + TLS before the first query.
+  if (mode == DnsMode::kDohCold) {
+    const auto id = static_cast<std::uint16_t>(net.rng.next() & 0xFFFF);
+    co_await resolver::stub_resolve(
+        net, ctx.client, *ctx.default_resolver,
+        dns::Message::make_query(
+            id, dns::DomainName::parse(ctx.doh_hostname)));
+    const transport::TcpConnection tcp =
+        co_await transport::tcp_connect(net, ctx.client, ctx.doh->site());
+    co_await transport::tls_handshake(net, tcp,
+                                      transport::TlsVersion::kTls13);
+    result.dns_setup_ms = ms_between(page_start, net.sim.now());
+  }
+
+  // All domains proceed in parallel (tasks start eagerly).
+  std::vector<netsim::Task<DomainOutcome>> tasks;
+  tasks.reserve(static_cast<std::size_t>(spec.domains));
+  for (int d = 0; d < spec.domains; ++d) {
+    tasks.push_back(load_domain(net, ctx, spec, mode, page_start));
+  }
+
+  result.ok = true;
+  for (auto& task : tasks) {
+    const DomainOutcome out = co_await task;
+    if (out.dns_ms < 0) {
+      result.ok = false;
+      continue;
+    }
+    result.dns_critical_ms = std::max(result.dns_critical_ms, out.dns_ms);
+    result.total_ms = std::max(result.total_ms, out.done_ms);
+    result.fetch_critical_ms =
+        std::max(result.fetch_critical_ms, out.done_ms - out.dns_ms);
+  }
+  co_return result;
+}
+
+}  // namespace dohperf::web

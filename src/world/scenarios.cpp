@@ -1,0 +1,71 @@
+#include "world/scenarios.h"
+
+#include <vector>
+
+namespace dohperf::world {
+namespace {
+
+std::vector<Scenario> build_scenarios() {
+  std::vector<Scenario> out;
+
+  {
+    Scenario s;
+    s.name = "paper-default";
+    s.description = "the calibrated reproduction world (seed 42)";
+    out.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "uniform-world";
+    s.description =
+        "infrastructure coupling disabled: every country gets the "
+        "global-median network parameters";
+    s.config.couple_infra = false;
+    out.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "perfect-anycast";
+    s.description = "every client is routed to its nearest PoP";
+    s.config.perfect_anycast = true;
+    out.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "tls12";
+    s.description = "DoH handshakes use TLS 1.2 (two round trips)";
+    s.config.tls_version = transport::TlsVersion::kTls12;
+    out.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "eu-authority";
+    s.description = "the a.com web/NS host moves to Frankfurt";
+    s.config.authority_city = "Frankfurt";
+    out.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "asia-authority";
+    s.description = "the a.com web/NS host moves to Singapore";
+    s.config.authority_city = "Singapore";
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::span<const Scenario> scenarios() {
+  static const std::vector<Scenario> all = build_scenarios();
+  return all;
+}
+
+std::optional<WorldConfig> scenario_config(std::string_view name) {
+  for (const Scenario& s : scenarios()) {
+    if (s.name == name) return s.config;
+  }
+  return std::nullopt;
+}
+
+}  // namespace dohperf::world

@@ -1,0 +1,34 @@
+// Named world scenarios: one-line access to the configurations the
+// benches and ablations use, for the CLI and downstream users.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "world/world_model.h"
+
+namespace dohperf::world {
+
+/// A named, documented configuration.
+struct Scenario {
+  std::string_view name;
+  std::string_view description;
+  WorldConfig config;
+};
+
+/// The built-in scenarios:
+///   paper-default    the calibrated reproduction world (seed 42)
+///   uniform-world    infrastructure coupling disabled (ablation)
+///   perfect-anycast  every client reaches its nearest PoP (ablation)
+///   tls12            DoH over TLS 1.2 handshakes (ablation)
+///   eu-authority     a.com hosted in Frankfurt (paper §7 limitation)
+///   asia-authority   a.com hosted in Singapore
+[[nodiscard]] std::span<const Scenario> scenarios();
+
+/// Looks up a scenario by name; nullopt if unknown.
+[[nodiscard]] std::optional<WorldConfig> scenario_config(
+    std::string_view name);
+
+}  // namespace dohperf::world

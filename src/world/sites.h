@@ -1,0 +1,59 @@
+// Country-level network profiles.
+//
+// This is where the paper's explanatory variables enter the simulation:
+// nationwide broadband speed shapes last-mile delay, AS count shapes route
+// inflation (scarce transit => circuitous paths), and both shape jitter
+// and ISP-resolver quality. Disabling the coupling (`couple_infra=false`)
+// gives every country identical median parameters — the ablation that
+// should erase the regression effects in Tables 4-6.
+#pragma once
+
+#include "geo/country.h"
+#include "netsim/latency.h"
+#include "netsim/random.h"
+
+namespace dohperf::world {
+
+/// Derived per-country medians.
+struct CountryNetProfile {
+  double lastmile_median_ms = 5.0;
+  double route_inflation = 1.25;
+  double jitter_sigma = 0.07;
+  /// Median per-query processing time of the country's ISP resolvers.
+  double resolver_processing_ms = 2.0;
+  /// Extra inflation on ISP-resolver transit only (captures poorly-peered
+  /// ISP resolvers; deterministic per country). This is what lets some
+  /// countries *gain* from DoH, as the paper observed for 8.8% of
+  /// countries (e.g. Brazil, Indonesia).
+  double isp_transit_penalty = 1.0;
+};
+
+/// Computes the profile from World-Bank/Ookla/IPInfo-style covariates.
+/// With `couple_infra == false` all countries get the global-median
+/// profile (ablation mode).
+[[nodiscard]] CountryNetProfile profile_for(const geo::Country& country,
+                                            bool couple_infra = true);
+
+/// A residential client site: near the country centroid with metro-scale
+/// scatter, last-mile sampled around the country median.
+[[nodiscard]] netsim::Site client_site(const geo::Country& country,
+                                       netsim::Rng& rng,
+                                       bool couple_infra = true);
+
+/// An ISP recursive-resolver site in the country (datacenter-grade access,
+/// country-grade + penalty transit).
+[[nodiscard]] netsim::Site isp_resolver_site(const geo::Country& country,
+                                             netsim::Rng& rng,
+                                             bool couple_infra = true);
+
+/// How many BrightData exit nodes the synthetic campaign can reach in the
+/// country (paper: 10..282 per country, median 103; China/North Korea/
+/// Saudi Arabia/Oman and 21 other territories fall below the 10-client
+/// threshold).
+[[nodiscard]] int reachable_clients(const geo::Country& country,
+                                    netsim::Rng& rng);
+
+/// Number of distinct ISP resolvers to instantiate for the country.
+[[nodiscard]] int isp_resolver_count(const geo::Country& country);
+
+}  // namespace dohperf::world

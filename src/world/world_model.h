@@ -1,0 +1,147 @@
+// Assembles the full simulated ecosystem the campaign measures: the
+// authoritative server and web server for "a.com", per-country ISP
+// resolvers and client pools, the four DoH providers with their PoP
+// resolver fleets, the BrightData-like proxy overlay, the RIPE Atlas-like
+// probe network, and the Maxmind-like geolocation database.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "anycast/provider.h"
+#include "dns/name.h"
+#include "geo/geolocation.h"
+#include "netsim/netctx.h"
+#include "proxy/brightdata.h"
+#include "proxy/ripe_atlas.h"
+#include "resolver/authoritative.h"
+#include "resolver/doh_server.h"
+#include "transport/tls.h"
+#include "world/sites.h"
+
+namespace dohperf::world {
+
+/// World construction parameters.
+struct WorldConfig {
+  std::uint64_t seed = 42;
+  /// Scales per-country client-pool sizes (use < 1 for fast tests).
+  double client_scale = 1.0;
+  /// Restrict the world to these ISO codes (empty = whole world table).
+  std::vector<std::string> only_countries;
+  /// Couple network parameters to country covariates (ablation switch).
+  bool couple_infra = true;
+  /// TLS version used by DoH measurements (paper headline: 1.3).
+  transport::TlsVersion tls_version = transport::TlsVersion::kTls13;
+  /// Ablation: route every client to its geographically nearest PoP,
+  /// overriding the calibrated anycast-inefficiency mixtures.
+  bool perfect_anycast = false;
+  /// Metro hosting the study's web + authoritative servers. The paper
+  /// used a single US location and flags varying it as future work
+  /// (Section 7); any city from geo::city_table() works here.
+  std::string authority_city = "Ashburn";
+  /// Probability that BrightData's country label for a node is wrong
+  /// (paper discards 0.88% of data points on Maxmind mismatch).
+  double mislabel_rate = 0.0088;
+  /// Probability that a client's default resolver is hosted far away
+  /// (ISPs backhauling DNS abroad, satellite operators, misconfigured
+  /// CPE). These clients are the bulk of the paper's 19.1% for whom even
+  /// a first DoH query beats Do53.
+  double remote_dns_rate = 0.18;
+};
+
+/// The assembled world. Not copyable or movable: internal components hold
+/// pointers to each other.
+class WorldModel {
+ public:
+  explicit WorldModel(WorldConfig config = {});
+  WorldModel(const WorldModel&) = delete;
+  WorldModel& operator=(const WorldModel&) = delete;
+
+  /// Fresh execution context over this world's simulator/latency/rng.
+  [[nodiscard]] netsim::NetCtx ctx() {
+    return netsim::NetCtx{sim_, latency_, rng_};
+  }
+
+  [[nodiscard]] netsim::Simulator& sim() { return sim_; }
+  [[nodiscard]] netsim::Rng& rng() { return rng_; }
+  [[nodiscard]] const netsim::LatencyModel& latency() const {
+    return latency_;
+  }
+  [[nodiscard]] const WorldConfig& config() const { return config_; }
+
+  [[nodiscard]] resolver::AuthoritativeServer& authority() {
+    return *authority_;
+  }
+  /// Where the study's measurement client runs (paper: Illinois, USA).
+  [[nodiscard]] const netsim::Site& measurement_client() const {
+    return measurement_client_;
+  }
+  /// The study zone origin ("a.com").
+  [[nodiscard]] const dns::DomainName& origin() const { return origin_; }
+
+  [[nodiscard]] std::span<anycast::Provider> providers() {
+    return providers_;
+  }
+  /// DoH front-end serving PoP `pop_index` of provider `provider_index`.
+  [[nodiscard]] resolver::DohServer& doh_server(std::size_t provider_index,
+                                                std::size_t pop_index);
+
+  [[nodiscard]] proxy::BrightDataNetwork& brightdata() {
+    return brightdata_;
+  }
+  [[nodiscard]] proxy::RipeAtlas& atlas() { return atlas_; }
+  [[nodiscard]] geo::GeolocationService& maxmind() { return maxmind_; }
+
+  /// ISO codes of countries instantiated in this world.
+  [[nodiscard]] std::span<const std::string> countries() const {
+    return country_codes_;
+  }
+  /// ISP resolvers of `iso2` (empty span if country absent).
+  [[nodiscard]] std::span<resolver::RecursiveResolver* const>
+  isp_resolvers(const std::string& iso2) const;
+
+  /// Total enrolled exit nodes.
+  [[nodiscard]] std::size_t exit_count() const {
+    return brightdata_.exit_count();
+  }
+
+ private:
+  void build_authority();
+  void build_providers();
+  void build_country(const geo::Country& country);
+
+  WorldConfig config_;
+  netsim::Simulator sim_;
+  netsim::LatencyModel latency_;
+  netsim::Rng rng_;
+
+  dns::DomainName origin_;
+  netsim::Site measurement_client_;
+  std::unique_ptr<resolver::AuthoritativeServer> authority_;
+
+  std::vector<anycast::Provider> providers_;
+  /// doh_servers_[provider][pop].
+  std::vector<std::vector<std::unique_ptr<resolver::DohServer>>> doh_servers_;
+
+  /// Stable-address storage for ISP resolvers.
+  std::deque<resolver::RecursiveResolver> isp_resolvers_;
+  /// Flat view of every ISP resolver built so far (for clients whose ISP
+  /// backhauls DNS to a remote resolver).
+  std::vector<resolver::RecursiveResolver*> all_resolvers_;
+  std::unordered_map<std::string, std::vector<resolver::RecursiveResolver*>>
+      isp_by_country_;
+  std::vector<std::string> country_codes_;
+
+  proxy::BrightDataNetwork brightdata_;
+  proxy::RipeAtlas atlas_;
+  geo::GeolocationService maxmind_;
+
+  std::uint32_t next_address_ = 1000;
+  geo::NetPrefix next_prefix_ = 0x0A000000;
+};
+
+}  // namespace dohperf::world

@@ -1,0 +1,236 @@
+// Tests for PoP catalogs, anycast routing, and provider profiles.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "anycast/catalog.h"
+#include "anycast/provider.h"
+#include "anycast/routing.h"
+
+namespace dohperf::anycast {
+namespace {
+
+TEST(CatalogTest, SizesMatchPaperObservations) {
+  EXPECT_EQ(cloudflare_pops().size(), kCloudflarePopCount);  // 146
+  EXPECT_EQ(google_pops().size(), kGooglePopCount);          // 26
+  EXPECT_EQ(nextdns_pops().size(), kNextDnsPopCount);        // 107
+  EXPECT_EQ(quad9_pops().size(), kQuad9PopCount);            // 152
+}
+
+TEST(CatalogTest, GoogleHasNoAfricanPop) {
+  for (const Pop& pop : google_pops()) {
+    EXPECT_NE(pop.region, geo::Region::kAfrica) << pop.city;
+  }
+}
+
+TEST(CatalogTest, CloudflareServesSenegal) {
+  const auto pops = cloudflare_pops();
+  EXPECT_TRUE(std::any_of(pops.begin(), pops.end(), [](const Pop& p) {
+    return p.country_iso2 == "SN";
+  }));
+}
+
+TEST(CatalogTest, Quad9HasDensestAfricanFootprint) {
+  auto count_africa = [](const std::vector<Pop>& pops) {
+    return std::count_if(pops.begin(), pops.end(), [](const Pop& p) {
+      return p.region == geo::Region::kAfrica;
+    });
+  };
+  const auto quad9 = count_africa(quad9_pops());
+  EXPECT_GT(quad9, count_africa(cloudflare_pops()));
+  EXPECT_GT(quad9, count_africa(nextdns_pops()));
+  EXPECT_GT(quad9, count_africa(google_pops()));
+}
+
+TEST(CatalogTest, NoProviderHostsInChina) {
+  for (const auto& pops : {cloudflare_pops(), google_pops(), nextdns_pops(),
+                           quad9_pops()}) {
+    for (const Pop& pop : pops) {
+      EXPECT_NE(pop.country_iso2, "CN") << pop.city;
+    }
+  }
+}
+
+TEST(CatalogTest, NoDuplicateCitiesWithinCatalog) {
+  for (const auto& pops : {cloudflare_pops(), google_pops(), nextdns_pops(),
+                           quad9_pops()}) {
+    std::set<std::string> cities;
+    for (const Pop& pop : pops) {
+      EXPECT_TRUE(cities.insert(pop.city).second) << "dup " << pop.city;
+    }
+  }
+}
+
+TEST(CatalogTest, PopsForByName) {
+  EXPECT_EQ(pops_for("Cloudflare").size(), kCloudflarePopCount);
+  EXPECT_EQ(pops_for("Quad9").size(), kQuad9PopCount);
+  EXPECT_THROW(pops_for("OpenDNS"), std::invalid_argument);
+}
+
+TEST(PopTest, MakePopValidatesCountry) {
+  const geo::City bogus{"Nowhere", "ZZ", {0, 0}};
+  EXPECT_THROW(make_pop(bogus), std::invalid_argument);
+}
+
+TEST(PopTest, NearestIndexFindsGeographicOptimum) {
+  const auto pops = google_pops();
+  // A client in Manhattan should map to the New York PoP.
+  const auto idx = nearest_pop_index(pops, {40.75, -73.99});
+  EXPECT_EQ(pops[idx].city, "New York");
+}
+
+TEST(PopTest, PopsByDistanceIsSorted) {
+  const auto pops = cloudflare_pops();
+  const geo::LatLon client{48.86, 2.35};
+  const auto order = pops_by_distance(pops, client);
+  ASSERT_EQ(order.size(), pops.size());
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(geo::distance_km(client, pops[order[i - 1]].position),
+              geo::distance_km(client, pops[order[i]].position));
+  }
+}
+
+TEST(RouterTest, PureNearestPolicyIsOptimal) {
+  const auto pops = cloudflare_pops();
+  RoutingParams params;
+  params.p_nearest = 1.0;
+  AnycastRouter router(pops, params);
+  netsim::Rng rng(5);
+  for (const geo::LatLon client :
+       {geo::LatLon{51.5, -0.1}, geo::LatLon{-33.9, 151.2},
+        geo::LatLon{1.3, 103.8}}) {
+    EXPECT_EQ(router.select(client, geo::Region::kEurope, rng),
+              router.nearest(client));
+  }
+}
+
+TEST(RouterTest, SelectionFrequenciesMatchMixture) {
+  const auto pops = cloudflare_pops();
+  RoutingParams params;
+  params.p_nearest = 0.6;
+  params.p_neighborhood = 0.3;
+  params.neighborhood_k = 2;
+  params.p_region_hub = 0.05;
+  AnycastRouter router(pops, params);
+
+  const geo::LatLon client{40.71, -74.01};
+  const auto nearest = router.nearest(client);
+  netsim::Rng rng(11);
+  int nearest_hits = 0;
+  const int trials = 5000;
+  for (int i = 0; i < trials; ++i) {
+    if (router.select(client, geo::Region::kNorthAmerica, rng) == nearest) {
+      ++nearest_hits;
+    }
+  }
+  // Nearest arrives via p_nearest plus a sliver of global randomness.
+  EXPECT_NEAR(nearest_hits / static_cast<double>(trials), 0.6, 0.03);
+}
+
+TEST(RouterTest, NeighborhoodExcludesOptimum) {
+  const auto pops = google_pops();
+  RoutingParams params;
+  params.p_nearest = 0.0;
+  params.p_neighborhood = 1.0;
+  params.neighborhood_k = 2;
+  AnycastRouter router(pops, params);
+  const geo::LatLon client{40.75, -73.99};
+  const auto nearest = router.nearest(client);
+  netsim::Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_NE(router.select(client, geo::Region::kNorthAmerica, rng),
+              nearest);
+  }
+}
+
+TEST(RouterTest, SelectionAlwaysInCatalog) {
+  const auto pops = quad9_pops();
+  RoutingParams params;
+  params.p_nearest = 0.25;
+  params.p_neighborhood = 0.25;
+  params.p_region_hub = 0.25;
+  AnycastRouter router(pops, params);
+  netsim::Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const auto idx = router.select({10.0 * (i % 18 - 9), 20.0 * (i % 17 - 8)},
+                                   geo::Region::kAfrica, rng);
+    EXPECT_LT(idx, pops.size());
+  }
+}
+
+TEST(RouterTest, RegionHubIsStable) {
+  const auto pops = quad9_pops();
+  RoutingParams params;
+  AnycastRouter router(pops, params);
+  const auto hub1 = router.region_hub(geo::Region::kAfrica);
+  const auto hub2 = router.region_hub(geo::Region::kAfrica);
+  EXPECT_EQ(hub1, hub2);
+  EXPECT_LT(hub1, pops.size());
+}
+
+TEST(RouterTest, RegionCentroidIsPlausible) {
+  const auto europe = region_centroid(geo::Region::kEurope);
+  EXPECT_GT(europe.lat, 35.0);
+  EXPECT_LT(europe.lat, 65.0);
+  EXPECT_GT(europe.lon, -15.0);
+  EXPECT_LT(europe.lon, 45.0);
+}
+
+TEST(ProviderTest, StudiedProvidersInPaperOrder) {
+  const auto providers = studied_providers();
+  ASSERT_EQ(providers.size(), 4u);
+  EXPECT_EQ(providers[0].name(), "Cloudflare");
+  EXPECT_EQ(providers[1].name(), "Google");
+  EXPECT_EQ(providers[2].name(), "NextDNS");
+  EXPECT_EQ(providers[3].name(), "Quad9");
+}
+
+TEST(ProviderTest, RoutingParamsAreValidMixtures) {
+  for (const auto& provider : studied_providers()) {
+    const RoutingParams& p = provider.config().routing;
+    EXPECT_GE(p.p_nearest, 0.0);
+    EXPECT_GE(p.p_neighborhood, 0.0);
+    EXPECT_GE(p.p_region_hub, 0.0);
+    EXPECT_GE(p.p_global(), -1e-12) << provider.name();
+  }
+}
+
+TEST(ProviderTest, FrontendSiteUsesAccessFactor) {
+  const auto providers = studied_providers();
+  const Provider& cf = providers[0];
+  const double host_inflation = 3.0;
+  const auto frontend = cf.frontend_site(0, host_inflation);
+  const auto backend = cf.backend_site(0, host_inflation);
+  EXPECT_EQ(frontend.position, backend.position);
+  EXPECT_LT(frontend.route_inflation, backend.route_inflation);
+  EXPECT_GE(frontend.route_inflation, cf.config().access_floor);
+}
+
+TEST(ProviderTest, Quad9RoutesFewestClientsToNearest) {
+  // The paper: only 21% of Quad9 clients reach the closest PoP.
+  const auto providers = studied_providers();
+  netsim::Rng rng(23);
+  std::map<std::string, double> nearest_fraction;
+  for (const auto& provider : providers) {
+    int at_nearest = 0;
+    const int trials = 2000;
+    netsim::Rng prov_rng = rng.split(provider.name());
+    for (int i = 0; i < trials; ++i) {
+      const geo::LatLon client{prov_rng.uniform(-50.0, 60.0),
+                               prov_rng.uniform(-120.0, 140.0)};
+      const auto selected =
+          provider.route(client, geo::Region::kEurope, prov_rng);
+      at_nearest += selected == provider.nearest(client);
+    }
+    nearest_fraction[provider.name()] =
+        at_nearest / static_cast<double>(trials);
+  }
+  EXPECT_LT(nearest_fraction["Quad9"], 0.35);
+  EXPECT_GT(nearest_fraction["NextDNS"], 0.8);
+  EXPECT_LT(nearest_fraction["Quad9"], nearest_fraction["Cloudflare"]);
+}
+
+}  // namespace
+}  // namespace dohperf::anycast

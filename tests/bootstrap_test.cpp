@@ -1,0 +1,88 @@
+// Tests for bootstrap confidence intervals.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/bootstrap.h"
+#include "stats/summary.h"
+
+namespace dohperf::stats {
+namespace {
+
+TEST(BootstrapTest, PointEstimateIsSampleStatistic) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  netsim::Rng rng(1);
+  const auto ci = median_ci(xs, rng);
+  EXPECT_DOUBLE_EQ(ci.point, 3.0);
+}
+
+TEST(BootstrapTest, IntervalContainsPoint) {
+  netsim::Rng data_rng(2);
+  std::vector<double> xs(500);
+  for (auto& x : xs) x = data_rng.lognormal_median(100.0, 0.4);
+  netsim::Rng rng(3);
+  const auto ci = median_ci(xs, rng);
+  EXPECT_LE(ci.lo, ci.point);
+  EXPECT_GE(ci.hi, ci.point);
+  EXPECT_TRUE(ci.contains(ci.point));
+  EXPECT_GT(ci.width(), 0.0);
+}
+
+TEST(BootstrapTest, WidthShrinksWithSampleSize) {
+  netsim::Rng data_rng(4);
+  auto make = [&data_rng](std::size_t n) {
+    std::vector<double> xs(n);
+    for (auto& x : xs) x = data_rng.normal(50.0, 10.0);
+    return xs;
+  };
+  const auto small = make(50);
+  const auto large = make(5000);
+  netsim::Rng rng(5);
+  const double w_small = median_ci(small, rng).width();
+  const double w_large = median_ci(large, rng).width();
+  EXPECT_LT(w_large, w_small);
+}
+
+TEST(BootstrapTest, HigherConfidenceWidensInterval) {
+  netsim::Rng data_rng(6);
+  std::vector<double> xs(300);
+  for (auto& x : xs) x = data_rng.normal(0.0, 1.0);
+  netsim::Rng rng_a(7), rng_b(7);
+  const auto narrow = median_ci(xs, rng_a, 1000, 0.80);
+  const auto wide = median_ci(xs, rng_b, 1000, 0.99);
+  EXPECT_LT(narrow.width(), wide.width());
+}
+
+TEST(BootstrapTest, CoversTrueMedianUsually) {
+  // Repeated experiments: a 95% CI should cover the true median (0 for a
+  // symmetric standard normal) in the clear majority of runs.
+  netsim::Rng data_rng(8);
+  int covered = 0;
+  const int trials = 40;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> xs(200);
+    for (auto& x : xs) x = data_rng.normal(0.0, 1.0);
+    netsim::Rng rng(static_cast<std::uint64_t>(t) + 100);
+    covered += median_ci(xs, rng, 500).contains(0.0);
+  }
+  EXPECT_GE(covered, trials * 3 / 4);
+}
+
+TEST(BootstrapTest, CustomStatistic) {
+  const std::vector<double> xs{10, 20, 30};
+  netsim::Rng rng(9);
+  const auto ci = bootstrap_ci(
+      xs, [](std::span<const double> s) { return mean(s); }, rng, 500);
+  EXPECT_DOUBLE_EQ(ci.point, 20.0);
+}
+
+TEST(BootstrapTest, RejectsBadInputs) {
+  netsim::Rng rng(10);
+  EXPECT_THROW((void)median_ci({}, rng), std::invalid_argument);
+  const std::vector<double> xs{1, 2};
+  EXPECT_THROW((void)median_ci(xs, rng, 1), std::invalid_argument);
+  EXPECT_THROW((void)median_ci(xs, rng, 100, 1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dohperf::stats

@@ -1,0 +1,259 @@
+// Tests for the authoritative zone and the resolver cache.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "dns/cache.h"
+#include "dns/errors.h"
+#include "dns/zone.h"
+#include "netsim/random.h"
+#include "netsim/time.h"
+
+namespace dohperf::dns {
+namespace {
+
+using netsim::SimTime;
+
+Zone study_zone() {
+  return Zone::make_study_zone(DomainName::parse("a.com"), 0xCF000001, 60);
+}
+
+TEST(ZoneTest, StudyZoneAnswersWildcardQueries) {
+  const Zone zone = study_zone();
+  const auto result = zone.lookup(
+      DomainName::parse("f47ac10b-58cc-4372.a.com"), RecordType::kA);
+  EXPECT_EQ(result.rcode, Rcode::kNoError);
+  ASSERT_EQ(result.answers.size(), 1u);
+  EXPECT_EQ(result.answers[0].name.to_string(), "f47ac10b-58cc-4372.a.com");
+  EXPECT_EQ(std::get<ARecord>(result.answers[0].rdata).address, 0xCF000001u);
+  EXPECT_EQ(result.answers[0].ttl, 60u);
+}
+
+TEST(ZoneTest, EveryUniqueSubdomainGetsAnAnswer) {
+  const Zone zone = study_zone();
+  for (const char* label : {"aaa", "bbb-ccc", "1234", "x"}) {
+    const auto result = zone.lookup(
+        DomainName::parse("a.com").with_subdomain(label), RecordType::kA);
+    EXPECT_EQ(result.rcode, Rcode::kNoError) << label;
+    EXPECT_EQ(result.answers.size(), 1u) << label;
+  }
+}
+
+TEST(ZoneTest, ApexRecords) {
+  const Zone zone = study_zone();
+  const auto a = zone.lookup(DomainName::parse("a.com"), RecordType::kA);
+  EXPECT_EQ(a.answers.size(), 1u);
+  const auto ns = zone.lookup(DomainName::parse("a.com"), RecordType::kNs);
+  ASSERT_EQ(ns.answers.size(), 1u);
+  EXPECT_EQ(std::get<NsRecord>(ns.answers[0].rdata).nameserver.to_string(),
+            "ns1.a.com");
+}
+
+TEST(ZoneTest, ExplicitRecordBeatsWildcard) {
+  Zone zone = study_zone();
+  ResourceRecord special;
+  special.name = DomainName::parse("www.a.com");
+  special.ttl = 300;
+  special.rdata = ARecord{0x01020304};
+  zone.add(special);
+  const auto result =
+      zone.lookup(DomainName::parse("www.a.com"), RecordType::kA);
+  ASSERT_EQ(result.answers.size(), 1u);
+  EXPECT_EQ(std::get<ARecord>(result.answers[0].rdata).address, 0x01020304u);
+}
+
+TEST(ZoneTest, NodataForWildcardedNameOfOtherType) {
+  const Zone zone = study_zone();
+  const auto result =
+      zone.lookup(DomainName::parse("xyz.a.com"), RecordType::kTxt);
+  EXPECT_EQ(result.rcode, Rcode::kNoError);  // NODATA, not NXDOMAIN
+  EXPECT_TRUE(result.answers.empty());
+  ASSERT_EQ(result.authorities.size(), 1u);
+  EXPECT_EQ(result.authorities[0].type(), RecordType::kSoa);
+}
+
+TEST(ZoneTest, RefusesOutOfZoneQueries) {
+  const Zone zone = study_zone();
+  const auto result =
+      zone.lookup(DomainName::parse("example.org"), RecordType::kA);
+  EXPECT_EQ(result.rcode, Rcode::kRefused);
+  EXPECT_TRUE(result.answers.empty());
+}
+
+TEST(ZoneTest, RejectsOutOfZoneRecords) {
+  Zone zone = study_zone();
+  ResourceRecord rr;
+  rr.name = DomainName::parse("elsewhere.org");
+  rr.rdata = ARecord{1};
+  EXPECT_THROW(zone.add(rr), NameError);
+}
+
+TEST(ZoneTest, RecordCount) {
+  const Zone zone = study_zone();
+  // NS + ns1 A + apex A + wildcard A.
+  EXPECT_EQ(zone.record_count(), 4u);
+}
+
+TEST(ZoneTest, SoaFields) {
+  const Zone zone = study_zone();
+  EXPECT_EQ(zone.soa().mname.to_string(), "ns1.a.com");
+  EXPECT_EQ(zone.soa().minimum, 60u);
+  EXPECT_EQ(zone.origin().to_string(), "a.com");
+}
+
+// Property sweep: any syntactically valid single-label subdomain of the
+// study zone gets exactly one wildcard A answer.
+class ZoneWildcardProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZoneWildcardProperty, RandomLabelsAreAnswered) {
+  const Zone zone = study_zone();
+  netsim::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  static constexpr char alphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789-";
+  for (int i = 0; i < 50; ++i) {
+    const int len = static_cast<int>(rng.uniform_int(1, 63));
+    std::string label;
+    for (int j = 0; j < len; ++j) {
+      label.push_back(alphabet[rng.uniform_int(0, sizeof(alphabet) - 2)]);
+    }
+    const auto result = zone.lookup(
+        DomainName::parse("a.com").with_subdomain(label), RecordType::kA);
+    EXPECT_EQ(result.rcode, Rcode::kNoError) << label;
+    ASSERT_EQ(result.answers.size(), 1u) << label;
+    EXPECT_EQ(result.answers[0].ttl, 60u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZoneWildcardProperty,
+                         ::testing::Range(0, 6));
+
+// ---------------------------------------------------------------- cache
+
+std::vector<ResourceRecord> records_with_ttl(std::uint32_t ttl) {
+  ResourceRecord rr;
+  rr.name = DomainName::parse("host.a.com");
+  rr.ttl = ttl;
+  rr.rdata = ARecord{0x0A000001};
+  return {rr};
+}
+
+TEST(CacheTest, MissOnEmpty) {
+  Cache cache;
+  EXPECT_EQ(cache.lookup(SimTime{}, DomainName::parse("host.a.com"),
+                         RecordType::kA),
+            std::nullopt);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(CacheTest, HitAfterInsert) {
+  Cache cache;
+  const auto name = DomainName::parse("host.a.com");
+  cache.insert(SimTime{}, name, RecordType::kA, records_with_ttl(60));
+  const auto hit = cache.lookup(SimTime{}, name, RecordType::kA);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->size(), 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(CacheTest, TtlDecaysWithTime) {
+  Cache cache;
+  const auto name = DomainName::parse("host.a.com");
+  cache.insert(SimTime{}, name, RecordType::kA, records_with_ttl(60));
+  const auto later = SimTime{} + std::chrono::seconds(25);
+  const auto hit = cache.lookup(later, name, RecordType::kA);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ((*hit)[0].ttl, 35u);
+}
+
+TEST(CacheTest, ExpiresAfterTtl) {
+  Cache cache;
+  const auto name = DomainName::parse("host.a.com");
+  cache.insert(SimTime{}, name, RecordType::kA, records_with_ttl(60));
+  const auto after = SimTime{} + std::chrono::seconds(61);
+  EXPECT_EQ(cache.lookup(after, name, RecordType::kA), std::nullopt);
+  EXPECT_EQ(cache.stats().expirations, 1u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(CacheTest, ExactTtlBoundaryExpires) {
+  Cache cache;
+  const auto name = DomainName::parse("host.a.com");
+  cache.insert(SimTime{}, name, RecordType::kA, records_with_ttl(60));
+  EXPECT_EQ(cache.lookup(SimTime{} + std::chrono::seconds(60), name,
+                         RecordType::kA),
+            std::nullopt);
+}
+
+TEST(CacheTest, MinimumTtlOfSetGoverns) {
+  Cache cache;
+  auto records = records_with_ttl(60);
+  auto more = records_with_ttl(10);
+  records.push_back(more[0]);
+  const auto name = DomainName::parse("host.a.com");
+  cache.insert(SimTime{}, name, RecordType::kA, records);
+  EXPECT_EQ(cache.lookup(SimTime{} + std::chrono::seconds(11), name,
+                         RecordType::kA),
+            std::nullopt);
+}
+
+TEST(CacheTest, KeyedByType) {
+  Cache cache;
+  const auto name = DomainName::parse("host.a.com");
+  cache.insert(SimTime{}, name, RecordType::kA, records_with_ttl(60));
+  EXPECT_EQ(cache.lookup(SimTime{}, name, RecordType::kAaaa), std::nullopt);
+}
+
+TEST(CacheTest, CaseInsensitiveKeys) {
+  Cache cache;
+  cache.insert(SimTime{}, DomainName::parse("Host.A.Com"), RecordType::kA,
+               records_with_ttl(60));
+  EXPECT_TRUE(cache.lookup(SimTime{}, DomainName::parse("host.a.com"),
+                           RecordType::kA)
+                  .has_value());
+}
+
+TEST(CacheTest, EmptyInsertIgnored) {
+  Cache cache;
+  cache.insert(SimTime{}, DomainName::parse("host.a.com"), RecordType::kA,
+               {});
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(CacheTest, PurgeRemovesOnlyExpired) {
+  Cache cache;
+  cache.insert(SimTime{}, DomainName::parse("x.a.com"), RecordType::kA,
+               records_with_ttl(10));
+  cache.insert(SimTime{}, DomainName::parse("y.a.com"), RecordType::kA,
+               records_with_ttl(100));
+  EXPECT_EQ(cache.purge(SimTime{} + std::chrono::seconds(50)), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(CacheTest, CapacityPressureDropsInserts) {
+  Cache cache(2);
+  cache.insert(SimTime{}, DomainName::parse("x.a.com"), RecordType::kA,
+               records_with_ttl(1000));
+  cache.insert(SimTime{}, DomainName::parse("y.a.com"), RecordType::kA,
+               records_with_ttl(1000));
+  cache.insert(SimTime{}, DomainName::parse("z.a.com"), RecordType::kA,
+               records_with_ttl(1000));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.lookup(SimTime{}, DomainName::parse("z.a.com"),
+                         RecordType::kA),
+            std::nullopt);
+}
+
+TEST(CacheTest, OverwriteRefreshesEntry) {
+  Cache cache;
+  const auto name = DomainName::parse("host.a.com");
+  cache.insert(SimTime{}, name, RecordType::kA, records_with_ttl(10));
+  const auto later = SimTime{} + std::chrono::seconds(8);
+  cache.insert(later, name, RecordType::kA, records_with_ttl(60));
+  const auto hit =
+      cache.lookup(later + std::chrono::seconds(30), name, RecordType::kA);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ((*hit)[0].ttl, 30u);
+}
+
+}  // namespace
+}  // namespace dohperf::dns

@@ -1,0 +1,270 @@
+// Tests for the extensions: DNS-over-TLS flows and the page-load model.
+#include <gtest/gtest.h>
+
+#include "measure/doq.h"
+#include "measure/dot.h"
+#include "measure/flows.h"
+#include "web/pageload.h"
+#include "world/world_model.h"
+
+namespace dohperf {
+namespace {
+
+struct ExtensionFixture : ::testing::Test {
+  static world::WorldModel& world() {
+    static world::WorldModel instance = [] {
+      world::WorldConfig config;
+      config.seed = 99;
+      config.client_scale = 0.3;
+      config.only_countries = {"SE", "BR", "TZ"};
+      return world::WorldModel(config);
+    }();
+    return instance;
+  }
+
+  static const proxy::ExitNode* client(const std::string& iso2) {
+    netsim::Rng rng = world().rng().split("ext-test-" + iso2);
+    return world().brightdata().pick_exit(iso2, rng);
+  }
+};
+
+TEST_F(ExtensionFixture, DotFlowCompletes) {
+  const auto* exit = client("SE");
+  ASSERT_NE(exit, nullptr);
+  auto& provider = world().providers()[0];
+  auto net = world().ctx();
+  auto task = measure::dot_direct(
+      net, exit->site, exit->default_resolver, world().doh_server(0, 0),
+      provider.config().doh_hostname, transport::TlsVersion::kTls13,
+      world().origin());
+  world().sim().run();
+  const auto obs = task.result();
+  ASSERT_TRUE(obs.ok);
+  EXPECT_GT(obs.dns_ms, 0.0);
+  EXPECT_GT(obs.connect_ms, 0.0);
+  EXPECT_GT(obs.tls_ms, 0.0);
+  EXPECT_GT(obs.query_ms, 0.0);
+  EXPECT_LT(obs.tdotr_ms(), obs.tdot_ms());
+}
+
+TEST_F(ExtensionFixture, DotAndDohShareCostStructure) {
+  // Same PoP, same session mechanics: medians must be within a few
+  // percent of each other (DoT only saves the HTTP framing bytes).
+  const auto* exit = client("BR");
+  ASSERT_NE(exit, nullptr);
+  auto& provider = world().providers()[0];
+  std::vector<double> dot, doh;
+  for (int i = 0; i < 9; ++i) {
+    {
+      auto net = world().ctx();
+      auto task = measure::dot_direct(
+          net, exit->site, exit->default_resolver, world().doh_server(0, 1),
+          provider.config().doh_hostname, transport::TlsVersion::kTls13,
+          world().origin());
+      world().sim().run();
+      dot.push_back(task.result().tdot_ms());
+    }
+    {
+      auto net = world().ctx();
+      auto task = measure::doh_direct(
+          net, exit->site, exit->default_resolver, world().doh_server(0, 1),
+          provider.config().doh_hostname, transport::TlsVersion::kTls13,
+          world().origin());
+      world().sim().run();
+      doh.push_back(task.result().tdoh_ms());
+    }
+  }
+  std::nth_element(dot.begin(), dot.begin() + 4, dot.end());
+  std::nth_element(doh.begin(), doh.begin() + 4, doh.end());
+  EXPECT_NEAR(dot[4], doh[4], 0.15 * doh[4]);
+}
+
+web::PageLoadContext make_ctx(world::WorldModel& world,
+                              const proxy::ExitNode* exit,
+                              std::size_t pop) {
+  web::PageLoadContext ctx;
+  ctx.client = exit->site;
+  ctx.default_resolver = exit->default_resolver;
+  ctx.doh = &world.doh_server(0, pop);
+  ctx.doh_hostname = world.providers()[0].config().doh_hostname;
+  ctx.web_server = world.authority().site();
+  ctx.origin = world.origin();
+  return ctx;
+}
+
+TEST_F(ExtensionFixture, PageLoadCompletes) {
+  const auto* exit = client("SE");
+  ASSERT_NE(exit, nullptr);
+  const auto ctx = make_ctx(world(), exit, 0);
+  web::PageSpec spec;
+  spec.domains = 4;
+  auto net = world().ctx();
+  auto task = web::load_page(net, ctx, spec, web::DnsMode::kDo53);
+  world().sim().run();
+  const auto result = task.result();
+  ASSERT_TRUE(result.ok);
+  EXPECT_GT(result.total_ms, 0.0);
+  EXPECT_GT(result.dns_critical_ms, 0.0);
+  EXPECT_LE(result.dns_critical_ms, result.total_ms);
+  EXPECT_DOUBLE_EQ(result.dns_setup_ms, 0.0);  // Do53 has no session setup
+}
+
+TEST_F(ExtensionFixture, ColdDohPaysSessionSetup) {
+  const auto* exit = client("SE");
+  ASSERT_NE(exit, nullptr);
+  const auto ctx = make_ctx(world(), exit, 0);
+  web::PageSpec spec;
+  spec.domains = 3;
+  auto net = world().ctx();
+  auto task = web::load_page(net, ctx, spec, web::DnsMode::kDohCold);
+  world().sim().run();
+  const auto result = task.result();
+  ASSERT_TRUE(result.ok);
+  EXPECT_GT(result.dns_setup_ms, 0.0);
+}
+
+TEST_F(ExtensionFixture, WarmDohBeatsColdDoh) {
+  const auto* exit = client("TZ");
+  ASSERT_NE(exit, nullptr);
+  const auto ctx = make_ctx(world(), exit, 2);
+  web::PageSpec spec;
+  spec.domains = 6;
+  std::vector<double> cold, warm;
+  for (int i = 0; i < 9; ++i) {
+    {
+      auto net = world().ctx();
+      auto task = web::load_page(net, ctx, spec, web::DnsMode::kDohCold);
+      world().sim().run();
+      cold.push_back(task.result().total_ms);
+    }
+    {
+      auto net = world().ctx();
+      auto task = web::load_page(net, ctx, spec, web::DnsMode::kDohWarm);
+      world().sim().run();
+      warm.push_back(task.result().total_ms);
+    }
+  }
+  std::nth_element(cold.begin(), cold.begin() + 4, cold.end());
+  std::nth_element(warm.begin(), warm.begin() + 4, warm.end());
+  EXPECT_LT(warm[4], cold[4]);
+}
+
+TEST_F(ExtensionFixture, WiderPagesTakeAtLeastAsLong) {
+  const auto* exit = client("BR");
+  ASSERT_NE(exit, nullptr);
+  const auto ctx = make_ctx(world(), exit, 0);
+  std::vector<double> narrow, wide;
+  for (int i = 0; i < 7; ++i) {
+    web::PageSpec spec;
+    spec.domains = 2;
+    {
+      auto net = world().ctx();
+      auto task = web::load_page(net, ctx, spec, web::DnsMode::kDo53);
+      world().sim().run();
+      narrow.push_back(task.result().total_ms);
+    }
+    spec.domains = 16;
+    {
+      auto net = world().ctx();
+      auto task = web::load_page(net, ctx, spec, web::DnsMode::kDo53);
+      world().sim().run();
+      wide.push_back(task.result().total_ms);
+    }
+  }
+  std::nth_element(narrow.begin(), narrow.begin() + 3, narrow.end());
+  std::nth_element(wide.begin(), wide.begin() + 3, wide.end());
+  // The slowest of 16 parallel domains dominates the slowest of 2.
+  EXPECT_GE(wide[3], narrow[3]);
+}
+
+TEST_F(ExtensionFixture, DoqFreshCostsOneRoundTripLessThanDoh) {
+  const auto* exit = client("SE");
+  ASSERT_NE(exit, nullptr);
+  auto& provider = world().providers()[0];
+  std::vector<double> doh, doq;
+  for (int i = 0; i < 9; ++i) {
+    {
+      auto net = world().ctx();
+      auto task = measure::doh_direct(
+          net, exit->site, exit->default_resolver, world().doh_server(0, 3),
+          provider.config().doh_hostname, transport::TlsVersion::kTls13,
+          world().origin());
+      world().sim().run();
+      doh.push_back(task.result().tdoh_ms());
+    }
+    {
+      auto net = world().ctx();
+      auto task = measure::doq_direct(
+          net, exit->site, exit->default_resolver, world().doh_server(0, 3),
+          provider.config().doh_hostname, world().origin());
+      world().sim().run();
+      doq.push_back(task.result().tdoq_ms());
+    }
+  }
+  std::nth_element(doh.begin(), doh.begin() + 4, doh.end());
+  std::nth_element(doq.begin(), doq.begin() + 4, doq.end());
+  EXPECT_LT(doq[4], doh[4]);
+}
+
+TEST_F(ExtensionFixture, ResumedDoqSkipsHandshakeAndBootstrap) {
+  const auto* exit = client("BR");
+  ASSERT_NE(exit, nullptr);
+  auto& provider = world().providers()[0];
+  auto net = world().ctx();
+  auto task = measure::doq_direct(
+      net, exit->site, exit->default_resolver, world().doh_server(0, 0),
+      provider.config().doh_hostname, world().origin(), /*resumed=*/true);
+  world().sim().run();
+  const auto obs = task.result();
+  ASSERT_TRUE(obs.ok);
+  EXPECT_DOUBLE_EQ(obs.dns_ms, 0.0);
+  EXPECT_DOUBLE_EQ(obs.connect_ms, 0.0);
+  EXPECT_GT(obs.query_ms, 0.0);
+  // With 0-RTT, the first query costs the same as a reuse query.
+  EXPECT_NEAR(obs.tdoq_ms(), obs.tdoqr_ms(), 0.5 * obs.tdoqr_ms());
+}
+
+TEST_F(ExtensionFixture, QuicConnectTakesOneRoundTrip) {
+  netsim::Simulator sim;
+  netsim::LatencyModel latency;
+  netsim::Rng rng(1);
+  netsim::NetCtx net{sim, latency, rng};
+  const netsim::Site a{{0, 0}, 1.0, 1.0, 0.0};
+  const netsim::Site b{{0, 20}, 1.0, 1.0, 0.0};
+  auto task = transport::quic_connect(net, a, b);
+  sim.run();
+  const auto conn = task.result();
+  EXPECT_FALSE(conn.zero_rtt);
+  const double expected =
+      latency.expected_one_way_ms(a, b, transport::kQuicClientInitialBytes) +
+      latency.expected_one_way_ms(a, b, transport::kQuicServerHandshakeBytes);
+  EXPECT_NEAR(netsim::to_ms(conn.handshake_time), expected, 0.01);
+
+  auto resumed = transport::quic_resume(net, a, b);
+  sim.run();
+  EXPECT_TRUE(resumed.result().zero_rtt);
+  EXPECT_EQ(resumed.result().handshake_time, netsim::Duration::zero());
+}
+
+TEST_F(ExtensionFixture, AuthorityCityIsConfigurable) {
+  world::WorldConfig config;
+  config.seed = 5;
+  config.only_countries = {"SE"};
+  config.authority_city = "Singapore";
+  world::WorldModel sg(config);
+  const geo::City* singapore = geo::find_city("Singapore");
+  ASSERT_NE(singapore, nullptr);
+  EXPECT_EQ(sg.authority().site().position, singapore->position);
+
+  config.authority_city = "Atlantis";
+  EXPECT_THROW(world::WorldModel bad(config), std::invalid_argument);
+}
+
+TEST_F(ExtensionFixture, DnsModeNames) {
+  EXPECT_EQ(web::to_string(web::DnsMode::kDo53), "Do53");
+  EXPECT_EQ(web::to_string(web::DnsMode::kDohCold), "DoH (cold session)");
+  EXPECT_EQ(web::to_string(web::DnsMode::kDohWarm), "DoH (warm session)");
+}
+
+}  // namespace
+}  // namespace dohperf

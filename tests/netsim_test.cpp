@@ -1,0 +1,395 @@
+// Tests for the simulation core: time, RNG, event queue, simulator,
+// coroutine tasks, and the latency model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "netsim/event_queue.h"
+#include "netsim/latency.h"
+#include "netsim/netctx.h"
+#include "netsim/random.h"
+#include "netsim/simulator.h"
+#include "netsim/task.h"
+#include "netsim/time.h"
+
+namespace dohperf::netsim {
+namespace {
+
+TEST(SimTimeTest, MsConversionsRoundTrip) {
+  EXPECT_EQ(from_ms(1.0), Duration(1000));
+  EXPECT_DOUBLE_EQ(to_ms(Duration(1500)), 1.5);
+  EXPECT_DOUBLE_EQ(to_ms(from_ms(123.456)), 123.456);
+}
+
+TEST(SimTimeTest, MsBetween) {
+  const SimTime a{Duration(1000)};
+  const SimTime b{Duration(3500)};
+  EXPECT_DOUBLE_EQ(ms_between(a, b), 2.5);
+  EXPECT_DOUBLE_EQ(ms_between(b, a), -2.5);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(3, 6);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 6);
+    saw_lo |= v == 3;
+    saw_hi |= v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(13);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(17);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.normal();
+  const double mean = std::accumulate(xs.begin(), xs.end(), 0.0) / xs.size();
+  double var = 0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  var /= xs.size();
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, LognormalMedianParameterisation) {
+  Rng rng(19);
+  std::vector<double> xs(20001);
+  for (auto& x : xs) x = rng.lognormal_median(42.0, 0.3);
+  std::nth_element(xs.begin(), xs.begin() + 10000, xs.end());
+  EXPECT_NEAR(xs[10000], 42.0, 1.0);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(23);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(31);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, SplitIsDeterministicAndIndependent) {
+  const Rng base(99);
+  Rng a1 = base.split(1), a2 = base.split(1), b = base.split(2);
+  EXPECT_EQ(a1.next(), a2.next());
+  Rng a3 = base.split(1);
+  EXPECT_NE(a3.next(), b.next());
+}
+
+TEST(RngTest, StringSplitStable) {
+  const Rng base(5);
+  Rng a = base.split("alpha"), b = base.split("alpha"), c = base.split("beta");
+  EXPECT_EQ(a.next(), b.next());
+  Rng a2 = base.split("alpha");
+  EXPECT_NE(a2.next(), c.next());
+}
+
+TEST(EventQueueTest, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(SimTime{Duration(300)}, [&] { fired.push_back(3); });
+  q.push(SimTime{Duration(100)}, [&] { fired.push_back(1); });
+  q.push(SimTime{Duration(200)}, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  const SimTime t{Duration(100)};
+  for (int i = 0; i < 10; ++i) q.push(t, [&fired, i] { fired.push_back(i); });
+  while (!q.empty()) q.pop()();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[i], i);
+}
+
+TEST(EventQueueTest, NextTimeReflectsEarliest) {
+  EventQueue q;
+  q.push(SimTime{Duration(500)}, [] {});
+  q.push(SimTime{Duration(200)}, [] {});
+  EXPECT_EQ(q.next_time(), SimTime{Duration(200)});
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(SimulatorTest, AdvancesClockThroughEvents) {
+  Simulator sim;
+  SimTime seen{};
+  sim.schedule_in(from_ms(5.0), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, SimTime{} + from_ms(5.0));
+  EXPECT_EQ(sim.now(), SimTime{} + from_ms(5.0));
+}
+
+TEST(SimulatorTest, RunReturnsEventCount) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_in(from_ms(i), [] {});
+  EXPECT_EQ(sim.run(), 7u);
+}
+
+TEST(SimulatorTest, PastEventsClampToNow) {
+  Simulator sim;
+  sim.schedule_in(from_ms(10.0), [&] {
+    // Scheduling "in the past" fires immediately rather than rewinding.
+    sim.schedule_at(SimTime{}, [&] { EXPECT_GE(sim.now().time_since_epoch(),
+                                               from_ms(10.0)); });
+  });
+  sim.run();
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(from_ms(1.0), [&] { ++fired; });
+  sim.schedule_in(from_ms(100.0), [&] { ++fired; });
+  sim.run_until(SimTime{} + from_ms(10.0));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_in(from_ms(1.0), [&] {
+    times.push_back(to_ms(sim.now().time_since_epoch()));
+    sim.schedule_in(from_ms(2.0), [&] {
+      times.push_back(to_ms(sim.now().time_since_epoch()));
+    });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 3.0);
+}
+
+Task<int> add_after_sleep(Simulator& sim, int a, int b) {
+  co_await sim.sleep(from_ms(1.0));
+  co_return a + b;
+}
+
+TEST(TaskTest, BasicResult) {
+  Simulator sim;
+  auto task = add_after_sleep(sim, 2, 3);
+  EXPECT_FALSE(task.done());
+  sim.run();
+  ASSERT_TRUE(task.done());
+  EXPECT_EQ(task.result(), 5);
+}
+
+Task<int> nested(Simulator& sim) {
+  const int x = co_await add_after_sleep(sim, 1, 2);
+  const int y = co_await add_after_sleep(sim, x, 10);
+  co_return y;
+}
+
+TEST(TaskTest, NestedAwait) {
+  Simulator sim;
+  auto task = nested(sim);
+  sim.run();
+  ASSERT_TRUE(task.done());
+  EXPECT_EQ(task.result(), 13);
+  EXPECT_EQ(sim.now().time_since_epoch(), from_ms(2.0));
+}
+
+Task<void> thrower(Simulator& sim) {
+  co_await sim.sleep(from_ms(1.0));
+  throw std::runtime_error("boom");
+}
+
+TEST(TaskTest, ExceptionPropagatesThroughResult) {
+  Simulator sim;
+  auto task = thrower(sim);
+  sim.run();
+  ASSERT_TRUE(task.done());
+  EXPECT_THROW((void)task.result(), std::runtime_error);
+}
+
+Task<int> rethrowing_parent(Simulator& sim) {
+  co_await thrower(sim);
+  co_return 1;  // unreachable
+}
+
+TEST(TaskTest, ExceptionPropagatesThroughAwait) {
+  Simulator sim;
+  auto task = rethrowing_parent(sim);
+  sim.run();
+  ASSERT_TRUE(task.done());
+  EXPECT_THROW((void)task.result(), std::runtime_error);
+}
+
+TEST(TaskTest, ZeroSleepCompletesSynchronously) {
+  Simulator sim;
+  auto task = [](Simulator& s) -> Task<int> {
+    co_await s.sleep(Duration::zero());
+    co_return 7;
+  }(sim);
+  // Zero-length sleeps don't suspend at all.
+  EXPECT_TRUE(task.done());
+  EXPECT_EQ(task.result(), 7);
+}
+
+TEST(TaskTest, ConcurrentTasksInterleaveDeterministically) {
+  Simulator sim;
+  std::vector<int> order;
+  auto make = [&](int id, double delay_ms) -> Task<void> {
+    co_await sim.sleep(from_ms(delay_ms));
+    order.push_back(id);
+  };
+  auto t1 = make(1, 3.0);
+  auto t2 = make(2, 1.0);
+  auto t3 = make(3, 2.0);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 3, 1}));
+}
+
+TEST(LatencyTest, ExpectedOneWayComposition) {
+  LatencyModel model;
+  Site a{{0, 0}, 5.0, 1.5, 0.0};
+  Site b{{0, 10}, 2.0, 1.5, 0.0};
+  // 10 degrees of longitude at the equator ~ 1113 km.
+  const double dist_km = geo::distance_km(a.position, b.position);
+  const double expected =
+      dist_km / 200.0 * 1.5 + 5.0 + 2.0;  // + ~0 serialisation
+  EXPECT_NEAR(model.expected_one_way_ms(a, b, 0), expected, 0.01);
+}
+
+TEST(LatencyTest, InflationBlendsGeometrically) {
+  LatencyModel model;
+  Site a{{0, 0}, 0.0, 4.0, 0.0};
+  Site b{{0, 10}, 0.0, 1.0, 0.0};
+  const double dist_km = geo::distance_km(a.position, b.position);
+  EXPECT_NEAR(model.expected_one_way_ms(a, b, 0),
+              dist_km / 200.0 * 2.0, 0.01);
+}
+
+TEST(LatencyTest, MinimumFloor) {
+  LatencyModel model;
+  Site a{{0, 0}, 0.0, 1.0, 0.0};
+  EXPECT_GE(model.expected_one_way_ms(a, a, 0),
+            model.config().min_one_way_ms);
+}
+
+TEST(LatencyTest, BytesAddSerialisationDelay) {
+  LatencyModel model;
+  Site a{{0, 0}, 1.0, 1.0, 0.0};
+  Site b{{0, 1}, 1.0, 1.0, 0.0};
+  EXPECT_GT(model.expected_one_way_ms(a, b, 100000),
+            model.expected_one_way_ms(a, b, 0));
+}
+
+TEST(LatencyTest, JitterMedianTracksExpectedValue) {
+  LatencyModel model;
+  Site a{{0, 0}, 3.0, 1.4, 0.1};
+  Site b{{10, 10}, 3.0, 1.4, 0.1};
+  const double base = model.expected_one_way_ms(a, b, 64);
+  Rng rng(3);
+  std::vector<double> samples(4001);
+  for (auto& s : samples) s = to_ms(model.one_way(a, b, 64, rng));
+  std::nth_element(samples.begin(), samples.begin() + 2000, samples.end());
+  EXPECT_NEAR(samples[2000], base, base * 0.03);
+}
+
+TEST(LatencyTest, SymmetricExpectedDelay) {
+  LatencyModel model;
+  Site a{{5, 5}, 2.0, 1.3, 0.0};
+  Site b{{-5, 40}, 7.0, 2.0, 0.0};
+  EXPECT_DOUBLE_EQ(model.expected_one_way_ms(a, b, 64),
+                   model.expected_one_way_ms(b, a, 64));
+  EXPECT_DOUBLE_EQ(model.expected_rtt_ms(a, b),
+                   2.0 * model.expected_one_way_ms(a, b, 64));
+}
+
+TEST(NetCtxTest, RoundTripMeasuresBothHops) {
+  Simulator sim;
+  LatencyModel model;
+  Rng rng(1);
+  NetCtx net{sim, model, rng};
+  Site a{{0, 0}, 1.0, 1.2, 0.0};
+  Site b{{0, 20}, 1.0, 1.2, 0.0};
+  auto task = net.round_trip(a, b, 64, 64);
+  sim.run();
+  ASSERT_TRUE(task.done());
+  const double rtt_ms = to_ms(task.result());
+  EXPECT_NEAR(rtt_ms, 2.0 * model.expected_one_way_ms(a, b, 64), 0.5);
+}
+
+TEST(NetCtxTest, LossPenaltyZeroWhenLossFree) {
+  Simulator sim;
+  LatencyModel model;
+  Rng rng(1);
+  NetCtx net{sim, model, rng};
+  Site a{{0, 0}, 1.0, 1.2, 0.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(net.sample_loss_penalty(a, a, from_ms(1000)),
+              Duration::zero());
+  }
+}
+
+TEST(NetCtxTest, LossPenaltyAlwaysOnCertainLoss) {
+  Simulator sim;
+  LatencyModel model;
+  Rng rng(1);
+  NetCtx net{sim, model, rng};
+  Site a{{0, 0}, 1.0, 1.2, 0.0, 1.0};
+  Site b{{0, 0}, 1.0, 1.2, 0.0, 0.0};
+  EXPECT_EQ(net.sample_loss_penalty(a, b, from_ms(800)), from_ms(800));
+}
+
+}  // namespace
+}  // namespace dohperf::netsim

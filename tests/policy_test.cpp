@@ -1,0 +1,109 @@
+// Tests for the browser DoH policy model (off / opportunistic / strict).
+#include <gtest/gtest.h>
+
+#include "client/policy.h"
+#include "world/world_model.h"
+
+namespace dohperf::client {
+namespace {
+
+struct PolicyFixture : ::testing::Test {
+  static world::WorldModel& world() {
+    static world::WorldModel instance = [] {
+      world::WorldConfig config;
+      config.seed = 123;
+      config.client_scale = 0.3;
+      config.only_countries = {"SE", "BR"};
+      return world::WorldModel(config);
+    }();
+    return instance;
+  }
+
+  static PolicyContext make_ctx(const std::string& iso2,
+                                bool doh_unreachable) {
+    netsim::Rng rng = world().rng().split("policy-test-" + iso2);
+    const proxy::ExitNode* exit = world().brightdata().pick_exit(iso2, rng);
+    EXPECT_NE(exit, nullptr);
+    PolicyContext ctx;
+    ctx.client = exit->site;
+    ctx.default_resolver = exit->default_resolver;
+    ctx.doh = &world().doh_server(0, 0);
+    ctx.doh_hostname = world().providers()[0].config().doh_hostname;
+    ctx.origin = world().origin();
+    ctx.doh_unreachable = doh_unreachable;
+    return ctx;
+  }
+
+  static PolicyOutcome run(const PolicyContext& ctx, DohMode mode) {
+    auto net = world().ctx();
+    auto task = resolve_with_policy(net, ctx, mode);
+    world().sim().run();
+    return task.result();
+  }
+};
+
+TEST_F(PolicyFixture, OffModeUsesDo53) {
+  const auto outcome = run(make_ctx("SE", false), DohMode::kOff);
+  EXPECT_TRUE(outcome.resolved);
+  EXPECT_FALSE(outcome.used_doh);
+  EXPECT_FALSE(outcome.downgraded);
+  EXPECT_GT(outcome.elapsed_ms, 0.0);
+}
+
+TEST_F(PolicyFixture, OpportunisticUsesDohWhenHealthy) {
+  const auto outcome = run(make_ctx("SE", false), DohMode::kOpportunistic);
+  EXPECT_TRUE(outcome.resolved);
+  EXPECT_TRUE(outcome.used_doh);
+  EXPECT_FALSE(outcome.downgraded);
+}
+
+TEST_F(PolicyFixture, OpportunisticDowngradesOnOutage) {
+  const auto outcome = run(make_ctx("SE", true), DohMode::kOpportunistic);
+  EXPECT_TRUE(outcome.resolved);
+  EXPECT_FALSE(outcome.used_doh);
+  EXPECT_TRUE(outcome.downgraded);
+  // The timeout (1.5 s) dominates the elapsed time.
+  EXPECT_GT(outcome.elapsed_ms, 1500.0);
+}
+
+TEST_F(PolicyFixture, StrictFailsClosedOnOutage) {
+  const auto outcome = run(make_ctx("SE", true), DohMode::kStrict);
+  EXPECT_FALSE(outcome.resolved);
+  EXPECT_FALSE(outcome.used_doh);
+  EXPECT_FALSE(outcome.downgraded);
+  EXPECT_GE(outcome.elapsed_ms, 1500.0);
+}
+
+TEST_F(PolicyFixture, StrictResolvesWhenHealthy) {
+  const auto outcome = run(make_ctx("BR", false), DohMode::kStrict);
+  EXPECT_TRUE(outcome.resolved);
+  EXPECT_TRUE(outcome.used_doh);
+}
+
+TEST_F(PolicyFixture, DohFirstUseCostsMoreThanDo53) {
+  const auto ctx = make_ctx("SE", false);
+  std::vector<double> off, doh;
+  for (int i = 0; i < 9; ++i) {
+    off.push_back(run(ctx, DohMode::kOff).elapsed_ms);
+    doh.push_back(run(ctx, DohMode::kOpportunistic).elapsed_ms);
+  }
+  std::nth_element(off.begin(), off.begin() + 4, off.end());
+  std::nth_element(doh.begin(), doh.begin() + 4, doh.end());
+  EXPECT_GT(doh[4], off[4]);
+}
+
+TEST_F(PolicyFixture, CustomTimeoutIsRespected) {
+  auto ctx = make_ctx("SE", true);
+  ctx.doh_timeout = netsim::from_ms(300.0);
+  const auto outcome = run(ctx, DohMode::kStrict);
+  EXPECT_GE(outcome.elapsed_ms, 300.0);
+  EXPECT_LT(outcome.elapsed_ms, 1500.0);
+}
+
+TEST_F(PolicyFixture, ModeNames) {
+  EXPECT_EQ(to_string(DohMode::kOff), "off (Do53)");
+  EXPECT_EQ(to_string(DohMode::kStrict), "strict (DoH only)");
+}
+
+}  // namespace
+}  // namespace dohperf::client

@@ -1,0 +1,92 @@
+// Tests for the report helpers (ASCII tables, CSV).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "report/csv.h"
+#include "report/table.h"
+
+namespace dohperf::report {
+namespace {
+
+TEST(TableTest, RendersHeaderRowsAndCaption) {
+  Table t("Demo");
+  t.header({"Country", "Median (ms)"});
+  t.row({"Sweden", "129"});
+  t.row({"Brazil", "193"});
+  t.caption("Two rows.");
+  const std::string out = t.render();
+  EXPECT_NE(out.find("== Demo =="), std::string::npos);
+  EXPECT_NE(out.find("Country"), std::string::npos);
+  EXPECT_NE(out.find("Sweden"), std::string::npos);
+  EXPECT_NE(out.find("193 |"), std::string::npos);
+  EXPECT_NE(out.find("Two rows."), std::string::npos);
+}
+
+TEST(TableTest, AlignsNumbersRightAndTextLeft) {
+  Table t("Align");
+  t.header({"Name", "Value"});
+  t.row({"ab", "1"});
+  t.row({"a", "100"});
+  const std::string out = t.render();
+  // Text column padded on the right, numeric column padded on the left.
+  EXPECT_NE(out.find("| a    |"), std::string::npos);
+  EXPECT_NE(out.find("|     1 |"), std::string::npos);
+}
+
+TEST(TableTest, HandlesRaggedRows) {
+  Table t("Ragged");
+  t.header({"A", "B", "C"});
+  t.row({"x"});
+  EXPECT_NO_THROW({ (void)t.render(); });
+}
+
+TEST(TableTest, Formatters) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.0, 0), "3");
+  EXPECT_EQ(fmt_ratio(1.837, 2), "1.84x");
+  EXPECT_EQ(fmt_percent(0.263, 1), "26.3%");
+}
+
+TEST(CsvTest, BasicOutput) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row({"1", "2"});
+  csv.add_row({"3", "4"});
+  EXPECT_EQ(csv.str(), "a,b\n1,2\n3,4\n");
+  EXPECT_EQ(csv.row_count(), 2u);
+}
+
+TEST(CsvTest, QuotesSpecialCharacters) {
+  CsvWriter csv({"text"});
+  csv.add_row({"has,comma"});
+  csv.add_row({"has\"quote"});
+  csv.add_row({"has\nnewline"});
+  const std::string out = csv.str();
+  EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+  EXPECT_NE(out.find("\"has\nnewline\""), std::string::npos);
+}
+
+TEST(CsvTest, WritesFile) {
+  const std::string path = ::testing::TempDir() + "/dohperf_csv_test.csv";
+  CsvWriter csv({"x"});
+  csv.add_row({"42"});
+  csv.write_file(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x");
+  std::getline(in, line);
+  EXPECT_EQ(line, "42");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, WriteFileFailureThrows) {
+  CsvWriter csv({"x"});
+  EXPECT_THROW(csv.write_file("/nonexistent-dir/deeply/nested.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dohperf::report

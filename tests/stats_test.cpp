@@ -1,0 +1,356 @@
+// Tests for the statistics library: summaries, CDFs, matrices, OLS,
+// logistic regression.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "netsim/random.h"
+#include "stats/cdf.h"
+#include "stats/distributions.h"
+#include "stats/linreg.h"
+#include "stats/logreg.h"
+#include "stats/matrix.h"
+#include "stats/summary.h"
+
+namespace dohperf::stats {
+namespace {
+
+TEST(SummaryTest, MedianOddEven) {
+  const std::vector<double> odd{3, 1, 2};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  const std::vector<double> even{4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(SummaryTest, MedianSingleAndEmpty) {
+  const std::vector<double> one{42.0};
+  EXPECT_DOUBLE_EQ(median(one), 42.0);
+  EXPECT_TRUE(std::isnan(median({})));
+}
+
+TEST(SummaryTest, QuantileInterpolates) {
+  const std::vector<double> xs{0, 10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.125), 5.0);
+}
+
+TEST(SummaryTest, QuantileClampsQ) {
+  const std::vector<double> xs{1, 2, 3};
+  EXPECT_DOUBLE_EQ(quantile(xs, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.5), 3.0);
+}
+
+TEST(SummaryTest, MeanAndStdev) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(stdev(xs), 2.138, 0.001);
+  EXPECT_TRUE(std::isnan(stdev({})));
+  const std::vector<double> one{1.0};
+  EXPECT_TRUE(std::isnan(stdev(one)));
+}
+
+TEST(SummaryTest, MinMaxFractionBelow) {
+  const std::vector<double> xs{5, 1, 9, 3};
+  EXPECT_DOUBLE_EQ(min_value(xs), 1.0);
+  EXPECT_DOUBLE_EQ(max_value(xs), 9.0);
+  EXPECT_DOUBLE_EQ(fraction_below(xs, 4.0), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_below(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_below(xs, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(fraction_below(xs, 5.0), 0.5);  // strict
+}
+
+TEST(CdfTest, MonotoneAndBounded) {
+  const std::vector<double> xs{3, 1, 4, 1, 5, 9, 2, 6};
+  const EmpiricalCdf cdf(xs);
+  double prev = 0.0;
+  for (double x = 0.0; x <= 10.0; x += 0.5) {
+    const double f = cdf.at(x);
+    EXPECT_GE(f, prev);
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+  EXPECT_DOUBLE_EQ(cdf.at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(9.0), 1.0);
+}
+
+TEST(CdfTest, AtCountsInclusive) {
+  const std::vector<double> xs{1, 2, 2, 3};
+  const EmpiricalCdf cdf(xs);
+  EXPECT_DOUBLE_EQ(cdf.at(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.at(1.999), 0.25);
+}
+
+TEST(CdfTest, InverseMatchesQuantile) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  const EmpiricalCdf cdf(xs);
+  EXPECT_DOUBLE_EQ(cdf.value_at(0.5), quantile(xs, 0.5));
+}
+
+TEST(CdfTest, CurveHasRequestedResolution) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const EmpiricalCdf cdf(xs);
+  const auto curve = cdf.curve(10);
+  ASSERT_EQ(curve.size(), 11u);
+  EXPECT_DOUBLE_EQ(curve.front().second, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].first, curve[i - 1].first);
+  }
+}
+
+TEST(CdfTest, EmptySampleYieldsNan) {
+  const EmpiricalCdf cdf(std::vector<double>{});
+  EXPECT_TRUE(std::isnan(cdf.at(1.0)));
+  EXPECT_TRUE(cdf.curve().empty());
+}
+
+TEST(MatrixTest, MultiplyKnown) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::from_rows({{5, 6}, {7, 8}});
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 50);
+}
+
+TEST(MatrixTest, TransposeAndGram) {
+  const Matrix x = Matrix::from_rows({{1, 2}, {3, 4}, {5, 6}});
+  const Matrix xt = x.transposed();
+  EXPECT_EQ(xt.rows(), 2u);
+  EXPECT_EQ(xt.cols(), 3u);
+  const Matrix gram = x.gram();
+  const Matrix expected = xt * x;
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_DOUBLE_EQ(gram.at(i, j), expected.at(i, j));
+    }
+  }
+}
+
+TEST(MatrixTest, VectorProduct) {
+  const Matrix a = Matrix::from_rows({{1, 0, 2}, {0, 3, 0}});
+  const std::vector<double> v{1, 2, 3};
+  const auto out = a * std::span<const double>(v);
+  EXPECT_DOUBLE_EQ(out[0], 7);
+  EXPECT_DOUBLE_EQ(out[1], 6);
+}
+
+TEST(MatrixTest, TransposeTimes) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}, {5, 6}});
+  const std::vector<double> v{1, 1, 1};
+  const auto out = a.transpose_times(v);
+  EXPECT_DOUBLE_EQ(out[0], 9);
+  EXPECT_DOUBLE_EQ(out[1], 12);
+}
+
+TEST(MatrixTest, SolveSpdKnownSystem) {
+  // A = [[4,1],[1,3]], b = [1,2] -> x = [1/11, 7/11].
+  const Matrix a = Matrix::from_rows({{4, 1}, {1, 3}});
+  const std::vector<double> b{1, 2};
+  const auto x = solve_spd(a, b);
+  EXPECT_NEAR(x[0], 1.0 / 11.0, 1e-12);
+  EXPECT_NEAR(x[1], 7.0 / 11.0, 1e-12);
+}
+
+TEST(MatrixTest, InvertSpd) {
+  const Matrix a = Matrix::from_rows({{2, 0}, {0, 5}});
+  const Matrix inv = invert_spd(a);
+  EXPECT_NEAR(inv.at(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(inv.at(1, 1), 0.2, 1e-12);
+  EXPECT_NEAR(inv.at(0, 1), 0.0, 1e-12);
+}
+
+TEST(MatrixTest, RidgeRescuesSingularSystem) {
+  // Perfectly collinear design; plain Cholesky fails, ridge succeeds.
+  const Matrix a = Matrix::from_rows({{1, 1}, {1, 1}});
+  const std::vector<double> b{2, 2};
+  const auto x = solve_spd(a, b);
+  EXPECT_NEAR(x[0] + x[1], 2.0, 0.01);
+}
+
+TEST(MatrixTest, ShapeMismatchThrows) {
+  const Matrix a = Matrix::from_rows({{1, 2}});
+  const Matrix b = Matrix::from_rows({{1, 2}});
+  EXPECT_THROW(a * b, std::invalid_argument);
+  EXPECT_THROW(Matrix::from_rows({{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(DistributionsTest, NormalCdfKnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-3);
+  EXPECT_NEAR(two_sided_p(1.96), 0.05, 2e-3);
+  EXPECT_NEAR(two_sided_p(0.0), 1.0, 1e-12);
+}
+
+TEST(OlsTest, RecoversPlantedCoefficients) {
+  netsim::Rng rng(100);
+  const std::size_t n = 2000;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x.at(i, 0) = rng.uniform(0, 10);
+    x.at(i, 1) = rng.uniform(-5, 5);
+    y[i] = 3.0 + 2.5 * x.at(i, 0) - 1.25 * x.at(i, 1) + rng.normal(0, 0.5);
+  }
+  const std::vector<std::string> names{"a", "b"};
+  const auto fit = fit_ols(x, y, names);
+  EXPECT_NEAR(fit.terms[0].coef, 3.0, 0.1);
+  EXPECT_NEAR(fit.term("a").coef, 2.5, 0.02);
+  EXPECT_NEAR(fit.term("b").coef, -1.25, 0.02);
+  EXPECT_GT(fit.r_squared, 0.98);
+  EXPECT_LT(fit.term("a").p_value, 0.001);
+}
+
+TEST(OlsTest, ScaledCoefficientIsCoefTimesRange) {
+  netsim::Rng rng(101);
+  const std::size_t n = 500;
+  Matrix x(n, 1);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x.at(i, 0) = rng.uniform(10.0, 30.0);
+    y[i] = 2.0 * x.at(i, 0) + rng.normal(0, 0.1);
+  }
+  const std::vector<std::string> names{"v"};
+  const auto fit = fit_ols(x, y, names);
+  double lo = x.at(0, 0), hi = x.at(0, 0);
+  for (std::size_t i = 1; i < n; ++i) {
+    lo = std::min(lo, x.at(i, 0));
+    hi = std::max(hi, x.at(i, 0));
+  }
+  EXPECT_NEAR(fit.term("v").scaled_coef, fit.term("v").coef * (hi - lo),
+              1e-9);
+}
+
+TEST(OlsTest, IrrelevantVariableIsInsignificant) {
+  netsim::Rng rng(102);
+  const std::size_t n = 400;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x.at(i, 0) = rng.uniform(0, 1);
+    x.at(i, 1) = rng.uniform(0, 1);  // unrelated
+    y[i] = 5.0 * x.at(i, 0) + rng.normal(0, 1.0);
+  }
+  const std::vector<std::string> names{"real", "noise"};
+  const auto fit = fit_ols(x, y, names);
+  EXPECT_LT(fit.term("real").p_value, 0.001);
+  EXPECT_GT(fit.term("noise").p_value, 0.01);
+}
+
+TEST(OlsTest, RejectsBadShapes) {
+  Matrix x(10, 2);
+  std::vector<double> y(9);
+  const std::vector<std::string> names{"a", "b"};
+  EXPECT_THROW(fit_ols(x, y, names), std::invalid_argument);
+  const std::vector<std::string> wrong{"a"};
+  std::vector<double> y10(10);
+  EXPECT_THROW(fit_ols(x, y10, wrong), std::invalid_argument);
+}
+
+TEST(LogisticTest, RecoversPlantedLogOdds) {
+  netsim::Rng rng(200);
+  const std::size_t n = 6000;
+  Matrix x(n, 1);
+  std::vector<double> y(n);
+  // P(y=1) = sigmoid(-1 + 2x).
+  for (std::size_t i = 0; i < n; ++i) {
+    x.at(i, 0) = rng.uniform(-2, 2);
+    const double p = 1.0 / (1.0 + std::exp(1.0 - 2.0 * x.at(i, 0)));
+    y[i] = rng.bernoulli(p) ? 1.0 : 0.0;
+  }
+  const std::vector<std::string> names{"x"};
+  const auto fit = fit_logistic(x, y, names);
+  EXPECT_TRUE(fit.converged);
+  EXPECT_NEAR(fit.terms[0].coef, -1.0, 0.15);
+  EXPECT_NEAR(fit.term("x").coef, 2.0, 0.2);
+  EXPECT_NEAR(fit.term("x").odds_ratio, std::exp(fit.term("x").coef), 1e-9);
+  EXPECT_LT(fit.term("x").p_value, 1e-6);
+}
+
+TEST(LogisticTest, PredictMatchesSigmoid) {
+  netsim::Rng rng(201);
+  const std::size_t n = 2000;
+  Matrix x(n, 1);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x.at(i, 0) = rng.uniform(-1, 1);
+    y[i] = rng.bernoulli(0.5 + 0.3 * x.at(i, 0)) ? 1.0 : 0.0;
+  }
+  const std::vector<std::string> names{"x"};
+  const auto fit = fit_logistic(x, y, names);
+  const std::vector<double> features{0.0};
+  const double p = fit.predict(features);
+  EXPECT_NEAR(p, 0.5, 0.05);
+}
+
+TEST(LogisticTest, BalancedNoiseGivesOddsNearOne) {
+  netsim::Rng rng(202);
+  const std::size_t n = 4000;
+  Matrix x(n, 1);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x.at(i, 0) = rng.bernoulli(0.5) ? 1.0 : 0.0;
+    y[i] = rng.bernoulli(0.5) ? 1.0 : 0.0;
+  }
+  const std::vector<std::string> names{"group"};
+  const auto fit = fit_logistic(x, y, names);
+  EXPECT_NEAR(fit.term("group").odds_ratio, 1.0, 0.15);
+  EXPECT_GT(fit.term("group").p_value, 0.01);
+}
+
+TEST(LogisticTest, RejectsNonBinaryOutcome) {
+  Matrix x(4, 1);
+  std::vector<double> y{0, 1, 2, 1};
+  const std::vector<std::string> names{"x"};
+  EXPECT_THROW(fit_logistic(x, y, names), std::invalid_argument);
+}
+
+TEST(LogisticTest, SurvivesPerfectSeparation) {
+  // Completely separable data must not crash or produce NaNs.
+  const std::size_t n = 50;
+  Matrix x(n, 1);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x.at(i, 0) = static_cast<double>(i);
+    y[i] = i < 25 ? 0.0 : 1.0;
+  }
+  const std::vector<std::string> names{"x"};
+  const auto fit = fit_logistic(x, y, names);
+  EXPECT_TRUE(std::isfinite(fit.term("x").coef));
+  EXPECT_GT(fit.term("x").coef, 0.0);
+}
+
+// Property sweep: OLS recovery across random planted models.
+class OlsRecoveryProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(OlsRecoveryProperty, RecoversRandomPlantedModel) {
+  netsim::Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  const double b0 = rng.uniform(-5, 5);
+  const double b1 = rng.uniform(-3, 3);
+  const double b2 = rng.uniform(-3, 3);
+  const std::size_t n = 1500;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x.at(i, 0) = rng.uniform(-10, 10);
+    x.at(i, 1) = rng.normal(0, 2);
+    y[i] = b0 + b1 * x.at(i, 0) + b2 * x.at(i, 1) + rng.normal(0, 0.3);
+  }
+  const std::vector<std::string> names{"x1", "x2"};
+  const auto fit = fit_ols(x, y, names);
+  EXPECT_NEAR(fit.terms[0].coef, b0, 0.1);
+  EXPECT_NEAR(fit.term("x1").coef, b1, 0.05);
+  EXPECT_NEAR(fit.term("x2").coef, b2, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomModels, OlsRecoveryProperty,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace dohperf::stats

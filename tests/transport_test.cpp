@@ -1,0 +1,228 @@
+// Tests for base64url, the HTTP message model, and TCP/TLS timing flows.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "netsim/netctx.h"
+#include "transport/base64.h"
+#include "transport/http.h"
+#include "transport/tcp.h"
+#include "transport/tls.h"
+
+namespace dohperf::transport {
+namespace {
+
+// ------------------------------------------------------------- base64url
+
+TEST(Base64UrlTest, Rfc4648Vectors) {
+  const auto enc = [](std::string_view s) {
+    return base64url_encode(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  };
+  EXPECT_EQ(enc(""), "");
+  EXPECT_EQ(enc("f"), "Zg");
+  EXPECT_EQ(enc("fo"), "Zm8");
+  EXPECT_EQ(enc("foo"), "Zm9v");
+  EXPECT_EQ(enc("foob"), "Zm9vYg");
+  EXPECT_EQ(enc("fooba"), "Zm9vYmE");
+  EXPECT_EQ(enc("foobar"), "Zm9vYmFy");
+}
+
+TEST(Base64UrlTest, UsesUrlSafeAlphabet) {
+  const std::vector<std::uint8_t> data{0xFB, 0xEF, 0xFF};
+  const std::string encoded = base64url_encode(data);
+  EXPECT_EQ(encoded.find('+'), std::string::npos);
+  EXPECT_EQ(encoded.find('/'), std::string::npos);
+  EXPECT_NE(encoded.find_first_of("-_"), std::string::npos);
+}
+
+TEST(Base64UrlTest, RoundTripAllByteValues) {
+  std::vector<std::uint8_t> data(256);
+  for (int i = 0; i < 256; ++i) data[i] = static_cast<std::uint8_t>(i);
+  const auto decoded = base64url_decode(base64url_encode(data));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(Base64UrlTest, RoundTripVariousLengths) {
+  for (std::size_t n = 0; n < 40; ++n) {
+    std::vector<std::uint8_t> data(n, 0xA5);
+    const auto decoded = base64url_decode(base64url_encode(data));
+    ASSERT_TRUE(decoded.has_value()) << n;
+    EXPECT_EQ(*decoded, data) << n;
+  }
+}
+
+TEST(Base64UrlTest, RejectsInvalidCharacters) {
+  EXPECT_EQ(base64url_decode("ab+c"), std::nullopt);
+  EXPECT_EQ(base64url_decode("ab/c"), std::nullopt);
+  EXPECT_EQ(base64url_decode("a b"), std::nullopt);
+  EXPECT_EQ(base64url_decode("abc="), std::nullopt);  // no padding allowed
+}
+
+TEST(Base64UrlTest, RejectsImpossibleLength) {
+  EXPECT_EQ(base64url_decode("abcde"), std::nullopt);  // 4k+1 chars
+}
+
+TEST(Base64UrlTest, RejectsNonZeroTrailingBits) {
+  // "Zh" decodes 'f' but has nonzero leftover bits.
+  EXPECT_EQ(base64url_decode("Zh"), std::nullopt);
+  EXPECT_TRUE(base64url_decode("Zg").has_value());
+}
+
+// ------------------------------------------------------------------ HTTP
+
+TEST(HttpTest, RequestSerializeParseRoundTrip) {
+  HttpRequest req;
+  req.method = "GET";
+  req.target = "/dns-query?dns=AAAA";
+  req.headers.add("Host", "cloudflare-dns.com");
+  req.headers.add("Accept", "application/dns-message");
+  req.body = "payload";
+  const auto parsed = parse_request(req.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->method, "GET");
+  EXPECT_EQ(parsed->target, "/dns-query?dns=AAAA");
+  EXPECT_EQ(parsed->headers.get("host"), "cloudflare-dns.com");
+  EXPECT_EQ(parsed->body, "payload");
+}
+
+TEST(HttpTest, ResponseSerializeParseRoundTrip) {
+  HttpResponse resp;
+  resp.status = 200;
+  resp.reason = "OK";
+  resp.headers.add("x-luminati-tun-timeline", "dns=12.5 connect=30.1");
+  resp.body = std::string("\x01\x02", 2);
+  const auto parsed = parse_response(resp.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->status, 200);
+  EXPECT_EQ(parsed->reason, "OK");
+  EXPECT_EQ(parsed->headers.get("X-Luminati-Tun-Timeline"),
+            "dns=12.5 connect=30.1");
+  EXPECT_EQ(parsed->body.size(), 2u);
+}
+
+TEST(HttpTest, HeaderMapIsCaseInsensitive) {
+  HeaderMap headers;
+  headers.add("Content-Type", "text/plain");
+  EXPECT_EQ(headers.get("content-type"), "text/plain");
+  EXPECT_EQ(headers.get("CONTENT-TYPE"), "text/plain");
+  EXPECT_TRUE(headers.contains("conTent-tYpe"));
+  EXPECT_FALSE(headers.contains("content-length"));
+}
+
+TEST(HttpTest, HeaderMapSetReplacesAll) {
+  HeaderMap headers;
+  headers.add("x", "1");
+  headers.add("X", "2");
+  headers.set("x", "3");
+  EXPECT_EQ(headers.size(), 1u);
+  EXPECT_EQ(headers.get("x"), "3");
+}
+
+TEST(HttpTest, HeaderMapFirstValueWins) {
+  HeaderMap headers;
+  headers.add("via", "a");
+  headers.add("via", "b");
+  EXPECT_EQ(headers.get("via"), "a");
+}
+
+TEST(HttpTest, ParseRejectsMalformedStartLine) {
+  EXPECT_EQ(parse_request("GETnospace\r\n\r\n"), std::nullopt);
+  EXPECT_EQ(parse_request("GET /\r\n\r\n"), std::nullopt);  // missing version
+  EXPECT_EQ(parse_response("HTTP/1.1\r\n\r\n"), std::nullopt);
+  EXPECT_EQ(parse_response("HTTP/1.1 abc OK\r\n\r\n"), std::nullopt);
+  EXPECT_EQ(parse_response("HTTP/1.1 99 Weird\r\n\r\n"), std::nullopt);
+}
+
+TEST(HttpTest, ParseRejectsMissingBlankLine) {
+  EXPECT_EQ(parse_request("GET / HTTP/1.1\r\nHost: x\r\n"), std::nullopt);
+}
+
+TEST(HttpTest, ParseRejectsMalformedHeaderLine) {
+  EXPECT_EQ(parse_request("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            std::nullopt);
+  EXPECT_EQ(parse_request("GET / HTTP/1.1\r\n: empty-name\r\n\r\n"),
+            std::nullopt);
+}
+
+TEST(HttpTest, ResponseWithoutReasonPhrase) {
+  const auto parsed = parse_response("HTTP/1.1 204\r\n\r\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->status, 204);
+  EXPECT_TRUE(parsed->reason.empty());
+}
+
+TEST(HttpTest, QueryParamExtraction) {
+  EXPECT_EQ(query_param("/dns-query?dns=ABCD", "dns"), "ABCD");
+  EXPECT_EQ(query_param("/p?a=1&dns=XY&b=2", "dns"), "XY");
+  EXPECT_EQ(query_param("/p?a=1", "dns"), std::nullopt);
+  EXPECT_EQ(query_param("/plain", "dns"), std::nullopt);
+  EXPECT_EQ(query_param("/p?dns=", "dns"), "");
+  EXPECT_EQ(query_param("/p?dnsx=1&dns=ok", "dns"), "ok");
+}
+
+// ------------------------------------------------------------ TCP / TLS
+
+struct FlowFixture : ::testing::Test {
+  netsim::Simulator sim;
+  netsim::LatencyModel latency;
+  netsim::Rng rng{42};
+  netsim::NetCtx net{sim, latency, rng};
+  // Jitter-free sites for exact timing assertions.
+  netsim::Site client{{0, 0}, 2.0, 1.0, 0.0};
+  netsim::Site server{{0, 20}, 1.0, 1.0, 0.0};
+
+  double one_way(std::size_t bytes) const {
+    return latency.expected_one_way_ms(client, server, bytes);
+  }
+};
+
+TEST_F(FlowFixture, TcpConnectTakesOneRoundTrip) {
+  auto task = tcp_connect(net, client, server);
+  sim.run();
+  ASSERT_TRUE(task.done());
+  const auto conn = task.result();
+  const double expected = one_way(kSynBytes) + one_way(kSynAckBytes);
+  EXPECT_NEAR(netsim::to_ms(conn.handshake_time), expected, 0.01);
+}
+
+TEST_F(FlowFixture, Tls13TakesOneRoundTrip) {
+  auto conn_task = tcp_connect(net, client, server);
+  sim.run();
+  auto tls_task = tls_handshake(net, conn_task.result(),
+                                TlsVersion::kTls13);
+  sim.run();
+  ASSERT_TRUE(tls_task.done());
+  const double expected =
+      one_way(kClientHelloBytes) + one_way(kServerHelloBytes);
+  EXPECT_NEAR(netsim::to_ms(tls_task.result().handshake_time), expected,
+              0.01);
+}
+
+TEST_F(FlowFixture, Tls12TakesTwoRoundTrips) {
+  auto conn_task = tcp_connect(net, client, server);
+  sim.run();
+  const auto conn = conn_task.result();
+
+  auto tls13 = tls_handshake(net, conn, TlsVersion::kTls13);
+  sim.run();
+  auto tls12 = tls_handshake(net, conn, TlsVersion::kTls12);
+  sim.run();
+  EXPECT_GT(tls12.result().handshake_time, tls13.result().handshake_time);
+  // Roughly one extra round trip.
+  const double extra =
+      netsim::to_ms(tls12.result().handshake_time -
+                    tls13.result().handshake_time);
+  EXPECT_NEAR(extra, one_way(kClientFinishedBytes) +
+                         one_way(kRecordOverheadBytes + 32),
+              0.01);
+}
+
+TEST(TlsTest, VersionNames) {
+  EXPECT_EQ(to_string(TlsVersion::kTls12), "TLS 1.2");
+  EXPECT_EQ(to_string(TlsVersion::kTls13), "TLS 1.3");
+}
+
+}  // namespace
+}  // namespace dohperf::transport

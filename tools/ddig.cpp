@@ -1,0 +1,149 @@
+// ddig — a dig-like lookup tool for the simulated world, with a
+// Wireshark-style trace of every message the lookup generated.
+//
+//   ddig <name> [--country ISO2] [--via do53|doh|dot] [--provider NAME]
+//              [--seed N] [--trace 1]
+//
+// Examples:
+//   ddig probe-1.a.com --country BR --via do53 --trace 1
+//   ddig probe-2.a.com --country SE --via doh --provider Quad9
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "dns/wire.h"
+#include "measure/dot.h"
+#include "measure/flows.h"
+#include "world/world_model.h"
+
+using namespace dohperf;
+
+namespace {
+
+void print_trace(const netsim::TraceSink& capture) {
+  std::printf("\n%zu messages captured:\n", capture.size());
+  for (const auto& event : capture.events()) {
+    std::printf(
+        "  %9.3f ms  (%7.2f,%8.2f) -> (%7.2f,%8.2f)  %5zu bytes  "
+        "(%.2f ms in flight)\n",
+        netsim::to_ms(event.sent_at.time_since_epoch()), event.from.lat,
+        event.from.lon, event.to.lat, event.to.lon, event.bytes,
+        netsim::ms_between(event.sent_at, event.delivered_at));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: ddig <name> [--country ISO2] [--via do53|doh|dot] "
+                 "[--provider NAME] [--seed N] [--trace 1]\n");
+    return 2;
+  }
+  const std::string name = argv[1];
+  std::map<std::string, std::string> flags;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      std::fprintf(stderr, "expected flag, got %s\n", argv[i]);
+      return 2;
+    }
+    flags[argv[i] + 2] = argv[i + 1];
+  }
+  const std::string iso2 = flags.count("country") ? flags["country"] : "SE";
+  const std::string via = flags.count("via") ? flags["via"] : "do53";
+  const std::string provider_name =
+      flags.count("provider") ? flags["provider"] : "Cloudflare";
+  const bool want_trace = flags.count("trace") && flags["trace"] == "1";
+
+  world::WorldConfig config;
+  config.seed = flags.count("seed")
+                    ? static_cast<std::uint64_t>(std::atoll(flags["seed"].c_str()))
+                    : 42;
+  config.only_countries = {iso2};
+  world::WorldModel world(config);
+
+  const proxy::ExitNode* client =
+      world.brightdata().pick_exit(iso2, world.rng());
+  if (client == nullptr) {
+    std::fprintf(stderr, "no clients in %s\n", iso2.c_str());
+    return 1;
+  }
+
+  dns::DomainName target;
+  try {
+    target = dns::DomainName::parse(name);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bad name: %s\n", e.what());
+    return 2;
+  }
+  if (!target.is_subdomain_of(world.origin())) {
+    std::fprintf(stderr,
+                 "note: %s is outside the simulated zone %s — expect "
+                 "REFUSED\n",
+                 name.c_str(), world.origin().to_string().c_str());
+  }
+
+  netsim::TraceSink capture;
+  auto net = world.ctx();
+  if (want_trace) net.trace = &capture;
+
+  if (via == "do53") {
+    auto task = measure::do53_direct(net, client->site,
+                                     client->default_resolver, target);
+    world.sim().run();
+    const double ms = task.result();
+    if (ms < 0) {
+      std::printf(";; resolution FAILED (non-NOERROR rcode)\n");
+    } else {
+      std::printf(";; %s via %s (Do53): %.1f ms\n", name.c_str(),
+                  client->default_resolver->name().c_str(), ms);
+    }
+  } else if (via == "doh" || via == "dot") {
+    std::size_t provider_index = world.providers().size();
+    for (std::size_t p = 0; p < world.providers().size(); ++p) {
+      if (world.providers()[p].name() == provider_name) provider_index = p;
+    }
+    if (provider_index == world.providers().size()) {
+      std::fprintf(stderr, "unknown provider %s\n", provider_name.c_str());
+      return 2;
+    }
+    auto& provider = world.providers()[provider_index];
+    const geo::Country* country = geo::find_country(iso2);
+    const std::size_t pop =
+        provider.route(client->site.position, country->region, world.rng());
+    if (via == "doh") {
+      auto task = measure::doh_direct(
+          net, client->site, client->default_resolver,
+          world.doh_server(provider_index, pop),
+          provider.config().doh_hostname, transport::TlsVersion::kTls13,
+          world.origin());
+      world.sim().run();
+      const auto obs = task.result();
+      std::printf(";; %s via %s@%s (DoH): first %.1f ms, reuse %.1f ms\n",
+                  name.c_str(), provider.name().c_str(),
+                  provider.pops()[pop].city.c_str(), obs.tdoh_ms(),
+                  obs.tdohr_ms());
+    } else {
+      auto task = measure::dot_direct(
+          net, client->site, client->default_resolver,
+          world.doh_server(provider_index, pop),
+          provider.config().doh_hostname, transport::TlsVersion::kTls13,
+          world.origin());
+      world.sim().run();
+      const auto obs = task.result();
+      std::printf(";; %s via %s@%s (DoT): first %.1f ms, reuse %.1f ms\n",
+                  name.c_str(), provider.name().c_str(),
+                  provider.pops()[pop].city.c_str(), obs.tdot_ms(),
+                  obs.tdotr_ms());
+    }
+  } else {
+    std::fprintf(stderr, "unknown transport %s\n", via.c_str());
+    return 2;
+  }
+
+  if (want_trace) print_trace(capture);
+  return 0;
+}
