@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_anycast.dir/ablation_anycast.cpp.o"
+  "CMakeFiles/ablation_anycast.dir/ablation_anycast.cpp.o.d"
+  "ablation_anycast"
+  "ablation_anycast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_anycast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

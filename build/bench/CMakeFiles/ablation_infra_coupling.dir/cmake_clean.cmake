@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_infra_coupling.dir/ablation_infra_coupling.cpp.o"
+  "CMakeFiles/ablation_infra_coupling.dir/ablation_infra_coupling.cpp.o.d"
+  "ablation_infra_coupling"
+  "ablation_infra_coupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_infra_coupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

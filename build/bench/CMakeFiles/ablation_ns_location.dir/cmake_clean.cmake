@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ns_location.dir/ablation_ns_location.cpp.o"
+  "CMakeFiles/ablation_ns_location.dir/ablation_ns_location.cpp.o.d"
+  "ablation_ns_location"
+  "ablation_ns_location.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ns_location.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tls12.dir/ablation_tls12.cpp.o"
+  "CMakeFiles/ablation_tls12.dir/ablation_tls12.cpp.o.d"
+  "ablation_tls12"
+  "ablation_tls12.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tls12.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cache_hits.dir/ext_cache_hits.cpp.o"
+  "CMakeFiles/ext_cache_hits.dir/ext_cache_hits.cpp.o.d"
+  "ext_cache_hits"
+  "ext_cache_hits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cache_hits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

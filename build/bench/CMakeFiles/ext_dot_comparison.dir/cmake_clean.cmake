@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dot_comparison.dir/ext_dot_comparison.cpp.o"
+  "CMakeFiles/ext_dot_comparison.dir/ext_dot_comparison.cpp.o.d"
+  "ext_dot_comparison"
+  "ext_dot_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dot_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_encrypted_dns_ladder.dir/ext_encrypted_dns_ladder.cpp.o"
+  "CMakeFiles/ext_encrypted_dns_ladder.dir/ext_encrypted_dns_ladder.cpp.o.d"
+  "ext_encrypted_dns_ladder"
+  "ext_encrypted_dns_ladder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_encrypted_dns_ladder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

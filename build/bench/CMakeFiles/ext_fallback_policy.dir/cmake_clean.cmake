@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_fallback_policy.dir/ext_fallback_policy.cpp.o"
+  "CMakeFiles/ext_fallback_policy.dir/ext_fallback_policy.cpp.o.d"
+  "ext_fallback_policy"
+  "ext_fallback_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fallback_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

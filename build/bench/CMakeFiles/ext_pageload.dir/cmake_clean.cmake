@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_pageload.dir/ext_pageload.cpp.o"
+  "CMakeFiles/ext_pageload.dir/ext_pageload.cpp.o.d"
+  "ext_pageload"
+  "ext_pageload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_pageload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_clients_per_country.dir/fig3_clients_per_country.cpp.o"
+  "CMakeFiles/fig3_clients_per_country.dir/fig3_clients_per_country.cpp.o.d"
+  "fig3_clients_per_country"
+  "fig3_clients_per_country.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_clients_per_country.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_clients_per_country.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig4_resolution_cdfs.cpp" "bench/CMakeFiles/fig4_resolution_cdfs.dir/fig4_resolution_cdfs.cpp.o" "gcc" "bench/CMakeFiles/fig4_resolution_cdfs.dir/fig4_resolution_cdfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/dohperf_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/dohperf_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/anycast/CMakeFiles/dohperf_anycast.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/dohperf_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/dohperf_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dohperf_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/dohperf_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/dohperf_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolver/CMakeFiles/dohperf_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/dohperf_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/dohperf_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/dohperf_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/dohperf_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_resolution_cdfs.dir/fig4_resolution_cdfs.cpp.o"
+  "CMakeFiles/fig4_resolution_cdfs.dir/fig4_resolution_cdfs.cpp.o.d"
+  "fig4_resolution_cdfs"
+  "fig4_resolution_cdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_resolution_cdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

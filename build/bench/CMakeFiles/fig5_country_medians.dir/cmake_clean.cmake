@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_country_medians.dir/fig5_country_medians.cpp.o"
+  "CMakeFiles/fig5_country_medians.dir/fig5_country_medians.cpp.o.d"
+  "fig5_country_medians"
+  "fig5_country_medians.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_country_medians.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

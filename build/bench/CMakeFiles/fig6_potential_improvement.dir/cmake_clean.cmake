@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_potential_improvement.dir/fig6_potential_improvement.cpp.o"
+  "CMakeFiles/fig6_potential_improvement.dir/fig6_potential_improvement.cpp.o.d"
+  "fig6_potential_improvement"
+  "fig6_potential_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_potential_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_delta_by_resolver.dir/fig7_delta_by_resolver.cpp.o"
+  "CMakeFiles/fig7_delta_by_resolver.dir/fig7_delta_by_resolver.cpp.o.d"
+  "fig7_delta_by_resolver"
+  "fig7_delta_by_resolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_delta_by_resolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

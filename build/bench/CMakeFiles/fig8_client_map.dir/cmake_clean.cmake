@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_client_map.dir/fig8_client_map.cpp.o"
+  "CMakeFiles/fig8_client_map.dir/fig8_client_map.cpp.o.d"
+  "fig8_client_map"
+  "fig8_client_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_client_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

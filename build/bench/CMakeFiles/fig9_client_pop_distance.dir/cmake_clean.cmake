@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_client_pop_distance.dir/fig9_client_pop_distance.cpp.o"
+  "CMakeFiles/fig9_client_pop_distance.dir/fig9_client_pop_distance.cpp.o.d"
+  "fig9_client_pop_distance"
+  "fig9_client_pop_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_client_pop_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

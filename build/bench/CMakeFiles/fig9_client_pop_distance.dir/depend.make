@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9_client_pop_distance.
+# This may be replaced when dependencies are built.

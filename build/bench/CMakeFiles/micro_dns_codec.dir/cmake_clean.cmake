@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_dns_codec.dir/micro_dns_codec.cpp.o"
+  "CMakeFiles/micro_dns_codec.dir/micro_dns_codec.cpp.o.d"
+  "micro_dns_codec"
+  "micro_dns_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_dns_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

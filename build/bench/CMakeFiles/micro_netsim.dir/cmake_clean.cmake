@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_netsim.dir/micro_netsim.cpp.o"
+  "CMakeFiles/micro_netsim.dir/micro_netsim.cpp.o.d"
+  "micro_netsim"
+  "micro_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_world.dir/micro_world.cpp.o"
+  "CMakeFiles/micro_world.dir/micro_world.cpp.o.d"
+  "micro_world"
+  "micro_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

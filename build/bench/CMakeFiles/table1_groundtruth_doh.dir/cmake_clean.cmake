@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_groundtruth_doh.dir/table1_groundtruth_doh.cpp.o"
+  "CMakeFiles/table1_groundtruth_doh.dir/table1_groundtruth_doh.cpp.o.d"
+  "table1_groundtruth_doh"
+  "table1_groundtruth_doh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_groundtruth_doh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

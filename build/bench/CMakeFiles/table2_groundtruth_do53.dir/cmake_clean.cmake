@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_groundtruth_do53.dir/table2_groundtruth_do53.cpp.o"
+  "CMakeFiles/table2_groundtruth_do53.dir/table2_groundtruth_do53.cpp.o.d"
+  "table2_groundtruth_do53"
+  "table2_groundtruth_do53.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_groundtruth_do53.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_dataset.dir/table3_dataset.cpp.o"
+  "CMakeFiles/table3_dataset.dir/table3_dataset.cpp.o.d"
+  "table3_dataset"
+  "table3_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_logistic.dir/table4_logistic.cpp.o"
+  "CMakeFiles/table4_logistic.dir/table4_logistic.cpp.o.d"
+  "table4_logistic"
+  "table4_logistic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_logistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_linear.dir/table5_linear.cpp.o"
+  "CMakeFiles/table5_linear.dir/table5_linear.cpp.o.d"
+  "table5_linear"
+  "table5_linear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

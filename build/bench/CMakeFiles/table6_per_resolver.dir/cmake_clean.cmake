@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_per_resolver.dir/table6_per_resolver.cpp.o"
+  "CMakeFiles/table6_per_resolver.dir/table6_per_resolver.cpp.o.d"
+  "table6_per_resolver"
+  "table6_per_resolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_per_resolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimator_walkthrough.dir/estimator_walkthrough.cpp.o"
+  "CMakeFiles/estimator_walkthrough.dir/estimator_walkthrough.cpp.o.d"
+  "estimator_walkthrough"
+  "estimator_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimator_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pop_planner.dir/pop_planner.cpp.o"
+  "CMakeFiles/pop_planner.dir/pop_planner.cpp.o.d"
+  "pop_planner"
+  "pop_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pop_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

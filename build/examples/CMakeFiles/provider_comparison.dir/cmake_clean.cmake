@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provider_comparison.dir/provider_comparison.cpp.o"
+  "CMakeFiles/provider_comparison.dir/provider_comparison.cpp.o.d"
+  "provider_comparison"
+  "provider_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provider_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("geo")
+subdirs("netsim")
+subdirs("dns")
+subdirs("transport")
+subdirs("resolver")
+subdirs("anycast")
+subdirs("proxy")
+subdirs("stats")
+subdirs("client")
+subdirs("web")
+subdirs("world")
+subdirs("measure")
+subdirs("report")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anycast/catalog.cpp" "src/anycast/CMakeFiles/dohperf_anycast.dir/catalog.cpp.o" "gcc" "src/anycast/CMakeFiles/dohperf_anycast.dir/catalog.cpp.o.d"
+  "/root/repo/src/anycast/pop.cpp" "src/anycast/CMakeFiles/dohperf_anycast.dir/pop.cpp.o" "gcc" "src/anycast/CMakeFiles/dohperf_anycast.dir/pop.cpp.o.d"
+  "/root/repo/src/anycast/provider.cpp" "src/anycast/CMakeFiles/dohperf_anycast.dir/provider.cpp.o" "gcc" "src/anycast/CMakeFiles/dohperf_anycast.dir/provider.cpp.o.d"
+  "/root/repo/src/anycast/routing.cpp" "src/anycast/CMakeFiles/dohperf_anycast.dir/routing.cpp.o" "gcc" "src/anycast/CMakeFiles/dohperf_anycast.dir/routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/dohperf_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/dohperf_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dohperf_anycast.dir/catalog.cpp.o"
+  "CMakeFiles/dohperf_anycast.dir/catalog.cpp.o.d"
+  "CMakeFiles/dohperf_anycast.dir/pop.cpp.o"
+  "CMakeFiles/dohperf_anycast.dir/pop.cpp.o.d"
+  "CMakeFiles/dohperf_anycast.dir/provider.cpp.o"
+  "CMakeFiles/dohperf_anycast.dir/provider.cpp.o.d"
+  "CMakeFiles/dohperf_anycast.dir/routing.cpp.o"
+  "CMakeFiles/dohperf_anycast.dir/routing.cpp.o.d"
+  "libdohperf_anycast.a"
+  "libdohperf_anycast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dohperf_anycast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dohperf_client.dir/policy.cpp.o"
+  "CMakeFiles/dohperf_client.dir/policy.cpp.o.d"
+  "libdohperf_client.a"
+  "libdohperf_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dohperf_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

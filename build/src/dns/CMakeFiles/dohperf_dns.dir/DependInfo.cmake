@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/cache.cpp" "src/dns/CMakeFiles/dohperf_dns.dir/cache.cpp.o" "gcc" "src/dns/CMakeFiles/dohperf_dns.dir/cache.cpp.o.d"
+  "/root/repo/src/dns/ecs.cpp" "src/dns/CMakeFiles/dohperf_dns.dir/ecs.cpp.o" "gcc" "src/dns/CMakeFiles/dohperf_dns.dir/ecs.cpp.o.d"
+  "/root/repo/src/dns/message.cpp" "src/dns/CMakeFiles/dohperf_dns.dir/message.cpp.o" "gcc" "src/dns/CMakeFiles/dohperf_dns.dir/message.cpp.o.d"
+  "/root/repo/src/dns/name.cpp" "src/dns/CMakeFiles/dohperf_dns.dir/name.cpp.o" "gcc" "src/dns/CMakeFiles/dohperf_dns.dir/name.cpp.o.d"
+  "/root/repo/src/dns/rr.cpp" "src/dns/CMakeFiles/dohperf_dns.dir/rr.cpp.o" "gcc" "src/dns/CMakeFiles/dohperf_dns.dir/rr.cpp.o.d"
+  "/root/repo/src/dns/wire.cpp" "src/dns/CMakeFiles/dohperf_dns.dir/wire.cpp.o" "gcc" "src/dns/CMakeFiles/dohperf_dns.dir/wire.cpp.o.d"
+  "/root/repo/src/dns/zone.cpp" "src/dns/CMakeFiles/dohperf_dns.dir/zone.cpp.o" "gcc" "src/dns/CMakeFiles/dohperf_dns.dir/zone.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netsim/CMakeFiles/dohperf_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/dohperf_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

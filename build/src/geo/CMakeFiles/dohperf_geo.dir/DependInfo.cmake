@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/cities.cpp" "src/geo/CMakeFiles/dohperf_geo.dir/cities.cpp.o" "gcc" "src/geo/CMakeFiles/dohperf_geo.dir/cities.cpp.o.d"
+  "/root/repo/src/geo/coordinates.cpp" "src/geo/CMakeFiles/dohperf_geo.dir/coordinates.cpp.o" "gcc" "src/geo/CMakeFiles/dohperf_geo.dir/coordinates.cpp.o.d"
+  "/root/repo/src/geo/country.cpp" "src/geo/CMakeFiles/dohperf_geo.dir/country.cpp.o" "gcc" "src/geo/CMakeFiles/dohperf_geo.dir/country.cpp.o.d"
+  "/root/repo/src/geo/geolocation.cpp" "src/geo/CMakeFiles/dohperf_geo.dir/geolocation.cpp.o" "gcc" "src/geo/CMakeFiles/dohperf_geo.dir/geolocation.cpp.o.d"
+  "/root/repo/src/geo/world_table.cpp" "src/geo/CMakeFiles/dohperf_geo.dir/world_table.cpp.o" "gcc" "src/geo/CMakeFiles/dohperf_geo.dir/world_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

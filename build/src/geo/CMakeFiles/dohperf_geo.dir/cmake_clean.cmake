@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dohperf_geo.dir/cities.cpp.o"
+  "CMakeFiles/dohperf_geo.dir/cities.cpp.o.d"
+  "CMakeFiles/dohperf_geo.dir/coordinates.cpp.o"
+  "CMakeFiles/dohperf_geo.dir/coordinates.cpp.o.d"
+  "CMakeFiles/dohperf_geo.dir/country.cpp.o"
+  "CMakeFiles/dohperf_geo.dir/country.cpp.o.d"
+  "CMakeFiles/dohperf_geo.dir/geolocation.cpp.o"
+  "CMakeFiles/dohperf_geo.dir/geolocation.cpp.o.d"
+  "CMakeFiles/dohperf_geo.dir/world_table.cpp.o"
+  "CMakeFiles/dohperf_geo.dir/world_table.cpp.o.d"
+  "libdohperf_geo.a"
+  "libdohperf_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dohperf_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

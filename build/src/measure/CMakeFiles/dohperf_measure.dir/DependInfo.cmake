@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measure/campaign.cpp" "src/measure/CMakeFiles/dohperf_measure.dir/campaign.cpp.o" "gcc" "src/measure/CMakeFiles/dohperf_measure.dir/campaign.cpp.o.d"
+  "/root/repo/src/measure/dataset.cpp" "src/measure/CMakeFiles/dohperf_measure.dir/dataset.cpp.o" "gcc" "src/measure/CMakeFiles/dohperf_measure.dir/dataset.cpp.o.d"
+  "/root/repo/src/measure/dataset_io.cpp" "src/measure/CMakeFiles/dohperf_measure.dir/dataset_io.cpp.o" "gcc" "src/measure/CMakeFiles/dohperf_measure.dir/dataset_io.cpp.o.d"
+  "/root/repo/src/measure/doq.cpp" "src/measure/CMakeFiles/dohperf_measure.dir/doq.cpp.o" "gcc" "src/measure/CMakeFiles/dohperf_measure.dir/doq.cpp.o.d"
+  "/root/repo/src/measure/dot.cpp" "src/measure/CMakeFiles/dohperf_measure.dir/dot.cpp.o" "gcc" "src/measure/CMakeFiles/dohperf_measure.dir/dot.cpp.o.d"
+  "/root/repo/src/measure/estimator.cpp" "src/measure/CMakeFiles/dohperf_measure.dir/estimator.cpp.o" "gcc" "src/measure/CMakeFiles/dohperf_measure.dir/estimator.cpp.o.d"
+  "/root/repo/src/measure/flows.cpp" "src/measure/CMakeFiles/dohperf_measure.dir/flows.cpp.o" "gcc" "src/measure/CMakeFiles/dohperf_measure.dir/flows.cpp.o.d"
+  "/root/repo/src/measure/groundtruth.cpp" "src/measure/CMakeFiles/dohperf_measure.dir/groundtruth.cpp.o" "gcc" "src/measure/CMakeFiles/dohperf_measure.dir/groundtruth.cpp.o.d"
+  "/root/repo/src/measure/regression.cpp" "src/measure/CMakeFiles/dohperf_measure.dir/regression.cpp.o" "gcc" "src/measure/CMakeFiles/dohperf_measure.dir/regression.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/world/CMakeFiles/dohperf_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dohperf_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/anycast/CMakeFiles/dohperf_anycast.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/dohperf_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolver/CMakeFiles/dohperf_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/dohperf_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/dohperf_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/dohperf_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/dohperf_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

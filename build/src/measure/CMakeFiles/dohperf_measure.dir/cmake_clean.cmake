@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dohperf_measure.dir/campaign.cpp.o"
+  "CMakeFiles/dohperf_measure.dir/campaign.cpp.o.d"
+  "CMakeFiles/dohperf_measure.dir/dataset.cpp.o"
+  "CMakeFiles/dohperf_measure.dir/dataset.cpp.o.d"
+  "CMakeFiles/dohperf_measure.dir/dataset_io.cpp.o"
+  "CMakeFiles/dohperf_measure.dir/dataset_io.cpp.o.d"
+  "CMakeFiles/dohperf_measure.dir/doq.cpp.o"
+  "CMakeFiles/dohperf_measure.dir/doq.cpp.o.d"
+  "CMakeFiles/dohperf_measure.dir/dot.cpp.o"
+  "CMakeFiles/dohperf_measure.dir/dot.cpp.o.d"
+  "CMakeFiles/dohperf_measure.dir/estimator.cpp.o"
+  "CMakeFiles/dohperf_measure.dir/estimator.cpp.o.d"
+  "CMakeFiles/dohperf_measure.dir/flows.cpp.o"
+  "CMakeFiles/dohperf_measure.dir/flows.cpp.o.d"
+  "CMakeFiles/dohperf_measure.dir/groundtruth.cpp.o"
+  "CMakeFiles/dohperf_measure.dir/groundtruth.cpp.o.d"
+  "CMakeFiles/dohperf_measure.dir/regression.cpp.o"
+  "CMakeFiles/dohperf_measure.dir/regression.cpp.o.d"
+  "libdohperf_measure.a"
+  "libdohperf_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dohperf_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/event_queue.cpp" "src/netsim/CMakeFiles/dohperf_netsim.dir/event_queue.cpp.o" "gcc" "src/netsim/CMakeFiles/dohperf_netsim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/netsim/latency.cpp" "src/netsim/CMakeFiles/dohperf_netsim.dir/latency.cpp.o" "gcc" "src/netsim/CMakeFiles/dohperf_netsim.dir/latency.cpp.o.d"
+  "/root/repo/src/netsim/random.cpp" "src/netsim/CMakeFiles/dohperf_netsim.dir/random.cpp.o" "gcc" "src/netsim/CMakeFiles/dohperf_netsim.dir/random.cpp.o.d"
+  "/root/repo/src/netsim/simulator.cpp" "src/netsim/CMakeFiles/dohperf_netsim.dir/simulator.cpp.o" "gcc" "src/netsim/CMakeFiles/dohperf_netsim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/dohperf_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

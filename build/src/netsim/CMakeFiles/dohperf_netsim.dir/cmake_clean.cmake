@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dohperf_netsim.dir/event_queue.cpp.o"
+  "CMakeFiles/dohperf_netsim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/dohperf_netsim.dir/latency.cpp.o"
+  "CMakeFiles/dohperf_netsim.dir/latency.cpp.o.d"
+  "CMakeFiles/dohperf_netsim.dir/random.cpp.o"
+  "CMakeFiles/dohperf_netsim.dir/random.cpp.o.d"
+  "CMakeFiles/dohperf_netsim.dir/simulator.cpp.o"
+  "CMakeFiles/dohperf_netsim.dir/simulator.cpp.o.d"
+  "libdohperf_netsim.a"
+  "libdohperf_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dohperf_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

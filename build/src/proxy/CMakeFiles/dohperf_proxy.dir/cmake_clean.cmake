@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dohperf_proxy.dir/brightdata.cpp.o"
+  "CMakeFiles/dohperf_proxy.dir/brightdata.cpp.o.d"
+  "CMakeFiles/dohperf_proxy.dir/exit_node.cpp.o"
+  "CMakeFiles/dohperf_proxy.dir/exit_node.cpp.o.d"
+  "CMakeFiles/dohperf_proxy.dir/headers.cpp.o"
+  "CMakeFiles/dohperf_proxy.dir/headers.cpp.o.d"
+  "CMakeFiles/dohperf_proxy.dir/ripe_atlas.cpp.o"
+  "CMakeFiles/dohperf_proxy.dir/ripe_atlas.cpp.o.d"
+  "libdohperf_proxy.a"
+  "libdohperf_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dohperf_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

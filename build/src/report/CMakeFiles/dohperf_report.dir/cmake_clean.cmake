@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dohperf_report.dir/csv.cpp.o"
+  "CMakeFiles/dohperf_report.dir/csv.cpp.o.d"
+  "CMakeFiles/dohperf_report.dir/table.cpp.o"
+  "CMakeFiles/dohperf_report.dir/table.cpp.o.d"
+  "libdohperf_report.a"
+  "libdohperf_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dohperf_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resolver/authoritative.cpp" "src/resolver/CMakeFiles/dohperf_resolver.dir/authoritative.cpp.o" "gcc" "src/resolver/CMakeFiles/dohperf_resolver.dir/authoritative.cpp.o.d"
+  "/root/repo/src/resolver/doh_server.cpp" "src/resolver/CMakeFiles/dohperf_resolver.dir/doh_server.cpp.o" "gcc" "src/resolver/CMakeFiles/dohperf_resolver.dir/doh_server.cpp.o.d"
+  "/root/repo/src/resolver/recursive.cpp" "src/resolver/CMakeFiles/dohperf_resolver.dir/recursive.cpp.o" "gcc" "src/resolver/CMakeFiles/dohperf_resolver.dir/recursive.cpp.o.d"
+  "/root/repo/src/resolver/stub.cpp" "src/resolver/CMakeFiles/dohperf_resolver.dir/stub.cpp.o" "gcc" "src/resolver/CMakeFiles/dohperf_resolver.dir/stub.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/dohperf_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/dohperf_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/dohperf_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/dohperf_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

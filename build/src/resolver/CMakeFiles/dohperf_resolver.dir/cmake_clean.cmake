@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dohperf_resolver.dir/authoritative.cpp.o"
+  "CMakeFiles/dohperf_resolver.dir/authoritative.cpp.o.d"
+  "CMakeFiles/dohperf_resolver.dir/doh_server.cpp.o"
+  "CMakeFiles/dohperf_resolver.dir/doh_server.cpp.o.d"
+  "CMakeFiles/dohperf_resolver.dir/recursive.cpp.o"
+  "CMakeFiles/dohperf_resolver.dir/recursive.cpp.o.d"
+  "CMakeFiles/dohperf_resolver.dir/stub.cpp.o"
+  "CMakeFiles/dohperf_resolver.dir/stub.cpp.o.d"
+  "libdohperf_resolver.a"
+  "libdohperf_resolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dohperf_resolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/dohperf_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/dohperf_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/cdf.cpp" "src/stats/CMakeFiles/dohperf_stats.dir/cdf.cpp.o" "gcc" "src/stats/CMakeFiles/dohperf_stats.dir/cdf.cpp.o.d"
+  "/root/repo/src/stats/distributions.cpp" "src/stats/CMakeFiles/dohperf_stats.dir/distributions.cpp.o" "gcc" "src/stats/CMakeFiles/dohperf_stats.dir/distributions.cpp.o.d"
+  "/root/repo/src/stats/linreg.cpp" "src/stats/CMakeFiles/dohperf_stats.dir/linreg.cpp.o" "gcc" "src/stats/CMakeFiles/dohperf_stats.dir/linreg.cpp.o.d"
+  "/root/repo/src/stats/logreg.cpp" "src/stats/CMakeFiles/dohperf_stats.dir/logreg.cpp.o" "gcc" "src/stats/CMakeFiles/dohperf_stats.dir/logreg.cpp.o.d"
+  "/root/repo/src/stats/matrix.cpp" "src/stats/CMakeFiles/dohperf_stats.dir/matrix.cpp.o" "gcc" "src/stats/CMakeFiles/dohperf_stats.dir/matrix.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/dohperf_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/dohperf_stats.dir/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netsim/CMakeFiles/dohperf_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/dohperf_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

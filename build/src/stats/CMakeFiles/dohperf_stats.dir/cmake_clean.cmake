@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dohperf_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/dohperf_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/dohperf_stats.dir/cdf.cpp.o"
+  "CMakeFiles/dohperf_stats.dir/cdf.cpp.o.d"
+  "CMakeFiles/dohperf_stats.dir/distributions.cpp.o"
+  "CMakeFiles/dohperf_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/dohperf_stats.dir/linreg.cpp.o"
+  "CMakeFiles/dohperf_stats.dir/linreg.cpp.o.d"
+  "CMakeFiles/dohperf_stats.dir/logreg.cpp.o"
+  "CMakeFiles/dohperf_stats.dir/logreg.cpp.o.d"
+  "CMakeFiles/dohperf_stats.dir/matrix.cpp.o"
+  "CMakeFiles/dohperf_stats.dir/matrix.cpp.o.d"
+  "CMakeFiles/dohperf_stats.dir/summary.cpp.o"
+  "CMakeFiles/dohperf_stats.dir/summary.cpp.o.d"
+  "libdohperf_stats.a"
+  "libdohperf_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dohperf_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

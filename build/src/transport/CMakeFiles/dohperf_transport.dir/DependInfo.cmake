@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/base64.cpp" "src/transport/CMakeFiles/dohperf_transport.dir/base64.cpp.o" "gcc" "src/transport/CMakeFiles/dohperf_transport.dir/base64.cpp.o.d"
+  "/root/repo/src/transport/http.cpp" "src/transport/CMakeFiles/dohperf_transport.dir/http.cpp.o" "gcc" "src/transport/CMakeFiles/dohperf_transport.dir/http.cpp.o.d"
+  "/root/repo/src/transport/quic.cpp" "src/transport/CMakeFiles/dohperf_transport.dir/quic.cpp.o" "gcc" "src/transport/CMakeFiles/dohperf_transport.dir/quic.cpp.o.d"
+  "/root/repo/src/transport/tcp.cpp" "src/transport/CMakeFiles/dohperf_transport.dir/tcp.cpp.o" "gcc" "src/transport/CMakeFiles/dohperf_transport.dir/tcp.cpp.o.d"
+  "/root/repo/src/transport/tls.cpp" "src/transport/CMakeFiles/dohperf_transport.dir/tls.cpp.o" "gcc" "src/transport/CMakeFiles/dohperf_transport.dir/tls.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netsim/CMakeFiles/dohperf_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/dohperf_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

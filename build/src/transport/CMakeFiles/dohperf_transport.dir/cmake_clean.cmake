@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dohperf_transport.dir/base64.cpp.o"
+  "CMakeFiles/dohperf_transport.dir/base64.cpp.o.d"
+  "CMakeFiles/dohperf_transport.dir/http.cpp.o"
+  "CMakeFiles/dohperf_transport.dir/http.cpp.o.d"
+  "CMakeFiles/dohperf_transport.dir/quic.cpp.o"
+  "CMakeFiles/dohperf_transport.dir/quic.cpp.o.d"
+  "CMakeFiles/dohperf_transport.dir/tcp.cpp.o"
+  "CMakeFiles/dohperf_transport.dir/tcp.cpp.o.d"
+  "CMakeFiles/dohperf_transport.dir/tls.cpp.o"
+  "CMakeFiles/dohperf_transport.dir/tls.cpp.o.d"
+  "libdohperf_transport.a"
+  "libdohperf_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dohperf_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

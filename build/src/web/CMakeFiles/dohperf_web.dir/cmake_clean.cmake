@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dohperf_web.dir/pageload.cpp.o"
+  "CMakeFiles/dohperf_web.dir/pageload.cpp.o.d"
+  "libdohperf_web.a"
+  "libdohperf_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dohperf_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

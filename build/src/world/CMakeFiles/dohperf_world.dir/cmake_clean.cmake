@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dohperf_world.dir/scenarios.cpp.o"
+  "CMakeFiles/dohperf_world.dir/scenarios.cpp.o.d"
+  "CMakeFiles/dohperf_world.dir/sites.cpp.o"
+  "CMakeFiles/dohperf_world.dir/sites.cpp.o.d"
+  "CMakeFiles/dohperf_world.dir/world_model.cpp.o"
+  "CMakeFiles/dohperf_world.dir/world_model.cpp.o.d"
+  "libdohperf_world.a"
+  "libdohperf_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dohperf_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_wire_test.dir/dns_wire_test.cpp.o"
+  "CMakeFiles/dns_wire_test.dir/dns_wire_test.cpp.o.d"
+  "dns_wire_test"
+  "dns_wire_test.pdb"
+  "dns_wire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

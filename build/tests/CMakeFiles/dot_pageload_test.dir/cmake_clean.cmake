@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dot_pageload_test.dir/dot_pageload_test.cpp.o"
+  "CMakeFiles/dot_pageload_test.dir/dot_pageload_test.cpp.o.d"
+  "dot_pageload_test"
+  "dot_pageload_test.pdb"
+  "dot_pageload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dot_pageload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

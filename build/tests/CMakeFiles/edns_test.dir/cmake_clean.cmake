@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edns_test.dir/edns_test.cpp.o"
+  "CMakeFiles/edns_test.dir/edns_test.cpp.o.d"
+  "edns_test"
+  "edns_test.pdb"
+  "edns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

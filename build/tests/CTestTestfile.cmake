@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/geo_test[1]_include.cmake")
+include("/root/repo/build/tests/netsim_test[1]_include.cmake")
+include("/root/repo/build/tests/dns_name_test[1]_include.cmake")
+include("/root/repo/build/tests/dns_wire_test[1]_include.cmake")
+include("/root/repo/build/tests/dns_zone_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/transport_test[1]_include.cmake")
+include("/root/repo/build/tests/resolver_test[1]_include.cmake")
+include("/root/repo/build/tests/anycast_test[1]_include.cmake")
+include("/root/repo/build/tests/proxy_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/estimator_test[1]_include.cmake")
+include("/root/repo/build/tests/world_test[1]_include.cmake")
+include("/root/repo/build/tests/flows_test[1]_include.cmake")
+include("/root/repo/build/tests/campaign_test[1]_include.cmake")
+include("/root/repo/build/tests/groundtruth_test[1]_include.cmake")
+include("/root/repo/build/tests/regression_analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/dataset_io_test[1]_include.cmake")
+include("/root/repo/build/tests/dot_pageload_test[1]_include.cmake")
+include("/root/repo/build/tests/bootstrap_test[1]_include.cmake")
+include("/root/repo/build/tests/edns_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_injection_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddig.dir/ddig.cpp.o"
+  "CMakeFiles/ddig.dir/ddig.cpp.o.d"
+  "ddig"
+  "ddig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

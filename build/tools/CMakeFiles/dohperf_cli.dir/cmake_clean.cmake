@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dohperf_cli.dir/dohperf_cli.cpp.o"
+  "CMakeFiles/dohperf_cli.dir/dohperf_cli.cpp.o.d"
+  "dohperf_cli"
+  "dohperf_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dohperf_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

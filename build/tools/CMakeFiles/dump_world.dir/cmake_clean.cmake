@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dump_world.dir/dump_world.cpp.o"
+  "CMakeFiles/dump_world.dir/dump_world.cpp.o.d"
+  "dump_world"
+  "dump_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dump_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
