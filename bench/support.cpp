@@ -34,6 +34,7 @@ Env::Env() : scale_(scale_from_env()) {
       std::max(10, static_cast<int>(250 * scale_));
   measure::Campaign campaign(*world_, campaign_config);
   dataset_ = campaign.run();
+  stats_ = campaign.stats();
 }
 
 void print_banner(const std::string& title) {
@@ -41,10 +42,21 @@ void print_banner(const std::string& title) {
   std::printf("%s\n", title.c_str());
   std::printf(
       "world scale %.2f | %zu exit nodes | %zu retained clients | "
-      "%llu mismatch-discarded | %llu failed measurements\n\n",
+      "%llu mismatch-discarded | %llu failed measurements\n",
       env.scale(), env.world().exit_count(), env.dataset().clients().size(),
       static_cast<unsigned long long>(env.dataset().discarded_mismatch),
       static_cast<unsigned long long>(env.dataset().failed_measurements));
+  const measure::CampaignStats& stats = env.stats();
+  std::printf(
+      "campaign: %d shard%s | %llu sessions | %llu events in %.2f s "
+      "(%.0f events/s)\n\n",
+      stats.shards, stats.shards == 1 ? "" : "s",
+      static_cast<unsigned long long>(stats.sessions),
+      static_cast<unsigned long long>(stats.events_processed),
+      stats.wall_seconds,
+      stats.wall_seconds > 0.0
+          ? static_cast<double>(stats.events_processed) / stats.wall_seconds
+          : 0.0);
 }
 
 }  // namespace dohperf::benchsupport

@@ -4,6 +4,8 @@
 // DOHPERF_SCALE   scales the client population (default 1.0 = paper scale,
 //                 ~22k clients; use 0.1 for a quick look).
 // DOHPERF_SEED    world seed (default 42).
+// DOHPERF_THREADS campaign worker shards (default: hardware concurrency).
+//                 The dataset is bit-identical for every value.
 #pragma once
 
 #include <memory>
@@ -35,12 +37,17 @@ class Env {
   [[nodiscard]] world::WorldModel& world() { return *world_; }
   [[nodiscard]] const measure::Dataset& dataset() const { return dataset_; }
   [[nodiscard]] double scale() const { return scale_; }
+  /// Execution counters of the campaign run (shards, events, wall time).
+  [[nodiscard]] const measure::CampaignStats& stats() const {
+    return stats_;
+  }
 
  private:
   Env();
   double scale_;
   std::unique_ptr<world::WorldModel> world_;
   measure::Dataset dataset_;
+  measure::CampaignStats stats_;
 };
 
 /// Prints the standard bench banner (scale, client counts, runtime note).

@@ -1,6 +1,11 @@
 #include "measure/campaign.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -10,55 +15,147 @@
 namespace dohperf::measure {
 namespace {
 
-/// One client session: 4 DoH measurements + 1 Do53 measurement.
-netsim::Task<void> measure_session(world::WorldModel& world,
-                                   const proxy::ExitNode& exit, int run,
-                                   const CampaignConfig& config,
-                                   Dataset& out) {
-  netsim::NetCtx net = world.ctx();
-  const geo::Country* true_country = geo::find_country(exit.true_iso2);
-  const netsim::Site sp_site =
-      world.brightdata().nearest_super_proxy(exit.site.position).site;
+/// Shard-independent description of one retained exit node, precomputed
+/// during enumeration so worker shards never touch the geolocation
+/// database or the Super Proxy catalog.
+struct ExitTask {
+  const proxy::ExitNode* exit = nullptr;
+  const geo::Country* true_country = nullptr;
+  /// Geolocated (/24) position — distances in the dataset use this, as
+  /// the paper does, not ground truth.
+  geo::LatLon located;
+  netsim::Site sp_site;
+};
 
-  // Distances in the dataset are computed from the geolocated (/24)
-  // position, as the paper does — not from ground truth.
-  const auto geo_record = world.maxmind().lookup(exit.prefix);
-  const geo::LatLon located =
-      geo_record ? geo_record->position : exit.site.position;
+/// One Atlas remedy country.
+struct AtlasTask {
+  std::string iso2;
+  int count = 0;
+  std::size_t slot_base = 0;  ///< First session slot of this country.
+};
 
-  // --- DoH: one measurement per studied provider ---------------------
-  for (std::size_t p = 0; p < world.providers().size(); ++p) {
-    anycast::Provider& provider = world.providers()[p];
+/// Everything one session writes. Each session owns exactly one slot, so
+/// shards never contend and the merge is a deterministic concatenation in
+/// canonical slot order regardless of scheduling.
+struct SessionOutput {
+  std::vector<DohRecord> doh;
+  std::vector<Do53Record> do53;
+  std::uint64_t failed = 0;
+};
+
+/// A shard's window onto the world: the shared immutable model plus the
+/// mutable server stack it must use — either a private replica or (serial
+/// reference path) the world's own servers.
+struct ShardView {
+  world::WorldModel& world;
+  netsim::Simulator& sim;
+  world::SimContext* replica = nullptr;  ///< nullptr = world's own stack.
+
+  resolver::DohServer& doh(std::size_t p, std::size_t i) {
+    return replica ? replica->doh_server(p, i) : world.doh_server(p, i);
+  }
+  resolver::AuthoritativeServer& authority() {
+    return replica ? replica->authority() : world.authority();
+  }
+  resolver::RecursiveResolver* local(resolver::RecursiveResolver* r) {
+    return replica ? replica->local(r) : r;
+  }
+};
+
+/// Per-shard, per-exit state persisting across the client's runs: the
+/// exit-node copy whose default resolver points into the shard's own
+/// stack, the sticky per-provider failure draws, and the hoisted
+/// nearest-PoP distance cache (previously a full catalog scan per
+/// provider per run).
+struct ExitState {
+  const ExitTask* task = nullptr;
+  proxy::ExitNode local_exit;
+  std::vector<bool> provider_failed;
+  std::vector<double> nearest_located_miles;
+};
+
+/// Stable per-session RNG keys. Sessions are keyed by what they measure
+/// (exit id + run, or Atlas country + index) — never by shard index or
+/// scheduling order — which is what makes the dataset independent of the
+/// thread count.
+std::string exit_session_key(std::uint64_t exit_id, int run) {
+  return "shard-exit-" + std::to_string(exit_id) + "-run-" +
+         std::to_string(run);
+}
+
+std::string atlas_session_key(const std::string& iso2, int index) {
+  return "shard-atlas-" + iso2 + "-" + std::to_string(index);
+}
+
+ExitState make_exit_state(ShardView& view, const ExitTask& task,
+                          const netsim::Rng& root,
+                          double provider_failure_rate) {
+  ExitState st;
+  st.task = &task;
+  st.local_exit = *task.exit;
+  st.local_exit.default_resolver = view.local(task.exit->default_resolver);
+
+  const auto providers = view.world.providers();
+  st.provider_failed.reserve(providers.size());
+  st.nearest_located_miles.reserve(providers.size());
+  for (const anycast::Provider& provider : providers) {
     // Failures persist per (client, provider) pair — a resolver that is
     // unreachable from a client's network stays unreachable across runs,
     // which is what makes Table 3's per-provider client counts fall
     // short of the Do53 total.
-    netsim::Rng failure_rng = net.rng.split(
-        "provider-fail-" + provider.name() + "-" +
-        std::to_string(exit.id));
-    if (failure_rng.bernoulli(config.provider_failure_rate)) {
-      ++out.failed_measurements;
+    netsim::Rng failure_rng =
+        root.split("provider-fail-" + provider.name() + "-" +
+                   std::to_string(task.exit->id));
+    st.provider_failed.push_back(
+        failure_rng.bernoulli(provider_failure_rate));
+
+    // Hoisted per-(exit, provider) nearest-PoP scan: the distance to the
+    // closest PoP *as geolocation sees it* (Figure 6's baseline) only
+    // depends on the client's located position, so compute it once per
+    // campaign instead of once per provider per run.
+    double nearest = geo::distance_miles(task.located,
+                                         provider.pops().front().position);
+    for (const anycast::Pop& pop : provider.pops()) {
+      nearest = std::min(nearest,
+                         geo::distance_miles(task.located, pop.position));
+    }
+    st.nearest_located_miles.push_back(nearest);
+  }
+  return st;
+}
+
+/// One client session: 4 DoH measurements + 1 Do53 measurement.
+netsim::Task<void> measure_session(ShardView& view, const ExitState& st,
+                                   int run, netsim::Rng session_rng,
+                                   SessionOutput& out) {
+  netsim::NetCtx net{view.sim, view.world.latency(), session_rng};
+  const ExitTask& task = *st.task;
+  const proxy::ExitNode& exit = st.local_exit;
+
+  // --- DoH: one measurement per studied provider ---------------------
+  for (std::size_t p = 0; p < view.world.providers().size(); ++p) {
+    anycast::Provider& provider = view.world.providers()[p];
+    if (st.provider_failed[p]) {
+      ++out.failed;
       continue;
     }
 
-    const std::size_t pop_index =
-        provider.route(exit.site.position, true_country->region, net.rng);
-    const std::size_t nearest_index =
-        provider.nearest(exit.site.position);
+    const std::size_t pop_index = provider.route(
+        exit.site.position, task.true_country->region, net.rng);
 
     DohProxyParams params;
-    params.client = world.measurement_client();
-    params.super_proxy = sp_site;
+    params.client = view.world.measurement_client();
+    params.super_proxy = task.sp_site;
     params.exit = &exit;
-    params.doh = &world.doh_server(p, pop_index);
+    params.doh = &view.doh(p, pop_index);
     params.doh_hostname = provider.config().doh_hostname;
-    params.tls = world.config().tls_version;
-    params.origin = world.origin();
+    params.tls = view.world.config().tls_version;
+    params.origin = view.world.origin();
 
     const DohProxyObservation obs =
         co_await doh_via_proxy(net, std::move(params));
     if (!obs.ok) {
-      ++out.failed_measurements;
+      ++out.failed;
       continue;
     }
 
@@ -69,38 +166,31 @@ netsim::Task<void> measure_session(world::WorldModel& world,
     rec.run = run;
     rec.pop_index = pop_index;
     rec.pop_distance_miles = geo::distance_miles(
-        located, provider.pops()[pop_index].position);
+        task.located, provider.pops()[pop_index].position);
     // "Potential improvement": distance to the PoP actually used minus
     // distance to the closest PoP *as geolocation sees it* (Figure 6).
-    double nearest_located_miles = geo::distance_miles(
-        located, provider.pops()[nearest_index].position);
-    for (const anycast::Pop& pop : provider.pops()) {
-      nearest_located_miles =
-          std::min(nearest_located_miles,
-                   geo::distance_miles(located, pop.position));
-    }
     rec.potential_improvement_miles =
-        rec.pop_distance_miles - nearest_located_miles;
+        rec.pop_distance_miles - st.nearest_located_miles[p];
     rec.tdoh_ms = estimate_tdoh_ms(obs.inputs);
     rec.tdohr_ms = estimate_tdohr_ms(obs.inputs);
-    out.add_doh(std::move(rec));
+    out.doh.push_back(std::move(rec));
   }
 
   // --- Do53 via the default resolver ----------------------------------
   Do53ProxyParams params;
-  params.client = world.measurement_client();
-  params.super_proxy = sp_site;
+  params.client = view.world.measurement_client();
+  params.super_proxy = task.sp_site;
   params.exit = &exit;
-  params.web_server = world.authority().site();  // co-hosted with a.com NS
-  params.origin = world.origin();
+  params.web_server = view.authority().site();  // co-hosted with a.com NS
+  params.origin = view.world.origin();
   params.resolve_at_super_proxy =
       proxy::resolves_dns_at_super_proxy(exit.advertised_iso2);
-  params.authority = &world.authority();
+  params.authority = &view.authority();
 
   const Do53ProxyObservation obs =
       co_await do53_via_proxy(net, std::move(params));
   if (!obs.ok) {
-    ++out.failed_measurements;
+    ++out.failed;
     co_return;
   }
   if (!obs.resolved_at_super_proxy) {
@@ -110,7 +200,7 @@ netsim::Task<void> measure_session(world::WorldModel& world,
     rec.run = run;
     rec.via_atlas = false;
     rec.do53_ms = obs.tun.dns_ms;
-    out.add_do53(std::move(rec));
+    out.do53.push_back(std::move(rec));
   }
   // In Super Proxy countries the header value reflects the Super Proxy's
   // own resolution and is discarded; Atlas fills the gap below.
@@ -119,17 +209,21 @@ netsim::Task<void> measure_session(world::WorldModel& world,
 /// One Atlas Do53 measurement in `iso2`.
 // `iso2` is taken by value: the caller's string may die while this
 // coroutine is suspended in the batch queue.
-netsim::Task<void> atlas_session(world::WorldModel& world, std::string iso2,
-                                 Dataset& out) {
-  netsim::NetCtx net = world.ctx();
-  const proxy::AtlasProbe* probe = world.atlas().pick_probe(iso2, net.rng);
+netsim::Task<void> atlas_session(ShardView& view, std::string iso2,
+                                 netsim::Rng session_rng,
+                                 SessionOutput& out) {
+  netsim::NetCtx net{view.sim, view.world.latency(), session_rng};
+  const proxy::AtlasProbe* probe =
+      view.world.atlas().pick_probe(iso2, net.rng);
   if (probe == nullptr) co_return;
+  proxy::AtlasProbe local_probe = *probe;
+  local_probe.default_resolver = view.local(probe->default_resolver);
   // Fresh UUID per measurement (cache-miss by construction).
-  const double ms = co_await world.atlas().measure_do53(
-      net, *probe,
-      world.origin().with_subdomain(resolver::uuid_label(net.rng)));
+  const double ms = co_await view.world.atlas().measure_do53(
+      net, local_probe,
+      view.world.origin().with_subdomain(resolver::uuid_label(net.rng)));
   if (ms < 0) {
-    ++out.failed_measurements;
+    ++out.failed;
     co_return;
   }
   Do53Record rec;
@@ -138,7 +232,71 @@ netsim::Task<void> atlas_session(world::WorldModel& world, std::string iso2,
   rec.run = 0;
   rec.via_atlas = true;
   rec.do53_ms = ms;
-  out.add_do53(std::move(rec));
+  out.do53.push_back(std::move(rec));
+}
+
+/// Runs every session owned by one shard (exit index and Atlas-country
+/// index modulo shard count) against `view`'s server stack. Returns the
+/// number of simulator events processed.
+std::uint64_t run_shard(ShardView view, int shard_index, int shard_count,
+                        const CampaignConfig& config,
+                        const netsim::Rng& root,
+                        const std::vector<ExitTask>& exits,
+                        const std::vector<AtlasTask>& atlas,
+                        std::vector<SessionOutput>& outputs) {
+  std::uint64_t events = 0;
+
+  // Per-exit state for this shard's slice, keyed by exit index.
+  std::vector<std::pair<std::size_t, ExitState>> states;
+  for (std::size_t e = 0; e < exits.size(); ++e) {
+    if (static_cast<int>(e % static_cast<std::size_t>(shard_count)) !=
+        shard_index) {
+      continue;
+    }
+    states.emplace_back(
+        e, make_exit_state(view, exits[e], root,
+                           config.provider_failure_rate));
+  }
+
+  // Run sessions in batches so coroutine frames stay bounded.
+  std::vector<netsim::Task<void>> batch;
+  batch.reserve(config.batch_size);
+  auto drain = [&] {
+    events += view.sim.run();
+    for (auto& task : batch) task.result();  // propagate exceptions
+    batch.clear();
+  };
+
+  for (int run = 0; run < config.runs_per_client; ++run) {
+    for (const auto& [e, st] : states) {
+      const std::size_t slot =
+          static_cast<std::size_t>(run) * exits.size() + e;
+      batch.push_back(measure_session(
+          view, st, run,
+          root.split(exit_session_key(st.task->exit->id, run)),
+          outputs[slot]));
+      if (batch.size() >= config.batch_size) drain();
+    }
+  }
+  drain();
+
+  // The Atlas remedy for the 11 Super Proxy countries.
+  for (std::size_t c = 0; c < atlas.size(); ++c) {
+    if (static_cast<int>(c % static_cast<std::size_t>(shard_count)) !=
+        shard_index) {
+      continue;
+    }
+    const AtlasTask& t = atlas[c];
+    for (int i = 0; i < t.count; ++i) {
+      batch.push_back(atlas_session(
+          view, t.iso2, root.split(atlas_session_key(t.iso2, i)),
+          outputs[t.slot_base + static_cast<std::size_t>(i)]));
+      if (batch.size() >= config.batch_size) drain();
+    }
+  }
+  drain();
+
+  return events;
 }
 
 }  // namespace
@@ -146,11 +304,30 @@ netsim::Task<void> atlas_session(world::WorldModel& world, std::string iso2,
 Campaign::Campaign(world::WorldModel& world, CampaignConfig config)
     : world_(world), config_(config) {}
 
+int Campaign::threads_from_env() {
+  if (const char* value = std::getenv("DOHPERF_THREADS")) {
+    const int n = std::atoi(value);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
 Dataset Campaign::run() {
+  const int threads = config_.threads > 0 ? config_.threads
+                                          : threads_from_env();
+  return run_impl(std::max(1, threads));
+}
+
+Dataset Campaign::run_serial() { return run_impl(0); }
+
+Dataset Campaign::run_impl(int shards) {
+  const auto wall_start = std::chrono::steady_clock::now();
   Dataset out;
 
-  // Enumerate retained clients (Maxmind cross-check first).
-  std::vector<const proxy::ExitNode*> retained;
+  // --- Enumerate retained clients (Maxmind cross-check first), in the
+  // canonical order: countries as built, exits as enrolled. ------------
+  std::vector<ExitTask> exits;
   for (const std::string& iso2 : world_.countries()) {
     for (const std::uint64_t id : world_.brightdata().exits_in(iso2)) {
       const proxy::ExitNode* exit = world_.brightdata().find(id);
@@ -159,7 +336,13 @@ Dataset Campaign::run() {
         ++out.discarded_mismatch;
         continue;
       }
-      retained.push_back(exit);
+      ExitTask task;
+      task.exit = exit;
+      task.true_country = geo::find_country(exit->true_iso2);
+      task.located = geo_record->position;
+      task.sp_site =
+          world_.brightdata().nearest_super_proxy(exit->site.position).site;
+      exits.push_back(std::move(task));
 
       ClientInfo info;
       info.exit_id = exit->id;
@@ -171,35 +354,78 @@ Dataset Campaign::run() {
     }
   }
 
-  // Run sessions in batches so coroutine frames stay bounded.
-  std::vector<netsim::Task<void>> batch;
-  batch.reserve(config_.batch_size);
-  auto drain = [&] {
-    world_.sim().run();
-    for (auto& task : batch) task.result();  // propagate exceptions
-    batch.clear();
-  };
-
-  for (int run = 0; run < config_.runs_per_client; ++run) {
-    for (const proxy::ExitNode* exit : retained) {
-      batch.push_back(measure_session(world_, *exit, run, config_, out));
-      if (batch.size() >= config_.batch_size) drain();
-    }
-  }
-  drain();
-
-  // The Atlas remedy for the 11 Super Proxy countries.
+  // --- Lay out the canonical session slots: run-major exit sessions,
+  // then Atlas sessions in Super Proxy country order. ------------------
+  std::size_t n_sessions =
+      static_cast<std::size_t>(config_.runs_per_client) * exits.size();
+  std::vector<AtlasTask> atlas;
   for (const std::string_view iso2_sv : proxy::kSuperProxyCountries) {
     const std::string iso2(iso2_sv);
     if (!world_.atlas().has_probes_in(iso2)) continue;
-    const int n = config_.atlas_measurements_per_country;
-    for (int i = 0; i < n; ++i) {
-      batch.push_back(atlas_session(world_, iso2, out));
-      if (batch.size() >= config_.batch_size) drain();
-    }
+    AtlasTask t;
+    t.iso2 = iso2;
+    t.count = config_.atlas_measurements_per_country;
+    t.slot_base = n_sessions;
+    n_sessions += static_cast<std::size_t>(t.count);
+    atlas.push_back(std::move(t));
   }
-  drain();
+  std::vector<SessionOutput> outputs(n_sessions);
 
+  // Session randomness descends from the world seed through stable keys
+  // only; split() is a pure function of (seed, tag), so the root can be
+  // derived regardless of how much the world RNG has already been used.
+  const netsim::Rng root = world_.rng().split("campaign-sessions");
+
+  // --- Execute ---------------------------------------------------------
+  std::uint64_t events = 0;
+  if (shards == 0) {
+    // Serial reference path: the world's own simulator and servers.
+    events = run_shard(ShardView{world_, world_.sim(), nullptr}, 0, 1,
+                       config_, root, exits, atlas, outputs);
+    stats_.shards = 1;
+  } else {
+    std::vector<std::thread> workers;
+    std::vector<std::uint64_t> shard_events(
+        static_cast<std::size_t>(shards), 0);
+    std::vector<std::exception_ptr> errors(
+        static_cast<std::size_t>(shards));
+    workers.reserve(static_cast<std::size_t>(shards));
+    for (int s = 0; s < shards; ++s) {
+      workers.emplace_back([&, s] {
+        try {
+          // Each worker builds (and owns) its replica so even the server
+          // stack replication runs in parallel.
+          const std::unique_ptr<world::SimContext> replica =
+              world_.make_replica();
+          shard_events[static_cast<std::size_t>(s)] = run_shard(
+              ShardView{world_, replica->sim(), replica.get()}, s, shards,
+              config_, root, exits, atlas, outputs);
+        } catch (...) {
+          errors[static_cast<std::size_t>(s)] = std::current_exception();
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    for (const auto& error : errors) {
+      if (error) std::rethrow_exception(error);
+    }
+    for (const std::uint64_t n : shard_events) events += n;
+    stats_.shards = shards;
+  }
+
+  // --- Merge in canonical slot order -----------------------------------
+  for (SessionOutput& slot : outputs) {
+    for (DohRecord& rec : slot.doh) out.add_doh(std::move(rec));
+    for (Do53Record& rec : slot.do53) out.add_do53(std::move(rec));
+    out.failed_measurements += slot.failed;
+  }
+
+  stats_.sessions = n_sessions;
+  stats_.events_processed = events;
+  stats_.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   return out;
 }
 

@@ -6,7 +6,19 @@
 // resolution per studied provider plus one Do53 resolution via the
 // client's default resolver. Do53 in the 11 Super Proxy countries is
 // collected from the RIPE Atlas-like network instead (Section 3.5).
+//
+// Execution is sharded: the retained exit nodes (and the Atlas countries)
+// are partitioned across worker threads, each with its own simulator,
+// event queue, and replicated server stack (world::SimContext). Every
+// session draws its randomness from a private substream keyed by a stable
+// identifier ("shard-exit-<id>-run-<n>" / "shard-atlas-<iso2>-<i>"), never
+// by shard index or scheduling order, and the per-shard datasets are
+// merged in canonical (exit_id, run, provider) order — so the output is
+// bit-identical for every thread count, including the serial reference
+// path.
 #pragma once
+
+#include <cstdint>
 
 #include "measure/dataset.h"
 #include "world/world_model.h"
@@ -25,6 +37,19 @@ struct CampaignConfig {
   int atlas_measurements_per_country = 250;
   /// Measurement flows launched concurrently per simulator batch.
   std::size_t batch_size = 256;
+  /// Worker shards executing the campaign concurrently. 0 = take
+  /// DOHPERF_THREADS from the environment, falling back to the hardware
+  /// concurrency. The dataset is bit-identical for every value.
+  int threads = 0;
+};
+
+/// Execution counters of the last Campaign::run() / run_serial() (used by
+/// the benches to track the sharding speedup).
+struct CampaignStats {
+  int shards = 0;
+  std::uint64_t sessions = 0;
+  std::uint64_t events_processed = 0;
+  double wall_seconds = 0.0;
 };
 
 /// Runs the campaign over an assembled world.
@@ -32,12 +57,29 @@ class Campaign {
  public:
   explicit Campaign(world::WorldModel& world, CampaignConfig config = {});
 
-  /// Executes every session and returns the collected dataset.
+  /// Executes every session, sharded across worker threads (see
+  /// CampaignConfig::threads), and returns the merged dataset.
   [[nodiscard]] Dataset run();
 
+  /// Reference path: every session on the world's own simulator and
+  /// server stack, no replicas, no threads. run() at any thread count is
+  /// bit-identical to this.
+  [[nodiscard]] Dataset run_serial();
+
+  /// Counters of the most recent run.
+  [[nodiscard]] const CampaignStats& stats() const { return stats_; }
+
+  /// DOHPERF_THREADS from the environment, falling back to
+  /// std::thread::hardware_concurrency() (minimum 1).
+  [[nodiscard]] static int threads_from_env();
+
  private:
+  /// `shards` == 0 selects the serial reference path.
+  Dataset run_impl(int shards);
+
   world::WorldModel& world_;
   CampaignConfig config_;
+  CampaignStats stats_;
 };
 
 }  // namespace dohperf::measure

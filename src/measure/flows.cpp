@@ -21,7 +21,6 @@ using netsim::Task;
 using netsim::from_ms;
 using netsim::ms_between;
 
-constexpr SimTime kEpoch{};
 
 /// One message crossing the established tunnel client -> exit.
 Task<void> tunnel_forward(NetCtx& net, const Site& client, const Site& sp,
@@ -94,8 +93,16 @@ Task<DohProxyObservation> doh_via_proxy(NetCtx& net, DohProxyParams params) {
   const Site& exit = params.exit->site;
   const Site pop = params.doh->site();
 
+  // The client's timestamps are taken relative to the session's own
+  // start rather than the simulation epoch: only the differences
+  // T_B-T_A and T_D-T_C enter Equations 6-8, and session-relative
+  // values keep the double arithmetic independent of how far the
+  // simulated clock has already advanced (required for the sharded
+  // campaign's bit-identical-output guarantee).
+  const SimTime session_epoch = net.sim.now();
+
   // ---- Steps 1-8: establish the TCP tunnel -------------------------
-  obs.inputs.stamps.t_a = ms_between(kEpoch, net.sim.now());
+  obs.inputs.stamps.t_a = ms_between(session_epoch, net.sim.now());
 
   transport::HttpRequest connect_req;
   connect_req.method = "CONNECT";
@@ -137,12 +144,12 @@ Task<DohProxyObservation> doh_via_proxy(NetCtx& net, DohProxyParams params) {
   co_await net.process(from_ms(kSuperProxyForwardMs));
   co_await net.hop(sp, client, ok_wire.size());       // t8
 
-  obs.inputs.stamps.t_b = ms_between(kEpoch, net.sim.now());
+  obs.inputs.stamps.t_b = ms_between(session_epoch, net.sim.now());
   const auto parsed = transport::parse_response(ok_wire);
   if (!parsed || !extract_inputs(*parsed, obs.inputs)) co_return obs;
 
   // ---- Steps 9-14: TLS handshake through the tunnel ------------------
-  obs.inputs.stamps.t_c = ms_between(kEpoch, net.sim.now());
+  obs.inputs.stamps.t_c = ms_between(session_epoch, net.sim.now());
 
   co_await tunnel_forward(net, client, sp, exit,
                           transport::kClientHelloBytes);  // t9, t10
@@ -187,7 +194,7 @@ Task<DohProxyObservation> doh_via_proxy(NetCtx& net, DohProxyParams params) {
   obs.true_query_ms = ms_between(leg_start, net.sim.now());
   co_await tunnel_backward(net, client, sp, exit, resp_bytes);  // t21, t22
 
-  obs.inputs.stamps.t_d = ms_between(kEpoch, net.sim.now());
+  obs.inputs.stamps.t_d = ms_between(session_epoch, net.sim.now());
   obs.http_status = doh_resp.status;
   obs.ok = doh_resp.status == 200;
   co_return obs;

@@ -1,18 +1,42 @@
 #include "netsim/event_queue.h"
 
-#include <memory>
 #include <utility>
 
 namespace dohperf::netsim {
 
 void EventQueue::push(SimTime at, Callback fn) {
-  heap_.push(Event{at, next_seq_++,
-                   std::make_shared<Callback>(std::move(fn))});
+  Event event{at, next_seq_++, std::move(fn)};
+  // Hole-based sift-up: shift parents down into the hole instead of
+  // swapping, so each displaced event moves exactly once.
+  std::size_t hole = heap_.size();
+  heap_.emplace_back();
+  while (hole > 0) {
+    const std::size_t parent = (hole - 1) / 2;
+    if (!before(event, heap_[parent])) break;
+    heap_[hole] = std::move(heap_[parent]);
+    hole = parent;
+  }
+  heap_[hole] = std::move(event);
 }
 
 EventQueue::Callback EventQueue::pop() {
-  Callback fn = std::move(*heap_.top().fn);
-  heap_.pop();
+  Callback fn = std::move(heap_.front().fn);
+  Event tail = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    // Hole-based sift-down of the detached tail element from the root.
+    const std::size_t n = heap_.size();
+    std::size_t hole = 0;
+    for (;;) {
+      std::size_t child = 2 * hole + 1;
+      if (child >= n) break;
+      if (child + 1 < n && before(heap_[child + 1], heap_[child])) ++child;
+      if (!before(heap_[child], tail)) break;
+      heap_[hole] = std::move(heap_[child]);
+      hole = child;
+    }
+    heap_[hole] = std::move(tail);
+  }
   return fn;
 }
 

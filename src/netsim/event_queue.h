@@ -1,10 +1,17 @@
 // Time-ordered event queue for the discrete-event simulator.
+//
+// Implemented as a flat binary min-heap over movable callback slots.
+// std::priority_queue only exposes const access to top(), which used to
+// force a std::shared_ptr<Callback> per event just to move the callback
+// out on pop. The flat heap owns its slots, so push() stores the callback
+// in place and pop() moves it straight out: no per-event heap allocation
+// beyond the callback itself — and the simulator's callbacks (coroutine
+// resumptions, a single handle) fit std::function's small-buffer storage,
+// so the steady-state hot loop allocates nothing at all.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
 #include "netsim/time.h"
@@ -26,27 +33,28 @@ class EventQueue {
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
 
   /// Time of the earliest pending event. Requires !empty().
-  [[nodiscard]] SimTime next_time() const { return heap_.top().at; }
+  [[nodiscard]] SimTime next_time() const { return heap_.front().at; }
 
   /// Removes and returns the earliest event's callback. Requires !empty().
   [[nodiscard]] Callback pop();
+
+  /// Pre-sizes the slot array for an expected event population.
+  void reserve(std::size_t n) { heap_.reserve(n); }
 
  private:
   struct Event {
     SimTime at;
     std::uint64_t seq;
-    // Shared rather than unique because std::priority_queue only exposes
-    // const access to top(); shared_ptr lets us move the callback out
-    // without mutating the heap node.
-    std::shared_ptr<Callback> fn;
-
-    bool operator>(const Event& other) const {
-      if (at != other.at) return at > other.at;
-      return seq > other.seq;
-    }
+    Callback fn;
   };
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  /// True if `a` must fire strictly before `b`.
+  static bool before(const Event& a, const Event& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+
+  std::vector<Event> heap_;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -20,6 +20,23 @@ std::uint32_t provider_vip(std::size_t provider_index) {
 
 constexpr std::uint32_t kWebServerAddress = 0xCF000001;  // the a.com host
 
+/// Instantiates a recursive resolver from its recorded build parameters.
+resolver::RecursiveResolver resolver_from_spec(
+    const ResolverSpec& spec, resolver::AuthoritativeServer* authority) {
+  resolver::RecursiveResolver r(spec.name, spec.site, spec.address,
+                                authority, spec.processing);
+  r.set_ecs_policy(spec.ecs);
+  return r;
+}
+
+/// Instantiates a DoH server (front-end + co-located backend) from specs.
+std::unique_ptr<resolver::DohServer> doh_from_spec(
+    const DohServerSpec& spec, resolver::AuthoritativeServer* authority) {
+  return std::make_unique<resolver::DohServer>(
+      spec.hostname, spec.frontend,
+      resolver_from_spec(spec.backend, authority));
+}
+
 }  // namespace
 
 WorldModel::WorldModel(WorldConfig config)
@@ -88,10 +105,19 @@ void WorldModel::build_providers() {
     providers_ = anycast::studied_providers();
   }
   doh_servers_.resize(providers_.size());
+  doh_specs_.resize(providers_.size());
+
+  bootstrap_names_.reserve(providers_.size());
+  for (std::size_t p = 0; p < providers_.size(); ++p) {
+    bootstrap_names_.emplace_back(
+        dns::DomainName::parse(providers_[p].config().doh_hostname),
+        provider_vip(p));
+  }
 
   for (std::size_t p = 0; p < providers_.size(); ++p) {
     const anycast::Provider& provider = providers_[p];
     doh_servers_[p].reserve(provider.pops().size());
+    doh_specs_[p].reserve(provider.pops().size());
     for (std::size_t i = 0; i < provider.pops().size(); ++i) {
       // The PoP's long-haul legs ride its host country's transit,
       // moderated by the provider's own peering (backbone_factor).
@@ -99,20 +125,54 @@ void WorldModel::build_providers() {
           geo::find_country(provider.pops()[i].country_iso2);
       const CountryNetProfile host_profile =
           profile_for(*host, config_.couple_infra);
-      resolver::RecursiveResolver backend(
+      DohServerSpec spec;
+      spec.hostname = provider.config().doh_hostname;
+      spec.frontend =
+          provider.frontend_site(i, host_profile.route_inflation);
+      spec.backend = ResolverSpec{
           provider.name() + "@" + provider.pops()[i].city,
           provider.backend_site(i, host_profile.route_inflation),
-          next_address_++, authority_.get(),
-          netsim::from_ms(provider.config().processing_ms));
-      backend.set_ecs_policy(provider.config().sends_ecs
-                                 ? resolver::EcsPolicy::kForwardSlash24
-                                 : resolver::EcsPolicy::kNever);
-      doh_servers_[p].push_back(std::make_unique<resolver::DohServer>(
-          provider.config().doh_hostname,
-          provider.frontend_site(i, host_profile.route_inflation),
-          std::move(backend)));
+          next_address_++,
+          netsim::from_ms(provider.config().processing_ms),
+          provider.config().sends_ecs ? resolver::EcsPolicy::kForwardSlash24
+                                      : resolver::EcsPolicy::kNever};
+      doh_servers_[p].push_back(doh_from_spec(spec, authority_.get()));
+      doh_specs_[p].push_back(std::move(spec));
     }
   }
+}
+
+void WorldModel::prewarm_bootstrap_names(resolver::RecursiveResolver& r,
+                                         netsim::SimTime now) const {
+  for (const auto& [host, vip] : bootstrap_names_) {
+    dns::ResourceRecord a;
+    a.name = host;
+    a.ttl = 1000000000;  // never expires within a campaign
+    a.rdata = dns::ARecord{vip};
+    r.cache().insert(now, host, dns::RecordType::kA, {a});
+  }
+}
+
+std::unique_ptr<SimContext> WorldModel::make_replica() const {
+  auto ctx = std::unique_ptr<SimContext>(new SimContext);
+  ctx->authority_ = std::make_unique<resolver::AuthoritativeServer>(
+      authority_->zone(), authority_->site(), authority_->processing_delay());
+
+  ctx->doh_.resize(doh_specs_.size());
+  for (std::size_t p = 0; p < doh_specs_.size(); ++p) {
+    ctx->doh_[p].reserve(doh_specs_[p].size());
+    for (const DohServerSpec& spec : doh_specs_[p]) {
+      ctx->doh_[p].push_back(doh_from_spec(spec, ctx->authority_.get()));
+    }
+  }
+
+  for (std::size_t i = 0; i < isp_specs_.size(); ++i) {
+    ctx->resolvers_.push_back(
+        resolver_from_spec(isp_specs_[i], ctx->authority_.get()));
+    prewarm_bootstrap_names(ctx->resolvers_.back(), ctx->sim_.now());
+    ctx->remap_[&isp_resolvers_[i]] = &ctx->resolvers_.back();
+  }
+  return ctx;
 }
 
 resolver::DohServer& WorldModel::doh_server(std::size_t provider_index,
@@ -153,12 +213,12 @@ void WorldModel::build_country(const geo::Country& country) {
       processing_ms *= 6.0;
       site.route_inflation *= 2.5;
     }
-    isp_resolvers_.emplace_back(
-        iso2 + "-isp" + std::to_string(i), site, next_address_++,
-        authority_.get(), netsim::from_ms(processing_ms));
     // ISP resolvers commonly forward ECS so CDNs can localise answers.
-    isp_resolvers_.back().set_ecs_policy(
-        resolver::EcsPolicy::kForwardSlash24);
+    ResolverSpec spec{iso2 + "-isp" + std::to_string(i), site,
+                      next_address_++, netsim::from_ms(processing_ms),
+                      resolver::EcsPolicy::kForwardSlash24};
+    isp_resolvers_.push_back(resolver_from_spec(spec, authority_.get()));
+    isp_specs_.push_back(std::move(spec));
     resolvers.push_back(&isp_resolvers_.back());
     all_resolvers_.push_back(&isp_resolvers_.back());
   }
@@ -167,15 +227,7 @@ void WorldModel::build_country(const geo::Country& country) {
   // are among the hottest names on the Internet and never miss in
   // practice.
   for (resolver::RecursiveResolver* r : resolvers) {
-    for (std::size_t p = 0; p < providers_.size(); ++p) {
-      const dns::DomainName host =
-          dns::DomainName::parse(providers_[p].config().doh_hostname);
-      dns::ResourceRecord a;
-      a.name = host;
-      a.ttl = 1000000000;  // never expires within a campaign
-      a.rdata = dns::ARecord{provider_vip(p)};
-      r->cache().insert(sim_.now(), host, dns::RecordType::kA, {a});
-    }
+    prewarm_bootstrap_names(*r, sim_.now());
   }
 
   isp_by_country_[iso2] = resolvers;

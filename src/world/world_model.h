@@ -10,6 +10,7 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "anycast/provider.h"
@@ -24,6 +25,65 @@
 #include "world/sites.h"
 
 namespace dohperf::world {
+
+/// Recorded constructor parameters for one recursive resolver, captured at
+/// world build time so per-shard replicas can be instantiated later
+/// without consuming any build randomness.
+struct ResolverSpec {
+  std::string name;
+  netsim::Site site;
+  std::uint32_t address = 0;
+  netsim::Duration processing{};
+  resolver::EcsPolicy ecs = resolver::EcsPolicy::kNever;
+};
+
+/// Recorded constructor parameters for one DoH front-end + backend pair.
+struct DohServerSpec {
+  std::string hostname;
+  netsim::Site frontend;
+  ResolverSpec backend;
+};
+
+/// Per-shard mutable simulation state: a private clock + event queue and a
+/// private copy of every server whose internal state evolves while a
+/// campaign runs (the authoritative server, the DoH fleets, and the ISP
+/// resolvers with their caches). The immutable world — geo tables, PoP
+/// catalogs, provider configs, the exit-node population, the geolocation
+/// database — stays inside WorldModel and is shared read-only across any
+/// number of concurrently-running SimContexts.
+class SimContext {
+ public:
+  SimContext(const SimContext&) = delete;
+  SimContext& operator=(const SimContext&) = delete;
+
+  [[nodiscard]] netsim::Simulator& sim() { return sim_; }
+  [[nodiscard]] resolver::AuthoritativeServer& authority() {
+    return *authority_;
+  }
+  [[nodiscard]] resolver::DohServer& doh_server(std::size_t provider_index,
+                                                std::size_t pop_index) {
+    return *doh_.at(provider_index).at(pop_index);
+  }
+  /// This shard's clone of a world-owned ISP resolver (exit nodes and
+  /// Atlas probes point at the world's instances; measurements must run
+  /// against the shard-local copies).
+  [[nodiscard]] resolver::RecursiveResolver* local(
+      const resolver::RecursiveResolver* world_resolver) const {
+    return remap_.at(world_resolver);
+  }
+
+ private:
+  friend class WorldModel;
+  SimContext() = default;
+
+  netsim::Simulator sim_;
+  std::unique_ptr<resolver::AuthoritativeServer> authority_;
+  std::vector<std::vector<std::unique_ptr<resolver::DohServer>>> doh_;
+  std::deque<resolver::RecursiveResolver> resolvers_;
+  std::unordered_map<const resolver::RecursiveResolver*,
+                     resolver::RecursiveResolver*>
+      remap_;
+};
 
 /// World construction parameters.
 struct WorldConfig {
@@ -109,10 +169,21 @@ class WorldModel {
     return brightdata_.exit_count();
   }
 
+  /// Builds a fresh per-shard simulation context whose servers replicate
+  /// this world's at campaign start — same sites, addresses, processing
+  /// delays, zone data, and pre-warmed caches — but whose mutable state
+  /// (clock, event queue, caches, counters) is private. Thread-safe:
+  /// only reads the recorded build specs.
+  [[nodiscard]] std::unique_ptr<SimContext> make_replica() const;
+
  private:
   void build_authority();
   void build_providers();
   void build_country(const geo::Country& country);
+  /// Inserts the never-expiring provider-hostname A records (the
+  /// ultra-hot bootstrap names) into `r`'s cache.
+  void prewarm_bootstrap_names(resolver::RecursiveResolver& r,
+                               netsim::SimTime now) const;
 
   WorldConfig config_;
   netsim::Simulator sim_;
@@ -126,6 +197,12 @@ class WorldModel {
   std::vector<anycast::Provider> providers_;
   /// doh_servers_[provider][pop].
   std::vector<std::vector<std::unique_ptr<resolver::DohServer>>> doh_servers_;
+  /// Build-time records mirroring doh_servers_ / isp_resolvers_, consumed
+  /// by make_replica().
+  std::vector<std::vector<DohServerSpec>> doh_specs_;
+  std::vector<ResolverSpec> isp_specs_;
+  /// (hostname, anycast VIP) pairs pre-warmed into every ISP resolver.
+  std::vector<std::pair<dns::DomainName, std::uint32_t>> bootstrap_names_;
 
   /// Stable-address storage for ISP resolvers.
   std::deque<resolver::RecursiveResolver> isp_resolvers_;

@@ -1,0 +1,139 @@
+// Sharding determinism regression tests.
+//
+// The campaign's contract: the merged dataset is BIT-identical for every
+// shard count, and identical to the serial reference path
+// (Campaign::run_serial). Every field is compared exactly — doubles
+// included — because sharding must not perturb a single bit of output.
+// A small world (client_scale = 0.05) keeps each campaign around a
+// second; each run builds a fresh world from the same seed since a
+// campaign warms the world's mutable server state.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "measure/campaign.h"
+#include "measure/dataset.h"
+#include "world/world_model.h"
+
+namespace dohperf::measure {
+namespace {
+
+constexpr double kScale = 0.05;
+constexpr std::uint64_t kSeed = 99;
+
+std::unique_ptr<world::WorldModel> fresh_world() {
+  world::WorldConfig config;
+  config.seed = kSeed;
+  config.client_scale = kScale;
+  return std::make_unique<world::WorldModel>(config);
+}
+
+CampaignConfig campaign_config(int threads) {
+  CampaignConfig config;
+  config.atlas_measurements_per_country = 20;
+  config.threads = threads;
+  return config;
+}
+
+Dataset run_with_shards(int threads) {
+  auto world = fresh_world();
+  Campaign campaign(*world, campaign_config(threads));
+  return campaign.run();
+}
+
+void expect_identical(const Dataset& a, const Dataset& b) {
+  EXPECT_EQ(a.discarded_mismatch, b.discarded_mismatch);
+  EXPECT_EQ(a.failed_measurements, b.failed_measurements);
+
+  ASSERT_EQ(a.clients().size(), b.clients().size());
+  for (auto ia = a.clients().begin(), ib = b.clients().begin();
+       ia != a.clients().end(); ++ia, ++ib) {
+    EXPECT_EQ(ia->first, ib->first);
+    EXPECT_EQ(ia->second.iso2, ib->second.iso2);
+    EXPECT_EQ(ia->second.position.lat, ib->second.position.lat);
+    EXPECT_EQ(ia->second.position.lon, ib->second.position.lon);
+    EXPECT_EQ(ia->second.nameserver_distance_miles,
+              ib->second.nameserver_distance_miles);
+  }
+
+  ASSERT_EQ(a.doh().size(), b.doh().size());
+  for (std::size_t i = 0; i < a.doh().size(); ++i) {
+    const DohRecord& ra = a.doh()[i];
+    const DohRecord& rb = b.doh()[i];
+    EXPECT_EQ(ra.exit_id, rb.exit_id) << i;
+    EXPECT_EQ(ra.iso2, rb.iso2) << i;
+    EXPECT_EQ(ra.provider, rb.provider) << i;
+    EXPECT_EQ(ra.run, rb.run) << i;
+    EXPECT_EQ(ra.pop_index, rb.pop_index) << i;
+    EXPECT_EQ(ra.pop_distance_miles, rb.pop_distance_miles) << i;
+    EXPECT_EQ(ra.potential_improvement_miles,
+              rb.potential_improvement_miles)
+        << i;
+    EXPECT_EQ(ra.tdoh_ms, rb.tdoh_ms) << i;
+    EXPECT_EQ(ra.tdohr_ms, rb.tdohr_ms) << i;
+  }
+
+  ASSERT_EQ(a.do53().size(), b.do53().size());
+  for (std::size_t i = 0; i < a.do53().size(); ++i) {
+    const Do53Record& ra = a.do53()[i];
+    const Do53Record& rb = b.do53()[i];
+    EXPECT_EQ(ra.exit_id, rb.exit_id) << i;
+    EXPECT_EQ(ra.iso2, rb.iso2) << i;
+    EXPECT_EQ(ra.run, rb.run) << i;
+    EXPECT_EQ(ra.via_atlas, rb.via_atlas) << i;
+    EXPECT_EQ(ra.do53_ms, rb.do53_ms) << i;
+  }
+}
+
+// Golden reference: the serial path on the world's own simulator, shared
+// by every comparison below (campaigns are deterministic, so one run
+// serves as the fixture).
+const Dataset& golden_serial() {
+  static const Dataset data = [] {
+    auto world = fresh_world();
+    Campaign campaign(*world, campaign_config(1));
+    return campaign.run_serial();
+  }();
+  return data;
+}
+
+TEST(DeterminismTest, OneShardMatchesGoldenSerialRun) {
+  expect_identical(run_with_shards(1), golden_serial());
+}
+
+TEST(DeterminismTest, TwoShardsMatchGoldenSerialRun) {
+  expect_identical(run_with_shards(2), golden_serial());
+}
+
+TEST(DeterminismTest, FourShardsMatchGoldenSerialRun) {
+  expect_identical(run_with_shards(4), golden_serial());
+}
+
+TEST(DeterminismTest, RepeatedShardedRunsAreIdentical) {
+  expect_identical(run_with_shards(3), run_with_shards(3));
+}
+
+TEST(DeterminismTest, SerialPathReportsOneShard) {
+  auto world = fresh_world();
+  Campaign campaign(*world, campaign_config(1));
+  const Dataset data = campaign.run_serial();
+  EXPECT_FALSE(data.doh().empty());
+  EXPECT_EQ(campaign.stats().shards, 1);
+  EXPECT_GT(campaign.stats().sessions, 0u);
+  EXPECT_GT(campaign.stats().events_processed, 0u);
+  EXPECT_GT(campaign.stats().wall_seconds, 0.0);
+}
+
+TEST(DeterminismTest, StatsCountShardsAndSessions) {
+  auto world = fresh_world();
+  Campaign campaign(*world, campaign_config(4));
+  const Dataset data = campaign.run();
+  EXPECT_EQ(campaign.stats().shards, 4);
+  // Every DoH/Do53 row came out of some session slot.
+  EXPECT_GE(campaign.stats().sessions * 5,
+            data.doh().size() + data.do53().size());
+  EXPECT_GT(campaign.stats().events_processed, 0u);
+}
+
+}  // namespace
+}  // namespace dohperf::measure
