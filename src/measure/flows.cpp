@@ -140,7 +140,7 @@ Task<DohProxyObservation> doh_via_proxy(NetCtx& net, DohProxyParams params) {
       make_tunnel_response(tun, overheads);
   const std::string ok_wire = ok_resp.serialize();
   co_await net.process(from_ms(proxy::kExitForwardingMs));
-  co_await net.hop(exit, sp, 80);                     // t7
+  co_await net.hop(exit, sp, ok_wire.size());         // t7
   co_await net.process(from_ms(kSuperProxyForwardMs));
   co_await net.hop(sp, client, ok_wire.size());       // t8
 
@@ -312,7 +312,7 @@ Task<Do53ProxyObservation> do53_via_proxy(NetCtx& net,
       make_tunnel_response(tun, overheads);
   const std::string ok_wire = ok_resp.serialize();
   co_await net.process(from_ms(proxy::kExitForwardingMs));
-  co_await net.hop(exit, sp, 80);
+  co_await net.hop(exit, sp, ok_wire.size());
   co_await net.process(from_ms(kSuperProxyForwardMs));
   co_await net.hop(sp, client, ok_wire.size());
 
