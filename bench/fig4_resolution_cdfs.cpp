@@ -54,8 +54,9 @@ int main() {
       "DoHR 257/315/324/298 for Cloudflare/Google/NextDNS/Quad9.");
   std::fputs(table.render().c_str(), stdout);
 
-  csv.write_file("fig4_cdfs.csv");
-  std::printf("CDF series written to fig4_cdfs.csv (%zu rows)\n",
+  const std::string csv_path = benchsupport::out_path("fig4_cdfs.csv");
+  csv.write_file(csv_path);
+  std::printf("CDF series written to %s (%zu rows)\n", csv_path.c_str(),
               csv.row_count());
   std::printf(
       "Cloudflare DoHR median - Do53 median: %.0f ms (paper: ~+7 ms; "

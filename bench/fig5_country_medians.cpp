@@ -39,8 +39,10 @@ int main() {
       }
     }
   }
-  csv.write_file("fig5_country_medians.csv");
-  std::printf("map data written to fig5_country_medians.csv (%zu rows)\n\n",
+  const std::string csv_path =
+      benchsupport::out_path("fig5_country_medians.csv");
+  csv.write_file(csv_path);
+  std::printf("map data written to %s (%zu rows)\n\n", csv_path.c_str(),
               csv.row_count());
 
   // Named observations from the paper's Section 5.3.

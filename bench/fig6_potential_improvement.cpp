@@ -57,7 +57,9 @@ int main() {
       "NextDNS is near-optimal; 26% of Cloudflare clients could move "
       ">=1000 mi closer vs 10% for Google.");
   std::fputs(table.render().c_str(), stdout);
-  csv.write_file("fig6_potential_improvement.csv");
-  std::printf("CDF series written to fig6_potential_improvement.csv\n");
+  const std::string csv_path =
+      benchsupport::out_path("fig6_potential_improvement.csv");
+  csv.write_file(csv_path);
+  std::printf("CDF series written to %s\n", csv_path.c_str());
   return 0;
 }

@@ -23,7 +23,7 @@ int main() {
       by_region[std::string(geo::to_string(c->region))] += 1;
     }
   }
-  csv.write_file("fig8_clients.csv");
+  csv.write_file(benchsupport::out_path("fig8_clients.csv"));
 
   report::Table table("Clients by region");
   table.header({"Region", "clients"});

@@ -36,7 +36,9 @@ int main() {
       "but hauls South American clients across continents; Google's "
       "sparse catalog still yields moderate distances.");
   std::fputs(table.render().c_str(), stdout);
-  csv.write_file("fig9_pop_distance.csv");
-  std::printf("CDF series written to fig9_pop_distance.csv\n");
+  const std::string csv_path =
+      benchsupport::out_path("fig9_pop_distance.csv");
+  csv.write_file(csv_path);
+  std::printf("CDF series written to %s\n", csv_path.c_str());
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 
 namespace dohperf::benchsupport {
 
@@ -57,6 +58,13 @@ void print_banner(const std::string& title) {
       stats.wall_seconds > 0.0
           ? static_cast<double>(stats.events_processed) / stats.wall_seconds
           : 0.0);
+}
+
+std::string out_path(const std::string& name) {
+  const std::filesystem::path dir = "out";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best-effort
+  return (dir / name).string();
 }
 
 }  // namespace dohperf::benchsupport

@@ -53,4 +53,9 @@ class Env {
 /// Prints the standard bench banner (scale, client counts, runtime note).
 void print_banner(const std::string& title);
 
+/// Where generated artifacts (figure CSVs) belong: `out/<name>`, relative
+/// to the working directory. Creates the directory on first use so bench
+/// output never lands in (and dirties) the repository root.
+[[nodiscard]] std::string out_path(const std::string& name);
+
 }  // namespace dohperf::benchsupport

@@ -4,6 +4,7 @@
 #include "resolver/stub.h"
 #include "transport/http.h"
 #include "transport/tcp.h"
+#include "transport/tls.h"
 
 namespace dohperf::client {
 namespace {
@@ -37,8 +38,7 @@ Task<bool> resolve_doh(NetCtx& net, const PolicyContext& ctx) {
 
   const transport::TcpConnection tcp =
       co_await transport::tcp_connect(net, ctx.client, ctx.doh->site());
-  co_await transport::tls_handshake(net, tcp,
-                                    transport::TlsVersion::kTls13);
+  const transport::TlsSession tls = co_await transport::tls_handshake(tcp);
 
   const dns::Message query =
       resolver::make_probe_query(net.rng, ctx.origin);
@@ -46,11 +46,9 @@ Task<bool> resolve_doh(NetCtx& net, const PolicyContext& ctx) {
   req.method = "GET";
   req.target = resolver::doh_get_target(query);
   req.headers.add("host", ctx.doh_hostname);
-  co_await net.hop(ctx.client, ctx.doh->site(),
-                   req.wire_size() + transport::kRecordOverheadBytes);
+  co_await tls.send(req);
   const transport::HttpResponse resp = co_await ctx.doh->handle(net, req);
-  co_await net.hop(ctx.doh->site(), ctx.client,
-                   resp.wire_size() + transport::kRecordOverheadBytes);
+  co_await tls.recv(resp);
   co_return resp.status == 200;
 }
 

@@ -29,17 +29,14 @@ netsim::Task<DirectDoqObservation> doq_direct(
   obs.connect_ms = netsim::to_ms(conn.handshake_time);
 
   // Each query rides its own QUIC stream; the backend recursion matches
-  // DoH's exactly.
+  // DoH's exactly. The connection's short-header overhead prices every
+  // record.
   auto one_query = [&](double& out_ms) -> netsim::Task<void> {
     const dns::Message query = resolver::make_probe_query(net.rng, origin);
-    const std::size_t query_bytes =
-        dns::wire_size(query) + transport::kQuicShortHeaderOverhead;
     const netsim::SimTime start = net.sim.now();
-    co_await net.hop(vantage, pop, query_bytes);
+    co_await conn.send(dns::wire_size(query));
     const dns::Message answer = co_await doh.resolver().resolve(net, query);
-    co_await net.hop(pop, vantage,
-                     dns::wire_size(answer) +
-                         transport::kQuicShortHeaderOverhead);
+    co_await conn.recv(dns::wire_size(answer));
     obs.ok = answer.header.rcode == dns::Rcode::kNoError;
     out_ms = netsim::ms_between(start, net.sim.now());
   };

@@ -28,24 +28,19 @@ netsim::Task<DirectDotObservation> dot_direct(
       co_await transport::tcp_connect(net, vantage, pop);
   obs.connect_ms = netsim::to_ms(tcp.handshake_time);
   const transport::TlsSession session =
-      co_await transport::tls_handshake(net, tcp, tls);
+      co_await transport::tls_handshake(tcp, tls);
   obs.tls_ms = netsim::to_ms(session.handshake_time);
 
   // Queries ride the TLS session with a two-octet length prefix; the
   // backend recursion is identical to DoH's.
+  const transport::LengthPrefixedChannel channel(session);
   auto one_query = [&](double& out_ms) -> netsim::Task<void> {
     const dns::Message query = resolver::make_probe_query(net.rng, origin);
-    const std::size_t query_bytes = dns::wire_size(query) +
-                                    kDotFramingBytes +
-                                    transport::kRecordOverheadBytes;
     const netsim::SimTime start = net.sim.now();
-    co_await net.hop(vantage, pop, query_bytes);
+    co_await channel.send(dns::wire_size(query));
     const dns::Message answer =
         co_await doh.resolver().resolve(net, query);
-    const std::size_t answer_bytes = dns::wire_size(answer) +
-                                     kDotFramingBytes +
-                                     transport::kRecordOverheadBytes;
-    co_await net.hop(pop, vantage, answer_bytes);
+    co_await channel.recv(dns::wire_size(answer));
     obs.ok = answer.header.rcode == dns::Rcode::kNoError;
     out_ms = netsim::ms_between(start, net.sim.now());
   };

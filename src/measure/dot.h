@@ -31,9 +31,6 @@ struct DirectDotObservation {
   [[nodiscard]] double tdotr_ms() const { return reuse_ms; }
 };
 
-/// Two-octet length prefix per RFC 7858 message framing.
-inline constexpr std::size_t kDotFramingBytes = 2;
-
 /// Runs a DoT resolution (plus one reuse query) against the PoP behind
 /// `doh` — the same front-end terminates both protocols; DoT simply skips
 /// the HTTP encapsulation.

@@ -6,6 +6,7 @@
 
 #include "dns/wire.h"
 #include "proxy/headers.h"
+#include "proxy/tunnel.h"
 #include "resolver/stub.h"
 #include "transport/http.h"
 #include "transport/tcp.h"
@@ -21,24 +22,12 @@ using netsim::Task;
 using netsim::from_ms;
 using netsim::ms_between;
 
+/// Resolver-side key-schedule cost during the tunnelled TLS handshake.
+constexpr double kResolverKeyScheduleMs = 0.3;
 
-/// One message crossing the established tunnel client -> exit.
-Task<void> tunnel_forward(NetCtx& net, const Site& client, const Site& sp,
-                          const Site& exit, std::size_t bytes) {
-  co_await net.hop(client, sp, bytes);
-  co_await net.process(from_ms(kSuperProxyForwardMs));
-  co_await net.hop(sp, exit, bytes);
-  co_await net.process(from_ms(proxy::kExitForwardingMs));
-}
-
-/// One message crossing the tunnel exit -> client.
-Task<void> tunnel_backward(NetCtx& net, const Site& client, const Site& sp,
-                           const Site& exit, std::size_t bytes) {
-  co_await net.process(from_ms(proxy::kExitForwardingMs));
-  co_await net.hop(exit, sp, bytes);
-  co_await net.process(from_ms(kSuperProxyForwardMs));
-  co_await net.hop(sp, client, bytes);
-}
+/// Study web server: static-page service time and response body size.
+constexpr double kStaticPageMs = 0.4;
+constexpr std::size_t kPageBodyBytes = 2048;
 
 /// A stub resolution at `vantage` against `resolver`; returns elapsed ms
 /// (negative on failure). Thin adapter over resolver::stub_resolve.
@@ -49,25 +38,6 @@ Task<double> resolve_at(NetCtx& net, Site vantage,
   const resolver::StubResult result = co_await resolver::stub_resolve(
       net, vantage, *resolver, std::move(query), client_address);
   co_return result.ok() ? result.elapsed_ms : -1.0;
-}
-
-/// The Super Proxy's "200 OK" carrying the timing headers of step 8.
-transport::HttpResponse make_tunnel_response(
-    const proxy::TunTimeline& tun,
-    const proxy::BrightDataNetwork::OverheadSample& overheads) {
-  transport::HttpResponse resp;
-  resp.status = 200;
-  resp.reason = "OK";
-  resp.headers.add(std::string(proxy::kTunTimelineHeader),
-                   proxy::format_tun_timeline(tun));
-  proxy::BrightDataTimeline bd;
-  bd.auth_ms = overheads.auth_ms;
-  bd.init_ms = overheads.init_ms;
-  bd.select_ms = overheads.select_ms;
-  bd.vld_ms = overheads.vld_ms;
-  resp.headers.add(std::string(proxy::kTimelineHeader),
-                   proxy::format_timeline(bd));
-  return resp;
 }
 
 /// Client-side header extraction; false on malformed headers.
@@ -101,6 +71,8 @@ Task<DohProxyObservation> doh_via_proxy(NetCtx& net, DohProxyParams params) {
   // campaign's bit-identical-output guarantee).
   const SimTime session_epoch = net.sim.now();
 
+  proxy::Tunnel tunnel(net, client, sp, exit);
+
   // ---- Steps 1-8: establish the TCP tunnel -------------------------
   obs.inputs.stamps.t_a = ms_between(session_epoch, net.sim.now());
 
@@ -108,13 +80,8 @@ Task<DohProxyObservation> doh_via_proxy(NetCtx& net, DohProxyParams params) {
   connect_req.method = "CONNECT";
   connect_req.target = params.doh_hostname + ":443";
   connect_req.headers.add("host", connect_req.target);
-  co_await net.hop(client, sp, connect_req.wire_size());  // t1
-
-  const auto overheads =
-      proxy::BrightDataNetwork::sample_overheads(net.rng);
-  co_await net.process(from_ms(overheads.total_ms()));
-  co_await net.hop(sp, exit, connect_req.wire_size());  // t2
-  co_await net.process(from_ms(proxy::kExitForwardingMs));
+  co_await tunnel.connect_to_super_proxy(connect_req);  // t1
+  co_await tunnel.forward_connect(connect_req);         // t2
 
   // t3+t4: the exit node resolves the DoH hostname with its default
   // resolver (a cache hit for these ultra-hot names).
@@ -136,13 +103,7 @@ Task<DohProxyObservation> doh_via_proxy(NetCtx& net, DohProxyParams params) {
   proxy::TunTimeline tun;
   tun.dns_ms = dns_ms;
   tun.connect_ms = obs.true_connect_ms;
-  const transport::HttpResponse ok_resp =
-      make_tunnel_response(tun, overheads);
-  const std::string ok_wire = ok_resp.serialize();
-  co_await net.process(from_ms(proxy::kExitForwardingMs));
-  co_await net.hop(exit, sp, ok_wire.size());         // t7
-  co_await net.process(from_ms(kSuperProxyForwardMs));
-  co_await net.hop(sp, client, ok_wire.size());       // t8
+  const std::string ok_wire = co_await tunnel.send_established_reply(tun);
 
   obs.inputs.stamps.t_b = ms_between(session_epoch, net.sim.now());
   const auto parsed = transport::parse_response(ok_wire);
@@ -151,24 +112,25 @@ Task<DohProxyObservation> doh_via_proxy(NetCtx& net, DohProxyParams params) {
   // ---- Steps 9-14: TLS handshake through the tunnel ------------------
   obs.inputs.stamps.t_c = ms_between(session_epoch, net.sim.now());
 
-  co_await tunnel_forward(net, client, sp, exit,
-                          transport::kClientHelloBytes);  // t9, t10
+  co_await tunnel.send_framed(transport::kClientHelloBytes);  // t9, t10
   SimTime leg_start = net.sim.now();
-  co_await net.hop(exit, pop, transport::kClientHelloBytes);  // t11
-  co_await net.process(from_ms(0.3));  // key schedule at the resolver
-  co_await net.hop(pop, exit, transport::kServerHelloBytes);  // t12
+  co_await tcp.send_framed(transport::kClientHelloBytes);  // t11
+  co_await net.process(from_ms(kResolverKeyScheduleMs));
+  co_await tcp.recv_framed(transport::kServerHelloBytes);  // t12
   obs.true_tls_ms = ms_between(leg_start, net.sim.now());
-  co_await tunnel_backward(net, client, sp, exit,
-                           transport::kServerHelloBytes);  // t13, t14
+  co_await tunnel.recv_framed(transport::kServerHelloBytes);  // t13, t14
+
+  // Record layers of the single end-to-end TLS session, one per segment
+  // it crosses: client<->PoP through the tunnel, exit<->PoP on the leg.
+  const transport::TlsSession tls_tunnel(tunnel, params.tls);
+  const transport::TlsSession tls_leg(tcp, params.tls);
 
   if (params.tls == transport::TlsVersion::kTls12) {
     // Legacy second round trip: client Finished -> server Finished.
-    co_await tunnel_forward(net, client, sp, exit,
-                            transport::kClientFinishedBytes);
-    co_await net.hop(exit, pop, transport::kClientFinishedBytes);
-    co_await net.hop(pop, exit, transport::kRecordOverheadBytes + 32);
-    co_await tunnel_backward(net, client, sp, exit,
-                             transport::kRecordOverheadBytes + 32);
+    co_await tunnel.send_framed(transport::kClientFinishedBytes);
+    co_await tcp.send_framed(transport::kClientFinishedBytes);
+    co_await tls_leg.recv(transport::kServerFinishedBytes);
+    co_await tls_tunnel.recv(transport::kServerFinishedBytes);
   }
 
   // ---- Steps 15-22: the DoH query -----------------------------------
@@ -179,20 +141,18 @@ Task<DohProxyObservation> doh_via_proxy(NetCtx& net, DohProxyParams params) {
   get_req.target = resolver::doh_get_target(query);
   get_req.headers.add("host", params.doh_hostname);
   get_req.headers.add("accept", "application/dns-message");
-  const std::size_t get_bytes =
-      get_req.wire_size() + transport::kRecordOverheadBytes +
-      transport::kClientFinishedBytes;  // Finished piggybacks (TLS 1.3)
+  // Client Finished piggybacks on the first record (TLS 1.3).
+  const std::size_t get_payload =
+      get_req.wire_size() + transport::kClientFinishedBytes;
 
-  co_await tunnel_forward(net, client, sp, exit, get_bytes);  // t15, t16
+  co_await tls_tunnel.send(get_payload);  // t15, t16
   leg_start = net.sim.now();
-  co_await net.hop(exit, pop, get_bytes);  // t17
+  co_await tls_leg.send(get_payload);  // t17
   const transport::HttpResponse doh_resp = co_await params.doh->handle(
       net, get_req, params.exit->prefix);  // t18, t19 inside
-  const std::size_t resp_bytes =
-      doh_resp.wire_size() + transport::kRecordOverheadBytes;
-  co_await net.hop(pop, exit, resp_bytes);  // t20
+  co_await tls_leg.recv(doh_resp);  // t20
   obs.true_query_ms = ms_between(leg_start, net.sim.now());
-  co_await tunnel_backward(net, client, sp, exit, resp_bytes);  // t21, t22
+  co_await tls_tunnel.recv(doh_resp);  // t21, t22
 
   obs.inputs.stamps.t_d = ms_between(session_epoch, net.sim.now());
   obs.http_status = doh_resp.status;
@@ -222,7 +182,7 @@ Task<DirectDohObservation> doh_direct(NetCtx& net, Site vantage,
       co_await transport::tcp_connect(net, vantage, pop);
   obs.connect_ms = netsim::to_ms(tcp.handshake_time);
   const transport::TlsSession session =
-      co_await transport::tls_handshake(net, tcp, tls);
+      co_await transport::tls_handshake(tcp, tls);
   obs.tls_ms = netsim::to_ms(session.handshake_time);
 
   // First query.
@@ -232,14 +192,11 @@ Task<DirectDohObservation> doh_direct(NetCtx& net, Site vantage,
     req.method = "GET";
     req.target = resolver::doh_get_target(query);
     req.headers.add("host", doh_hostname);
-    const std::size_t req_bytes =
-        req.wire_size() + transport::kRecordOverheadBytes;
 
     const SimTime start = net.sim.now();
-    co_await net.hop(vantage, pop, req_bytes);
+    co_await session.send(req);
     const transport::HttpResponse resp = co_await doh.handle(net, req);
-    co_await net.hop(pop, vantage,
-                     resp.wire_size() + transport::kRecordOverheadBytes);
+    co_await session.recv(resp);
     out_ms = ms_between(start, net.sim.now());
     obs.http_status = resp.status;
     obs.ok = resp.status == 200;
@@ -263,14 +220,13 @@ Task<Do53ProxyObservation> do53_via_proxy(NetCtx& net,
       resolver::make_probe_query(net.rng, params.origin);
   const dns::DomainName target_name = query.questions.front().name;
 
+  proxy::Tunnel tunnel(net, client, sp, exit);
+
   // Steps 1-2: CONNECT through the Super Proxy.
   transport::HttpRequest connect_req;
   connect_req.method = "CONNECT";
   connect_req.target = target_name.to_string() + ":80";
-  co_await net.hop(client, sp, connect_req.wire_size());
-  const auto overheads =
-      proxy::BrightDataNetwork::sample_overheads(net.rng);
-  co_await net.process(from_ms(overheads.total_ms()));
+  co_await tunnel.connect_to_super_proxy(connect_req);
 
   double dns_ms = 0.0;
   if (params.resolve_at_super_proxy) {
@@ -279,20 +235,19 @@ Task<Do53ProxyObservation> do53_via_proxy(NetCtx& net,
     // authoritative server), so the header value does NOT reflect the
     // exit node (paper Section 3.5).
     obs.resolved_at_super_proxy = true;
+    netsim::Path authority_path(net, sp, params.authority->site());
+    authority_path.set_framing(transport::kUdpOverheadBytes,
+                               transport::kUdpOverheadBytes);
     const SimTime start = net.sim.now();
-    const std::size_t query_bytes = dns::wire_size(query) + 28;
-    co_await net.hop(sp, params.authority->site(), query_bytes);
+    co_await authority_path.send(dns::wire_size(query));
     co_await net.process(params.authority->processing_delay());
     const dns::Message auth_resp = params.authority->handle(query, 0xFFFF);
-    co_await net.hop(params.authority->site(), sp,
-                     dns::wire_size(auth_resp) + 28);
+    co_await authority_path.recv(dns::wire_size(auth_resp));
     dns_ms = ms_between(start, net.sim.now());
     obs.true_do53_ms = std::numeric_limits<double>::quiet_NaN();
-    co_await net.hop(sp, exit, connect_req.wire_size());
-    co_await net.process(from_ms(proxy::kExitForwardingMs));
+    co_await tunnel.forward_connect(connect_req);
   } else {
-    co_await net.hop(sp, exit, connect_req.wire_size());
-    co_await net.process(from_ms(proxy::kExitForwardingMs));
+    co_await tunnel.forward_connect(connect_req);
     // The exit node resolves the fresh name with its default resolver —
     // a guaranteed cache miss recursing to the authoritative server.
     dns_ms = co_await resolve_at(net, exit, params.exit->default_resolver,
@@ -308,13 +263,7 @@ Task<Do53ProxyObservation> do53_via_proxy(NetCtx& net,
   proxy::TunTimeline tun;
   tun.dns_ms = dns_ms;
   tun.connect_ms = netsim::to_ms(tcp.handshake_time);
-  const transport::HttpResponse ok_resp =
-      make_tunnel_response(tun, overheads);
-  const std::string ok_wire = ok_resp.serialize();
-  co_await net.process(from_ms(proxy::kExitForwardingMs));
-  co_await net.hop(exit, sp, ok_wire.size());
-  co_await net.process(from_ms(kSuperProxyForwardMs));
-  co_await net.hop(sp, client, ok_wire.size());
+  const std::string ok_wire = co_await tunnel.send_established_reply(tun);
 
   const auto parsed = transport::parse_response(ok_wire);
   if (!parsed) co_return obs;
@@ -332,11 +281,11 @@ Task<Do53ProxyObservation> do53_via_proxy(NetCtx& net,
   get_req.method = "GET";
   get_req.target = "/";
   get_req.headers.add("host", target_name.to_string());
-  co_await tunnel_forward(net, client, sp, exit, get_req.wire_size());
-  co_await net.hop(exit, params.web_server, get_req.wire_size());
-  co_await net.process(from_ms(0.4));  // static page
-  co_await net.hop(params.web_server, exit, 2048);
-  co_await tunnel_backward(net, client, sp, exit, 2048);
+  co_await tunnel.send_framed(get_req.wire_size());
+  co_await tcp.send_framed(get_req.wire_size());
+  co_await net.process(from_ms(kStaticPageMs));
+  co_await tcp.recv_framed(kPageBodyBytes);
+  co_await tunnel.recv_framed(kPageBodyBytes);
 
   obs.ok = true;
   co_return obs;

@@ -18,16 +18,16 @@
 #include "netsim/netctx.h"
 #include "proxy/brightdata.h"
 #include "proxy/exit_node.h"
+#include "proxy/tunnel.h"
 #include "resolver/doh_server.h"
 #include "resolver/recursive.h"
 #include "transport/tls.h"
 
 namespace dohperf::measure {
 
-/// Super Proxy per-message forwarding cost once the tunnel exists (ms).
-/// Nonzero values violate the paper's Assumption 2 slightly, which is
-/// precisely the estimator error Table 1 quantifies.
-inline constexpr double kSuperProxyForwardMs = 0.25;
+/// Re-exported for estimator call sites; the constant lives with the
+/// Tunnel abstraction now.
+using proxy::kSuperProxyForwardMs;
 
 /// Parameters for a proxied DoH measurement.
 struct DohProxyParams {

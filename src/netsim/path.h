@@ -1,0 +1,59 @@
+// A routed site pair: the layer-0 channel every connection rides on.
+//
+// Path owns the per-direction framing overhead (e.g. IP+UDP headers for
+// datagram exchanges) and delegates delivery, trace capture and loss
+// sampling to its NetCtx, so flow code never sums header bytes or calls
+// NetCtx::hop by hand.
+#pragma once
+
+#include "netsim/netctx.h"
+
+namespace dohperf::netsim {
+
+class Path {
+ public:
+  Path(NetCtx& net, Site a, Site b)
+      : net_(&net), a_(std::move(a)), b_(std::move(b)) {}
+
+  /// Per-message framing bytes added in each direction (default none).
+  void set_framing(std::size_t forward_bytes, std::size_t backward_bytes) {
+    forward_framing_ = forward_bytes;
+    backward_framing_ = backward_bytes;
+  }
+
+  /// One message a -> b; completes at arrival (captured by the NetCtx's
+  /// trace sink, if any).
+  Task<void> send(std::size_t payload_bytes) const {
+    return net_->hop(a_, b_, payload_bytes + forward_framing_);
+  }
+
+  /// One message b -> a.
+  Task<void> recv(std::size_t payload_bytes) const {
+    return net_->hop(b_, a_, payload_bytes + backward_framing_);
+  }
+
+  /// Samples whether a datagram on this path is lost; returns the
+  /// application-level retry penalty if so, else zero.
+  [[nodiscard]] Duration sample_loss_penalty(Duration retry_timeout) const {
+    return net_->sample_loss_penalty(a_, b_, retry_timeout);
+  }
+
+  [[nodiscard]] const Site& a() const { return a_; }
+  [[nodiscard]] const Site& b() const { return b_; }
+  [[nodiscard]] NetCtx& net() const { return *net_; }
+  [[nodiscard]] std::size_t forward_framing() const {
+    return forward_framing_;
+  }
+  [[nodiscard]] std::size_t backward_framing() const {
+    return backward_framing_;
+  }
+
+ private:
+  NetCtx* net_;
+  Site a_;
+  Site b_;
+  std::size_t forward_framing_ = 0;
+  std::size_t backward_framing_ = 0;
+};
+
+}  // namespace dohperf::netsim

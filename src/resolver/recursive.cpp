@@ -5,6 +5,8 @@
 
 #include "dns/ecs.h"
 #include "dns/wire.h"
+#include "netsim/path.h"
+#include "transport/connection.h"
 
 namespace dohperf::resolver {
 
@@ -65,17 +67,18 @@ netsim::Task<dns::Message> RecursiveResolver::resolve(
   if (ecs_policy_ == EcsPolicy::kForwardSlash24 && client_address != 0) {
     dns::attach_ecs(upstream, dns::make_ecs_option(client_address, 24));
   }
-  const std::size_t query_bytes = dns::wire_size(upstream) + 28;  // IP+UDP
+  netsim::Path authority_path(net, site_, authority_->site());
+  authority_path.set_framing(transport::kUdpOverheadBytes,
+                             transport::kUdpOverheadBytes);
   // Recursive resolvers retry lost upstream datagrams after ~800 ms.
-  co_await net.process(net.sample_loss_penalty(
-      site_, authority_->site(), std::chrono::milliseconds(800)));
-  co_await net.hop(site_, authority_->site(), query_bytes);
+  co_await net.process(
+      authority_path.sample_loss_penalty(std::chrono::milliseconds(800)));
+  co_await authority_path.send(dns::wire_size(upstream));
 
   co_await net.process(authority_->processing_delay());
   dns::Message auth_resp = authority_->handle(upstream, address_);
 
-  const std::size_t resp_bytes = dns::wire_size(auth_resp) + 28;
-  co_await net.hop(authority_->site(), site_, resp_bytes);
+  co_await authority_path.recv(dns::wire_size(auth_resp));
 
   if (auth_resp.header.rcode == dns::Rcode::kNoError &&
       !auth_resp.answers.empty()) {

@@ -5,7 +5,9 @@
 #include <chrono>
 
 #include "dns/wire.h"
+#include "netsim/path.h"
 #include "transport/base64.h"
+#include "transport/connection.h"
 
 namespace dohperf::resolver {
 
@@ -16,15 +18,18 @@ netsim::Task<StubResult> stub_resolve(netsim::NetCtx& net,
                                       std::uint32_t client_address) {
   StubResult result;
   const netsim::SimTime start = net.sim.now();
-  const std::size_t query_bytes = dns::wire_size(query) + 28;  // IP+UDP
+  netsim::Path path(net, vantage, resolver.site());
+  path.set_framing(transport::kUdpOverheadBytes,
+                   transport::kUdpOverheadBytes);
   // Stub resolvers retransmit lost UDP datagrams after a fixed timeout
   // (~1 s in common implementations) — the classic Do53 tail.
-  co_await net.process(net.sample_loss_penalty(
-      vantage, resolver.site(), std::chrono::milliseconds(1000)));
-  co_await net.hop(vantage, resolver.site(), query_bytes);
+  co_await net.process(
+      path.sample_loss_penalty(std::chrono::milliseconds(1000)));
+  const std::size_t query_size = dns::wire_size(query);
+  co_await path.send(query_size);
   const dns::Message resp =
       co_await resolver.resolve(net, std::move(query), client_address);
-  co_await net.hop(resolver.site(), vantage, dns::wire_size(resp) + 28);
+  co_await path.recv(dns::wire_size(resp));
   result.rcode = resp.header.rcode;
   result.elapsed_ms = netsim::ms_between(start, net.sim.now());
   co_return result;

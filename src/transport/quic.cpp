@@ -5,12 +5,11 @@ namespace dohperf::transport {
 netsim::Task<QuicConnection> quic_connect(netsim::NetCtx& net,
                                           const netsim::Site& client,
                                           const netsim::Site& server) {
+  QuicConnection conn{netsim::Path(net, client, server)};
   const netsim::SimTime start = net.sim.now();
-  co_await net.hop(client, server, kQuicClientInitialBytes);
-  co_await net.hop(server, client, kQuicServerHandshakeBytes);
-  QuicConnection conn;
-  conn.client = client;
-  conn.server = server;
+  // Handshake datagram sizes are quoted on-the-wire; no added framing.
+  co_await conn.send_framed(kQuicClientInitialBytes);
+  co_await conn.recv_framed(kQuicServerHandshakeBytes);
   conn.zero_rtt = false;
   conn.handshake_time = net.sim.now() - start;
   conn.established_at = net.sim.now();
@@ -22,10 +21,7 @@ netsim::Task<QuicConnection> quic_resume(netsim::NetCtx& net,
                                          const netsim::Site& server) {
   // 0-RTT: nothing travels ahead of the first request; the connection is
   // usable immediately (the ticket was cached from a prior session).
-  (void)net;
-  QuicConnection conn;
-  conn.client = client;
-  conn.server = server;
+  QuicConnection conn{netsim::Path(net, client, server)};
   conn.zero_rtt = true;
   conn.handshake_time = netsim::Duration::zero();
   conn.established_at = net.sim.now();

@@ -9,7 +9,7 @@
 // ClientHello.
 #pragma once
 
-#include "netsim/netctx.h"
+#include "transport/connection.h"
 
 namespace dohperf::transport {
 
@@ -19,10 +19,20 @@ inline constexpr std::size_t kQuicClientInitialBytes = 1200;
 inline constexpr std::size_t kQuicServerHandshakeBytes = 3000;
 inline constexpr std::size_t kQuicShortHeaderOverhead = 28;
 
-/// An established QUIC connection.
-struct QuicConnection {
-  netsim::Site client;
-  netsim::Site server;
+/// An established QUIC connection: protected short-header packets charge
+/// kQuicShortHeaderOverhead per record on top of the payload.
+class QuicConnection : public PathConnection {
+ public:
+  explicit QuicConnection(netsim::Path path)
+      : PathConnection(std::move(path)) {}
+
+  [[nodiscard]] std::size_t layer_overhead() const override {
+    return kQuicShortHeaderOverhead;
+  }
+
+  [[nodiscard]] const netsim::Site& client() const { return path().a(); }
+  [[nodiscard]] const netsim::Site& server() const { return path().b(); }
+
   bool zero_rtt = false;
   netsim::Duration handshake_time{};
   netsim::SimTime established_at{};

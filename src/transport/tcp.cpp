@@ -5,12 +5,10 @@ namespace dohperf::transport {
 netsim::Task<TcpConnection> tcp_connect(netsim::NetCtx& net,
                                         const netsim::Site& client,
                                         const netsim::Site& server) {
+  TcpConnection conn{netsim::Path(net, client, server)};
   const netsim::SimTime start = net.sim.now();
-  co_await net.hop(client, server, kSynBytes);     // SYN
-  co_await net.hop(server, client, kSynAckBytes);  // SYN/ACK
-  TcpConnection conn;
-  conn.client = client;
-  conn.server = server;
+  co_await conn.send_framed(kSynBytes);     // SYN
+  co_await conn.recv_framed(kSynAckBytes);  // SYN/ACK
   conn.handshake_time = net.sim.now() - start;
   conn.established_at = net.sim.now();
   co_return conn;

@@ -6,7 +6,7 @@
 // (paper Figure 2, steps 5-6).
 #pragma once
 
-#include "netsim/netctx.h"
+#include "transport/connection.h"
 
 namespace dohperf::transport {
 
@@ -16,11 +16,19 @@ inline constexpr std::size_t kSynBytes = 60;
 inline constexpr std::size_t kSynAckBytes = 60;
 inline constexpr std::size_t kAckBytes = 52;
 
-/// An established connection; records what the endpoints were and what the
-/// handshake cost, so later exchanges can reuse the path.
-struct TcpConnection {
-  netsim::Site client;
-  netsim::Site server;
+/// An established connection riding directly on the routed path; records
+/// what the handshake cost so later exchanges can reuse the figures. TCP
+/// adds no per-record framing to the byte model (segment headers are
+/// already folded into the handshake sizes and the layers above quote
+/// full record sizes), so layer_overhead() stays zero.
+class TcpConnection : public PathConnection {
+ public:
+  explicit TcpConnection(netsim::Path path)
+      : PathConnection(std::move(path)) {}
+
+  [[nodiscard]] const netsim::Site& client() const { return path().a(); }
+  [[nodiscard]] const netsim::Site& server() const { return path().b(); }
+
   netsim::Duration handshake_time{};
   netsim::SimTime established_at{};
 };

@@ -12,25 +12,26 @@ std::string_view to_string(TlsVersion v) {
   return "?";
 }
 
-netsim::Task<TlsSession> tls_handshake(netsim::NetCtx& net,
-                                       const TcpConnection& conn,
+netsim::Task<TlsSession> tls_handshake(const Connection& lower,
                                        TlsVersion version) {
+  netsim::NetCtx& net = lower.net();
+  TlsSession session(lower, version);
   const netsim::SimTime start = net.sim.now();
 
   // ClientHello -> ServerHello (+EncryptedExtensions/Certificate/Finished
-  // for 1.3; Certificate/ServerHelloDone for 1.2).
-  co_await net.hop(conn.client, conn.server, kClientHelloBytes);
-  co_await net.hop(conn.server, conn.client, kServerHelloBytes);
+  // for 1.3; Certificate/ServerHelloDone for 1.2). Handshake messages are
+  // quoted as full flight sizes, so they travel framed as-is.
+  co_await lower.send_framed(kClientHelloBytes);
+  co_await lower.recv_framed(kServerHelloBytes);
 
   if (version == TlsVersion::kTls12) {
-    // ClientKeyExchange/Finished -> ChangeCipherSpec/Finished.
-    co_await net.hop(conn.client, conn.server, kClientFinishedBytes);
-    co_await net.hop(conn.server, conn.client, kRecordOverheadBytes + 32);
+    // ClientKeyExchange/Finished -> ChangeCipherSpec/Finished (the reply
+    // is the first record-layer-framed message of the session).
+    co_await lower.send_framed(kClientFinishedBytes);
+    co_await session.recv(kServerFinishedBytes);
   }
   // For 1.3 the client Finished piggybacks on the first application data.
 
-  TlsSession session;
-  session.version = version;
   session.handshake_time = net.sim.now() - start;
   session.established_at = net.sim.now();
   co_return session;

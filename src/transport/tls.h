@@ -6,8 +6,7 @@
 // for the ablation bench (paper Section 7, Limitations).
 #pragma once
 
-#include "netsim/netctx.h"
-#include "transport/tcp.h"
+#include "transport/connection.h"
 
 namespace dohperf::transport {
 
@@ -22,20 +21,34 @@ enum class TlsVersion {
 inline constexpr std::size_t kClientHelloBytes = 320;
 inline constexpr std::size_t kServerHelloBytes = 3200;  // incl. certificate
 inline constexpr std::size_t kClientFinishedBytes = 80;
+inline constexpr std::size_t kServerFinishedBytes = 32;  // CCS/Finished, 1.2
 inline constexpr std::size_t kRecordOverheadBytes = 29;  // per app record
 
-/// An established TLS session over a TCP connection.
-struct TlsSession {
+/// The record layer of an established TLS session: every application
+/// record it carries costs kRecordOverheadBytes on the wire. Stackable on
+/// any lower Connection — a TcpConnection for direct sessions, or the
+/// proxy Tunnel for a session whose server-side leg lives elsewhere.
+class TlsSession : public LayeredConnection {
+ public:
+  explicit TlsSession(const Connection& lower,
+                      TlsVersion version = TlsVersion::kTls13)
+      : LayeredConnection(lower), version(version) {}
+
+  [[nodiscard]] std::size_t layer_overhead() const override {
+    return kRecordOverheadBytes;
+  }
+
   TlsVersion version = TlsVersion::kTls13;
   netsim::Duration handshake_time{};
   netsim::SimTime established_at{};
 };
 
-/// Runs the handshake on an established connection. For 1.3 the client
-/// can transmit application data together with its Finished, so the flow
-/// completes one RTT after ClientHello; 1.2 requires a second round trip.
+/// Runs the handshake over an established lower connection. For 1.3 the
+/// client can transmit application data together with its Finished, so
+/// the flow completes one RTT after ClientHello; 1.2 requires a second
+/// round trip. The returned session keeps a reference to `lower`, which
+/// must outlive it.
 [[nodiscard]] netsim::Task<TlsSession> tls_handshake(
-    netsim::NetCtx& net, const TcpConnection& conn,
-    TlsVersion version = TlsVersion::kTls13);
+    const Connection& lower, TlsVersion version = TlsVersion::kTls13);
 
 }  // namespace dohperf::transport

@@ -6,6 +6,7 @@
 #include "dns/wire.h"
 #include "resolver/stub.h"
 #include "transport/tcp.h"
+#include "transport/tls.h"
 
 namespace dohperf::web {
 namespace {
@@ -15,6 +16,11 @@ using netsim::SimTime;
 using netsim::Task;
 using netsim::from_ms;
 using netsim::ms_between;
+
+/// Browser request-header padding beyond the bare GET line (octets).
+constexpr std::size_t kRequestHeaderPadBytes = 64;
+/// Web server service time per static object (ms).
+constexpr double kStaticContentMs = 0.4;
 
 /// Resolves one fresh name in the requested mode; returns elapsed ms
 /// (negative on failure).
@@ -27,17 +33,18 @@ Task<double> resolve_name(NetCtx& net, const PageLoadContext& ctx,
     co_return result.ok() ? result.elapsed_ms : -1.0;
   }
 
-  // DoH: an HTTPS GET multiplexed over the (already established) session.
+  // DoH: an HTTPS GET multiplexed over the (already established) session,
+  // modelled as the record layer of that warm session.
   transport::HttpRequest req;
   req.method = "GET";
   req.target = resolver::doh_get_target(query);
   req.headers.add("host", ctx.doh_hostname);
-  const std::size_t req_bytes =
-      req.wire_size() + transport::kRecordOverheadBytes;
-  co_await net.hop(ctx.client, ctx.doh->site(), req_bytes);
+  const transport::PathConnection doh_conn{
+      netsim::Path(net, ctx.client, ctx.doh->site())};
+  const transport::TlsSession tls(doh_conn);
+  co_await tls.send(req);
   const transport::HttpResponse resp = co_await ctx.doh->handle(net, req);
-  co_await net.hop(ctx.doh->site(), ctx.client,
-                   resp.wire_size() + transport::kRecordOverheadBytes);
+  co_await tls.recv(resp);
   co_return resp.status == 200 ? ms_between(start, net.sim.now()) : -1.0;
 }
 
@@ -62,17 +69,18 @@ Task<DomainOutcome> load_domain(NetCtx& net, const PageLoadContext& ctx,
   const transport::TcpConnection tcp =
       co_await transport::tcp_connect(net, ctx.client, ctx.web_server);
   if (spec.https) {
-    co_await transport::tls_handshake(net, tcp,
-                                      transport::TlsVersion::kTls13);
+    co_await transport::tls_handshake(tcp);
   }
+  // Response records are priced with the TLS record overhead regardless
+  // of scheme — the byte model treats object sizes as on-session sizes.
+  const transport::TlsSession session(tcp);
   for (int i = 0; i < spec.objects_per_domain; ++i) {
     transport::HttpRequest req;
     req.method = "GET";
     req.target = "/obj" + std::to_string(i);
-    co_await net.hop(ctx.client, ctx.web_server, req.wire_size() + 64);
-    co_await net.process(from_ms(0.4));  // static content
-    co_await net.hop(ctx.web_server, ctx.client,
-                     spec.object_bytes + transport::kRecordOverheadBytes);
+    co_await tcp.send(req.wire_size() + kRequestHeaderPadBytes);
+    co_await net.process(from_ms(kStaticContentMs));
+    co_await session.recv(spec.object_bytes);
   }
   out.done_ms = ms_between(page_start, net.sim.now());
   co_return out;
@@ -107,8 +115,7 @@ netsim::Task<PageLoadResult> load_page(netsim::NetCtx& net,
             id, dns::DomainName::parse(ctx.doh_hostname)));
     const transport::TcpConnection tcp =
         co_await transport::tcp_connect(net, ctx.client, ctx.doh->site());
-    co_await transport::tls_handshake(net, tcp,
-                                      transport::TlsVersion::kTls13);
+    co_await transport::tls_handshake(tcp);
     result.dns_setup_ms = ms_between(page_start, net.sim.now());
   }
 
