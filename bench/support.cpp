@@ -3,8 +3,66 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <utility>
+
+#include "geo/country.h"
+#include "measure/flows.h"
+#include "obs/span.h"
+#include "obs/trace_export.h"
+#include "report/metrics.h"
 
 namespace dohperf::benchsupport {
+namespace {
+
+/// Runs one fully-instrumented DoH-via-proxy flow (first enrolled exit,
+/// first provider) on the world's own simulator and writes a Perfetto
+/// trace JSON plus a JSONL span dump. Runs after the campaign with a
+/// private RNG substream, so the dataset is untouched.
+void capture_trace(world::WorldModel& world, const std::string& path) {
+  const proxy::ExitNode* exit = nullptr;
+  for (const std::string& iso2 : world.countries()) {
+    for (const std::uint64_t id : world.brightdata().exits_in(iso2)) {
+      exit = world.brightdata().find(id);
+      if (exit != nullptr) break;
+    }
+    if (exit != nullptr) break;
+  }
+  if (exit == nullptr || world.providers().empty()) return;
+
+  obs::SpanContext spans;
+  obs::Metrics metrics;
+  netsim::Rng rng = world.rng().split("trace-capture");
+  netsim::NetCtx net{world.sim(), world.latency(), rng};
+  net.spans = &spans;
+  net.metrics = &metrics;
+
+  anycast::Provider& provider = world.providers()[0];
+  const geo::Country* country = geo::find_country(exit->true_iso2);
+  const std::size_t pop_index =
+      provider.route(exit->site.position, country->region, net.rng);
+
+  measure::DohProxyParams params;
+  params.client = world.measurement_client();
+  params.super_proxy =
+      world.brightdata().nearest_super_proxy(exit->site.position).site;
+  params.exit = exit;
+  params.doh = &world.doh_server(0, pop_index);
+  params.doh_hostname = provider.config().doh_hostname;
+  params.tls = world.config().tls_version;
+  params.origin = world.origin();
+
+  netsim::Task<measure::DohProxyObservation> flow =
+      measure::doh_via_proxy(net, std::move(params));
+  world.sim().run();
+  (void)flow.result();  // propagate exceptions
+
+  obs::write_perfetto_trace(spans, path);
+  obs::write_span_jsonl(spans, path + ".jsonl");
+  std::fprintf(stderr, "trace: %zu spans -> %s (+ %s.jsonl)\n",
+               spans.spans().size(), path.c_str(), path.c_str());
+}
+
+}  // namespace
 
 double scale_from_env() {
   const char* value = std::getenv("DOHPERF_SCALE");
@@ -36,6 +94,14 @@ Env::Env() : scale_(scale_from_env()) {
   measure::Campaign campaign(*world_, campaign_config);
   dataset_ = campaign.run();
   stats_ = campaign.stats();
+  metrics_ = campaign.metrics();
+
+  if (const char* trace_path = std::getenv("DOHPERF_TRACE")) {
+    capture_trace(*world_, trace_path);
+  }
+  if (const char* metrics_path = std::getenv("DOHPERF_METRICS")) {
+    report::metrics_csv(metrics_).write_file(metrics_path);
+  }
 }
 
 void print_banner(const std::string& title) {
@@ -50,7 +116,7 @@ void print_banner(const std::string& title) {
   const measure::CampaignStats& stats = env.stats();
   std::printf(
       "campaign: %d shard%s | %llu sessions | %llu events in %.2f s "
-      "(%.0f events/s)\n\n",
+      "(%.0f events/s)\n",
       stats.shards, stats.shards == 1 ? "" : "s",
       static_cast<unsigned long long>(stats.sessions),
       static_cast<unsigned long long>(stats.events_processed),
@@ -58,6 +124,26 @@ void print_banner(const std::string& title) {
       stats.wall_seconds > 0.0
           ? static_cast<double>(stats.events_processed) / stats.wall_seconds
           : 0.0);
+  const obs::MetricCounters& c = env.metrics().counters;
+  std::printf(
+      "metrics: %llu dns / %llu doh / %llu do53 queries | "
+      "%llu tcp + %llu tls + %llu quic handshakes | %llu tunnels | "
+      "%llu loss retries | %llu failures\n",
+      static_cast<unsigned long long>(c.dns_queries),
+      static_cast<unsigned long long>(c.doh_queries),
+      static_cast<unsigned long long>(c.do53_queries),
+      static_cast<unsigned long long>(c.tcp_handshakes),
+      static_cast<unsigned long long>(c.tls_handshakes),
+      static_cast<unsigned long long>(c.quic_handshakes),
+      static_cast<unsigned long long>(c.tunnels_established),
+      static_cast<unsigned long long>(c.loss_retries),
+      static_cast<unsigned long long>(c.failures));
+  for (const auto& [name, hist] : env.metrics().histograms()) {
+    std::printf("  %-12s n=%-7llu p50=%.1f ms  p99=%.1f ms\n", name.c_str(),
+                static_cast<unsigned long long>(hist.count()),
+                hist.quantile_ms(0.5), hist.quantile_ms(0.99));
+  }
+  std::printf("\n");
 }
 
 std::string out_path(const std::string& name) {

@@ -6,6 +6,13 @@
 // DOHPERF_SEED    world seed (default 42).
 // DOHPERF_THREADS campaign worker shards (default: hardware concurrency).
 //                 The dataset is bit-identical for every value.
+// DOHPERF_TRACE   when set, captures one fully-instrumented DoH-via-proxy
+//                 flow after the campaign and writes a Chrome/Perfetto
+//                 trace JSON to the given path (plus a JSONL span dump at
+//                 <path>.jsonl). The campaign itself runs untraced, so
+//                 datasets are unaffected.
+// DOHPERF_METRICS when set, dumps the merged campaign metrics registry as
+//                 CSV to the given path.
 #pragma once
 
 #include <memory>
@@ -14,6 +21,7 @@
 #include "measure/campaign.h"
 #include "measure/dataset.h"
 #include "measure/regression.h"
+#include "obs/metrics.h"
 #include "report/table.h"
 #include "stats/summary.h"
 #include "world/world_model.h"
@@ -41,6 +49,9 @@ class Env {
   [[nodiscard]] const measure::CampaignStats& stats() const {
     return stats_;
   }
+  /// Merged observability metrics of the campaign run (bit-identical for
+  /// every DOHPERF_THREADS value).
+  [[nodiscard]] const obs::Metrics& metrics() const { return metrics_; }
 
  private:
   Env();
@@ -48,6 +59,7 @@ class Env {
   std::unique_ptr<world::WorldModel> world_;
   measure::Dataset dataset_;
   measure::CampaignStats stats_;
+  obs::Metrics metrics_;
 };
 
 /// Prints the standard bench banner (scale, client counts, runtime note).

@@ -50,6 +50,10 @@ struct ShardView {
   world::WorldModel& world;
   netsim::Simulator& sim;
   world::SimContext* replica = nullptr;  ///< nullptr = world's own stack.
+  /// Shard-private metrics registry; sessions record into it without
+  /// synchronisation and the campaign merges the registries in canonical
+  /// shard order after the join.
+  obs::Metrics* metrics = nullptr;
 
   resolver::DohServer& doh(std::size_t p, std::size_t i) {
     return replica ? replica->doh_server(p, i) : world.doh_server(p, i);
@@ -129,6 +133,7 @@ netsim::Task<void> measure_session(ShardView& view, const ExitState& st,
                                    int run, netsim::Rng session_rng,
                                    SessionOutput& out) {
   netsim::NetCtx net{view.sim, view.world.latency(), session_rng};
+  net.metrics = view.metrics;
   const ExitTask& task = *st.task;
   const proxy::ExitNode& exit = st.local_exit;
 
@@ -137,6 +142,7 @@ netsim::Task<void> measure_session(ShardView& view, const ExitState& st,
     anycast::Provider& provider = view.world.providers()[p];
     if (st.provider_failed[p]) {
       ++out.failed;
+      if (net.metrics != nullptr) ++net.metrics->counters.failures;
       continue;
     }
 
@@ -156,6 +162,7 @@ netsim::Task<void> measure_session(ShardView& view, const ExitState& st,
         co_await doh_via_proxy(net, std::move(params));
     if (!obs.ok) {
       ++out.failed;
+      if (net.metrics != nullptr) ++net.metrics->counters.failures;
       continue;
     }
 
@@ -173,6 +180,9 @@ netsim::Task<void> measure_session(ShardView& view, const ExitState& st,
         rec.pop_distance_miles - st.nearest_located_miles[p];
     rec.tdoh_ms = estimate_tdoh_ms(obs.inputs);
     rec.tdohr_ms = estimate_tdohr_ms(obs.inputs);
+    if (net.metrics != nullptr) {
+      net.metrics->histogram(provider.name()).record(rec.tdoh_ms);
+    }
     out.doh.push_back(std::move(rec));
   }
 
@@ -191,9 +201,13 @@ netsim::Task<void> measure_session(ShardView& view, const ExitState& st,
       co_await do53_via_proxy(net, std::move(params));
   if (!obs.ok) {
     ++out.failed;
+    if (net.metrics != nullptr) ++net.metrics->counters.failures;
     co_return;
   }
   if (!obs.resolved_at_super_proxy) {
+    if (net.metrics != nullptr) {
+      net.metrics->histogram("Do53").record(obs.tun.dns_ms);
+    }
     Do53Record rec;
     rec.exit_id = exit.id;
     rec.iso2 = exit.advertised_iso2;
@@ -213,6 +227,7 @@ netsim::Task<void> atlas_session(ShardView& view, std::string iso2,
                                  netsim::Rng session_rng,
                                  SessionOutput& out) {
   netsim::NetCtx net{view.sim, view.world.latency(), session_rng};
+  net.metrics = view.metrics;
   const proxy::AtlasProbe* probe =
       view.world.atlas().pick_probe(iso2, net.rng);
   if (probe == nullptr) co_return;
@@ -224,8 +239,10 @@ netsim::Task<void> atlas_session(ShardView& view, std::string iso2,
       view.world.origin().with_subdomain(resolver::uuid_label(net.rng)));
   if (ms < 0) {
     ++out.failed;
+    if (net.metrics != nullptr) ++net.metrics->counters.failures;
     co_return;
   }
+  if (net.metrics != nullptr) net.metrics->histogram("Do53").record(ms);
   Do53Record rec;
   rec.exit_id = kAtlasExitId;
   rec.iso2 = iso2;
@@ -377,11 +394,18 @@ Dataset Campaign::run_impl(int shards) {
   const netsim::Rng root = world_.rng().split("campaign-sessions");
 
   // --- Execute ---------------------------------------------------------
+  // One metrics registry per shard; sessions record without contention
+  // and the registries merge below in canonical shard order. Counter and
+  // bucket arithmetic is integer-only, so the merged result is identical
+  // for every shard count.
+  std::vector<obs::Metrics> shard_metrics(
+      static_cast<std::size_t>(std::max(shards, 1)));
   std::uint64_t events = 0;
   if (shards == 0) {
     // Serial reference path: the world's own simulator and servers.
-    events = run_shard(ShardView{world_, world_.sim(), nullptr}, 0, 1,
-                       config_, root, exits, atlas, outputs);
+    events = run_shard(
+        ShardView{world_, world_.sim(), nullptr, &shard_metrics[0]}, 0, 1,
+        config_, root, exits, atlas, outputs);
     stats_.shards = 1;
   } else {
     std::vector<std::thread> workers;
@@ -398,8 +422,9 @@ Dataset Campaign::run_impl(int shards) {
           const std::unique_ptr<world::SimContext> replica =
               world_.make_replica();
           shard_events[static_cast<std::size_t>(s)] = run_shard(
-              ShardView{world_, replica->sim(), replica.get()}, s, shards,
-              config_, root, exits, atlas, outputs);
+              ShardView{world_, replica->sim(), replica.get(),
+                        &shard_metrics[static_cast<std::size_t>(s)]},
+              s, shards, config_, root, exits, atlas, outputs);
         } catch (...) {
           errors[static_cast<std::size_t>(s)] = std::current_exception();
         }
@@ -413,7 +438,10 @@ Dataset Campaign::run_impl(int shards) {
     stats_.shards = shards;
   }
 
-  // --- Merge in canonical slot order -----------------------------------
+  // --- Merge in canonical slot / shard order ----------------------------
+  metrics_.clear();
+  for (const obs::Metrics& m : shard_metrics) metrics_.merge(m);
+
   for (SessionOutput& slot : outputs) {
     for (DohRecord& rec : slot.doh) out.add_doh(std::move(rec));
     for (Do53Record& rec : slot.do53) out.add_do53(std::move(rec));

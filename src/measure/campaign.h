@@ -21,6 +21,7 @@
 #include <cstdint>
 
 #include "measure/dataset.h"
+#include "obs/metrics.h"
 #include "world/world_model.h"
 
 namespace dohperf::measure {
@@ -69,6 +70,13 @@ class Campaign {
   /// Counters of the most recent run.
   [[nodiscard]] const CampaignStats& stats() const { return stats_; }
 
+  /// Observability metrics of the most recent run: wire/query/handshake
+  /// counters plus per-provider resolution-latency histograms. Shards
+  /// record into private registries that are merged in canonical shard
+  /// order; integer-only arithmetic makes the result bit-identical for
+  /// every thread count (see DESIGN.md "Observability").
+  [[nodiscard]] const obs::Metrics& metrics() const { return metrics_; }
+
   /// DOHPERF_THREADS from the environment, falling back to
   /// std::thread::hardware_concurrency() (minimum 1).
   [[nodiscard]] static int threads_from_env();
@@ -80,6 +88,7 @@ class Campaign {
   world::WorldModel& world_;
   CampaignConfig config_;
   CampaignStats stats_;
+  obs::Metrics metrics_;
 };
 
 }  // namespace dohperf::measure

@@ -10,6 +10,7 @@ netsim::Task<DirectDoqObservation> doq_direct(
     resolver::RecursiveResolver* default_resolver,
     resolver::DohServer& doh, std::string hostname,
     dns::DomainName origin, bool resumed) {
+  const auto flow_span = net.span("doq_query");
   DirectDoqObservation obs;
   const netsim::Site pop = doh.site();
 

@@ -21,6 +21,9 @@ using netsim::Site;
 using netsim::Task;
 using netsim::from_ms;
 using netsim::ms_between;
+// The flows name their observation locals `obs`, which shadows the
+// dohperf::obs namespace inside function scope; alias the guard type here.
+using ScopedSpan = dohperf::obs::ScopedSpan;
 
 /// Resolver-side key-schedule cost during the tunnelled TLS handshake.
 constexpr double kResolverKeyScheduleMs = 0.3;
@@ -63,6 +66,8 @@ Task<DohProxyObservation> doh_via_proxy(NetCtx& net, DohProxyParams params) {
   const Site& exit = params.exit->site;
   const Site pop = params.doh->site();
 
+  if (net.metrics != nullptr) ++net.metrics->counters.doh_queries;
+
   // The client's timestamps are taken relative to the session's own
   // start rather than the simulation epoch: only the differences
   // T_B-T_A and T_D-T_C enter Equations 6-8, and session-relative
@@ -71,9 +76,16 @@ Task<DohProxyObservation> doh_via_proxy(NetCtx& net, DohProxyParams params) {
   // campaign's bit-identical-output guarantee).
   const SimTime session_epoch = net.sim.now();
 
+  // Root span plus the three phases of the paper's decomposition
+  // (Tables 1-2): tunnel establishment, TLS handshake, resolution. The
+  // phases are opened back-to-back, so their durations sum exactly to
+  // the root's — what tools/trace_inspect verifies on a capture.
+  ScopedSpan flow_span = net.span("doh_query");
+
   proxy::Tunnel tunnel(net, client, sp, exit);
 
-  // ---- Steps 1-8: establish the TCP tunnel -------------------------
+  // ---- Steps 1-8: establish the TCP tunnel (phase "tunnel") ---------
+  ScopedSpan tunnel_phase = net.span("tunnel");
   obs.inputs.stamps.t_a = ms_between(session_epoch, net.sim.now());
 
   transport::HttpRequest connect_req;
@@ -87,10 +99,14 @@ Task<DohProxyObservation> doh_via_proxy(NetCtx& net, DohProxyParams params) {
   // resolver (a cache hit for these ultra-hot names).
   const auto bootstrap_id =
       static_cast<std::uint16_t>(net.rng.next() & 0xFFFF);
-  const double dns_ms = co_await resolve_at(
-      net, exit, params.exit->default_resolver,
-      dns::Message::make_query(bootstrap_id,
-                               dns::DomainName::parse(params.doh_hostname)));
+  double dns_ms = 0.0;
+  {
+    const ScopedSpan bootstrap_span = net.span("bootstrap_dns");
+    dns_ms = co_await resolve_at(
+        net, exit, params.exit->default_resolver,
+        dns::Message::make_query(
+            bootstrap_id, dns::DomainName::parse(params.doh_hostname)));
+  }
   if (dns_ms < 0) co_return obs;
   obs.true_dns_ms = dns_ms;
 
@@ -106,10 +122,16 @@ Task<DohProxyObservation> doh_via_proxy(NetCtx& net, DohProxyParams params) {
   const std::string ok_wire = co_await tunnel.send_established_reply(tun);
 
   obs.inputs.stamps.t_b = ms_between(session_epoch, net.sim.now());
+  tunnel_phase.finish();
   const auto parsed = transport::parse_response(ok_wire);
   if (!parsed || !extract_inputs(*parsed, obs.inputs)) co_return obs;
 
-  // ---- Steps 9-14: TLS handshake through the tunnel ------------------
+  // ---- Steps 9-14: TLS handshake through the tunnel (phase
+  // "handshake") -----------------------------------------------------
+  ScopedSpan handshake_phase = net.span("handshake");
+  // The tunnelled handshake is modelled inline (no transport::
+  // tls_handshake call), so count it here.
+  if (net.metrics != nullptr) ++net.metrics->counters.tls_handshakes;
   obs.inputs.stamps.t_c = ms_between(session_epoch, net.sim.now());
 
   co_await tunnel.send_framed(transport::kClientHelloBytes);  // t9, t10
@@ -132,8 +154,10 @@ Task<DohProxyObservation> doh_via_proxy(NetCtx& net, DohProxyParams params) {
     co_await tls_leg.recv(transport::kServerFinishedBytes);
     co_await tls_tunnel.recv(transport::kServerFinishedBytes);
   }
+  handshake_phase.finish();
 
-  // ---- Steps 15-22: the DoH query -----------------------------------
+  // ---- Steps 15-22: the DoH query (phase "resolution") --------------
+  ScopedSpan resolution_phase = net.span("resolution");
   const dns::Message query =
       resolver::make_probe_query(net.rng, params.origin);
   transport::HttpRequest get_req;
@@ -155,6 +179,8 @@ Task<DohProxyObservation> doh_via_proxy(NetCtx& net, DohProxyParams params) {
   co_await tls_tunnel.recv(doh_resp);  // t21, t22
 
   obs.inputs.stamps.t_d = ms_between(session_epoch, net.sim.now());
+  resolution_phase.finish();
+  flow_span.finish();
   obs.http_status = doh_resp.status;
   obs.ok = doh_resp.status == 200;
   co_return obs;
@@ -170,11 +196,17 @@ Task<DirectDohObservation> doh_direct(NetCtx& net, Site vantage,
   DirectDohObservation obs;
   const Site pop = doh.site();
 
+  if (net.metrics != nullptr) ++net.metrics->counters.doh_queries;
+  ScopedSpan flow_span = net.span("doh_direct");
+
   // Bootstrap (t3+t4).
   const auto id = static_cast<std::uint16_t>(net.rng.next() & 0xFFFF);
-  obs.dns_ms = co_await resolve_at(
-      net, vantage, default_resolver,
-      dns::Message::make_query(id, dns::DomainName::parse(doh_hostname)));
+  {
+    const ScopedSpan bootstrap_span = net.span("bootstrap_dns");
+    obs.dns_ms = co_await resolve_at(
+        net, vantage, default_resolver,
+        dns::Message::make_query(id, dns::DomainName::parse(doh_hostname)));
+  }
   if (obs.dns_ms < 0) co_return obs;
 
   // TCP + TLS.
@@ -187,6 +219,7 @@ Task<DirectDohObservation> doh_direct(NetCtx& net, Site vantage,
 
   // First query.
   auto one_query = [&](double& out_ms) -> Task<void> {
+    const ScopedSpan query_span = net.span("doh_exchange");
     const dns::Message query = resolver::make_probe_query(net.rng, origin);
     transport::HttpRequest req;
     req.method = "GET";
@@ -220,6 +253,9 @@ Task<Do53ProxyObservation> do53_via_proxy(NetCtx& net,
       resolver::make_probe_query(net.rng, params.origin);
   const dns::DomainName target_name = query.questions.front().name;
 
+  if (net.metrics != nullptr) ++net.metrics->counters.do53_queries;
+  ScopedSpan flow_span = net.span("do53_query");
+
   proxy::Tunnel tunnel(net, client, sp, exit);
 
   // Steps 1-2: CONNECT through the Super Proxy.
@@ -235,6 +271,7 @@ Task<Do53ProxyObservation> do53_via_proxy(NetCtx& net,
     // authoritative server), so the header value does NOT reflect the
     // exit node (paper Section 3.5).
     obs.resolved_at_super_proxy = true;
+    const ScopedSpan sp_resolve_span = net.span("super_proxy_resolve");
     netsim::Path authority_path(net, sp, params.authority->site());
     authority_path.set_framing(transport::kUdpOverheadBytes,
                                transport::kUdpOverheadBytes);
@@ -277,6 +314,7 @@ Task<Do53ProxyObservation> do53_via_proxy(NetCtx& net,
   obs.brightdata_ms = bd_parsed->total_ms();
 
   // Complete the page fetch for realism (GET + 200), not timed.
+  const ScopedSpan fetch_span = net.span("page_fetch");
   transport::HttpRequest get_req;
   get_req.method = "GET";
   get_req.target = "/";
@@ -294,6 +332,8 @@ Task<Do53ProxyObservation> do53_via_proxy(NetCtx& net,
 Task<double> do53_direct(NetCtx& net, Site vantage,
                          resolver::RecursiveResolver* resolver,
                          dns::DomainName name) {
+  if (net.metrics != nullptr) ++net.metrics->counters.do53_queries;
+  const ScopedSpan flow_span = net.span("do53_direct");
   const auto id = static_cast<std::uint16_t>(net.rng.next() & 0xFFFF);
   co_return co_await resolve_at(net, vantage, resolver,
                                 dns::Message::make_query(id, std::move(name)));

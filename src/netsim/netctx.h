@@ -2,30 +2,37 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "netsim/latency.h"
 #include "netsim/simulator.h"
 #include "netsim/task.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace dohperf::netsim {
 
 /// One captured message transmission (the simulator's "Wireshark"). The
 /// paper validated its assumptions by capturing exit-node traffic
 /// (Section 4.3); attaching a TraceSink to a NetCtx gives flows the same
-/// observability.
+/// observability. `label` names the layer/phase that sent the message —
+/// the innermost span open when the hop was captured ("tls_handshake",
+/// "tunnel.send", ...), empty when no span context is attached.
 struct TraceEvent {
   SimTime sent_at{};
   SimTime delivered_at{};
   geo::LatLon from;
   geo::LatLon to;
   std::size_t bytes = 0;
+  std::string label;
 };
 
 /// Collects TraceEvents from every hop routed through a NetCtx.
 class TraceSink {
  public:
-  void record(TraceEvent event) { events_.push_back(event); }
+  void record(TraceEvent event) { events_.push_back(std::move(event)); }
   [[nodiscard]] const std::vector<TraceEvent>& events() const {
     return events_;
   }
@@ -40,20 +47,46 @@ class TraceSink {
 ///
 /// Non-owning; the owner (usually world::WorldModel) keeps the referenced
 /// objects alive for the duration of the simulation.
+///
+/// Observability attachments are all optional and purely observational:
+/// none of them consumes RNG draws, schedules events, or advances the
+/// clock, so attaching them cannot change a flow's timing or output.
 struct NetCtx {
   Simulator& sim;
   const LatencyModel& latency;
   Rng& rng;
   /// Optional capture point; when set, every hop is recorded.
   TraceSink* trace = nullptr;
+  /// Optional span tree; when set, instrumented layers open nested spans
+  /// and every hop is recorded as a leaf under the innermost open span.
+  obs::SpanContext* spans = nullptr;
+  /// Optional per-shard metrics registry (messages, bytes, handshakes,
+  /// retries, ...). Owned by whoever runs the flows; single-writer.
+  obs::Metrics* metrics = nullptr;
+
+  /// Opens a named span (no-op guard when no span context is attached).
+  [[nodiscard]] obs::ScopedSpan span(std::string name) {
+    return spans != nullptr
+               ? obs::ScopedSpan(spans, sim, std::move(name))
+               : obs::ScopedSpan();
+  }
 
   /// Simulates one message travelling a -> b; completes at arrival time.
   Task<void> hop(const Site& a, const Site& b, std::size_t bytes) {
     const SimTime sent = sim.now();
     co_await sim.sleep(latency.one_way(a, b, bytes, rng));
+    if (metrics != nullptr) {
+      ++metrics->counters.messages;
+      metrics->counters.bytes_on_wire += bytes;
+    }
+    if (spans != nullptr) {
+      spans->record_hop(sent, sim.now(), a.position, b.position, bytes);
+    }
     if (trace != nullptr) {
-      trace->record(
-          TraceEvent{sent, sim.now(), a.position, b.position, bytes});
+      trace->record(TraceEvent{sent, sim.now(), a.position, b.position,
+                               bytes,
+                               spans != nullptr ? spans->current_name()
+                                                : std::string()});
     }
   }
 
@@ -76,7 +109,11 @@ struct NetCtx {
                                Duration retry_timeout) {
     const double combined =
         1.0 - (1.0 - a.loss_rate) * (1.0 - b.loss_rate);
-    return rng.bernoulli(combined) ? retry_timeout : Duration::zero();
+    if (rng.bernoulli(combined)) {
+      if (metrics != nullptr) ++metrics->counters.loss_retries;
+      return retry_timeout;
+    }
+    return Duration::zero();
   }
 };
 

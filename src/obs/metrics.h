@@ -1,0 +1,110 @@
+// Sharded execution metrics.
+//
+// Each campaign shard owns a private Metrics instance — shard ownership,
+// not locks, is what makes the counters contention-free — and the owners
+// merge them in canonical shard order at join. Everything inside is an
+// integer (plain counters and fixed-bucket histogram counts), so the
+// merge is a commutative sum and the merged registry is bit-identical
+// for every shard count, the same guarantee the dataset itself carries.
+// Double-valued aggregates (means, sums of ms) are deliberately absent:
+// floating-point addition is not associative, and a partition-dependent
+// rounding difference would break the DOHPERF_THREADS=1/2/4 identity.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace dohperf::obs {
+
+/// Fixed-bucket latency histogram: bucket 0 is [0, 1 ms), buckets 1..N
+/// are quarter-octave (x2^(1/4)) widths from 1 ms, and the last bucket
+/// absorbs everything past ~4 s. Fixed edges (no rebalancing) keep
+/// bucket assignment a pure function of the recorded value, so shard
+/// merges are order-independent.
+class LatencyHistogram {
+ public:
+  /// Quarter-octave buckets spanning 1 ms .. 2^12 ms = 4096 ms.
+  static constexpr int kLogBuckets = 48;
+  /// +1 underflow bucket [0, 1 ms), +1 overflow bucket [4096 ms, inf).
+  static constexpr int kBucketCount = kLogBuckets + 2;
+
+  /// Bucket index for a latency (negative values land in bucket 0).
+  [[nodiscard]] static int bucket_index(double ms);
+  /// Inclusive lower edge of bucket `i` in ms (bucket 0 starts at 0).
+  [[nodiscard]] static double bucket_lower_ms(int i);
+  /// Exclusive upper edge of bucket `i` in ms (last bucket: +inf).
+  [[nodiscard]] static double bucket_upper_ms(int i);
+
+  void record(double ms) { ++counts_[bucket_index(ms)]; }
+  void merge(const LatencyHistogram& other);
+
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] std::uint64_t bucket_count(int i) const {
+    return counts_[i];
+  }
+
+  /// Deterministic quantile estimate: the upper edge of the first bucket
+  /// whose cumulative count reaches q * total (0 on an empty histogram).
+  [[nodiscard]] double quantile_ms(double q) const;
+
+  friend bool operator==(const LatencyHistogram& a,
+                         const LatencyHistogram& b) {
+    return a.counts_ == b.counts_;
+  }
+
+ private:
+  std::array<std::uint64_t, kBucketCount> counts_{};
+};
+
+/// Plain event counters, incremented from the instrumented layers.
+struct MetricCounters {
+  std::uint64_t messages = 0;        ///< Simulated wire messages (hops).
+  std::uint64_t bytes_on_wire = 0;   ///< Total bytes across all hops.
+  std::uint64_t dns_queries = 0;     ///< Stub resolutions issued.
+  std::uint64_t doh_queries = 0;     ///< DoH measurement flows started.
+  std::uint64_t do53_queries = 0;    ///< Do53 measurement flows started.
+  std::uint64_t tcp_handshakes = 0;
+  std::uint64_t tls_handshakes = 0;
+  std::uint64_t quic_handshakes = 0;
+  std::uint64_t tunnels_established = 0;
+  std::uint64_t loss_retries = 0;    ///< Datagrams lost -> retry penalty.
+  std::uint64_t failures = 0;        ///< Failed measurements.
+
+  friend bool operator==(const MetricCounters&,
+                         const MetricCounters&) = default;
+};
+
+/// One shard's metrics registry: counters plus named latency histograms
+/// (per-provider resolution times). Single-owner by construction — the
+/// shard that increments is the only writer until the merge.
+class Metrics {
+ public:
+  MetricCounters counters;
+
+  /// Histogram for `name`, created on first use.
+  [[nodiscard]] LatencyHistogram& histogram(std::string_view name);
+  /// Histogram for `name`, or nullptr when never recorded.
+  [[nodiscard]] const LatencyHistogram* find_histogram(
+      std::string_view name) const;
+  [[nodiscard]] const std::map<std::string, LatencyHistogram>& histograms()
+      const {
+    return histograms_;
+  }
+
+  /// Sums `other` into this registry (integer adds: order-independent).
+  void merge(const Metrics& other);
+
+  void clear();
+
+  friend bool operator==(const Metrics& a, const Metrics& b) {
+    return a.counters == b.counters && a.histograms_ == b.histograms_;
+  }
+
+ private:
+  std::map<std::string, LatencyHistogram> histograms_;
+};
+
+}  // namespace dohperf::obs

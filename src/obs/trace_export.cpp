@@ -1,0 +1,104 @@
+#include "obs/trace_export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace dohperf::obs {
+namespace {
+
+std::int64_t us_since_epoch(netsim::SimTime t) {
+  return t.time_since_epoch().count();
+}
+
+void append_common_args(std::ostringstream& os, const Span& span) {
+  os << "\"id\":" << span.id << ",\"parent\":";
+  if (span.parent == kNoSpan) {
+    os << "null";
+  } else {
+    os << span.parent;
+  }
+  if (span.hop) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  ",\"bytes\":%zu,\"from\":[%.4f,%.4f],\"to\":[%.4f,%.4f]",
+                  span.bytes, span.from.lat, span.from.lon, span.to.lat,
+                  span.to.lon);
+    os << buf;
+  }
+}
+
+}  // namespace
+
+std::string perfetto_trace_json(const SpanContext& spans) {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Span& span : spans.spans()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << json::escape(span.name)
+       << "\",\"cat\":\"" << (span.hop ? "hop" : "span")
+       << "\",\"ph\":\"X\",\"ts\":" << us_since_epoch(span.start)
+       << ",\"dur\":" << us_since_epoch(span.end) - us_since_epoch(span.start)
+       << ",\"pid\":1,\"tid\":1,\"args\":{";
+    append_common_args(os, span);
+    os << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string span_jsonl(const SpanContext& spans) {
+  std::ostringstream os;
+  for (const Span& span : spans.spans()) {
+    os << "{\"id\":" << span.id << ",\"parent\":";
+    if (span.parent == kNoSpan) {
+      os << "null";
+    } else {
+      os << span.parent;
+    }
+    os << ",\"name\":\"" << json::escape(span.name)
+       << "\",\"start_us\":" << us_since_epoch(span.start)
+       << ",\"end_us\":" << us_since_epoch(span.end)
+       << ",\"hop\":" << (span.hop ? "true" : "false");
+    if (span.hop) {
+      char buf[96];
+      std::snprintf(buf, sizeof buf,
+                    ",\"bytes\":%zu,\"from\":[%.4f,%.4f],\"to\":[%.4f,%.4f]",
+                    span.bytes, span.from.lat, span.from.lon, span.to.lat,
+                    span.to.lon);
+      os << buf;
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);  // best-effort
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << content;
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+void write_perfetto_trace(const SpanContext& spans, const std::string& path) {
+  write_text_file(path, perfetto_trace_json(spans));
+}
+
+void write_span_jsonl(const SpanContext& spans, const std::string& path) {
+  write_text_file(path, span_jsonl(spans));
+}
+
+}  // namespace dohperf::obs

@@ -1,0 +1,34 @@
+// Trace export: Chrome/Perfetto trace_event JSON and a JSONL span dump.
+//
+// The Perfetto writer emits complete ("ph":"X") events whose ts/dur are
+// the span's sim-time microseconds, so a captured flow opens directly in
+// ui.perfetto.dev / chrome://tracing with correct visual nesting. The
+// JSONL dump is the lossless form (one span object per line, parent ids
+// included) that tools/trace_inspect rebuilds the tree from.
+#pragma once
+
+#include <string>
+
+#include "obs/span.h"
+
+namespace dohperf::obs {
+
+/// The Perfetto trace_event document for `spans` (one process, one
+/// thread; nesting comes from span containment on the shared track).
+[[nodiscard]] std::string perfetto_trace_json(const SpanContext& spans);
+
+/// One JSON object per span, newline-delimited, in open order.
+[[nodiscard]] std::string span_jsonl(const SpanContext& spans);
+
+/// Writes `content` to `path`, creating missing parent directories (so
+/// "out/trace.json" works on a fresh checkout); throws std::runtime_error
+/// on I/O failure.
+void write_text_file(const std::string& path, const std::string& content);
+
+/// perfetto_trace_json + write_text_file.
+void write_perfetto_trace(const SpanContext& spans, const std::string& path);
+
+/// span_jsonl + write_text_file.
+void write_span_jsonl(const SpanContext& spans, const std::string& path);
+
+}  // namespace dohperf::obs

@@ -34,6 +34,9 @@ class Tunnel : public transport::Connection {
   [[nodiscard]] netsim::NetCtx& net() const override {
     return client_sp_.net();
   }
+  [[nodiscard]] std::string_view layer_name() const override {
+    return "tunnel";
+  }
 
   /// Established-tunnel delivery: client -> Super Proxy -> exit, paying
   /// each intermediary's forwarding delay.

@@ -1,5 +1,6 @@
 #include "report/csv.h"
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -45,6 +46,14 @@ std::string CsvWriter::str() const {
 }
 
 void CsvWriter::write_file(const std::string& path) const {
+  // Create missing parent directories (e.g. out/) instead of failing:
+  // `ofstream` alone reports "cannot open" when the directory is absent.
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);  // best-effort
+  }
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot open " + path);
   out << str();

@@ -1,0 +1,59 @@
+#include "report/metrics.h"
+
+#include <cstdio>
+#include <string>
+
+namespace dohperf::report {
+namespace {
+
+std::string format_ms(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", ms);
+  return buf;
+}
+
+std::string format_u64(std::uint64_t v) {
+  return std::to_string(v);
+}
+
+}  // namespace
+
+CsvWriter metrics_csv(const obs::Metrics& metrics) {
+  CsvWriter csv({"section", "name", "value"});
+  const obs::MetricCounters& c = metrics.counters;
+  const std::pair<const char*, std::uint64_t> counters[] = {
+      {"messages", c.messages},
+      {"bytes_on_wire", c.bytes_on_wire},
+      {"dns_queries", c.dns_queries},
+      {"doh_queries", c.doh_queries},
+      {"do53_queries", c.do53_queries},
+      {"tcp_handshakes", c.tcp_handshakes},
+      {"tls_handshakes", c.tls_handshakes},
+      {"quic_handshakes", c.quic_handshakes},
+      {"tunnels_established", c.tunnels_established},
+      {"loss_retries", c.loss_retries},
+      {"failures", c.failures},
+  };
+  for (const auto& [name, value] : counters) {
+    csv.add_row({"counter", name, format_u64(value)});
+  }
+
+  for (const auto& [name, hist] : metrics.histograms()) {
+    csv.add_row({"histogram", name + ".count", format_u64(hist.count())});
+    csv.add_row(
+        {"histogram", name + ".p50_ms", format_ms(hist.quantile_ms(0.5))});
+    csv.add_row(
+        {"histogram", name + ".p90_ms", format_ms(hist.quantile_ms(0.9))});
+    csv.add_row(
+        {"histogram", name + ".p99_ms", format_ms(hist.quantile_ms(0.99))});
+    for (int i = 0; i < obs::LatencyHistogram::kBucketCount; ++i) {
+      const std::uint64_t n = hist.bucket_count(i);
+      if (n == 0) continue;
+      csv.add_row({"histogram", name + ".bucket" + std::to_string(i),
+                   format_u64(n)});
+    }
+  }
+  return csv;
+}
+
+}  // namespace dohperf::report

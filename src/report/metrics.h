@@ -1,0 +1,16 @@
+// CSV rendering of a merged obs::Metrics registry.
+#pragma once
+
+#include "obs/metrics.h"
+#include "report/csv.h"
+
+namespace dohperf::report {
+
+/// Flattens a metrics registry into a three-column CSV
+/// (`section,name,value`): one `counter` row per wire/query/handshake
+/// counter, and per histogram a `histogram` row for the sample count, the
+/// p50/p90/p99 bucket edges, and every non-empty bucket
+/// (`<name>.bucket<i>`). Values are integers except the quantile edges.
+[[nodiscard]] CsvWriter metrics_csv(const obs::Metrics& metrics);
+
+}  // namespace dohperf::report

@@ -23,6 +23,7 @@ RecursiveResolver::RecursiveResolver(std::string name, netsim::Site site,
 netsim::Task<dns::Message> RecursiveResolver::resolve(
     netsim::NetCtx& net, dns::Message query, std::uint32_t client_address) {
   ++stats_.queries;
+  const obs::ScopedSpan span = net.span("recursive_resolve");
 
   if (query.questions.empty()) {
     ++stats_.failures;

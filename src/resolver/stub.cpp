@@ -17,6 +17,8 @@ netsim::Task<StubResult> stub_resolve(netsim::NetCtx& net,
                                       dns::Message query,
                                       std::uint32_t client_address) {
   StubResult result;
+  const obs::ScopedSpan span = net.span("stub_resolve");
+  if (net.metrics != nullptr) ++net.metrics->counters.dns_queries;
   const netsim::SimTime start = net.sim.now();
   netsim::Path path(net, vantage, resolver.site());
   path.set_framing(transport::kUdpOverheadBytes,

@@ -13,6 +13,9 @@
 // the wire — no caller sums kRecordOverheadBytes by hand.
 #pragma once
 
+#include <string>
+#include <string_view>
+
 #include "netsim/path.h"
 #include "transport/http.h"
 
@@ -35,6 +38,12 @@ class Connection {
 
   [[nodiscard]] virtual netsim::NetCtx& net() const = 0;
 
+  /// Short layer tag ("tcp", "tls", "tunnel", ...) naming the spans this
+  /// layer opens and, through them, labelling the hops it causes.
+  [[nodiscard]] virtual std::string_view layer_name() const {
+    return "conn";
+  }
+
   /// Per-record framing bytes this layer alone adds.
   [[nodiscard]] virtual std::size_t layer_overhead() const { return 0; }
 
@@ -51,14 +60,21 @@ class Connection {
   /// Moves one fully framed record server -> client.
   virtual netsim::Task<void> recv_framed(std::size_t wire_bytes) const = 0;
 
-  /// Sends an application payload, adding the stack's framing.
+  /// Sends an application payload, adding the stack's framing. With a
+  /// span context attached, the record travels inside a
+  /// "<layer_name>.send" span (skipped entirely when tracing is off so
+  /// the hot path stays a plain delegation).
   netsim::Task<void> send(std::size_t payload_bytes) const {
-    return send_framed(payload_bytes + stack_overhead());
+    const std::size_t wire = payload_bytes + stack_overhead();
+    if (net().spans == nullptr) return send_framed(wire);
+    return send_spanned(wire);
   }
 
   /// Receives an application payload, adding the stack's framing.
   netsim::Task<void> recv(std::size_t payload_bytes) const {
-    return recv_framed(payload_bytes + stack_overhead());
+    const std::size_t wire = payload_bytes + stack_overhead();
+    if (net().spans == nullptr) return recv_framed(wire);
+    return recv_spanned(wire);
   }
 
   /// Message-typed conveniences: wire size from the serialized message.
@@ -74,6 +90,19 @@ class Connection {
   netsim::Task<void> recv(const HttpResponse& msg) const {
     return recv(msg.wire_size());
   }
+
+ private:
+  // Traced variants: same awaits, wrapped in a named span.
+  netsim::Task<void> send_spanned(std::size_t wire_bytes) const {
+    const obs::ScopedSpan span =
+        net().span(std::string(layer_name()) + ".send");
+    co_await send_framed(wire_bytes);
+  }
+  netsim::Task<void> recv_spanned(std::size_t wire_bytes) const {
+    const obs::ScopedSpan span =
+        net().span(std::string(layer_name()) + ".recv");
+    co_await recv_framed(wire_bytes);
+  }
 };
 
 /// Layer 0: a connection carried directly on a routed Path.
@@ -82,6 +111,9 @@ class PathConnection : public Connection {
   explicit PathConnection(netsim::Path path) : path_(std::move(path)) {}
 
   [[nodiscard]] netsim::NetCtx& net() const override { return path_.net(); }
+  [[nodiscard]] std::string_view layer_name() const override {
+    return "path";
+  }
   netsim::Task<void> send_framed(std::size_t wire_bytes) const override {
     return path_.send(wire_bytes);
   }
@@ -126,6 +158,9 @@ class LayeredConnection : public Connection {
 class LengthPrefixedChannel : public LayeredConnection {
  public:
   using LayeredConnection::LayeredConnection;
+  [[nodiscard]] std::string_view layer_name() const override {
+    return "dns-framing";
+  }
   [[nodiscard]] std::size_t layer_overhead() const override {
     return kLengthPrefixBytes;
   }

@@ -6,6 +6,8 @@ netsim::Task<QuicConnection> quic_connect(netsim::NetCtx& net,
                                           const netsim::Site& client,
                                           const netsim::Site& server) {
   QuicConnection conn{netsim::Path(net, client, server)};
+  const obs::ScopedSpan span = net.span("quic_handshake");
+  if (net.metrics != nullptr) ++net.metrics->counters.quic_handshakes;
   const netsim::SimTime start = net.sim.now();
   // Handshake datagram sizes are quoted on-the-wire; no added framing.
   co_await conn.send_framed(kQuicClientInitialBytes);

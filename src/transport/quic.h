@@ -26,6 +26,9 @@ class QuicConnection : public PathConnection {
   explicit QuicConnection(netsim::Path path)
       : PathConnection(std::move(path)) {}
 
+  [[nodiscard]] std::string_view layer_name() const override {
+    return "quic";
+  }
   [[nodiscard]] std::size_t layer_overhead() const override {
     return kQuicShortHeaderOverhead;
   }

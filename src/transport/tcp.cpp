@@ -6,6 +6,8 @@ netsim::Task<TcpConnection> tcp_connect(netsim::NetCtx& net,
                                         const netsim::Site& client,
                                         const netsim::Site& server) {
   TcpConnection conn{netsim::Path(net, client, server)};
+  const obs::ScopedSpan span = net.span("tcp_handshake");
+  if (net.metrics != nullptr) ++net.metrics->counters.tcp_handshakes;
   const netsim::SimTime start = net.sim.now();
   co_await conn.send_framed(kSynBytes);     // SYN
   co_await conn.recv_framed(kSynAckBytes);  // SYN/ACK

@@ -26,6 +26,9 @@ class TcpConnection : public PathConnection {
   explicit TcpConnection(netsim::Path path)
       : PathConnection(std::move(path)) {}
 
+  [[nodiscard]] std::string_view layer_name() const override {
+    return "tcp";
+  }
   [[nodiscard]] const netsim::Site& client() const { return path().a(); }
   [[nodiscard]] const netsim::Site& server() const { return path().b(); }
 

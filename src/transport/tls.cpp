@@ -16,6 +16,8 @@ netsim::Task<TlsSession> tls_handshake(const Connection& lower,
                                        TlsVersion version) {
   netsim::NetCtx& net = lower.net();
   TlsSession session(lower, version);
+  const obs::ScopedSpan span = net.span("tls_handshake");
+  if (net.metrics != nullptr) ++net.metrics->counters.tls_handshakes;
   const netsim::SimTime start = net.sim.now();
 
   // ClientHello -> ServerHello (+EncryptedExtensions/Certificate/Finished

@@ -34,6 +34,9 @@ class TlsSession : public LayeredConnection {
                       TlsVersion version = TlsVersion::kTls13)
       : LayeredConnection(lower), version(version) {}
 
+  [[nodiscard]] std::string_view layer_name() const override {
+    return "tls";
+  }
   [[nodiscard]] std::size_t layer_overhead() const override {
     return kRecordOverheadBytes;
   }

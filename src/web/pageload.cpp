@@ -103,6 +103,7 @@ std::string_view to_string(DnsMode mode) {
 netsim::Task<PageLoadResult> load_page(netsim::NetCtx& net,
                                        const PageLoadContext& ctx,
                                        PageSpec spec, DnsMode mode) {
+  const auto flow_span = net.span("pageload");
   PageLoadResult result;
   const SimTime page_start = net.sim.now();
 

@@ -13,6 +13,7 @@
 
 #include "measure/campaign.h"
 #include "measure/dataset.h"
+#include "obs/metrics.h"
 #include "world/world_model.h"
 
 namespace dohperf::measure {
@@ -122,6 +123,35 @@ TEST(DeterminismTest, SerialPathReportsOneShard) {
   EXPECT_GT(campaign.stats().sessions, 0u);
   EXPECT_GT(campaign.stats().events_processed, 0u);
   EXPECT_GT(campaign.stats().wall_seconds, 0.0);
+}
+
+obs::Metrics metrics_with_shards(int threads) {
+  auto world = fresh_world();
+  Campaign campaign(*world, campaign_config(threads));
+  const Dataset data =
+      threads == 0 ? campaign.run_serial() : campaign.run();
+  EXPECT_FALSE(data.doh().empty());
+  return campaign.metrics();
+}
+
+// The merged metrics registry carries the same contract as the dataset:
+// integer-only arithmetic, canonical-order merge, hence bit-identical
+// for every DOHPERF_THREADS value and for the serial reference path.
+TEST(DeterminismTest, MergedMetricsIdenticalAcrossShardCounts) {
+  const obs::Metrics serial = metrics_with_shards(0);
+  EXPECT_GT(serial.counters.doh_queries, 0u);
+  EXPECT_GT(serial.counters.do53_queries, 0u);
+  EXPECT_GT(serial.counters.dns_queries, 0u);
+  EXPECT_GT(serial.counters.messages, 0u);
+  EXPECT_GT(serial.counters.bytes_on_wire, serial.counters.messages);
+  EXPECT_GT(serial.counters.tunnels_established, 0u);
+  EXPECT_GT(serial.counters.tls_handshakes, 0u);
+  ASSERT_NE(serial.find_histogram("Do53"), nullptr);
+  EXPECT_GT(serial.find_histogram("Do53")->count(), 0u);
+
+  EXPECT_TRUE(metrics_with_shards(1) == serial);
+  EXPECT_TRUE(metrics_with_shards(2) == serial);
+  EXPECT_TRUE(metrics_with_shards(4) == serial);
 }
 
 TEST(DeterminismTest, StatsCountShardsAndSessions) {

@@ -1,0 +1,425 @@
+// Tests for the observability subsystem: span-tree nesting (including
+// across coroutine suspension points), histogram bucket arithmetic,
+// metrics merging, trace-export well-formedness (the Perfetto JSON is
+// parsed back with the bundled parser), and TraceSink backward
+// compatibility with the new label field.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "measure/flows.h"
+#include "netsim/netctx.h"
+#include "netsim/path.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/trace_export.h"
+#include "proxy/tunnel.h"
+#include "transport/connection.h"
+#include "transport/tls.h"
+
+namespace dohperf {
+namespace {
+
+using netsim::NetCtx;
+using netsim::Site;
+using obs::LatencyHistogram;
+using obs::kNoSpan;
+using obs::Span;
+using obs::SpanContext;
+
+struct ObsFixture : ::testing::Test {
+  netsim::Simulator sim;
+  netsim::LatencyModel latency;
+  netsim::Rng rng{7};
+  netsim::TraceSink trace;
+  SpanContext spans;
+  obs::Metrics metrics;
+  NetCtx net{sim, latency, rng, &trace, &spans, &metrics};
+  // Jitter-free sites for exact assertions.
+  Site client{{0, 0}, 2.0, 1.0, 0.0};
+  Site super_proxy{{0, 20}, 1.0, 1.0, 0.0};
+  Site exit{{0, 40}, 1.5, 1.0, 0.0};
+};
+
+/// Every span's interval must sit inside its parent's, parents must be
+/// valid earlier ids, and no span may be left open.
+void expect_well_nested(const SpanContext& ctx) {
+  EXPECT_EQ(ctx.open_count(), 0u);
+  const std::vector<Span>& spans = ctx.spans();
+  for (const Span& span : spans) {
+    EXPECT_LE(span.start, span.end) << span.name;
+    if (span.parent == kNoSpan) continue;
+    ASSERT_LT(span.parent, span.id) << span.name;
+    const Span& parent = spans[span.parent];
+    EXPECT_FALSE(parent.hop) << "hop " << parent.name << " has children";
+    EXPECT_GE(span.start, parent.start)
+        << span.name << " starts before parent " << parent.name;
+    EXPECT_LE(span.end, parent.end)
+        << span.name << " ends after parent " << parent.name;
+  }
+}
+
+// ------------------------------------------------------------ span tree
+
+TEST(SpanContextTest, OpenCloseBuildsParentChain) {
+  netsim::Simulator sim;
+  SpanContext ctx;
+  const auto root = ctx.open("root", sim.now());
+  const auto child = ctx.open("child", sim.now());
+  EXPECT_EQ(ctx.current(), child);
+  EXPECT_EQ(ctx.current_name(), "child");
+  ctx.close(child, sim.now());
+  EXPECT_EQ(ctx.current(), root);
+  ctx.close(root, sim.now());
+  EXPECT_EQ(ctx.current(), kNoSpan);
+
+  ASSERT_EQ(ctx.spans().size(), 2u);
+  EXPECT_EQ(ctx.spans()[root].parent, kNoSpan);
+  EXPECT_EQ(ctx.spans()[child].parent, root);
+  expect_well_nested(ctx);
+}
+
+TEST(SpanContextTest, OutOfOrderCloseUnwindsTolerantly) {
+  netsim::Simulator sim;
+  SpanContext ctx;
+  const auto root = ctx.open("root", sim.now());
+  ctx.open("leaked", sim.now());
+  // Closing the root while "leaked" is still open must not wedge the
+  // stack: a buggy flow still yields an inspectable trace.
+  ctx.close(root, sim.now());
+  EXPECT_EQ(ctx.open_count(), 0u);
+}
+
+TEST(SpanContextTest, HopsAreLeavesUnderTheInnermostSpan) {
+  netsim::Simulator sim;
+  SpanContext ctx;
+  const auto root = ctx.open("root", sim.now());
+  ctx.record_hop(sim.now(), sim.now(), {1, 2}, {3, 4}, 128);
+  ctx.close(root, sim.now());
+
+  const auto hops = ctx.hop_view();
+  ASSERT_EQ(hops.size(), 1u);
+  EXPECT_TRUE(hops[0]->hop);
+  EXPECT_EQ(hops[0]->parent, root);
+  EXPECT_EQ(hops[0]->bytes, 128u);
+  EXPECT_EQ(hops[0]->from.lat, 1.0);
+  EXPECT_EQ(hops[0]->to.lon, 4.0);
+}
+
+TEST(ScopedSpanTest, DefaultConstructedIsNoop) {
+  obs::ScopedSpan guard;  // must not crash on destruction
+  EXPECT_FALSE(guard.active());
+  guard.finish();
+}
+
+TEST(ScopedSpanTest, NullContextNetCtxSpanIsNoop) {
+  netsim::Simulator sim;
+  netsim::LatencyModel latency;
+  netsim::Rng rng{1};
+  NetCtx net{sim, latency, rng};
+  const auto guard = net.span("anything");
+  EXPECT_FALSE(guard.active());
+}
+
+// ------------------------------------- nesting across coroutine suspension
+
+TEST_F(ObsFixture, TunnelFlowYieldsNestedTreeAcrossSuspension) {
+  proxy::Tunnel tunnel{net, client, super_proxy, exit};
+
+  auto flow = [&]() -> netsim::Task<void> {
+    const auto root = net.span("flow");
+    transport::HttpRequest connect_req;
+    connect_req.method = "CONNECT";
+    connect_req.target = "resolver:443";
+    co_await tunnel.connect_to_super_proxy(connect_req);
+    co_await tunnel.forward_connect(connect_req);
+    co_await tunnel.send_established_reply(proxy::TunTimeline{});
+    // The record layer stacks on the tunnel: tls.send > tunnel.send.
+    const transport::TlsSession session(tunnel);
+    co_await session.send(200);
+    co_await session.recv(400);
+  }();
+  sim.run();
+  flow.result();
+
+  expect_well_nested(spans);
+
+  // The root "flow" span must hold everything else.
+  ASSERT_FALSE(spans.empty());
+  const Span& root = spans.spans().front();
+  EXPECT_EQ(root.name, "flow");
+  EXPECT_EQ(root.parent, kNoSpan);
+  for (const Span& span : spans.spans()) {
+    if (span.id == root.id) continue;
+    EXPECT_NE(span.parent, kNoSpan) << span.name << " escaped the root";
+  }
+
+  // tls.send nests over tunnel.send, which holds hop leaves.
+  const Span* tls_send = nullptr;
+  const Span* tunnel_send = nullptr;
+  for (const Span& span : spans.spans()) {
+    if (span.name == "tls.send" && tls_send == nullptr) tls_send = &span;
+    if (span.name == "tunnel.send" && tunnel_send == nullptr) {
+      tunnel_send = &span;
+    }
+  }
+  ASSERT_NE(tls_send, nullptr);
+  ASSERT_NE(tunnel_send, nullptr);
+  EXPECT_EQ(tunnel_send->parent, tls_send->id);
+  bool tunnel_send_has_hop = false;
+  for (const Span& span : spans.spans()) {
+    if (span.hop && span.parent == tunnel_send->id) {
+      tunnel_send_has_hop = true;
+    }
+  }
+  EXPECT_TRUE(tunnel_send_has_hop);
+
+  // Metrics counted the establishment.
+  EXPECT_EQ(metrics.counters.tunnels_established, 1u);
+  EXPECT_GT(metrics.counters.messages, 0u);
+  EXPECT_GT(metrics.counters.bytes_on_wire, 0u);
+}
+
+TEST_F(ObsFixture, InterleavedPathSendsUnderOneSpanStayLabeled) {
+  // Two sends race on the simulator; both hops are captured under the
+  // span that was innermost when each *started*. With one flow span this
+  // checks suspension does not unwind the stack early.
+  netsim::Path path(net, client, exit);
+  auto flow = [&]() -> netsim::Task<void> {
+    const auto guard = net.span("burst");
+    auto first = path.send(100);
+    auto second = path.send(300);
+    co_await first;
+    co_await second;
+  }();
+  sim.run();
+  flow.result();
+
+  expect_well_nested(spans);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.events()[0].label, "burst");
+  EXPECT_EQ(trace.events()[1].label, "burst");
+  EXPECT_EQ(metrics.counters.messages, 2u);
+  EXPECT_EQ(metrics.counters.bytes_on_wire, 400u);
+}
+
+// --------------------------------------------------------- TraceSink compat
+
+TEST(TraceSinkCompatTest, AggregateInitWithoutLabelStillCompiles) {
+  netsim::TraceSink sink;
+  // The pre-span five-field initialization must keep working; label
+  // defaults to empty.
+  sink.record(netsim::TraceEvent{netsim::SimTime{}, netsim::SimTime{},
+                                 {1, 2}, {3, 4}, 99});
+  ASSERT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink.events()[0].bytes, 99u);
+  EXPECT_TRUE(sink.events()[0].label.empty());
+}
+
+TEST(TraceSinkCompatTest, HopWithoutSpanContextLeavesLabelEmpty) {
+  netsim::Simulator sim;
+  netsim::LatencyModel latency;
+  netsim::Rng rng{3};
+  netsim::TraceSink sink;
+  NetCtx net{sim, latency, rng, &sink};
+  Site a{{0, 0}, 2.0, 1.0, 0.0};
+  Site b{{0, 20}, 1.0, 1.0, 0.0};
+  auto task = net.hop(a, b, 64);
+  sim.run();
+  ASSERT_TRUE(task.done());
+  ASSERT_EQ(sink.size(), 1u);
+  EXPECT_TRUE(sink.events()[0].label.empty());
+}
+
+// ------------------------------------------------------------- histogram
+
+TEST(LatencyHistogramTest, BucketEdges) {
+  // Underflow bucket: [0, 1 ms), plus NaN and negatives.
+  EXPECT_EQ(LatencyHistogram::bucket_index(0.0), 0);
+  EXPECT_EQ(LatencyHistogram::bucket_index(0.999), 0);
+  EXPECT_EQ(LatencyHistogram::bucket_index(-5.0), 0);
+  EXPECT_EQ(LatencyHistogram::bucket_index(
+                std::numeric_limits<double>::quiet_NaN()),
+            0);
+  // First log bucket starts exactly at 1 ms.
+  EXPECT_EQ(LatencyHistogram::bucket_index(1.0), 1);
+  // Quarter-octave widths: 2 ms is four buckets up from 1 ms.
+  EXPECT_EQ(LatencyHistogram::bucket_index(2.0), 5);
+  EXPECT_EQ(LatencyHistogram::bucket_index(4.0), 9);
+  // Overflow: everything >= 4096 ms lands in the last bucket.
+  EXPECT_EQ(LatencyHistogram::bucket_index(4096.0),
+            LatencyHistogram::kBucketCount - 1);
+  EXPECT_EQ(LatencyHistogram::bucket_index(1e9),
+            LatencyHistogram::kBucketCount - 1);
+
+  // Edges are consistent: lower(i) == upper(i-1), and the value 1.0 sits
+  // on the closed lower edge of bucket 1.
+  for (int i = 1; i < LatencyHistogram::kBucketCount - 1; ++i) {
+    EXPECT_DOUBLE_EQ(LatencyHistogram::bucket_lower_ms(i),
+                     LatencyHistogram::bucket_upper_ms(i - 1));
+    EXPECT_EQ(LatencyHistogram::bucket_index(
+                  LatencyHistogram::bucket_lower_ms(i)),
+              i)
+        << i;
+  }
+  EXPECT_TRUE(std::isinf(LatencyHistogram::bucket_upper_ms(
+      LatencyHistogram::kBucketCount - 1)));
+}
+
+TEST(LatencyHistogramTest, QuantilesAreDeterministicBucketEdges) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.quantile_ms(0.5), 0.0);  // empty
+  for (int i = 0; i < 100; ++i) hist.record(10.0);
+  hist.record(2000.0);
+  EXPECT_EQ(hist.count(), 101u);
+  const double p50 = hist.quantile_ms(0.5);
+  EXPECT_EQ(p50, LatencyHistogram::bucket_upper_ms(
+                     LatencyHistogram::bucket_index(10.0)));
+  // p50 brackets the recorded value.
+  EXPECT_GT(p50, 10.0 / std::exp2(0.25));
+  EXPECT_GE(p50, 10.0);
+  const double p100 = hist.quantile_ms(1.0);
+  EXPECT_EQ(p100, LatencyHistogram::bucket_upper_ms(
+                      LatencyHistogram::bucket_index(2000.0)));
+}
+
+TEST(LatencyHistogramTest, MergeIsOrderIndependent) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.record(3.0);
+  a.record(700.0);
+  b.record(0.2);
+  b.record(3.1);
+
+  LatencyHistogram ab = a;
+  ab.merge(b);
+  LatencyHistogram ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);
+  EXPECT_EQ(ab.count(), 4u);
+}
+
+TEST(MetricsTest, MergeSumsCountersAndHistograms) {
+  obs::Metrics a;
+  obs::Metrics b;
+  a.counters.messages = 3;
+  a.counters.failures = 1;
+  a.histogram("Cloudflare").record(12.0);
+  b.counters.messages = 4;
+  b.histogram("Cloudflare").record(15.0);
+  b.histogram("Google").record(20.0);
+
+  obs::Metrics merged = a;
+  merged.merge(b);
+  EXPECT_EQ(merged.counters.messages, 7u);
+  EXPECT_EQ(merged.counters.failures, 1u);
+  ASSERT_NE(merged.find_histogram("Cloudflare"), nullptr);
+  EXPECT_EQ(merged.find_histogram("Cloudflare")->count(), 2u);
+  ASSERT_NE(merged.find_histogram("Google"), nullptr);
+  EXPECT_EQ(merged.find_histogram("Google")->count(), 1u);
+  EXPECT_EQ(merged.find_histogram("NextDNS"), nullptr);
+
+  obs::Metrics other_order = b;
+  other_order.merge(a);
+  EXPECT_TRUE(merged == other_order);
+}
+
+// ----------------------------------------------------------- trace export
+
+TEST_F(ObsFixture, PerfettoJsonParsesBackWithMatchingSpans) {
+  proxy::Tunnel tunnel{net, client, super_proxy, exit};
+  auto flow = [&]() -> netsim::Task<void> {
+    const auto root = net.span("flow");
+    co_await tunnel.send(150);
+    co_await tunnel.recv(300);
+  }();
+  sim.run();
+  flow.result();
+
+  const std::string text = obs::perfetto_trace_json(spans);
+  const auto doc = obs::json::parse(text);
+  ASSERT_TRUE(doc.has_value()) << text;
+  EXPECT_EQ(doc->string_or("displayTimeUnit", ""), "ms");
+  const obs::json::Value* events = doc->get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->as_array().size(), spans.spans().size());
+
+  for (std::size_t i = 0; i < spans.spans().size(); ++i) {
+    const Span& span = spans.spans()[i];
+    const obs::json::Value& event = events->as_array()[i];
+    EXPECT_EQ(event.string_or("name", ""), span.name);
+    EXPECT_EQ(event.string_or("ph", ""), "X");
+    EXPECT_EQ(event.string_or("cat", ""), span.hop ? "hop" : "span");
+    const obs::json::Value* args = event.get("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_EQ(static_cast<obs::SpanId>(args->number_or("id", -1)), span.id);
+    const obs::json::Value* parent = args->get("parent");
+    ASSERT_NE(parent, nullptr);
+    if (span.parent == kNoSpan) {
+      EXPECT_TRUE(parent->is_null());
+    } else {
+      ASSERT_TRUE(parent->is_number());
+      EXPECT_EQ(static_cast<obs::SpanId>(parent->as_number()), span.parent);
+    }
+    if (span.hop) {
+      EXPECT_EQ(static_cast<std::size_t>(args->number_or("bytes", 0)),
+                span.bytes);
+    }
+    // Complete events: dur == end - start in integer microseconds.
+    const auto start_us = span.start.time_since_epoch().count();
+    const auto end_us = span.end.time_since_epoch().count();
+    EXPECT_EQ(static_cast<std::int64_t>(event.number_or("ts", -1)),
+              start_us);
+    EXPECT_EQ(static_cast<std::int64_t>(event.number_or("dur", -1)),
+              end_us - start_us);
+  }
+}
+
+TEST_F(ObsFixture, SpanJsonlEmitsOneValidObjectPerSpan) {
+  auto flow = [&]() -> netsim::Task<void> {
+    const auto root = net.span("flow");
+    netsim::Path path(net, client, exit);
+    co_await path.send(64);
+  }();
+  sim.run();
+  flow.result();
+
+  const std::string text = obs::span_jsonl(spans);
+  std::size_t lines = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos);
+    const auto obj = obs::json::parse(text.substr(pos, eol - pos));
+    ASSERT_TRUE(obj.has_value());
+    ASSERT_TRUE(obj->is_object());
+    EXPECT_NE(obj->get("id"), nullptr);
+    EXPECT_NE(obj->get("name"), nullptr);
+    EXPECT_NE(obj->get("start_us"), nullptr);
+    EXPECT_NE(obj->get("end_us"), nullptr);
+    ++lines;
+    pos = eol + 1;
+  }
+  EXPECT_EQ(lines, spans.spans().size());
+}
+
+TEST(JsonParserTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(obs::json::parse("").has_value());
+  EXPECT_FALSE(obs::json::parse("{").has_value());
+  EXPECT_FALSE(obs::json::parse("{} trailing").has_value());
+  EXPECT_FALSE(obs::json::parse("[1,]").has_value());
+  EXPECT_FALSE(obs::json::parse("'single'").has_value());
+  ASSERT_TRUE(obs::json::parse("{\"a\":[1,2,{\"b\":null}]}").has_value());
+  const auto unicode = obs::json::parse("\"\\u00e9\"");
+  ASSERT_TRUE(unicode.has_value());
+  EXPECT_EQ(unicode->as_string(), "\xc3\xa9");
+}
+
+}  // namespace
+}  // namespace dohperf

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 
 #include "report/csv.h"
@@ -82,10 +83,28 @@ TEST(CsvTest, WritesFile) {
   std::remove(path.c_str());
 }
 
+TEST(CsvTest, WriteFileCreatesMissingParentDirectories) {
+  CsvWriter csv({"x"});
+  csv.add_row({"1"});
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "dohperf_csv_test_dir";
+  std::filesystem::remove_all(dir);
+  const std::filesystem::path path = dir / "nested" / "out.csv";
+  csv.write_file(path.string());  // must not throw: parents are created
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::filesystem::remove_all(dir);
+}
+
 TEST(CsvTest, WriteFileFailureThrows) {
   CsvWriter csv({"x"});
-  EXPECT_THROW(csv.write_file("/nonexistent-dir/deeply/nested.csv"),
+  // A regular file in the parent chain defeats both the directory
+  // creation and the open, so the failure still surfaces as a throw.
+  const std::filesystem::path blocker =
+      std::filesystem::temp_directory_path() / "dohperf_csv_blocker";
+  { std::ofstream(blocker.string()) << "x"; }
+  EXPECT_THROW(csv.write_file((blocker / "nested.csv").string()),
                std::runtime_error);
+  std::filesystem::remove(blocker);
 }
 
 }  // namespace

@@ -1,0 +1,218 @@
+// Prints a per-phase latency breakdown of a captured span trace.
+//
+// Accepts either artifact the exporter produces:
+//   trace_inspect out/trace.json        (Chrome/Perfetto trace_event JSON)
+//   trace_inspect out/trace.json.jsonl  (one span object per line)
+//
+// For every root span (a flow), the direct child phases are listed with
+// their share of the flow total, and contiguous phase decompositions
+// (e.g. doh_query = tunnel + handshake + resolution) are checked to sum
+// exactly to the flow duration — a nonzero gap exits with status 2, so
+// CI catches instrumentation that drifts out of alignment. A per-name
+// aggregate across the whole trace follows.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace {
+
+using dohperf::obs::json::Value;
+
+constexpr std::int64_t kNoParent = -1;
+
+struct SpanRec {
+  std::int64_t id = kNoParent;
+  std::int64_t parent = kNoParent;
+  std::string name;
+  std::int64_t start_us = 0;
+  std::int64_t end_us = 0;
+  bool hop = false;
+  std::uint64_t bytes = 0;
+
+  [[nodiscard]] double duration_ms() const {
+    return static_cast<double>(end_us - start_us) / 1000.0;
+  }
+};
+
+std::int64_t id_or(const Value& obj, const char* key, std::int64_t fallback) {
+  const Value* v = obj.get(key);
+  if (v == nullptr || !v->is_number()) return fallback;
+  return static_cast<std::int64_t>(v->as_number());
+}
+
+/// One Perfetto trace_event object ("ph":"X") -> SpanRec.
+std::optional<SpanRec> from_trace_event(const Value& event) {
+  const Value* args = event.get("args");
+  if (args == nullptr || !args->is_object()) return std::nullopt;
+  SpanRec rec;
+  rec.id = id_or(*args, "id", kNoParent);
+  rec.parent = id_or(*args, "parent", kNoParent);
+  rec.name = event.string_or("name", "?");
+  rec.start_us = static_cast<std::int64_t>(event.number_or("ts", 0));
+  rec.end_us = rec.start_us +
+               static_cast<std::int64_t>(event.number_or("dur", 0));
+  rec.hop = event.string_or("cat", "span") == "hop";
+  rec.bytes = static_cast<std::uint64_t>(args->number_or("bytes", 0));
+  return rec;
+}
+
+/// One JSONL line object -> SpanRec.
+std::optional<SpanRec> from_jsonl_object(const Value& obj) {
+  SpanRec rec;
+  rec.id = id_or(obj, "id", kNoParent);
+  rec.parent = id_or(obj, "parent", kNoParent);
+  rec.name = obj.string_or("name", "?");
+  rec.start_us = static_cast<std::int64_t>(obj.number_or("start_us", 0));
+  rec.end_us = static_cast<std::int64_t>(obj.number_or("end_us", 0));
+  const Value* hop = obj.get("hop");
+  rec.hop = hop != nullptr && hop->is_bool() && hop->as_bool();
+  rec.bytes = static_cast<std::uint64_t>(obj.number_or("bytes", 0));
+  return rec;
+}
+
+std::optional<std::vector<SpanRec>> load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "trace_inspect: cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  std::vector<SpanRec> spans;
+
+  // Perfetto export: one JSON object with a traceEvents array.
+  if (const std::optional<Value> doc = dohperf::obs::json::parse(text)) {
+    const Value* events = doc->get("traceEvents");
+    if (events == nullptr || !events->is_array()) {
+      std::fprintf(stderr, "trace_inspect: %s: no traceEvents array\n",
+                   path.c_str());
+      return std::nullopt;
+    }
+    for (const Value& event : events->as_array()) {
+      if (auto rec = from_trace_event(event)) spans.push_back(std::move(*rec));
+    }
+    return spans;
+  }
+
+  // JSONL export: one span object per line.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    const std::optional<Value> obj = dohperf::obs::json::parse(line);
+    if (!obj || !obj->is_object()) {
+      std::fprintf(stderr, "trace_inspect: %s: bad JSONL line: %s\n",
+                   path.c_str(), line.c_str());
+      return std::nullopt;
+    }
+    if (auto rec = from_jsonl_object(*obj)) spans.push_back(std::move(*rec));
+  }
+  return spans;
+}
+
+/// Prints one root flow's phase breakdown; returns false when a
+/// contiguous phase decomposition fails to sum to the flow total.
+bool print_flow(const SpanRec& root, const std::vector<SpanRec>& spans) {
+  std::printf("flow %-14s %10.3f ms total\n", root.name.c_str(),
+              root.duration_ms());
+
+  std::vector<const SpanRec*> phases;
+  for (const SpanRec& span : spans) {
+    if (span.parent == root.id && !span.hop) phases.push_back(&span);
+  }
+  std::sort(phases.begin(), phases.end(),
+            [](const SpanRec* a, const SpanRec* b) {
+              return a->start_us < b->start_us;
+            });
+
+  std::int64_t covered_us = 0;
+  const double total_ms = root.duration_ms();
+  for (const SpanRec* phase : phases) {
+    covered_us += phase->end_us - phase->start_us;
+    std::printf("  phase %-14s %10.3f ms  (%5.1f%%)\n", phase->name.c_str(),
+                phase->duration_ms(),
+                total_ms > 0.0 ? 100.0 * phase->duration_ms() / total_ms
+                               : 0.0);
+  }
+  if (phases.empty()) return true;
+
+  // A contiguous decomposition: phases abut each other and span the whole
+  // flow. Only then must the phase times sum to the flow total.
+  bool contiguous = phases.front()->start_us == root.start_us &&
+                    phases.back()->end_us == root.end_us;
+  for (std::size_t i = 1; contiguous && i < phases.size(); ++i) {
+    contiguous = phases[i - 1]->end_us == phases[i]->start_us;
+  }
+  if (!contiguous) return true;
+
+  const std::int64_t gap_us = (root.end_us - root.start_us) - covered_us;
+  std::printf("  phases sum to %.3f ms of %.3f ms total (gap %.3f ms)\n",
+              static_cast<double>(covered_us) / 1000.0, total_ms,
+              static_cast<double>(gap_us) / 1000.0);
+  return gap_us == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: trace_inspect <trace.json | spans.jsonl>\n");
+    return 1;
+  }
+  const std::optional<std::vector<SpanRec>> spans = load(argv[1]);
+  if (!spans) return 1;
+
+  std::uint64_t hops = 0;
+  std::uint64_t bytes = 0;
+  for (const SpanRec& span : *spans) {
+    if (!span.hop) continue;
+    ++hops;
+    bytes += span.bytes;
+  }
+  std::printf("trace: %zu spans (%llu hops, %llu bytes on wire) from %s\n\n",
+              spans->size(), static_cast<unsigned long long>(hops),
+              static_cast<unsigned long long>(bytes), argv[1]);
+
+  bool phases_ok = true;
+  for (const SpanRec& span : *spans) {
+    if (span.parent != kNoParent || span.hop) continue;
+    if (!print_flow(span, *spans)) phases_ok = false;
+    std::printf("\n");
+  }
+
+  // Aggregate by name: where does the sim-time go across the trace?
+  struct NameAgg {
+    std::uint64_t count = 0;
+    std::int64_t total_us = 0;
+  };
+  std::map<std::string, NameAgg> by_name;
+  for (const SpanRec& span : *spans) {
+    NameAgg& agg = by_name[span.name];
+    ++agg.count;
+    agg.total_us += span.end_us - span.start_us;
+  }
+  std::printf("%-28s %8s %14s\n", "span name", "count", "total ms");
+  for (const auto& [name, agg] : by_name) {
+    std::printf("%-28s %8llu %14.3f\n", name.c_str(),
+                static_cast<unsigned long long>(agg.count),
+                static_cast<double>(agg.total_us) / 1000.0);
+  }
+
+  if (!phases_ok) {
+    std::fprintf(stderr,
+                 "\ntrace_inspect: contiguous phases do not sum to the "
+                 "flow total\n");
+    return 2;
+  }
+  return 0;
+}
