@@ -128,7 +128,8 @@ void print_banner(const std::string& title) {
   std::printf(
       "metrics: %llu dns / %llu doh / %llu do53 queries | "
       "%llu tcp + %llu tls + %llu quic handshakes | %llu tunnels | "
-      "%llu loss retries | %llu failures\n",
+      "%llu loss + %llu handshake retries | %llu give-ups | "
+      "%llu fallbacks | %llu failures\n",
       static_cast<unsigned long long>(c.dns_queries),
       static_cast<unsigned long long>(c.doh_queries),
       static_cast<unsigned long long>(c.do53_queries),
@@ -137,6 +138,9 @@ void print_banner(const std::string& title) {
       static_cast<unsigned long long>(c.quic_handshakes),
       static_cast<unsigned long long>(c.tunnels_established),
       static_cast<unsigned long long>(c.loss_retries),
+      static_cast<unsigned long long>(c.handshake_retries),
+      static_cast<unsigned long long>(c.retry_timeouts),
+      static_cast<unsigned long long>(c.fallbacks),
       static_cast<unsigned long long>(c.failures));
   for (const auto& [name, hist] : env.metrics().histograms()) {
     std::printf("  %-12s n=%-7llu p50=%.1f ms  p99=%.1f ms\n", name.c_str(),

@@ -1,5 +1,7 @@
 #include "client/policy.h"
 
+#include <algorithm>
+
 #include "dns/wire.h"
 #include "resolver/stub.h"
 #include "transport/http.h"
@@ -38,7 +40,9 @@ Task<bool> resolve_doh(NetCtx& net, const PolicyContext& ctx) {
 
   const transport::TcpConnection tcp =
       co_await transport::tcp_connect(net, ctx.client, ctx.doh->site());
+  if (!tcp.established) co_return false;
   const transport::TlsSession tls = co_await transport::tls_handshake(tcp);
+  if (!tls.established) co_return false;
 
   const dns::Message query =
       resolver::make_probe_query(net.rng, ctx.origin);
@@ -79,15 +83,33 @@ netsim::Task<PolicyOutcome> resolve_with_policy(netsim::NetCtx& net,
   }
 
   // DoH first. An unreachable resolver manifests as silence: the client
-  // burns its full timeout before acting.
+  // cannot distinguish a blackholed resolver from a slow one, so it runs
+  // its SYN retransmit schedule — genuine timer expiries, not a
+  // pre-charged penalty — until its own deadline cuts the attempt off.
   if (ctx.doh_unreachable) {
-    co_await net.sim.sleep(ctx.doh_timeout);
+    netsim::Duration remaining = ctx.doh_timeout;
+    netsim::Duration timer = transport::kSynRetryPolicy.initial_timeout;
+    while (remaining > netsim::Duration::zero()) {
+      const netsim::Duration wait = std::min(timer, remaining);
+      if (net.metrics != nullptr) {
+        ++net.metrics->counters.handshake_retries;
+        net.metrics->histogram("retry_backoff").record(netsim::to_ms(wait));
+      }
+      {
+        const obs::ScopedSpan backoff_span = net.span("retry_backoff");
+        co_await net.sim.sleep(wait);
+      }
+      remaining -= wait;
+      timer *= 2;
+    }
+    if (net.metrics != nullptr) ++net.metrics->counters.retry_timeouts;
     if (mode == DohMode::kStrict) {
       // Fail closed: no resolution, privacy preserved.
       outcome.elapsed_ms = netsim::ms_between(start, net.sim.now());
       co_return outcome;
     }
     outcome.downgraded = true;
+    if (net.metrics != nullptr) ++net.metrics->counters.fallbacks;
     outcome.resolved = co_await resolve_do53(net, ctx);
     outcome.elapsed_ms = netsim::ms_between(start, net.sim.now());
     co_return outcome;
@@ -99,6 +121,7 @@ netsim::Task<PolicyOutcome> resolve_with_policy(netsim::NetCtx& net,
     outcome.used_doh = true;
   } else if (mode == DohMode::kOpportunistic) {
     outcome.downgraded = true;
+    if (net.metrics != nullptr) ++net.metrics->counters.fallbacks;
     outcome.resolved = co_await resolve_do53(net, ctx);
   }
   outcome.elapsed_ms = netsim::ms_between(start, net.sim.now());

@@ -8,7 +8,12 @@ namespace dohperf::dns {
 void Cache::insert(netsim::SimTime now, const DomainName& name,
                    RecordType type, std::vector<ResourceRecord> records) {
   if (records.empty()) return;
-  if (entries_.size() >= max_entries_) {
+  const Key key{name, type};
+  // A refresh of a key we already hold never grows the map, so capacity
+  // only gates genuinely new keys. (Checking size first silently dropped
+  // TTL refreshes of existing entries whenever the cache was full.)
+  if (entries_.find(key) == entries_.end() &&
+      entries_.size() >= max_entries_) {
     // Simple pressure relief: evict expired entries; if still full, drop
     // the insert rather than evicting live data at random.
     purge(now);
@@ -21,7 +26,7 @@ void Cache::insert(netsim::SimTime now, const DomainName& name,
   entry.records = std::move(records);
   entry.stored_at = now;
   entry.expires_at = now + std::chrono::seconds(min_ttl);
-  entries_[Key{name, type}] = std::move(entry);
+  entries_[key] = std::move(entry);
   ++stats_.insertions;
 }
 
@@ -38,12 +43,19 @@ std::optional<std::vector<ResourceRecord>> Cache::lookup(
     ++stats_.misses;
     return std::nullopt;
   }
-  const auto age_s = std::chrono::duration_cast<std::chrono::seconds>(
-                         now - it->second.stored_at)
-                         .count();
+  // Whole seconds elapsed since storage, clamped to non-negative before
+  // the unsigned TTL arithmetic (duration_cast truncates toward zero, so
+  // an age of 999 ms decays nothing).
+  const std::int64_t age_count =
+      std::chrono::duration_cast<std::chrono::seconds>(
+          now - it->second.stored_at)
+          .count();
+  const auto age_s =
+      age_count > 0 ? static_cast<std::uint64_t>(age_count) : 0u;
   std::vector<ResourceRecord> out = it->second.records;
   for (auto& rr : out) {
-    rr.ttl = rr.ttl > age_s ? rr.ttl - static_cast<std::uint32_t>(age_s) : 0;
+    rr.ttl = age_s < rr.ttl ? rr.ttl - static_cast<std::uint32_t>(age_s)
+                            : 0;
   }
   ++stats_.hits;
   return out;

@@ -22,6 +22,15 @@ struct CacheStats {
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
   std::uint64_t expirations = 0;
+
+  /// Fraction of lookups that hit; 0.0 before any lookup (a fresh or
+  /// just-cleared cache has no meaningful rate, not a 0/0).
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
 };
 
 /// TTL-respecting positive cache keyed by (name, type).
@@ -45,7 +54,14 @@ class Cache {
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] const CacheStats& stats() const { return stats_; }
-  void clear() { entries_.clear(); }
+
+  /// Empties the cache and resets the statistics: a cleared cache starts
+  /// a fresh accounting epoch (stale hit/miss tallies would otherwise
+  /// leak into the next experiment's hit_rate()).
+  void clear() {
+    entries_.clear();
+    stats_ = CacheStats{};
+  }
 
  private:
   struct Key {

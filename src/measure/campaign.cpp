@@ -131,16 +131,37 @@ ExitState make_exit_state(ShardView& view, const ExitTask& task,
 /// One client session: 4 DoH measurements + 1 Do53 measurement.
 netsim::Task<void> measure_session(ShardView& view, const ExitState& st,
                                    int run, netsim::Rng session_rng,
+                                   const CampaignConfig& config,
+                                   const std::vector<std::string>&
+                                       provider_names,
                                    SessionOutput& out) {
   netsim::NetCtx net{view.sim, view.world.latency(), session_rng};
   net.metrics = view.metrics;
   const ExitTask& task = *st.task;
   const proxy::ExitNode& exit = st.local_exit;
 
+  // Fault episodes are drawn from a private substream (split() is pure,
+  // so the session's main draw sequence is untouched) and anchored to
+  // the session's own start time: absolute sim time depends on how many
+  // sessions this shard ran before, but the epoch-relative clock does
+  // not, which keeps the dataset bit-identical across thread counts.
+  netsim::FaultPlan fault_plan;
+  if (config.faults.enabled()) {
+    const geo::LatLon focal[] = {exit.site.position, task.sp_site.position};
+    fault_plan = netsim::FaultPlan::sample(config.faults, focal,
+                                           provider_names,
+                                           session_rng.split("fault-plan"));
+    net.faults = &fault_plan;
+    net.fault_epoch = view.sim.now();
+  }
+
   // --- DoH: one measurement per studied provider ---------------------
   for (std::size_t p = 0; p < view.world.providers().size(); ++p) {
     anycast::Provider& provider = view.world.providers()[p];
-    if (st.provider_failed[p]) {
+    const bool provider_out =
+        net.faults != nullptr &&
+        net.faults->provider_down(provider.name(), net.fault_now());
+    if (st.provider_failed[p] || provider_out) {
       ++out.failed;
       if (net.metrics != nullptr) ++net.metrics->counters.failures;
       continue;
@@ -225,6 +246,7 @@ netsim::Task<void> measure_session(ShardView& view, const ExitState& st,
 // coroutine is suspended in the batch queue.
 netsim::Task<void> atlas_session(ShardView& view, std::string iso2,
                                  netsim::Rng session_rng,
+                                 const CampaignConfig& config,
                                  SessionOutput& out) {
   netsim::NetCtx net{view.sim, view.world.latency(), session_rng};
   net.metrics = view.metrics;
@@ -233,6 +255,17 @@ netsim::Task<void> atlas_session(ShardView& view, std::string iso2,
   if (probe == nullptr) co_return;
   proxy::AtlasProbe local_probe = *probe;
   local_probe.default_resolver = view.local(probe->default_resolver);
+
+  // Atlas probes see the same weather as the proxy clients: episodes
+  // centred near the probe itself (no Super Proxy leg, no DoH provider).
+  netsim::FaultPlan fault_plan;
+  if (config.faults.enabled()) {
+    const geo::LatLon focal[] = {local_probe.site.position};
+    fault_plan = netsim::FaultPlan::sample(config.faults, focal, {},
+                                           session_rng.split("fault-plan"));
+    net.faults = &fault_plan;
+    net.fault_epoch = view.sim.now();
+  }
   // Fresh UUID per measurement (cache-miss by construction).
   const double ms = co_await view.world.atlas().measure_do53(
       net, local_probe,
@@ -260,6 +293,7 @@ std::uint64_t run_shard(ShardView view, int shard_index, int shard_count,
                         const netsim::Rng& root,
                         const std::vector<ExitTask>& exits,
                         const std::vector<AtlasTask>& atlas,
+                        const std::vector<std::string>& provider_names,
                         std::vector<SessionOutput>& outputs) {
   std::uint64_t events = 0;
 
@@ -290,8 +324,8 @@ std::uint64_t run_shard(ShardView view, int shard_index, int shard_count,
           static_cast<std::size_t>(run) * exits.size() + e;
       batch.push_back(measure_session(
           view, st, run,
-          root.split(exit_session_key(st.task->exit->id, run)),
-          outputs[slot]));
+          root.split(exit_session_key(st.task->exit->id, run)), config,
+          provider_names, outputs[slot]));
       if (batch.size() >= config.batch_size) drain();
     }
   }
@@ -306,7 +340,7 @@ std::uint64_t run_shard(ShardView view, int shard_index, int shard_count,
     const AtlasTask& t = atlas[c];
     for (int i = 0; i < t.count; ++i) {
       batch.push_back(atlas_session(
-          view, t.iso2, root.split(atlas_session_key(t.iso2, i)),
+          view, t.iso2, root.split(atlas_session_key(t.iso2, i)), config,
           outputs[t.slot_base + static_cast<std::size_t>(i)]));
       if (batch.size() >= config.batch_size) drain();
     }
@@ -393,6 +427,14 @@ Dataset Campaign::run_impl(int shards) {
   // derived regardless of how much the world RNG has already been used.
   const netsim::Rng root = world_.rng().split("campaign-sessions");
 
+  // Provider names in canonical catalog order, shared by every shard's
+  // fault-plan sampling (provider-outage draws iterate this list).
+  std::vector<std::string> provider_names;
+  provider_names.reserve(world_.providers().size());
+  for (const anycast::Provider& provider : world_.providers()) {
+    provider_names.push_back(provider.name());
+  }
+
   // --- Execute ---------------------------------------------------------
   // One metrics registry per shard; sessions record without contention
   // and the registries merge below in canonical shard order. Counter and
@@ -405,7 +447,7 @@ Dataset Campaign::run_impl(int shards) {
     // Serial reference path: the world's own simulator and servers.
     events = run_shard(
         ShardView{world_, world_.sim(), nullptr, &shard_metrics[0]}, 0, 1,
-        config_, root, exits, atlas, outputs);
+        config_, root, exits, atlas, provider_names, outputs);
     stats_.shards = 1;
   } else {
     std::vector<std::thread> workers;
@@ -424,7 +466,8 @@ Dataset Campaign::run_impl(int shards) {
           shard_events[static_cast<std::size_t>(s)] = run_shard(
               ShardView{world_, replica->sim(), replica.get(),
                         &shard_metrics[static_cast<std::size_t>(s)]},
-              s, shards, config_, root, exits, atlas, outputs);
+              s, shards, config_, root, exits, atlas, provider_names,
+              outputs);
         } catch (...) {
           errors[static_cast<std::size_t>(s)] = std::current_exception();
         }

@@ -21,6 +21,7 @@
 #include <cstdint>
 
 #include "measure/dataset.h"
+#include "netsim/faultplan.h"
 #include "obs/metrics.h"
 #include "world/world_model.h"
 
@@ -42,6 +43,14 @@ struct CampaignConfig {
   /// DOHPERF_THREADS from the environment, falling back to the hardware
   /// concurrency. The dataset is bit-identical for every value.
   int threads = 0;
+  /// Episodic fault injection (loss spikes, blackouts, brownouts,
+  /// provider outages). Disabled by default; every probability is zero,
+  /// in which case no fault plan is sampled and no session draws change,
+  /// so datasets stay bit-identical to a fault-free build. Plans are
+  /// sampled per session from the session's private RNG substream and
+  /// windows are expressed relative to the session's own start, so the
+  /// result is still bit-identical for every thread count.
+  netsim::FaultPlanConfig faults;
 };
 
 /// Execution counters of the last Campaign::run() / run_serial() (used by

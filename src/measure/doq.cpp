@@ -27,6 +27,7 @@ netsim::Task<DirectDoqObservation> doq_direct(
   const transport::QuicConnection conn =
       resumed ? co_await transport::quic_resume(net, vantage, pop)
               : co_await transport::quic_connect(net, vantage, pop);
+  if (!conn.established) co_return obs;
   obs.connect_ms = netsim::to_ms(conn.handshake_time);
 
   // Each query rides its own QUIC stream; the backend recursion matches

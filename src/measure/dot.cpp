@@ -27,9 +27,11 @@ netsim::Task<DirectDotObservation> dot_direct(
 
   const transport::TcpConnection tcp =
       co_await transport::tcp_connect(net, vantage, pop);
+  if (!tcp.established) co_return obs;
   obs.connect_ms = netsim::to_ms(tcp.handshake_time);
   const transport::TlsSession session =
       co_await transport::tls_handshake(tcp, tls);
+  if (!session.established) co_return obs;
   obs.tls_ms = netsim::to_ms(session.handshake_time);
 
   // Queries ride the TLS session with a two-octet length prefix; the

@@ -113,6 +113,7 @@ Task<DohProxyObservation> doh_via_proxy(NetCtx& net, DohProxyParams params) {
   // t5+t6: TCP handshake exit <-> PoP.
   const transport::TcpConnection tcp =
       co_await transport::tcp_connect(net, exit, pop);
+  if (!tcp.established) co_return obs;
   obs.true_connect_ms = netsim::to_ms(tcp.handshake_time);
 
   // t7-t8: tunnel-established reply with the timing headers.
@@ -133,6 +134,14 @@ Task<DohProxyObservation> doh_via_proxy(NetCtx& net, DohProxyParams params) {
   // tls_handshake call), so count it here.
   if (net.metrics != nullptr) ++net.metrics->counters.tls_handshakes;
   obs.inputs.stamps.t_c = ms_between(session_epoch, net.sim.now());
+
+  // The tunnelled ClientHello's loss recovery rides the exit<->PoP leg
+  // (the client's own legs were already gated at tunnel establishment).
+  {
+    const netsim::RetryOutcome hello = co_await net.handshake_gate(
+        exit, pop, transport::kHelloRetryPolicy);
+    if (!hello.delivered) co_return obs;
+  }
 
   co_await tunnel.send_framed(transport::kClientHelloBytes);  // t9, t10
   SimTime leg_start = net.sim.now();
@@ -212,9 +221,11 @@ Task<DirectDohObservation> doh_direct(NetCtx& net, Site vantage,
   // TCP + TLS.
   const transport::TcpConnection tcp =
       co_await transport::tcp_connect(net, vantage, pop);
+  if (!tcp.established) co_return obs;
   obs.connect_ms = netsim::to_ms(tcp.handshake_time);
   const transport::TlsSession session =
       co_await transport::tls_handshake(tcp, tls);
+  if (!session.established) co_return obs;
   obs.tls_ms = netsim::to_ms(session.handshake_time);
 
   // First query.
@@ -296,6 +307,7 @@ Task<Do53ProxyObservation> do53_via_proxy(NetCtx& net,
   // TCP handshake exit <-> web server, then the tunnel reply (t7-t8).
   const transport::TcpConnection tcp =
       co_await transport::tcp_connect(net, exit, params.web_server);
+  if (!tcp.established) co_return obs;
 
   proxy::TunTimeline tun;
   tun.dns_ms = dns_ms;

@@ -1,0 +1,164 @@
+#include "netsim/faultplan.h"
+
+#include <algorithm>
+
+namespace dohperf::netsim {
+namespace {
+
+bool within(const geo::LatLon& pos, const geo::LatLon& center,
+            double radius_miles) {
+  return geo::distance_miles(pos, center) <= radius_miles;
+}
+
+}  // namespace
+
+FaultPlanConfig FaultPlanConfig::canonical() {
+  FaultPlanConfig config;
+  config.loss_spike_probability = 0.25;
+  config.blackout_probability = 0.05;
+  config.brownout_probability = 0.10;
+  config.provider_outage_probability = 0.02;
+  return config;
+}
+
+void FaultPlan::add_loss_spike(LossSpikeEpisode episode) {
+  loss_spikes_.push_back(episode);
+}
+
+void FaultPlan::add_blackout(BlackoutEpisode episode) {
+  blackouts_.push_back(episode);
+}
+
+void FaultPlan::add_brownout(BrownoutEpisode episode) {
+  brownouts_.push_back(episode);
+}
+
+void FaultPlan::add_provider_outage(ProviderOutageEpisode episode) {
+  provider_outages_.push_back(std::move(episode));
+}
+
+double FaultPlan::extra_loss(const geo::LatLon& pos, Duration t) const {
+  double survival = 1.0;
+  for (const LossSpikeEpisode& episode : loss_spikes_) {
+    if (episode.window.covers(t) &&
+        within(pos, episode.center, episode.radius_miles)) {
+      survival *= 1.0 - episode.extra_loss;
+    }
+  }
+  return 1.0 - survival;
+}
+
+bool FaultPlan::link_blacked_out(const geo::LatLon& a, const geo::LatLon& b,
+                                 Duration t) const {
+  for (const BlackoutEpisode& episode : blackouts_) {
+    if (!episode.window.covers(t)) continue;
+    const bool forward = within(a, episode.a, episode.a_radius_miles) &&
+                         within(b, episode.b, episode.b_radius_miles);
+    const bool reverse = within(b, episode.a, episode.a_radius_miles) &&
+                         within(a, episode.b, episode.b_radius_miles);
+    if (forward || reverse) return true;
+  }
+  return false;
+}
+
+double FaultPlan::processing_multiplier(const geo::LatLon& pos,
+                                        Duration t) const {
+  double multiplier = 1.0;
+  for (const BrownoutEpisode& episode : brownouts_) {
+    if (episode.window.covers(t) &&
+        within(pos, episode.center, episode.radius_miles)) {
+      multiplier = std::max(multiplier, episode.multiplier);
+    }
+  }
+  return multiplier;
+}
+
+bool FaultPlan::provider_down(std::string_view provider, Duration t) const {
+  for (const ProviderOutageEpisode& episode : provider_outages_) {
+    if (episode.window.covers(t) && episode.provider == provider) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::affects_path(const geo::LatLon& a, const geo::LatLon& b,
+                             Duration t) const {
+  for (const LossSpikeEpisode& episode : loss_spikes_) {
+    if (episode.window.covers(t) &&
+        (within(a, episode.center, episode.radius_miles) ||
+         within(b, episode.center, episode.radius_miles))) {
+      return true;
+    }
+  }
+  return link_blacked_out(a, b, t);
+}
+
+FaultPlan FaultPlan::sample(const FaultPlanConfig& config,
+                            std::span<const geo::LatLon> focal,
+                            std::span<const std::string> providers,
+                            Rng rng) {
+  FaultPlan plan;
+  if (!config.enabled()) return plan;
+
+  // Draw order is part of the determinism contract: spike, blackout,
+  // brownout, then one draw per provider name in the given order.
+  const auto pick_focal = [&]() -> geo::LatLon {
+    const auto i = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(focal.size()) - 1));
+    return focal[i];
+  };
+  const auto pick_start = [&](Duration start_max) -> Duration {
+    return from_ms(rng.uniform(0.0, to_ms(start_max)));
+  };
+
+  if (!focal.empty()) {
+    if (config.loss_spike_probability > 0.0 &&
+        rng.bernoulli(config.loss_spike_probability)) {
+      LossSpikeEpisode episode;
+      episode.center = pick_focal();
+      episode.radius_miles = config.spike_radius_miles;
+      episode.extra_loss = config.spike_extra_loss;
+      episode.window.start = pick_start(config.spike_start_max);
+      episode.window.end = episode.window.start + config.spike_duration;
+      plan.add_loss_spike(episode);
+    }
+    if (config.blackout_probability > 0.0 &&
+        rng.bernoulli(config.blackout_probability)) {
+      BlackoutEpisode episode;
+      episode.a = pick_focal();
+      episode.a_radius_miles = config.blackout_radius_miles;
+      episode.window.start = pick_start(config.blackout_start_max);
+      episode.window.end = episode.window.start + config.blackout_duration;
+      plan.add_blackout(episode);
+    }
+    if (config.brownout_probability > 0.0 &&
+        rng.bernoulli(config.brownout_probability)) {
+      BrownoutEpisode episode;
+      episode.center = pick_focal();
+      episode.radius_miles = config.brownout_radius_miles;
+      episode.multiplier = config.brownout_multiplier;
+      episode.window.start = pick_start(config.brownout_start_max);
+      episode.window.end = episode.window.start + config.brownout_duration;
+      plan.add_brownout(episode);
+    }
+  }
+
+  if (config.provider_outage_probability > 0.0) {
+    for (const std::string& provider : providers) {
+      if (rng.bernoulli(config.provider_outage_probability)) {
+        ProviderOutageEpisode episode;
+        episode.provider = provider;
+        // Whole-session outage: the provider is dark from the first
+        // request to the last.
+        episode.window.start = Duration::zero();
+        episode.window.end = Duration::max();
+        plan.add_provider_outage(std::move(episode));
+      }
+    }
+  }
+
+  return plan;
+}
+
+}  // namespace dohperf::netsim

@@ -1,0 +1,179 @@
+// Episodic fault injection: time-windowed network pathologies.
+//
+// A FaultPlan is a small set of episodes — per-site packet-loss spikes,
+// link blackouts, server brownouts (inflated processing delay), and
+// whole-provider outages — whose windows are measured from an *epoch*,
+// not from the simulation's absolute clock. That choice is what keeps the
+// sharded campaign's bit-identity contract intact: each shard's simulator
+// advances its own private clock, so a globally wall-clock-windowed fault
+// would hit different sessions depending on the shard count. Instead the
+// campaign samples one plan per session from the session's own RNG
+// substream and anchors the windows at the session's start, making the
+// realized faults a pure function of (seed, session key).
+//
+// Episodes target geography rather than object identity: a Site carries
+// no ID, so an episode covers every endpoint within `radius_miles` of its
+// center. This mirrors how real incidents present (a lossy national
+// backbone, a regional resolver brownout) and lets one plan affect every
+// path a session touches near the afflicted region.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/coordinates.h"
+#include "netsim/random.h"
+#include "netsim/time.h"
+
+namespace dohperf::netsim {
+
+/// A circle radius that covers any point on Earth (circumference is
+/// ~24.9k miles); used for the "anywhere" side of a blackout pair.
+inline constexpr double kAnywhereMiles = 1.0e9;
+
+/// A half-open window [start, end) relative to the plan's epoch.
+struct FaultWindow {
+  Duration start{};
+  Duration end{};
+
+  [[nodiscard]] bool covers(Duration t) const {
+    return t >= start && t < end;
+  }
+};
+
+/// Elevated packet loss for every endpoint near `center` while the
+/// window is open. Composed with the endpoints' baseline loss rates.
+struct LossSpikeEpisode {
+  FaultWindow window;
+  geo::LatLon center;
+  double radius_miles = 0.0;
+  double extra_loss = 0.0;
+};
+
+/// A dead link: every datagram between an endpoint near `a` and an
+/// endpoint near `b` (either orientation) is lost while the window is
+/// open. A single-site blackout is the pair (site, anywhere).
+struct BlackoutEpisode {
+  FaultWindow window;
+  geo::LatLon a;
+  double a_radius_miles = 0.0;
+  geo::LatLon b;
+  double b_radius_miles = kAnywhereMiles;
+};
+
+/// Overloaded servers near `center` process `multiplier` times slower
+/// while the window is open.
+struct BrownoutEpisode {
+  FaultWindow window;
+  geo::LatLon center;
+  double radius_miles = 0.0;
+  double multiplier = 1.0;
+};
+
+/// A provider-wide outage: every measurement against `provider` fails
+/// while the window is open.
+struct ProviderOutageEpisode {
+  FaultWindow window;
+  std::string provider;
+};
+
+/// Per-session realization probabilities and episode shapes for
+/// FaultPlan::sample(). All probabilities default to zero: a
+/// default-constructed config is disabled and samples an empty plan.
+struct FaultPlanConfig {
+  /// Probability that the session experiences a loss spike.
+  double loss_spike_probability = 0.0;
+  double spike_extra_loss = 0.4;
+  double spike_radius_miles = 750.0;
+  Duration spike_start_max = from_ms(2000.0);
+  Duration spike_duration = from_ms(4000.0);
+
+  /// Probability that one of the session's focal sites goes dark.
+  double blackout_probability = 0.0;
+  double blackout_radius_miles = 300.0;
+  Duration blackout_start_max = from_ms(1000.0);
+  Duration blackout_duration = from_ms(2500.0);
+
+  /// Probability that servers near a focal site brown out.
+  double brownout_probability = 0.0;
+  double brownout_multiplier = 12.0;
+  double brownout_radius_miles = 750.0;
+  Duration brownout_start_max = from_ms(1000.0);
+  Duration brownout_duration = from_ms(5000.0);
+
+  /// Per-provider probability of a session-long outage.
+  double provider_outage_probability = 0.0;
+
+  [[nodiscard]] bool enabled() const {
+    return loss_spike_probability > 0.0 || blackout_probability > 0.0 ||
+           brownout_probability > 0.0 || provider_outage_probability > 0.0;
+  }
+
+  /// The canonical non-trivial plan used by the determinism tests and the
+  /// fault-injection bench: every fault class enabled at a rate that
+  /// exercises retries, give-ups, and fallbacks without drowning the
+  /// dataset.
+  [[nodiscard]] static FaultPlanConfig canonical();
+};
+
+/// One session's realized fault episodes, queried by the retry machinery
+/// with times relative to the epoch the owner anchored (NetCtx holds the
+/// epoch; the plan itself is time-base agnostic). Queries are pure: no
+/// RNG, no clock.
+class FaultPlan {
+ public:
+  void add_loss_spike(LossSpikeEpisode episode);
+  void add_blackout(BlackoutEpisode episode);
+  void add_brownout(BrownoutEpisode episode);
+  void add_provider_outage(ProviderOutageEpisode episode);
+
+  [[nodiscard]] bool empty() const {
+    return loss_spikes_.empty() && blackouts_.empty() &&
+           brownouts_.empty() && provider_outages_.empty();
+  }
+
+  /// Extra loss probability for an endpoint at `pos` at time `t`
+  /// (episodes compose multiplicatively on the survival probability).
+  [[nodiscard]] double extra_loss(const geo::LatLon& pos, Duration t) const;
+
+  /// True when a blackout window currently severs the a<->b link.
+  [[nodiscard]] bool link_blacked_out(const geo::LatLon& a,
+                                      const geo::LatLon& b,
+                                      Duration t) const;
+
+  /// Processing-delay multiplier for a server at `pos` at time `t`
+  /// (>= 1.0; overlapping brownouts take the worst multiplier).
+  [[nodiscard]] double processing_multiplier(const geo::LatLon& pos,
+                                             Duration t) const;
+
+  /// True when `provider` is inside an outage window at time `t`.
+  [[nodiscard]] bool provider_down(std::string_view provider,
+                                   Duration t) const;
+
+  /// True when any loss spike or blackout episode currently touches the
+  /// a<->b path — the gate deciding whether the retry state machines run
+  /// their per-attempt logic or the calibrated baseline.
+  [[nodiscard]] bool affects_path(const geo::LatLon& a,
+                                  const geo::LatLon& b, Duration t) const;
+
+  /// Samples a plan from `config`: each episode class realizes with its
+  /// configured probability, centered on one of the session's `focal`
+  /// sites, with the window start uniform in [0, start_max). Provider
+  /// outages draw once per name in `providers`, in order. Deterministic
+  /// in (rng seed, config, focal, providers); a disabled config returns
+  /// an empty plan without consuming draws.
+  [[nodiscard]] static FaultPlan sample(const FaultPlanConfig& config,
+                                        std::span<const geo::LatLon> focal,
+                                        std::span<const std::string> providers,
+                                        Rng rng);
+
+ private:
+  std::vector<LossSpikeEpisode> loss_spikes_;
+  std::vector<BlackoutEpisode> blackouts_;
+  std::vector<BrownoutEpisode> brownouts_;
+  std::vector<ProviderOutageEpisode> provider_outages_;
+};
+
+}  // namespace dohperf::netsim

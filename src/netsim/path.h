@@ -1,9 +1,9 @@
 // A routed site pair: the layer-0 channel every connection rides on.
 //
 // Path owns the per-direction framing overhead (e.g. IP+UDP headers for
-// datagram exchanges) and delegates delivery, trace capture and loss
-// sampling to its NetCtx, so flow code never sums header bytes or calls
-// NetCtx::hop by hand.
+// datagram exchanges) and delegates delivery, trace capture and the
+// loss/retry state machine to its NetCtx, so flow code never sums header
+// bytes or calls NetCtx::hop by hand.
 #pragma once
 
 #include "netsim/netctx.h"
@@ -32,10 +32,12 @@ class Path {
     return net_->hop(b_, a_, payload_bytes + backward_framing_);
   }
 
-  /// Samples whether a datagram on this path is lost; returns the
-  /// application-level retry penalty if so, else zero.
-  [[nodiscard]] Duration sample_loss_penalty(Duration retry_timeout) const {
-    return net_->sample_loss_penalty(a_, b_, retry_timeout);
+  /// Runs the datagram retry state machine for one exchange on this
+  /// path: resolves once a copy of the datagram is cleared for delivery
+  /// (charging any retransmit timers spent), or gives up per `policy`.
+  [[nodiscard]] Task<RetryOutcome> deliver_with_retry(
+      RetryPolicy policy) const {
+    return net_->await_datagram_delivery(a_, b_, policy);
   }
 
   [[nodiscard]] const Site& a() const { return a_; }

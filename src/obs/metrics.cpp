@@ -82,6 +82,9 @@ void Metrics::merge(const Metrics& other) {
   counters.quic_handshakes += other.counters.quic_handshakes;
   counters.tunnels_established += other.counters.tunnels_established;
   counters.loss_retries += other.counters.loss_retries;
+  counters.handshake_retries += other.counters.handshake_retries;
+  counters.retry_timeouts += other.counters.retry_timeouts;
+  counters.fallbacks += other.counters.fallbacks;
   counters.failures += other.counters.failures;
   for (const auto& [name, hist] : other.histograms_) {
     histograms_[name].merge(hist);

@@ -70,7 +70,10 @@ struct MetricCounters {
   std::uint64_t tls_handshakes = 0;
   std::uint64_t quic_handshakes = 0;
   std::uint64_t tunnels_established = 0;
-  std::uint64_t loss_retries = 0;    ///< Datagrams lost -> retry penalty.
+  std::uint64_t loss_retries = 0;    ///< Datagram retransmits (data path).
+  std::uint64_t handshake_retries = 0;  ///< SYN/Initial/Hello retransmits.
+  std::uint64_t retry_timeouts = 0;  ///< Exchanges that gave up entirely.
+  std::uint64_t fallbacks = 0;       ///< Policy downgrades DoH -> Do53.
   std::uint64_t failures = 0;        ///< Failed measurements.
 
   friend bool operator==(const MetricCounters&,

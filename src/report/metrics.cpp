@@ -32,6 +32,9 @@ CsvWriter metrics_csv(const obs::Metrics& metrics) {
       {"quic_handshakes", c.quic_handshakes},
       {"tunnels_established", c.tunnels_established},
       {"loss_retries", c.loss_retries},
+      {"handshake_retries", c.handshake_retries},
+      {"retry_timeouts", c.retry_timeouts},
+      {"fallbacks", c.fallbacks},
       {"failures", c.failures},
   };
   for (const auto& [name, value] : counters) {

@@ -33,9 +33,9 @@ netsim::Task<dns::Message> RecursiveResolver::resolve(
 
   if (auto cached = cache_.lookup(net.sim.now(), q.name, q.type)) {
     ++stats_.cache_hits;
-    // Hot-name hits are served from the frontend cache: cheap even on an
-    // overloaded resolver.
-    co_await net.process(netsim::from_ms(0.5) + processing_ / 10);
+    // Hot-name hits are served from the frontend cache: cheap unless a
+    // brownout episode has the whole frontend overloaded.
+    co_await net.process_at(site_, netsim::from_ms(0.5) + processing_ / 10);
     dns::Message resp = dns::Message::make_response(query);
     resp.answers = std::move(*cached);
     co_return resp;
@@ -46,7 +46,7 @@ netsim::Task<dns::Message> RecursiveResolver::resolve(
   if (auto negative =
           negative_cache_.lookup(net.sim.now(), q.name, q.type)) {
     ++stats_.negative_hits;
-    co_await net.process(netsim::from_ms(0.5) + processing_ / 10);
+    co_await net.process_at(site_, netsim::from_ms(0.5) + processing_ / 10);
     dns::Message resp =
         dns::Message::make_response(query, dns::Rcode::kNxDomain);
     resp.authorities = std::move(*negative);
@@ -54,14 +54,14 @@ netsim::Task<dns::Message> RecursiveResolver::resolve(
   }
   if (auto nodata = nodata_cache_.lookup(net.sim.now(), q.name, q.type)) {
     ++stats_.negative_hits;
-    co_await net.process(netsim::from_ms(0.5) + processing_ / 10);
+    co_await net.process_at(site_, netsim::from_ms(0.5) + processing_ / 10);
     dns::Message resp = dns::Message::make_response(query);
     resp.authorities = std::move(*nodata);
     co_return resp;
   }
 
   ++stats_.recursions;
-  co_await net.process(processing_);
+  co_await net.process_at(site_, processing_);
   // Forward the query to the authoritative server as real wire bytes.
   dns::Message upstream = dns::Message::make_query(query.header.id, q.name,
                                                    q.type);
@@ -71,12 +71,19 @@ netsim::Task<dns::Message> RecursiveResolver::resolve(
   netsim::Path authority_path(net, site_, authority_->site());
   authority_path.set_framing(transport::kUdpOverheadBytes,
                              transport::kUdpOverheadBytes);
-  // Recursive resolvers retry lost upstream datagrams after ~800 ms.
-  co_await net.process(
-      authority_path.sample_loss_penalty(std::chrono::milliseconds(800)));
+  // Lost upstream datagrams retry on an ~800 ms exponential timer; an
+  // unreachable authority becomes SERVFAIL after the schedule runs dry.
+  const netsim::RetryOutcome upstream_delivery =
+      co_await authority_path.deliver_with_retry(
+          {std::chrono::milliseconds(800), 4});
+  if (!upstream_delivery.delivered) {
+    ++stats_.failures;
+    co_return dns::Message::make_response(query, dns::Rcode::kServFail);
+  }
   co_await authority_path.send(dns::wire_size(upstream));
 
-  co_await net.process(authority_->processing_delay());
+  co_await net.process_at(authority_->site(),
+                          authority_->processing_delay());
   dns::Message auth_resp = authority_->handle(upstream, address_);
 
   co_await authority_path.recv(dns::wire_size(auth_resp));

@@ -23,10 +23,17 @@ netsim::Task<StubResult> stub_resolve(netsim::NetCtx& net,
   netsim::Path path(net, vantage, resolver.site());
   path.set_framing(transport::kUdpOverheadBytes,
                    transport::kUdpOverheadBytes);
-  // Stub resolvers retransmit lost UDP datagrams after a fixed timeout
-  // (~1 s in common implementations) — the classic Do53 tail.
-  co_await net.process(
-      path.sample_loss_penalty(std::chrono::milliseconds(1000)));
+  // Lost UDP datagrams are retransmitted on an exponential timer — the
+  // classic Do53 tail. A dead path (blackout episode) exhausts the
+  // schedule and surfaces as a timeout the caller can observe.
+  const netsim::RetryOutcome delivery =
+      co_await path.deliver_with_retry(kStubRetryPolicy);
+  result.retransmits = delivery.retransmits;
+  if (!delivery.delivered) {
+    result.timed_out = true;
+    result.elapsed_ms = netsim::ms_between(start, net.sim.now());
+    co_return result;
+  }
   const std::size_t query_size = dns::wire_size(query);
   co_await path.send(query_size);
   const dns::Message resp =

@@ -2,6 +2,7 @@
 // RFC 8484 GET target for a query.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -17,9 +18,19 @@ namespace dohperf::resolver {
 struct StubResult {
   double elapsed_ms = 0.0;
   dns::Rcode rcode = dns::Rcode::kServFail;
+  /// The query never got through: every retransmit was lost and the stub
+  /// gave up (see kStubRetryPolicy). rcode stays SERVFAIL.
+  bool timed_out = false;
+  /// Retransmits the stub's retry state machine performed.
+  int retransmits = 0;
 
   [[nodiscard]] bool ok() const { return rcode == dns::Rcode::kNoError; }
 };
+
+/// The stub's UDP retry schedule: ~1 s initial timer (the classic Do53
+/// retransmit), doubling, giving up after the 4th transmission.
+inline constexpr netsim::RetryPolicy kStubRetryPolicy{
+    std::chrono::milliseconds(1000), 4};
 
 /// One UDP question/answer exchange from `vantage` against `resolver`:
 /// query out (with a stub retransmit penalty on simulated loss), full

@@ -47,6 +47,14 @@ class Connection {
   /// Per-record framing bytes this layer alone adds.
   [[nodiscard]] virtual std::size_t layer_overhead() const { return 0; }
 
+  /// The single routed Path this connection ultimately rides on, or
+  /// nullptr for composites (the proxy Tunnel spans two paths, each of
+  /// which gates its own establishment). Fault-episode handshake gates
+  /// use this to locate the endpoints whose loss/blackout state applies.
+  [[nodiscard]] virtual const netsim::Path* underlying_path() const {
+    return nullptr;
+  }
+
   /// Per-record framing added by this layer and everything below it.
   [[nodiscard]] virtual std::size_t stack_overhead() const {
     return layer_overhead();
@@ -120,6 +128,9 @@ class PathConnection : public Connection {
   netsim::Task<void> recv_framed(std::size_t wire_bytes) const override {
     return path_.recv(wire_bytes);
   }
+  [[nodiscard]] const netsim::Path* underlying_path() const override {
+    return &path_;
+  }
 
   [[nodiscard]] const netsim::Path& path() const { return path_; }
 
@@ -145,6 +156,9 @@ class LayeredConnection : public Connection {
   }
   netsim::Task<void> recv_framed(std::size_t wire_bytes) const override {
     return lower_->recv_framed(wire_bytes);
+  }
+  [[nodiscard]] const netsim::Path* underlying_path() const override {
+    return lower_->underlying_path();
   }
 
   [[nodiscard]] const Connection& lower() const { return *lower_; }

@@ -9,6 +9,14 @@ netsim::Task<QuicConnection> quic_connect(netsim::NetCtx& net,
   const obs::ScopedSpan span = net.span("quic_handshake");
   if (net.metrics != nullptr) ++net.metrics->counters.quic_handshakes;
   const netsim::SimTime start = net.sim.now();
+  const netsim::RetryOutcome initial =
+      co_await net.handshake_gate(client, server, kInitialRetryPolicy);
+  if (!initial.delivered) {
+    conn.established = false;
+    conn.handshake_time = net.sim.now() - start;
+    conn.established_at = net.sim.now();
+    co_return conn;
+  }
   // Handshake datagram sizes are quoted on-the-wire; no added framing.
   co_await conn.send_framed(kQuicClientInitialBytes);
   co_await conn.recv_framed(kQuicServerHandshakeBytes);

@@ -9,6 +9,8 @@
 // ClientHello.
 #pragma once
 
+#include <chrono>
+
 #include "transport/connection.h"
 
 namespace dohperf::transport {
@@ -18,6 +20,12 @@ namespace dohperf::transport {
 inline constexpr std::size_t kQuicClientInitialBytes = 1200;
 inline constexpr std::size_t kQuicServerHandshakeBytes = 3000;
 inline constexpr std::size_t kQuicShortHeaderOverhead = 28;
+
+/// Initial-packet retransmit schedule (RFC 9002's 1 s initial PTO,
+/// doubling). Engages only under an active fault episode (see
+/// NetCtx::handshake_gate).
+inline constexpr netsim::RetryPolicy kInitialRetryPolicy{
+    std::chrono::seconds(1), 5};
 
 /// An established QUIC connection: protected short-header packets charge
 /// kQuicShortHeaderOverhead per record on top of the payload.
@@ -37,6 +45,9 @@ class QuicConnection : public PathConnection {
   [[nodiscard]] const netsim::Site& server() const { return path().b(); }
 
   bool zero_rtt = false;
+  /// False when the Initial retransmit schedule ran dry under a fault
+  /// episode: the connection never came up and must not carry data.
+  bool established = true;
   netsim::Duration handshake_time{};
   netsim::SimTime established_at{};
 };

@@ -9,6 +9,14 @@ netsim::Task<TcpConnection> tcp_connect(netsim::NetCtx& net,
   const obs::ScopedSpan span = net.span("tcp_handshake");
   if (net.metrics != nullptr) ++net.metrics->counters.tcp_handshakes;
   const netsim::SimTime start = net.sim.now();
+  const netsim::RetryOutcome syn =
+      co_await net.handshake_gate(client, server, kSynRetryPolicy);
+  if (!syn.delivered) {
+    conn.established = false;
+    conn.handshake_time = net.sim.now() - start;
+    conn.established_at = net.sim.now();
+    co_return conn;
+  }
   co_await conn.send_framed(kSynBytes);     // SYN
   co_await conn.recv_framed(kSynAckBytes);  // SYN/ACK
   conn.handshake_time = net.sim.now() - start;

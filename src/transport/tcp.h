@@ -6,6 +6,8 @@
 // (paper Figure 2, steps 5-6).
 #pragma once
 
+#include <chrono>
+
 #include "transport/connection.h"
 
 namespace dohperf::transport {
@@ -15,6 +17,12 @@ namespace dohperf::transport {
 inline constexpr std::size_t kSynBytes = 60;
 inline constexpr std::size_t kSynAckBytes = 60;
 inline constexpr std::size_t kAckBytes = 52;
+
+/// SYN retransmit schedule: RFC 6298's 1 s initial RTO, doubling, with a
+/// browser-like bound on attempts. Engages only under an active fault
+/// episode (see NetCtx::handshake_gate).
+inline constexpr netsim::RetryPolicy kSynRetryPolicy{
+    std::chrono::seconds(1), 5};
 
 /// An established connection riding directly on the routed path; records
 /// what the handshake cost so later exchanges can reuse the figures. TCP
@@ -32,6 +40,9 @@ class TcpConnection : public PathConnection {
   [[nodiscard]] const netsim::Site& client() const { return path().a(); }
   [[nodiscard]] const netsim::Site& server() const { return path().b(); }
 
+  /// False when the SYN retransmit schedule ran dry under a fault
+  /// episode: the connection never came up and must not carry data.
+  bool established = true;
   netsim::Duration handshake_time{};
   netsim::SimTime established_at{};
 };

@@ -20,6 +20,19 @@ netsim::Task<TlsSession> tls_handshake(const Connection& lower,
   if (net.metrics != nullptr) ++net.metrics->counters.tls_handshakes;
   const netsim::SimTime start = net.sim.now();
 
+  // Retransmit gate on the routed path beneath the stack (nullptr for
+  // composites like the proxy Tunnel, whose legs gate themselves).
+  if (const netsim::Path* path = lower.underlying_path()) {
+    const netsim::RetryOutcome hello = co_await net.handshake_gate(
+        path->a(), path->b(), kHelloRetryPolicy);
+    if (!hello.delivered) {
+      session.established = false;
+      session.handshake_time = net.sim.now() - start;
+      session.established_at = net.sim.now();
+      co_return session;
+    }
+  }
+
   // ClientHello -> ServerHello (+EncryptedExtensions/Certificate/Finished
   // for 1.3; Certificate/ServerHelloDone for 1.2). Handshake messages are
   // quoted as full flight sizes, so they travel framed as-is.

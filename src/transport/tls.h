@@ -6,6 +6,8 @@
 // for the ablation bench (paper Section 7, Limitations).
 #pragma once
 
+#include <chrono>
+
 #include "transport/connection.h"
 
 namespace dohperf::transport {
@@ -24,6 +26,12 @@ inline constexpr std::size_t kClientFinishedBytes = 80;
 inline constexpr std::size_t kServerFinishedBytes = 32;  // CCS/Finished, 1.2
 inline constexpr std::size_t kRecordOverheadBytes = 29;  // per app record
 
+/// ClientHello retransmit schedule (the transport's loss recovery seen
+/// at handshake granularity). Engages only under an active fault episode
+/// (see NetCtx::handshake_gate).
+inline constexpr netsim::RetryPolicy kHelloRetryPolicy{
+    std::chrono::seconds(1), 4};
+
 /// The record layer of an established TLS session: every application
 /// record it carries costs kRecordOverheadBytes on the wire. Stackable on
 /// any lower Connection — a TcpConnection for direct sessions, or the
@@ -41,6 +49,9 @@ class TlsSession : public LayeredConnection {
     return kRecordOverheadBytes;
   }
 
+  /// False when the ClientHello retransmit schedule ran dry under a
+  /// fault episode: no session keys exist and no record may travel.
+  bool established = true;
   TlsVersion version = TlsVersion::kTls13;
   netsim::Duration handshake_time{};
   netsim::SimTime established_at{};

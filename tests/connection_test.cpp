@@ -72,17 +72,33 @@ TEST_F(StackFixture, PathTraceRecordsTiming) {
               expected, 1e-3);
 }
 
-TEST_F(StackFixture, PathLossPenaltySampling) {
+TEST_F(StackFixture, PathDeliveryRetries) {
   Site lossless = a;
   Site lossy = b;
   lossy.loss_rate = 1.0;
-  const auto retry = std::chrono::milliseconds(800);
+  const netsim::RetryPolicy policy{std::chrono::milliseconds(800), 4};
 
   Path clean(net, lossless, a);
-  EXPECT_EQ(clean.sample_loss_penalty(retry), netsim::Duration::zero());
+  auto clean_task = clean.deliver_with_retry(policy);
+  sim.run();
+  ASSERT_TRUE(clean_task.done());
+  EXPECT_TRUE(clean_task.result().delivered);
+  EXPECT_EQ(clean_task.result().retransmits, 0);
+  EXPECT_EQ(clean_task.result().backoff, netsim::Duration::zero());
 
+  // Certain loss, no fault episode: the baseline charges exactly one
+  // retransmit timer and assumes the retransmit arrives.
   Path dirty(net, lossless, lossy);
-  EXPECT_EQ(dirty.sample_loss_penalty(retry), netsim::Duration(retry));
+  const netsim::SimTime before = sim.now();
+  auto dirty_task = dirty.deliver_with_retry(policy);
+  sim.run();
+  ASSERT_TRUE(dirty_task.done());
+  EXPECT_TRUE(dirty_task.result().delivered);
+  EXPECT_EQ(dirty_task.result().retransmits, 1);
+  EXPECT_EQ(dirty_task.result().backoff,
+            netsim::Duration(std::chrono::milliseconds(800)));
+  EXPECT_EQ(sim.now() - before,
+            netsim::Duration(std::chrono::milliseconds(800)));
 }
 
 // ------------------------------------------------- Connection stacking

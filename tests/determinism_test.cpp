@@ -154,6 +154,70 @@ TEST(DeterminismTest, MergedMetricsIdenticalAcrossShardCounts) {
   EXPECT_TRUE(metrics_with_shards(4) == serial);
 }
 
+// --- Fault-injection campaigns ---------------------------------------
+// A non-trivial FaultPlanConfig turns on the per-attempt retry state
+// machines, which draw extra randomness and schedule extra events — the
+// exact machinery most likely to break the sharding contract. The plan
+// is sampled per session from the session's private substream and its
+// windows are epoch-relative, so the dataset must stay bit-identical
+// for every thread count.
+CampaignConfig fault_config(int threads) {
+  CampaignConfig config = campaign_config(threads);
+  config.faults = netsim::FaultPlanConfig::canonical();
+  return config;
+}
+
+Dataset run_fault_campaign(int threads) {
+  auto world = fresh_world();
+  Campaign campaign(*world, fault_config(threads));
+  return campaign.run();
+}
+
+const Dataset& golden_fault_serial() {
+  static const Dataset data = [] {
+    auto world = fresh_world();
+    Campaign campaign(*world, fault_config(1));
+    return campaign.run_serial();
+  }();
+  return data;
+}
+
+TEST(DeterminismTest, FaultCampaignBitIdenticalAcrossShardCounts) {
+  expect_identical(run_fault_campaign(1), golden_fault_serial());
+  expect_identical(run_fault_campaign(2), golden_fault_serial());
+  expect_identical(run_fault_campaign(4), golden_fault_serial());
+}
+
+TEST(DeterminismTest, FaultCampaignRecordsRetryActivity) {
+  auto world = fresh_world();
+  Campaign campaign(*world, fault_config(2));
+  const Dataset data = campaign.run();
+  EXPECT_FALSE(data.doh().empty());
+  const obs::Metrics& m = campaign.metrics();
+  // The canonical plan must actually exercise the retry machinery: data
+  // and handshake retransmits, hard give-ups, and backoff samples.
+  EXPECT_GT(m.counters.loss_retries, 0u);
+  EXPECT_GT(m.counters.handshake_retries, 0u);
+  EXPECT_GT(m.counters.retry_timeouts + m.counters.failures, 0u);
+  ASSERT_NE(m.find_histogram("retry_backoff"), nullptr);
+  EXPECT_GT(m.find_histogram("retry_backoff")->count(), 0u);
+}
+
+TEST(DeterminismTest, FaultMetricsIdenticalAcrossShardCounts) {
+  const auto fault_metrics = [](int threads) {
+    auto world = fresh_world();
+    Campaign campaign(*world, fault_config(threads));
+    const Dataset data =
+        threads == 0 ? campaign.run_serial() : campaign.run();
+    EXPECT_FALSE(data.doh().empty());
+    return campaign.metrics();
+  };
+  const obs::Metrics serial = fault_metrics(0);
+  EXPECT_TRUE(fault_metrics(1) == serial);
+  EXPECT_TRUE(fault_metrics(2) == serial);
+  EXPECT_TRUE(fault_metrics(4) == serial);
+}
+
 TEST(DeterminismTest, StatsCountShardsAndSessions) {
   auto world = fresh_world();
   Campaign campaign(*world, campaign_config(4));

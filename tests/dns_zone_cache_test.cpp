@@ -243,6 +243,94 @@ TEST(CacheTest, CapacityPressureDropsInserts) {
             std::nullopt);
 }
 
+TEST(CacheTest, RefreshAtCapacityUpdatesExistingKey) {
+  // Regression: the capacity gate must only block genuinely new keys. A
+  // full cache used to drop TTL refreshes of keys it already held
+  // (size was checked before key existence).
+  Cache cache(2);
+  const auto name = DomainName::parse("x.a.com");
+  cache.insert(SimTime{}, name, RecordType::kA, records_with_ttl(10));
+  cache.insert(SimTime{}, DomainName::parse("y.a.com"), RecordType::kA,
+               records_with_ttl(1000));
+  ASSERT_EQ(cache.size(), 2u);
+
+  // Refresh x at full capacity with a longer TTL; nothing is expired, so
+  // the old code dropped this insert entirely.
+  const auto later = SimTime{} + std::chrono::seconds(5);
+  cache.insert(later, name, RecordType::kA, records_with_ttl(60));
+  EXPECT_EQ(cache.size(), 2u);
+  const auto hit =
+      cache.lookup(later + std::chrono::seconds(30), name, RecordType::kA);
+  ASSERT_TRUE(hit.has_value());  // 35 s after refresh: alive
+  EXPECT_EQ((*hit)[0].ttl, 30u);
+  // New keys are still refused at capacity.
+  cache.insert(later, DomainName::parse("z.a.com"), RecordType::kA,
+               records_with_ttl(1000));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(CacheTest, SubSecondAgeDoesNotDecayTtl) {
+  // 999 ms is zero whole seconds: the TTL must not decay, and the
+  // clamped unsigned arithmetic must not wrap.
+  Cache cache;
+  const auto name = DomainName::parse("host.a.com");
+  cache.insert(SimTime{}, name, RecordType::kA, records_with_ttl(60));
+  const auto hit = cache.lookup(SimTime{} + std::chrono::milliseconds(999),
+                                name, RecordType::kA);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ((*hit)[0].ttl, 60u);
+}
+
+TEST(CacheTest, LookupJustBeforeExpiryYieldsDecayedTtl) {
+  // now == expires_at - 1 ms: still a hit, with 59 whole seconds of age
+  // decayed off the 60 s TTL.
+  Cache cache;
+  const auto name = DomainName::parse("host.a.com");
+  cache.insert(SimTime{}, name, RecordType::kA, records_with_ttl(60));
+  const auto just_before = SimTime{} + std::chrono::seconds(60) -
+                           std::chrono::milliseconds(1);
+  const auto hit = cache.lookup(just_before, name, RecordType::kA);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ((*hit)[0].ttl, 1u);
+  // And exactly at expires_at it is gone (half-open lifetime).
+  EXPECT_EQ(cache.lookup(SimTime{} + std::chrono::seconds(60), name,
+                         RecordType::kA),
+            std::nullopt);
+}
+
+TEST(CacheTest, ClearResetsStats) {
+  Cache cache;
+  const auto name = DomainName::parse("host.a.com");
+  cache.insert(SimTime{}, name, RecordType::kA, records_with_ttl(60));
+  (void)cache.lookup(SimTime{}, name, RecordType::kA);
+  (void)cache.lookup(SimTime{}, DomainName::parse("other.a.com"),
+                     RecordType::kA);
+  ASSERT_EQ(cache.stats().hits, 1u);
+  ASSERT_EQ(cache.stats().misses, 1u);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+  EXPECT_EQ(cache.stats().expirations, 0u);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.0);
+}
+
+TEST(CacheTest, HitRateIsDerivedAndDivisionSafe) {
+  Cache cache;
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.0);  // 0/0 guarded
+  const auto name = DomainName::parse("host.a.com");
+  cache.insert(SimTime{}, name, RecordType::kA, records_with_ttl(60));
+  (void)cache.lookup(SimTime{}, name, RecordType::kA);
+  (void)cache.lookup(SimTime{}, name, RecordType::kA);
+  (void)cache.lookup(SimTime{}, DomainName::parse("other.a.com"),
+                     RecordType::kA);
+  (void)cache.lookup(SimTime{}, DomainName::parse("more.a.com"),
+                     RecordType::kA);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.5);
+}
+
 TEST(CacheTest, OverwriteRefreshesEntry) {
   Cache cache;
   const auto name = DomainName::parse("host.a.com");

@@ -2,8 +2,10 @@
 // when measurements fail wholesale or inputs are hostile.
 #include <gtest/gtest.h>
 
+#include "client/policy.h"
 #include "measure/campaign.h"
 #include "measure/regression.h"
+#include "netsim/faultplan.h"
 #include "stats/summary.h"
 #include "world/world_model.h"
 
@@ -68,7 +70,8 @@ TEST(FailureInjectionTest, FullMislabelDiscardsEverything) {
 
 TEST(FailureInjectionTest, HeavyLossStillCompletes) {
   // Crank packet loss far beyond calibration: flows must still terminate
-  // (retries are single-shot penalties, not loops).
+  // (outside fault episodes the retry machinery charges one bounded
+  // retransmit timer, and under episodes it has a hard give-up).
   world::WorldModel world(small_config(4));
   // Reach in via the public API: run a campaign; loss applies per-site.
   CampaignConfig config;
@@ -97,6 +100,115 @@ TEST(FailureInjectionTest, TinyWorldSurvivesAnalysis) {
   for (const auto& row : rows) {
     EXPECT_GT(row.multiplier_1, 0.0);
   }
+}
+
+// --- Episodic fault plans ---------------------------------------------
+
+/// Policy run against a world with a hand-built fault plan attached.
+client::PolicyOutcome run_policy_under_plan(world::WorldModel& world,
+                                            const netsim::FaultPlan& plan,
+                                            client::DohMode mode) {
+  netsim::Rng rng = world.rng().split("fault-policy-test");
+  const proxy::ExitNode* exit = world.brightdata().pick_exit("SE", rng);
+  EXPECT_NE(exit, nullptr);
+
+  client::PolicyContext ctx;
+  ctx.client = exit->site;
+  ctx.default_resolver = exit->default_resolver;
+  ctx.doh = &world.doh_server(0, 0);
+  ctx.doh_hostname = world.providers()[0].config().doh_hostname;
+  ctx.origin = world.origin();
+
+  auto net = world.ctx();
+  net.faults = &plan;
+  net.fault_epoch = net.sim.now();
+  auto task = client::resolve_with_policy(net, ctx, mode);
+  world.sim().run();
+  return task.result();
+}
+
+/// A blackout severing only the client <-> DoH-PoP link: the SYN
+/// retransmit schedule must run dry (bounded, no hang) and an
+/// opportunistic client must genuinely fall back to Do53.
+netsim::FaultPlan doh_link_blackout(world::WorldModel& world,
+                                    const netsim::Site& client) {
+  netsim::FaultPlan plan;
+  netsim::BlackoutEpisode episode;
+  episode.window = {netsim::Duration::zero(), netsim::from_ms(600000.0)};
+  episode.a = client.position;
+  episode.a_radius_miles = 1.0;
+  episode.b = world.doh_server(0, 0).site().position;
+  episode.b_radius_miles = 1.0;
+  plan.add_blackout(episode);
+  return plan;
+}
+
+TEST(FailureInjectionTest, BlackoutForcesOpportunisticFallback) {
+  world::WorldModel world(small_config(6));
+  netsim::Rng rng = world.rng().split("fault-policy-test");
+  const proxy::ExitNode* exit = world.brightdata().pick_exit("SE", rng);
+  ASSERT_NE(exit, nullptr);
+  const netsim::FaultPlan plan = doh_link_blackout(world, exit->site);
+
+  const auto outcome =
+      run_policy_under_plan(world, plan, client::DohMode::kOpportunistic);
+  EXPECT_TRUE(outcome.resolved);
+  EXPECT_FALSE(outcome.used_doh);
+  EXPECT_TRUE(outcome.downgraded);
+  // The SYN schedule (1 s doubling, 5 transmissions) gives up after 15 s
+  // of backoff; the client must come back well before the window closes.
+  EXPECT_LT(outcome.elapsed_ms, 60000.0);
+}
+
+TEST(FailureInjectionTest, BlackoutStrictFailsClosed) {
+  world::WorldModel world(small_config(6));
+  netsim::Rng rng = world.rng().split("fault-policy-test");
+  const proxy::ExitNode* exit = world.brightdata().pick_exit("SE", rng);
+  ASSERT_NE(exit, nullptr);
+  const netsim::FaultPlan plan = doh_link_blackout(world, exit->site);
+
+  const auto outcome =
+      run_policy_under_plan(world, plan, client::DohMode::kStrict);
+  EXPECT_FALSE(outcome.resolved);
+  EXPECT_FALSE(outcome.used_doh);
+  EXPECT_FALSE(outcome.downgraded);
+  EXPECT_LT(outcome.elapsed_ms, 60000.0);
+}
+
+TEST(FailureInjectionTest, BrownoutCampaignCompletes) {
+  world::WorldModel world(small_config(7));
+  CampaignConfig config;
+  config.atlas_measurements_per_country = 5;
+  config.faults.brownout_probability = 1.0;
+  config.faults.brownout_multiplier = 25.0;
+  config.faults.brownout_duration = netsim::from_ms(60000.0);
+  Campaign campaign(world, config);
+  const Dataset data = campaign.run();
+  EXPECT_FALSE(data.do53().empty());
+  for (const auto& rec : data.do53()) {
+    EXPECT_GT(rec.do53_ms, 0.0);
+    EXPECT_LT(rec.do53_ms, 120000.0);  // inflated but bounded
+  }
+}
+
+TEST(FailureInjectionTest, CertainLossSpikeTerminatesWithFailures) {
+  // Every session suffers a total-loss spike covering the whole planet:
+  // exchanges inside the window must exhaust their retransmit budgets
+  // and give up — the campaign terminates and reports the damage.
+  world::WorldModel world(small_config(8));
+  CampaignConfig config;
+  config.atlas_measurements_per_country = 5;
+  config.faults.loss_spike_probability = 1.0;
+  config.faults.spike_extra_loss = 1.0;
+  config.faults.spike_radius_miles = netsim::kAnywhereMiles;
+  config.faults.spike_duration = netsim::from_ms(600000.0);
+  Campaign campaign(world, config);
+  const Dataset data = campaign.run();
+  EXPECT_GT(data.failed_measurements, 0u);
+  EXPECT_GT(campaign.metrics().counters.retry_timeouts, 0u);
+  EXPECT_GT(campaign.metrics().counters.loss_retries +
+                campaign.metrics().counters.handshake_retries,
+            0u);
 }
 
 }  // namespace

@@ -429,26 +429,222 @@ TEST(NetCtxTest, RoundTripMeasuresBothHops) {
   EXPECT_NEAR(rtt_ms, 2.0 * model.expected_one_way_ms(a, b, 64), 0.5);
 }
 
-TEST(NetCtxTest, LossPenaltyZeroWhenLossFree) {
+TEST(NetCtxTest, DatagramDeliveryCleanWhenLossFree) {
   Simulator sim;
   LatencyModel model;
   Rng rng(1);
   NetCtx net{sim, model, rng};
   Site a{{0, 0}, 1.0, 1.2, 0.0, 0.0};
   for (int i = 0; i < 100; ++i) {
-    EXPECT_EQ(net.sample_loss_penalty(a, a, from_ms(1000)),
-              Duration::zero());
+    auto task = net.await_datagram_delivery(a, a, RetryPolicy{});
+    sim.run();
+    ASSERT_TRUE(task.done());
+    const RetryOutcome out = task.result();
+    EXPECT_TRUE(out.delivered);
+    EXPECT_EQ(out.retransmits, 0);
+    EXPECT_EQ(out.backoff, Duration::zero());
   }
+  // A clean delivery charges no timer: the clock never moved.
+  EXPECT_EQ(sim.now(), SimTime{});
 }
 
-TEST(NetCtxTest, LossPenaltyAlwaysOnCertainLoss) {
+TEST(NetCtxTest, DatagramDeliveryChargesOneTimerOnCertainLoss) {
   Simulator sim;
   LatencyModel model;
   Rng rng(1);
   NetCtx net{sim, model, rng};
   Site a{{0, 0}, 1.0, 1.2, 0.0, 1.0};
   Site b{{0, 0}, 1.0, 1.2, 0.0, 0.0};
-  EXPECT_EQ(net.sample_loss_penalty(a, b, from_ms(800)), from_ms(800));
+  const SimTime start = sim.now();
+  auto task = net.await_datagram_delivery(a, b, RetryPolicy{from_ms(800), 4});
+  sim.run();
+  ASSERT_TRUE(task.done());
+  const RetryOutcome out = task.result();
+  // Baseline (no fault episode): one loss draw, one charged retransmit
+  // timer, after which the retransmit is assumed delivered — exactly the
+  // historical one-shot penalty.
+  EXPECT_TRUE(out.delivered);
+  EXPECT_EQ(out.retransmits, 1);
+  EXPECT_EQ(out.backoff, from_ms(800));
+  EXPECT_EQ(sim.now() - start, from_ms(800));
+}
+
+// ------------------------------------------------------------ FaultPlan
+
+TEST(FaultPlanTest, WindowIsHalfOpen) {
+  const FaultWindow w{from_ms(100), from_ms(200)};
+  EXPECT_FALSE(w.covers(from_ms(99.999)));
+  EXPECT_TRUE(w.covers(from_ms(100)));
+  EXPECT_TRUE(w.covers(from_ms(199.999)));
+  EXPECT_FALSE(w.covers(from_ms(200)));
+}
+
+TEST(FaultPlanTest, LossSpikeComposesOnSurvival) {
+  FaultPlan plan;
+  plan.add_loss_spike({{from_ms(0), from_ms(1000)}, {0, 0}, 100.0, 0.5});
+  plan.add_loss_spike({{from_ms(0), from_ms(1000)}, {0, 0}, 100.0, 0.5});
+  const geo::LatLon inside{0, 0};
+  const geo::LatLon far{0, 90};
+  EXPECT_DOUBLE_EQ(plan.extra_loss(inside, from_ms(500)), 0.75);
+  EXPECT_DOUBLE_EQ(plan.extra_loss(inside, from_ms(1500)), 0.0);
+  EXPECT_DOUBLE_EQ(plan.extra_loss(far, from_ms(500)), 0.0);
+}
+
+TEST(FaultPlanTest, BlackoutMatchesEitherOrientation) {
+  FaultPlan plan;
+  BlackoutEpisode episode;
+  episode.window = {from_ms(0), from_ms(1000)};
+  episode.a = {0, 0};
+  episode.a_radius_miles = 50.0;
+  episode.b = {0, 20};
+  episode.b_radius_miles = 50.0;
+  plan.add_blackout(episode);
+  const geo::LatLon p{0, 0};
+  const geo::LatLon q{0, 20};
+  const geo::LatLon elsewhere{40, -100};
+  EXPECT_TRUE(plan.link_blacked_out(p, q, from_ms(10)));
+  EXPECT_TRUE(plan.link_blacked_out(q, p, from_ms(10)));
+  EXPECT_FALSE(plan.link_blacked_out(p, elsewhere, from_ms(10)));
+  EXPECT_FALSE(plan.link_blacked_out(p, q, from_ms(1000)));
+  EXPECT_TRUE(plan.affects_path(p, q, from_ms(10)));
+  EXPECT_FALSE(plan.affects_path(p, elsewhere, from_ms(10)));
+}
+
+TEST(FaultPlanTest, BrownoutTakesWorstMultiplier) {
+  FaultPlan plan;
+  plan.add_brownout({{from_ms(0), from_ms(1000)}, {0, 0}, 100.0, 4.0});
+  plan.add_brownout({{from_ms(0), from_ms(1000)}, {0, 0}, 100.0, 9.0});
+  const geo::LatLon inside{0, 0};
+  EXPECT_DOUBLE_EQ(plan.processing_multiplier(inside, from_ms(500)), 9.0);
+  EXPECT_DOUBLE_EQ(plan.processing_multiplier(inside, from_ms(1500)), 1.0);
+  EXPECT_DOUBLE_EQ(plan.processing_multiplier({0, 90}, from_ms(500)), 1.0);
+}
+
+TEST(FaultPlanTest, ProviderOutageMatchesByName) {
+  FaultPlan plan;
+  plan.add_provider_outage(
+      {{Duration::zero(), Duration::max()}, "Cloudflare"});
+  EXPECT_TRUE(plan.provider_down("Cloudflare", from_ms(123456)));
+  EXPECT_FALSE(plan.provider_down("Google", from_ms(123456)));
+}
+
+TEST(FaultPlanTest, SampleIsDeterministicInSeed) {
+  FaultPlanConfig config = FaultPlanConfig::canonical();
+  const geo::LatLon focal[] = {{10, 10}, {20, 20}};
+  const std::vector<std::string> providers = {"A", "B", "C"};
+  // Hunt for a seed realizing at least one episode, then check the two
+  // same-seed samples agree on what they drew.
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const FaultPlan p1 =
+        FaultPlan::sample(config, focal, providers, Rng(seed));
+    const FaultPlan p2 =
+        FaultPlan::sample(config, focal, providers, Rng(seed));
+    EXPECT_EQ(p1.empty(), p2.empty());
+    for (int ms = 0; ms < 8000; ms += 50) {
+      const Duration t = from_ms(ms);
+      EXPECT_EQ(p1.extra_loss(focal[0], t), p2.extra_loss(focal[0], t));
+      EXPECT_EQ(p1.processing_multiplier(focal[0], t),
+                p2.processing_multiplier(focal[0], t));
+      EXPECT_EQ(p1.link_blacked_out(focal[0], focal[1], t),
+                p2.link_blacked_out(focal[0], focal[1], t));
+      EXPECT_EQ(p1.provider_down("B", t), p2.provider_down("B", t));
+    }
+  }
+}
+
+TEST(FaultPlanTest, DisabledConfigSamplesEmptyPlan) {
+  const FaultPlanConfig config;  // all probabilities zero
+  EXPECT_FALSE(config.enabled());
+  const geo::LatLon focal[] = {{10, 10}};
+  const std::vector<std::string> providers = {"A"};
+  const FaultPlan plan =
+      FaultPlan::sample(config, focal, providers, Rng(7));
+  EXPECT_TRUE(plan.empty());
+  EXPECT_DOUBLE_EQ(plan.extra_loss(focal[0], Duration::zero()), 0.0);
+  EXPECT_FALSE(plan.provider_down("A", Duration::zero()));
+}
+
+TEST(FaultPlanTest, RetryMachineGivesUpUnderBlackout) {
+  Simulator sim;
+  LatencyModel model;
+  Rng rng(1);
+  NetCtx net{sim, model, rng};
+  Site a{{0, 0}, 1.0, 1.2, 0.0, 0.0};
+  Site b{{0, 20}, 1.0, 1.2, 0.0, 0.0};
+
+  FaultPlan plan;
+  BlackoutEpisode episode;
+  episode.window = {Duration::zero(), from_ms(600000.0)};
+  episode.a = a.position;
+  episode.a_radius_miles = 1.0;
+  episode.b = b.position;
+  episode.b_radius_miles = 1.0;
+  plan.add_blackout(episode);
+  net.faults = &plan;
+  net.fault_epoch = sim.now();
+
+  const SimTime start = sim.now();
+  auto task =
+      net.await_datagram_delivery(a, b, RetryPolicy{from_ms(1000), 4});
+  sim.run();
+  ASSERT_TRUE(task.done());
+  const RetryOutcome out = task.result();
+  EXPECT_FALSE(out.delivered);
+  EXPECT_EQ(out.retransmits, 3);  // 4 transmissions = 1 send + 3 retries
+  // Exponential backoff: 1 s + 2 s + 4 s of charged timers.
+  EXPECT_EQ(out.backoff, from_ms(7000));
+  EXPECT_EQ(sim.now() - start, from_ms(7000));
+}
+
+TEST(FaultPlanTest, RetryMachineRecoversWhenWindowCloses) {
+  Simulator sim;
+  LatencyModel model;
+  Rng rng(1);
+  NetCtx net{sim, model, rng};
+  Site a{{0, 0}, 1.0, 1.2, 0.0, 0.0};
+  Site b{{0, 20}, 1.0, 1.2, 0.0, 0.0};
+
+  // Blackout covering the first two attempts (t=0 and t=1s) but not the
+  // third (t=3s): the machine must ride out the window and deliver.
+  FaultPlan plan;
+  BlackoutEpisode episode;
+  episode.window = {Duration::zero(), from_ms(2000.0)};
+  episode.a = a.position;
+  episode.a_radius_miles = 1.0;
+  episode.b = b.position;
+  episode.b_radius_miles = 1.0;
+  plan.add_blackout(episode);
+  net.faults = &plan;
+  net.fault_epoch = sim.now();
+
+  auto task =
+      net.await_datagram_delivery(a, b, RetryPolicy{from_ms(1000), 5});
+  sim.run();
+  ASSERT_TRUE(task.done());
+  const RetryOutcome out = task.result();
+  EXPECT_TRUE(out.delivered);
+  EXPECT_EQ(out.retransmits, 2);
+  EXPECT_EQ(out.backoff, from_ms(3000));
+}
+
+TEST(FaultPlanTest, HandshakeGateIsFreeWithoutActiveEpisode) {
+  Simulator sim;
+  LatencyModel model;
+  Rng rng(42);
+  NetCtx net{sim, model, rng};
+  Site a{{0, 0}, 1.0, 1.2, 0.0, 0.0};
+  Site b{{0, 20}, 1.0, 1.2, 0.0, 0.0};
+  Rng probe(42);
+  EXPECT_EQ(rng.next(), probe.next());  // streams aligned
+
+  auto task = net.handshake_gate(a, b, RetryPolicy{});
+  sim.run();
+  ASSERT_TRUE(task.done());
+  EXPECT_TRUE(task.result().delivered);
+  EXPECT_EQ(task.result().retransmits, 0);
+  // No plan attached: the gate consumed no RNG draw and no sim time.
+  EXPECT_EQ(sim.now(), SimTime{});
+  EXPECT_EQ(rng.next(), probe.next());
 }
 
 }  // namespace

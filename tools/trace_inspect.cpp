@@ -208,6 +208,21 @@ int main(int argc, char** argv) {
                 static_cast<double>(agg.total_us) / 1000.0);
   }
 
+  // Retry attribution: "retry_backoff" spans wrap every charged
+  // retransmit timer (baseline penalties and fault-episode backoff
+  // alike), so their total is exactly the sim-time this trace lost to
+  // loss recovery rather than propagation or processing.
+  if (const auto it = by_name.find("retry_backoff"); it != by_name.end()) {
+    std::printf(
+        "\nretry attribution: %llu retransmit timer%s, %.3f ms of the "
+        "trace spent backing off\n",
+        static_cast<unsigned long long>(it->second.count),
+        it->second.count == 1 ? "" : "s",
+        static_cast<double>(it->second.total_us) / 1000.0);
+  } else {
+    std::printf("\nretry attribution: no retransmit timers charged\n");
+  }
+
   if (!phases_ok) {
     std::fprintf(stderr,
                  "\ntrace_inspect: contiguous phases do not sum to the "
