@@ -9,7 +9,9 @@
 #include "measure/flows.h"
 #include "obs/span.h"
 #include "obs/trace_export.h"
+#include "report/anomalies.h"
 #include "report/metrics.h"
+#include "report/timeseries.h"
 
 namespace dohperf::benchsupport {
 namespace {
@@ -95,12 +97,27 @@ Env::Env() : scale_(scale_from_env()) {
   dataset_ = campaign.run();
   stats_ = campaign.stats();
   metrics_ = campaign.metrics();
+  series_ = campaign.series();
+  anomalies_ = campaign.anomalies();
 
   if (const char* trace_path = std::getenv("DOHPERF_TRACE")) {
     capture_trace(*world_, trace_path);
   }
   if (const char* metrics_path = std::getenv("DOHPERF_METRICS")) {
     report::metrics_csv(metrics_).write_file(metrics_path);
+  }
+  if (const char* series_path = std::getenv("DOHPERF_SERIES")) {
+    report::timeseries_csv(series_).write_file(series_path);
+  }
+  if (const char* om_path = std::getenv("DOHPERF_OPENMETRICS")) {
+    obs::write_text_file(om_path, report::openmetrics_text(series_));
+  }
+  if (const char* anomalies_dir = std::getenv("DOHPERF_ANOMALIES")) {
+    std::error_code ec;
+    std::filesystem::create_directories(anomalies_dir, ec);  // best-effort
+    const std::size_t dumps = report::write_anomaly_dumps(anomalies_, anomalies_dir);
+    std::fprintf(stderr, "anomalies: %zu flow dump(s) -> %s\n", dumps,
+                 anomalies_dir);
   }
 }
 
@@ -124,12 +141,20 @@ void print_banner(const std::string& title) {
       stats.wall_seconds > 0.0
           ? static_cast<double>(stats.events_processed) / stats.wall_seconds
           : 0.0);
+  for (const measure::ShardProfile& p : stats.shard_profiles) {
+    std::printf(
+        "  shard %-2d %llu sessions | %llu events in %.2f s "
+        "(%.0f events/s) | queue high-water %zu\n",
+        p.shard, static_cast<unsigned long long>(p.sessions),
+        static_cast<unsigned long long>(p.events), p.wall_seconds,
+        p.events_per_second(), p.queue_high_water);
+  }
   const obs::MetricCounters& c = env.metrics().counters;
   std::printf(
       "metrics: %llu dns / %llu doh / %llu do53 queries | "
       "%llu tcp + %llu tls + %llu quic handshakes | %llu tunnels | "
       "%llu loss + %llu handshake retries | %llu give-ups | "
-      "%llu fallbacks | %llu failures\n",
+      "%llu fallbacks | %llu brownout delays | %llu failures\n",
       static_cast<unsigned long long>(c.dns_queries),
       static_cast<unsigned long long>(c.doh_queries),
       static_cast<unsigned long long>(c.do53_queries),
@@ -141,12 +166,26 @@ void print_banner(const std::string& title) {
       static_cast<unsigned long long>(c.handshake_retries),
       static_cast<unsigned long long>(c.retry_timeouts),
       static_cast<unsigned long long>(c.fallbacks),
+      static_cast<unsigned long long>(c.brownout_delays),
       static_cast<unsigned long long>(c.failures));
   for (const auto& [name, hist] : env.metrics().histograms()) {
     std::printf("  %-12s n=%-7llu p50=%.1f ms  p99=%.1f ms\n", name.c_str(),
                 static_cast<unsigned long long>(hist.count()),
                 hist.quantile_ms(0.5), hist.quantile_ms(0.99));
   }
+  const obs::AnomalyCounts& a = env.anomalies().counts();
+  std::printf(
+      "flight recorder: %llu flows examined | %llu anomalous "
+      "(%llu slow, %llu give-up, %llu fallback, %llu brownout) | "
+      "%zu retained, %llu evicted\n",
+      static_cast<unsigned long long>(a.flows),
+      static_cast<unsigned long long>(a.anomalous),
+      static_cast<unsigned long long>(a.slow),
+      static_cast<unsigned long long>(a.give_up),
+      static_cast<unsigned long long>(a.fallback),
+      static_cast<unsigned long long>(a.brownout),
+      env.anomalies().retained().size(),
+      static_cast<unsigned long long>(a.evicted));
   std::printf("\n");
 }
 

@@ -13,6 +13,13 @@
 //                 datasets are unaffected.
 // DOHPERF_METRICS when set, dumps the merged campaign metrics registry as
 //                 CSV to the given path.
+// DOHPERF_SERIES  when set, dumps the merged sim-time metric series as
+//                 CSV (report::timeseries_csv) to the given path.
+// DOHPERF_OPENMETRICS  when set, dumps the series in OpenMetrics text
+//                 exposition format to the given path.
+// DOHPERF_ANOMALIES    when set, writes the flight recorder's retained
+//                 anomalous flows (anomalies.csv + one Perfetto JSON per
+//                 flow) into the given directory, created if needed.
 #pragma once
 
 #include <memory>
@@ -21,7 +28,9 @@
 #include "measure/campaign.h"
 #include "measure/dataset.h"
 #include "measure/regression.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/series.h"
 #include "report/table.h"
 #include "stats/summary.h"
 #include "world/world_model.h"
@@ -52,6 +61,14 @@ class Env {
   /// Merged observability metrics of the campaign run (bit-identical for
   /// every DOHPERF_THREADS value).
   [[nodiscard]] const obs::Metrics& metrics() const { return metrics_; }
+  /// Merged sim-time metric series (bit-identical for every
+  /// DOHPERF_THREADS value).
+  [[nodiscard]] const obs::MetricSeries& series() const { return series_; }
+  /// Anomaly flight recorder, finalized after the merge (bit-identical
+  /// for every DOHPERF_THREADS value).
+  [[nodiscard]] const obs::FlightRecorder& anomalies() const {
+    return anomalies_;
+  }
 
  private:
   Env();
@@ -60,6 +77,8 @@ class Env {
   measure::Dataset dataset_;
   measure::CampaignStats stats_;
   obs::Metrics metrics_;
+  obs::MetricSeries series_;
+  obs::FlightRecorder anomalies_;
 };
 
 /// Prints the standard bench banner (scale, client counts, runtime note).

@@ -54,6 +54,11 @@ struct ShardView {
   /// synchronisation and the campaign merges the registries in canonical
   /// shard order after the join.
   obs::Metrics* metrics = nullptr;
+  /// Shard-private sim-time series; same ownership and merge story.
+  obs::MetricSeries* series = nullptr;
+  /// Shard-private anomaly flight recorder; same ownership and merge
+  /// story (canonical-order retention makes the merge layout-proof).
+  obs::FlightRecorder* recorder = nullptr;
 
   resolver::DohServer& doh(std::size_t p, std::size_t i) {
     return replica ? replica->doh_server(p, i) : world.doh_server(p, i);
@@ -77,6 +82,60 @@ struct ExitState {
   std::vector<bool> provider_failed;
   std::vector<double> nearest_located_miles;
 };
+
+/// Merges a session's private metrics into the shard registry when the
+/// session's coroutine frame dies. Sessions keep flow-local counters so
+/// the flight recorder's before/after snapshots cannot see concurrent
+/// sessions' increments; integer merges are commutative, so the frame
+/// destruction order cannot change the shard totals.
+struct MergeMetricsOnExit {
+  obs::Metrics* target = nullptr;
+  const obs::Metrics* source = nullptr;
+
+  MergeMetricsOnExit(obs::Metrics* t, const obs::Metrics* s)
+      : target(t), source(s) {}
+  MergeMetricsOnExit(const MergeMetricsOnExit&) = delete;
+  MergeMetricsOnExit& operator=(const MergeMetricsOnExit&) = delete;
+  ~MergeMetricsOnExit() {
+    if (target != nullptr) target->merge(*source);
+  }
+};
+
+/// Records each realized fault episode's window as series occupancy
+/// counters ("how many sessions had a blackout open in this window") —
+/// the join key the health report overlays on the latency series.
+/// Windows are already epoch-relative, exactly the series' time base.
+/// Occupancy recording horizon: session-long episodes (provider outages
+/// end at Duration::max()) are recorded as occupying every window up to
+/// here. Sessions at any supported scale finish in single-digit
+/// sim-seconds, so the horizon comfortably covers the period that has
+/// latency samples to overlay, while keeping the per-episode window walk
+/// bounded (120 windows at the default 250 ms width).
+constexpr netsim::Duration kFaultRecordHorizon = netsim::from_ms(30000.0);
+
+void record_fault_windows(obs::MetricSeries* series,
+                          const netsim::FaultPlan& plan) {
+  if (series == nullptr || plan.empty()) return;
+  const auto clamp = [](netsim::Duration end) {
+    return end < kFaultRecordHorizon ? end : kFaultRecordHorizon;
+  };
+  for (const netsim::LossSpikeEpisode& ep : plan.loss_spikes()) {
+    series->add_count_range({"fault_loss_spike", {}, {}}, ep.window.start,
+                            clamp(ep.window.end));
+  }
+  for (const netsim::BlackoutEpisode& ep : plan.blackouts()) {
+    series->add_count_range({"fault_blackout", {}, {}}, ep.window.start,
+                            clamp(ep.window.end));
+  }
+  for (const netsim::BrownoutEpisode& ep : plan.brownouts()) {
+    series->add_count_range({"fault_brownout", {}, {}}, ep.window.start,
+                            clamp(ep.window.end));
+  }
+  for (const netsim::ProviderOutageEpisode& ep : plan.provider_outages()) {
+    series->add_count_range({"fault_provider_outage", ep.provider, {}},
+                            ep.window.start, clamp(ep.window.end));
+  }
+}
 
 /// Stable per-session RNG keys. Sessions are keyed by what they measure
 /// (exit id + run, or Atlas country + index) — never by shard index or
@@ -129,16 +188,41 @@ ExitState make_exit_state(ShardView& view, const ExitTask& task,
 }
 
 /// One client session: 4 DoH measurements + 1 Do53 measurement.
+// `session_key` is taken by value: the caller's string may die while
+// this coroutine is suspended in the batch queue.
 netsim::Task<void> measure_session(ShardView& view, const ExitState& st,
-                                   int run, netsim::Rng session_rng,
+                                   int run, std::uint64_t slot,
+                                   std::string session_key,
+                                   netsim::Rng session_rng,
                                    const CampaignConfig& config,
                                    const std::vector<std::string>&
                                        provider_names,
                                    SessionOutput& out) {
   netsim::NetCtx net{view.sim, view.world.latency(), session_rng};
-  net.metrics = view.metrics;
   const ExitTask& task = *st.task;
   const proxy::ExitNode& exit = st.local_exit;
+
+  // Session-private metrics: the flight recorder diffs counters across a
+  // single flow, and concurrent sessions batched on this shard's
+  // simulator must not bleed into the diff.
+  obs::Metrics session_metrics;
+  const MergeMetricsOnExit merge_guard{view.metrics, &session_metrics};
+  net.metrics = &session_metrics;
+
+  const netsim::SimTime session_epoch = view.sim.now();
+  net.series = {view.series, session_epoch, std::string(),
+                exit.advertised_iso2};
+
+  // Flight-recorder wiring. Examination is span-free (sim-time duration
+  // + counter deltas); spans are only recorded during the replay pass,
+  // and only for the flows the recorder asks for. The scratch tree must
+  // be session-owned: sessions interleave on the shard simulator.
+  obs::SpanContext flow_spans;
+  const bool examine = view.recorder != nullptr &&
+                       view.recorder->enabled() &&
+                       !view.recorder->capturing();
+  const bool capturing =
+      view.recorder != nullptr && view.recorder->capturing();
 
   // Fault episodes are drawn from a private substream (split() is pure,
   // so the session's main draw sequence is untouched) and anchored to
@@ -152,18 +236,21 @@ netsim::Task<void> measure_session(ShardView& view, const ExitState& st,
                                            provider_names,
                                            session_rng.split("fault-plan"));
     net.faults = &fault_plan;
-    net.fault_epoch = view.sim.now();
+    net.fault_epoch = session_epoch;
+    record_fault_windows(view.series, fault_plan);
   }
 
   // --- DoH: one measurement per studied provider ---------------------
   for (std::size_t p = 0; p < view.world.providers().size(); ++p) {
     anycast::Provider& provider = view.world.providers()[p];
+    net.series.provider = provider.name();
     const bool provider_out =
         net.faults != nullptr &&
         net.faults->provider_down(provider.name(), net.fault_now());
     if (st.provider_failed[p] || provider_out) {
       ++out.failed;
       if (net.metrics != nullptr) ++net.metrics->counters.failures;
+      net.series.count("failure", view.sim.now());
       continue;
     }
 
@@ -179,11 +266,32 @@ netsim::Task<void> measure_session(ShardView& view, const ExitState& st,
     params.tls = view.world.config().tls_version;
     params.origin = view.world.origin();
 
+    const obs::MetricCounters before = session_metrics.counters;
+    const netsim::SimTime flow_start = view.sim.now();
+    const bool capture_this =
+        capturing &&
+        view.recorder->wants_spans(slot, static_cast<std::uint32_t>(p));
+    if (capture_this) {
+      flow_spans.clear();
+      net.spans = &flow_spans;
+    }
     const DohProxyObservation obs =
         co_await doh_via_proxy(net, std::move(params));
+    if (capture_this) {
+      net.spans = nullptr;
+      view.recorder->capture_flow(slot, static_cast<std::uint32_t>(p),
+                                  flow_spans, session_epoch);
+    } else if (examine) {
+      view.recorder->examine_flow(
+          slot, static_cast<std::uint32_t>(p), session_key,
+          "doh:" + provider.name(),
+          netsim::ms_between(flow_start, view.sim.now()), before,
+          session_metrics.counters);
+    }
     if (!obs.ok) {
       ++out.failed;
       if (net.metrics != nullptr) ++net.metrics->counters.failures;
+      net.series.count("failure", view.sim.now());
       continue;
     }
 
@@ -204,10 +312,12 @@ netsim::Task<void> measure_session(ShardView& view, const ExitState& st,
     if (net.metrics != nullptr) {
       net.metrics->histogram(provider.name()).record(rec.tdoh_ms);
     }
+    net.series.latency("doh_ms", view.sim.now(), rec.tdoh_ms);
     out.doh.push_back(std::move(rec));
   }
 
   // --- Do53 via the default resolver ----------------------------------
+  net.series.provider = "Do53";
   Do53ProxyParams params;
   params.client = view.world.measurement_client();
   params.super_proxy = task.sp_site;
@@ -218,17 +328,39 @@ netsim::Task<void> measure_session(ShardView& view, const ExitState& st,
       proxy::resolves_dns_at_super_proxy(exit.advertised_iso2);
   params.authority = &view.authority();
 
+  const obs::MetricCounters before = session_metrics.counters;
+  const netsim::SimTime flow_start = view.sim.now();
+  const auto do53_index =
+      static_cast<std::uint32_t>(view.world.providers().size());
+  const bool capture_this =
+      capturing && view.recorder->wants_spans(slot, do53_index);
+  if (capture_this) {
+    flow_spans.clear();
+    net.spans = &flow_spans;
+  }
   const Do53ProxyObservation obs =
       co_await do53_via_proxy(net, std::move(params));
+  if (capture_this) {
+    net.spans = nullptr;
+    view.recorder->capture_flow(slot, do53_index, flow_spans,
+                                session_epoch);
+  } else if (examine) {
+    view.recorder->examine_flow(
+        slot, do53_index, session_key, "do53",
+        netsim::ms_between(flow_start, view.sim.now()), before,
+        session_metrics.counters);
+  }
   if (!obs.ok) {
     ++out.failed;
     if (net.metrics != nullptr) ++net.metrics->counters.failures;
+    net.series.count("failure", view.sim.now());
     co_return;
   }
   if (!obs.resolved_at_super_proxy) {
     if (net.metrics != nullptr) {
       net.metrics->histogram("Do53").record(obs.tun.dns_ms);
     }
+    net.series.latency("do53_ms", view.sim.now(), obs.tun.dns_ms);
     Do53Record rec;
     rec.exit_id = exit.id;
     rec.iso2 = exit.advertised_iso2;
@@ -242,14 +374,22 @@ netsim::Task<void> measure_session(ShardView& view, const ExitState& st,
 }
 
 /// One Atlas Do53 measurement in `iso2`.
-// `iso2` is taken by value: the caller's string may die while this
-// coroutine is suspended in the batch queue.
+// `iso2` and `session_key` are taken by value: the caller's strings may
+// die while this coroutine is suspended in the batch queue.
 netsim::Task<void> atlas_session(ShardView& view, std::string iso2,
+                                 std::uint64_t slot,
+                                 std::string session_key,
                                  netsim::Rng session_rng,
                                  const CampaignConfig& config,
                                  SessionOutput& out) {
   netsim::NetCtx net{view.sim, view.world.latency(), session_rng};
-  net.metrics = view.metrics;
+  obs::Metrics session_metrics;
+  const MergeMetricsOnExit merge_guard{view.metrics, &session_metrics};
+  net.metrics = &session_metrics;
+
+  const netsim::SimTime session_epoch = view.sim.now();
+  net.series = {view.series, session_epoch, "Do53", iso2};
+
   const proxy::AtlasProbe* probe =
       view.world.atlas().pick_probe(iso2, net.rng);
   if (probe == nullptr) co_return;
@@ -264,18 +404,42 @@ netsim::Task<void> atlas_session(ShardView& view, std::string iso2,
     fault_plan = netsim::FaultPlan::sample(config.faults, focal, {},
                                            session_rng.split("fault-plan"));
     net.faults = &fault_plan;
-    net.fault_epoch = view.sim.now();
+    net.fault_epoch = session_epoch;
+    record_fault_windows(view.series, fault_plan);
   }
+
+  obs::SpanContext flow_spans;
+  const bool examine = view.recorder != nullptr &&
+                       view.recorder->enabled() &&
+                       !view.recorder->capturing();
+  const bool capture_this = view.recorder != nullptr &&
+                            view.recorder->capturing() &&
+                            view.recorder->wants_spans(slot, 0);
+  const obs::MetricCounters before = session_metrics.counters;
+  const netsim::SimTime flow_start = view.sim.now();
+  if (capture_this) net.spans = &flow_spans;
+
   // Fresh UUID per measurement (cache-miss by construction).
   const double ms = co_await view.world.atlas().measure_do53(
       net, local_probe,
       view.world.origin().with_subdomain(resolver::uuid_label(net.rng)));
+  if (capture_this) {
+    net.spans = nullptr;
+    view.recorder->capture_flow(slot, 0, flow_spans, session_epoch);
+  } else if (examine) {
+    view.recorder->examine_flow(
+        slot, 0, session_key, "atlas_do53",
+        netsim::ms_between(flow_start, view.sim.now()), before,
+        session_metrics.counters);
+  }
   if (ms < 0) {
     ++out.failed;
     if (net.metrics != nullptr) ++net.metrics->counters.failures;
+    net.series.count("failure", view.sim.now());
     co_return;
   }
   if (net.metrics != nullptr) net.metrics->histogram("Do53").record(ms);
+  net.series.latency("do53_ms", view.sim.now(), ms);
   Do53Record rec;
   rec.exit_id = kAtlasExitId;
   rec.iso2 = iso2;
@@ -287,14 +451,17 @@ netsim::Task<void> atlas_session(ShardView& view, std::string iso2,
 
 /// Runs every session owned by one shard (exit index and Atlas-country
 /// index modulo shard count) against `view`'s server stack. Returns the
-/// number of simulator events processed.
-std::uint64_t run_shard(ShardView view, int shard_index, int shard_count,
-                        const CampaignConfig& config,
-                        const netsim::Rng& root,
-                        const std::vector<ExitTask>& exits,
-                        const std::vector<AtlasTask>& atlas,
-                        const std::vector<std::string>& provider_names,
-                        std::vector<SessionOutput>& outputs) {
+/// shard's self-profile (events, sessions, wall time, queue pressure).
+ShardProfile run_shard(ShardView view, int shard_index, int shard_count,
+                       const CampaignConfig& config,
+                       const netsim::Rng& root,
+                       const std::vector<ExitTask>& exits,
+                       const std::vector<AtlasTask>& atlas,
+                       const std::vector<std::string>& provider_names,
+                       std::vector<SessionOutput>& outputs) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  ShardProfile profile;
+  profile.shard = shard_index;
   std::uint64_t events = 0;
 
   // Per-exit state for this shard's slice, keyed by exit index.
@@ -322,10 +489,12 @@ std::uint64_t run_shard(ShardView view, int shard_index, int shard_count,
     for (const auto& [e, st] : states) {
       const std::size_t slot =
           static_cast<std::size_t>(run) * exits.size() + e;
+      std::string key = exit_session_key(st.task->exit->id, run);
+      netsim::Rng session_rng = root.split(key);
       batch.push_back(measure_session(
-          view, st, run,
-          root.split(exit_session_key(st.task->exit->id, run)), config,
-          provider_names, outputs[slot]));
+          view, st, run, static_cast<std::uint64_t>(slot), std::move(key),
+          std::move(session_rng), config, provider_names, outputs[slot]));
+      ++profile.sessions;
       if (batch.size() >= config.batch_size) drain();
     }
   }
@@ -339,15 +508,95 @@ std::uint64_t run_shard(ShardView view, int shard_index, int shard_count,
     }
     const AtlasTask& t = atlas[c];
     for (int i = 0; i < t.count; ++i) {
+      const std::size_t slot = t.slot_base + static_cast<std::size_t>(i);
+      std::string key = atlas_session_key(t.iso2, i);
+      netsim::Rng session_rng = root.split(key);
       batch.push_back(atlas_session(
-          view, t.iso2, root.split(atlas_session_key(t.iso2, i)), config,
-          outputs[t.slot_base + static_cast<std::size_t>(i)]));
+          view, t.iso2, static_cast<std::uint64_t>(slot), std::move(key),
+          std::move(session_rng), config, outputs[slot]));
+      ++profile.sessions;
       if (batch.size() >= config.batch_size) drain();
     }
   }
   drain();
 
-  return events;
+  profile.events = events;
+  profile.queue_high_water = view.sim.queue_high_water();
+  profile.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return profile;
+}
+
+/// Replay pass: re-derives the span trees of the retained anomalies by
+/// re-running exactly their sessions on a fresh replica with span
+/// recording on. Sessions are keyed by what they measure and behave
+/// epoch-relatively (the serial-vs-sharded bit-identity rests on the
+/// same property), so a replayed flow records the identical tree it
+/// would have recorded the first time — which is what lets the hot path
+/// examine millions of flows without materializing a single span.
+void replay_anomaly_spans(world::WorldModel& world,
+                          const CampaignConfig& config,
+                          const netsim::Rng& root,
+                          const std::vector<ExitTask>& exits,
+                          const std::vector<AtlasTask>& atlas,
+                          const std::vector<std::string>& provider_names,
+                          obs::FlightRecorder& recorder) {
+  if (recorder.retained().empty()) return;
+
+  std::vector<obs::FlowKey> keys;
+  keys.reserve(recorder.retained().size());
+  for (const auto& [key, rec] : recorder.retained()) keys.push_back(key);
+
+  obs::FlightRecorder capturer(recorder.policy());
+  capturer.capture_spans_for(keys);
+
+  const std::unique_ptr<world::SimContext> replica = world.make_replica();
+  ShardView view{world, replica->sim(), replica.get(), nullptr, nullptr,
+                 &capturer};
+
+  const std::size_t n_exit_sessions =
+      static_cast<std::size_t>(config.runs_per_client) * exits.size();
+  SessionOutput scratch;
+  for (std::size_t k = 0; k < keys.size(); ++k) {
+    const std::uint64_t slot = keys[k].first;
+    if (k > 0 && keys[k - 1].first == slot) continue;  // session done
+    if (slot < n_exit_sessions) {
+      const auto e = static_cast<std::size_t>(slot % exits.size());
+      const int run = static_cast<int>(slot / exits.size());
+      const ExitState st = make_exit_state(view, exits[e], root,
+                                           config.provider_failure_rate);
+      std::string key = exit_session_key(st.task->exit->id, run);
+      netsim::Rng session_rng = root.split(key);
+      netsim::Task<void> task = measure_session(
+          view, st, run, slot, std::move(key), std::move(session_rng),
+          config, provider_names, scratch);
+      view.sim.run();
+      task.result();
+    } else {
+      for (const AtlasTask& t : atlas) {
+        if (slot < t.slot_base ||
+            slot >= t.slot_base + static_cast<std::size_t>(t.count)) {
+          continue;
+        }
+        const int i = static_cast<int>(slot - t.slot_base);
+        std::string key = atlas_session_key(t.iso2, i);
+        netsim::Rng session_rng = root.split(key);
+        netsim::Task<void> task = atlas_session(
+            view, t.iso2, slot, std::move(key), std::move(session_rng),
+            config, scratch);
+        view.sim.run();
+        task.result();
+        break;
+      }
+    }
+    scratch = SessionOutput{};  // replay output is never published
+  }
+
+  for (const auto& [key, spans] : capturer.captured()) {
+    recorder.attach_spans(key, spans);
+  }
 }
 
 }  // namespace
@@ -436,23 +685,27 @@ Dataset Campaign::run_impl(int shards) {
   }
 
   // --- Execute ---------------------------------------------------------
-  // One metrics registry per shard; sessions record without contention
-  // and the registries merge below in canonical shard order. Counter and
-  // bucket arithmetic is integer-only, so the merged result is identical
-  // for every shard count.
-  std::vector<obs::Metrics> shard_metrics(
-      static_cast<std::size_t>(std::max(shards, 1)));
-  std::uint64_t events = 0;
+  // One metrics registry, one sim-time series, and one flight recorder
+  // per shard; sessions record without contention and everything merges
+  // below in canonical shard order. Counter/bucket arithmetic is
+  // integer-only and anomaly retention is canonical-order, so the merged
+  // results are identical for every shard count.
+  const std::size_t n_shards = static_cast<std::size_t>(std::max(shards, 1));
+  std::vector<obs::Metrics> shard_metrics(n_shards);
+  std::vector<obs::MetricSeries> shard_series(
+      n_shards, obs::MetricSeries(config_.series_window));
+  std::vector<obs::FlightRecorder> shard_recorders(
+      n_shards, obs::FlightRecorder(config_.anomalies));
+  std::vector<ShardProfile> profiles(n_shards);
   if (shards == 0) {
     // Serial reference path: the world's own simulator and servers.
-    events = run_shard(
-        ShardView{world_, world_.sim(), nullptr, &shard_metrics[0]}, 0, 1,
-        config_, root, exits, atlas, provider_names, outputs);
+    profiles[0] = run_shard(
+        ShardView{world_, world_.sim(), nullptr, &shard_metrics[0],
+                  &shard_series[0], &shard_recorders[0]},
+        0, 1, config_, root, exits, atlas, provider_names, outputs);
     stats_.shards = 1;
   } else {
     std::vector<std::thread> workers;
-    std::vector<std::uint64_t> shard_events(
-        static_cast<std::size_t>(shards), 0);
     std::vector<std::exception_ptr> errors(
         static_cast<std::size_t>(shards));
     workers.reserve(static_cast<std::size_t>(shards));
@@ -463,9 +716,11 @@ Dataset Campaign::run_impl(int shards) {
           // stack replication runs in parallel.
           const std::unique_ptr<world::SimContext> replica =
               world_.make_replica();
-          shard_events[static_cast<std::size_t>(s)] = run_shard(
+          const auto si = static_cast<std::size_t>(s);
+          profiles[si] = run_shard(
               ShardView{world_, replica->sim(), replica.get(),
-                        &shard_metrics[static_cast<std::size_t>(s)]},
+                        &shard_metrics[si], &shard_series[si],
+                        &shard_recorders[si]},
               s, shards, config_, root, exits, atlas, provider_names,
               outputs);
         } catch (...) {
@@ -477,13 +732,25 @@ Dataset Campaign::run_impl(int shards) {
     for (const auto& error : errors) {
       if (error) std::rethrow_exception(error);
     }
-    for (const std::uint64_t n : shard_events) events += n;
     stats_.shards = shards;
   }
+  std::uint64_t events = 0;
+  for (const ShardProfile& p : profiles) events += p.events;
+  stats_.shard_profiles = std::move(profiles);
 
   // --- Merge in canonical slot / shard order ----------------------------
   metrics_.clear();
   for (const obs::Metrics& m : shard_metrics) metrics_.merge(m);
+  series_ = obs::MetricSeries(config_.series_window);
+  for (const obs::MetricSeries& s : shard_series) series_.merge(s);
+  recorder_ = obs::FlightRecorder(config_.anomalies);
+  for (const obs::FlightRecorder& r : shard_recorders) recorder_.merge(r);
+  recorder_.finalize();
+  // Fill in the retained anomalies' span trees by deterministically
+  // re-running just those sessions (≤ ring_capacity of them) with span
+  // recording on — the hot path above examined every flow span-free.
+  replay_anomaly_spans(world_, config_, root, exits, atlas, provider_names,
+                       recorder_);
 
   for (SessionOutput& slot : outputs) {
     for (DohRecord& rec : slot.doh) out.add_doh(std::move(rec));

@@ -19,10 +19,13 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "measure/dataset.h"
 #include "netsim/faultplan.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/series.h"
 #include "world/world_model.h"
 
 namespace dohperf::measure {
@@ -51,6 +54,30 @@ struct CampaignConfig {
   /// windows are expressed relative to the session's own start, so the
   /// result is still bit-identical for every thread count.
   netsim::FaultPlanConfig faults;
+  /// Width of the sim-time metric-series windows. Windows are indexed
+  /// relative to each session's own start (the fault plans' time base),
+  /// so the merged series is bit-identical for every thread count.
+  netsim::Duration series_window = netsim::from_ms(250.0);
+  /// Anomaly flight-recorder policy. Enabled by default: every flow's
+  /// span tree is built and examined, and only anomalous trees are
+  /// retained (see obs/flight_recorder.h for the predicate).
+  obs::AnomalyPolicy anomalies;
+};
+
+/// Per-shard self-profiling of one run: how the wall-clock work and the
+/// event-queue pressure spread across workers (shard load imbalance is
+/// invisible in the merged totals).
+struct ShardProfile {
+  int shard = 0;
+  std::uint64_t sessions = 0;  ///< Sessions this shard executed.
+  std::uint64_t events = 0;    ///< Simulator events this shard processed.
+  double wall_seconds = 0.0;
+  std::size_t queue_high_water = 0;  ///< Deepest event queue observed.
+
+  [[nodiscard]] double events_per_second() const {
+    return wall_seconds > 0.0 ? static_cast<double>(events) / wall_seconds
+                              : 0.0;
+  }
 };
 
 /// Execution counters of the last Campaign::run() / run_serial() (used by
@@ -60,6 +87,8 @@ struct CampaignStats {
   std::uint64_t sessions = 0;
   std::uint64_t events_processed = 0;
   double wall_seconds = 0.0;
+  /// One entry per shard (the serial reference path reports one).
+  std::vector<ShardProfile> shard_profiles;
 };
 
 /// Runs the campaign over an assembled world.
@@ -86,6 +115,19 @@ class Campaign {
   /// every thread count (see DESIGN.md "Observability").
   [[nodiscard]] const obs::Metrics& metrics() const { return metrics_; }
 
+  /// Sim-time metric series of the most recent run: per-window counters
+  /// and latency histograms under provider x country labels, recorded by
+  /// each shard into a private series and merged in canonical shard
+  /// order. Same bit-identity contract as metrics().
+  [[nodiscard]] const obs::MetricSeries& series() const { return series_; }
+
+  /// Anomaly flight recorder of the most recent run: merged, finalized,
+  /// holding the canonical-latest retained anomalies and the examination
+  /// counts. Same bit-identity contract as metrics().
+  [[nodiscard]] const obs::FlightRecorder& anomalies() const {
+    return recorder_;
+  }
+
   /// DOHPERF_THREADS from the environment, falling back to
   /// std::thread::hardware_concurrency() (minimum 1).
   [[nodiscard]] static int threads_from_env();
@@ -98,6 +140,8 @@ class Campaign {
   CampaignConfig config_;
   CampaignStats stats_;
   obs::Metrics metrics_;
+  obs::MetricSeries series_;
+  obs::FlightRecorder recorder_;
 };
 
 }  // namespace dohperf::measure

@@ -86,6 +86,7 @@ Task<DohProxyObservation> doh_via_proxy(NetCtx& net, DohProxyParams params) {
 
   // ---- Steps 1-8: establish the TCP tunnel (phase "tunnel") ---------
   ScopedSpan tunnel_phase = net.span("tunnel");
+  const SimTime tunnel_start = net.sim.now();
   obs.inputs.stamps.t_a = ms_between(session_epoch, net.sim.now());
 
   transport::HttpRequest connect_req;
@@ -124,12 +125,17 @@ Task<DohProxyObservation> doh_via_proxy(NetCtx& net, DohProxyParams params) {
 
   obs.inputs.stamps.t_b = ms_between(session_epoch, net.sim.now());
   tunnel_phase.finish();
+  // Per-phase sim-time series (paper Tables 1-2 decomposition over the
+  // session timeline); no-ops unless a series recorder is attached.
+  net.series.latency("phase_tunnel_ms", net.sim.now(),
+                     ms_between(tunnel_start, net.sim.now()));
   const auto parsed = transport::parse_response(ok_wire);
   if (!parsed || !extract_inputs(*parsed, obs.inputs)) co_return obs;
 
   // ---- Steps 9-14: TLS handshake through the tunnel (phase
   // "handshake") -----------------------------------------------------
   ScopedSpan handshake_phase = net.span("handshake");
+  const SimTime handshake_start = net.sim.now();
   // The tunnelled handshake is modelled inline (no transport::
   // tls_handshake call), so count it here.
   if (net.metrics != nullptr) ++net.metrics->counters.tls_handshakes;
@@ -164,9 +170,12 @@ Task<DohProxyObservation> doh_via_proxy(NetCtx& net, DohProxyParams params) {
     co_await tls_tunnel.recv(transport::kServerFinishedBytes);
   }
   handshake_phase.finish();
+  net.series.latency("phase_handshake_ms", net.sim.now(),
+                     ms_between(handshake_start, net.sim.now()));
 
   // ---- Steps 15-22: the DoH query (phase "resolution") --------------
   ScopedSpan resolution_phase = net.span("resolution");
+  const SimTime resolution_start = net.sim.now();
   const dns::Message query =
       resolver::make_probe_query(net.rng, params.origin);
   transport::HttpRequest get_req;
@@ -189,6 +198,8 @@ Task<DohProxyObservation> doh_via_proxy(NetCtx& net, DohProxyParams params) {
 
   obs.inputs.stamps.t_d = ms_between(session_epoch, net.sim.now());
   resolution_phase.finish();
+  net.series.latency("phase_resolution_ms", net.sim.now(),
+                     ms_between(resolution_start, net.sim.now()));
   flow_span.finish();
   obs.http_status = doh_resp.status;
   obs.ok = doh_resp.status == 200;

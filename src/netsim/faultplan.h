@@ -158,6 +158,23 @@ class FaultPlan {
   [[nodiscard]] bool affects_path(const geo::LatLon& a,
                                   const geo::LatLon& b, Duration t) const;
 
+  /// Realized episodes, for observability exports (series fault-window
+  /// occupancy, health reports). Read-only: queries above stay the only
+  /// consumers on the simulation path.
+  [[nodiscard]] const std::vector<LossSpikeEpisode>& loss_spikes() const {
+    return loss_spikes_;
+  }
+  [[nodiscard]] const std::vector<BlackoutEpisode>& blackouts() const {
+    return blackouts_;
+  }
+  [[nodiscard]] const std::vector<BrownoutEpisode>& brownouts() const {
+    return brownouts_;
+  }
+  [[nodiscard]] const std::vector<ProviderOutageEpisode>& provider_outages()
+      const {
+    return provider_outages_;
+  }
+
   /// Samples a plan from `config`: each episode class realizes with its
   /// configured probability, centered on one of the session's `focal`
   /// sites, with the window start uniform in [0, start_max). Provider

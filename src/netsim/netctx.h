@@ -11,6 +11,7 @@
 #include "netsim/simulator.h"
 #include "netsim/task.h"
 #include "obs/metrics.h"
+#include "obs/series.h"
 #include "obs/span.h"
 
 namespace dohperf::netsim {
@@ -89,6 +90,10 @@ struct NetCtx {
   /// The epoch the attached plan's windows are relative to (usually the
   /// session's start time).
   SimTime fault_epoch{};
+  /// Optional sim-time series handle (null-safe when series is unset):
+  /// retry machines and brownout inflation record *when within the
+  /// session* they fired, under whatever labels the owner last set.
+  obs::SeriesRecorder series{};
 
   /// Opens a named span (no-op guard when no span context is attached).
   [[nodiscard]] obs::ScopedSpan span(std::string name) {
@@ -137,7 +142,11 @@ struct NetCtx {
     if (faults != nullptr) {
       const double multiplier =
           faults->processing_multiplier(where.position, fault_now());
-      if (multiplier > 1.0) d = from_ms(to_ms(d) * multiplier);
+      if (multiplier > 1.0) {
+        d = from_ms(to_ms(d) * multiplier);
+        if (metrics != nullptr) ++metrics->counters.brownout_delays;
+        series.count("brownout_delay", sim.now());
+      }
     }
     return process(d);
   }
@@ -189,6 +198,7 @@ struct NetCtx {
           ++metrics->counters.loss_retries;
           metrics->histogram("retry_backoff").record(to_ms(out.backoff));
         }
+        series.count("loss_retry", sim.now());
         const obs::ScopedSpan backoff_span = span("retry_backoff");
         co_await sim.sleep(out.backoff);
       }
@@ -228,6 +238,7 @@ struct NetCtx {
       if (attempt >= policy.max_attempts) {
         out.delivered = false;
         if (metrics != nullptr) ++metrics->counters.retry_timeouts;
+        series.count("retry_give_up", sim.now());
         co_return out;
       }
       ++out.retransmits;
@@ -239,6 +250,7 @@ struct NetCtx {
         }
         metrics->histogram("retry_backoff").record(to_ms(timer));
       }
+      series.count(handshake ? "handshake_retry" : "loss_retry", sim.now());
       {
         const obs::ScopedSpan backoff_span = span("retry_backoff");
         co_await sim.sleep(timer);

@@ -7,11 +7,13 @@ namespace dohperf::netsim {
 void Simulator::schedule_at(SimTime at, EventQueue::Callback fn) {
   if (at < now_) at = now_;
   queue_.push(at, std::move(fn));
+  if (queue_.size() > queue_high_water_) queue_high_water_ = queue_.size();
 }
 
 void Simulator::schedule_in(Duration delay, EventQueue::Callback fn) {
   if (delay < Duration::zero()) delay = Duration::zero();
   queue_.push(now_ + delay, std::move(fn));
+  if (queue_.size() > queue_high_water_) queue_high_water_ = queue_.size();
 }
 
 bool Simulator::step() {

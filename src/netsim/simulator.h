@@ -39,6 +39,13 @@ class Simulator {
 
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
+  /// Largest queue size ever observed after a push — the shard
+  /// self-profiling "how deep did the event heap get" number. Purely
+  /// observational: tracked on the host side, never read by events.
+  [[nodiscard]] std::size_t queue_high_water() const {
+    return queue_high_water_;
+  }
+
   /// Awaitable that suspends the current coroutine for `delay`.
   /// Defined in task.h to keep coroutine machinery out of this header.
   struct SleepAwaitable;
@@ -47,6 +54,7 @@ class Simulator {
  private:
   SimTime now_{};
   EventQueue queue_;
+  std::size_t queue_high_water_ = 0;
 };
 
 }  // namespace dohperf::netsim

@@ -69,6 +69,21 @@ class Parser {
     }
   }
 
+  /// Four hex digits after "\u"; nullopt on short input or a non-digit.
+  std::optional<unsigned> hex4() {
+    if (pos_ + 4 > text_.size()) return std::nullopt;
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else return std::nullopt;
+    }
+    return code;
+  }
+
   std::optional<Value> parse_string() {
     std::string out;
     if (!eat('"')) return std::nullopt;
@@ -88,25 +103,35 @@ class Parser {
           case 'r': out.push_back('\r'); break;
           case 't': out.push_back('\t'); break;
           case 'u': {
-            if (pos_ + 4 > text_.size()) return std::nullopt;
-            unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              const char h = text_[pos_++];
-              code <<= 4;
-              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-              else return std::nullopt;
+            const std::optional<unsigned> first = hex4();
+            if (!first) return std::nullopt;
+            unsigned code = *first;
+            if (code >= 0xDC00 && code <= 0xDFFF) {
+              return std::nullopt;  // low surrogate with no high surrogate
             }
-            // UTF-8 encode the BMP code point (surrogate pairs are not
-            // produced by our exporter; pass them through unpaired).
+            if (code >= 0xD800 && code <= 0xDBFF) {
+              // High surrogate: RFC 8259 requires a \uDC00-\uDFFF mate;
+              // anything else (including a bare high surrogate) used to
+              // slip through as mangled CESU-8 — now it is a parse error.
+              if (!literal("\\u")) return std::nullopt;
+              const std::optional<unsigned> second = hex4();
+              if (!second || *second < 0xDC00 || *second > 0xDFFF) {
+                return std::nullopt;
+              }
+              code = 0x10000 + ((code - 0xD800) << 10) + (*second - 0xDC00);
+            }
             if (code < 0x80) {
               out.push_back(static_cast<char>(code));
             } else if (code < 0x800) {
               out.push_back(static_cast<char>(0xC0 | (code >> 6)));
               out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-            } else {
+            } else if (code < 0x10000) {
               out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
               out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
               out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
             }

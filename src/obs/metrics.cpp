@@ -85,6 +85,7 @@ void Metrics::merge(const Metrics& other) {
   counters.handshake_retries += other.counters.handshake_retries;
   counters.retry_timeouts += other.counters.retry_timeouts;
   counters.fallbacks += other.counters.fallbacks;
+  counters.brownout_delays += other.counters.brownout_delays;
   counters.failures += other.counters.failures;
   for (const auto& [name, hist] : other.histograms_) {
     histograms_[name].merge(hist);

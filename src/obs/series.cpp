@@ -1,0 +1,16 @@
+#include "obs/series.h"
+
+namespace dohperf::obs {
+
+void MetricSeries::merge(const MetricSeries& other) {
+  for (const auto& [key, track] : other.counters_) {
+    CounterTrack& mine = counters_[key];
+    for (const auto& [window, count] : track) mine[window] += count;
+  }
+  for (const auto& [key, track] : other.latencies_) {
+    LatencyTrack& mine = latencies_[key];
+    for (const auto& [window, hist] : track) mine[window].merge(hist);
+  }
+}
+
+}  // namespace dohperf::obs

@@ -49,6 +49,8 @@ struct Span {
   [[nodiscard]] double duration_ms() const {
     return netsim::ms_between(start, end);
   }
+
+  friend bool operator==(const Span&, const Span&) = default;
 };
 
 /// Collects one flow's span tree. Spans are stored in open order; ids are

@@ -35,11 +35,11 @@ void append_common_args(std::ostringstream& os, const Span& span) {
 
 }  // namespace
 
-std::string perfetto_trace_json(const SpanContext& spans) {
+std::string perfetto_trace_json(const std::vector<Span>& spans) {
   std::ostringstream os;
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
-  for (const Span& span : spans.spans()) {
+  for (const Span& span : spans) {
     if (!first) os << ',';
     first = false;
     os << "{\"name\":\"" << json::escape(span.name)
@@ -54,9 +54,13 @@ std::string perfetto_trace_json(const SpanContext& spans) {
   return os.str();
 }
 
-std::string span_jsonl(const SpanContext& spans) {
+std::string perfetto_trace_json(const SpanContext& spans) {
+  return perfetto_trace_json(spans.spans());
+}
+
+std::string span_jsonl(const std::vector<Span>& spans) {
   std::ostringstream os;
-  for (const Span& span : spans.spans()) {
+  for (const Span& span : spans) {
     os << "{\"id\":" << span.id << ",\"parent\":";
     if (span.parent == kNoSpan) {
       os << "null";
@@ -78,6 +82,10 @@ std::string span_jsonl(const SpanContext& spans) {
     os << "}\n";
   }
   return os.str();
+}
+
+std::string span_jsonl(const SpanContext& spans) {
+  return span_jsonl(spans.spans());
 }
 
 void write_text_file(const std::string& path, const std::string& content) {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "obs/span.h"
 
@@ -15,9 +16,11 @@ namespace dohperf::obs {
 
 /// The Perfetto trace_event document for `spans` (one process, one
 /// thread; nesting comes from span containment on the shared track).
+[[nodiscard]] std::string perfetto_trace_json(const std::vector<Span>& spans);
 [[nodiscard]] std::string perfetto_trace_json(const SpanContext& spans);
 
 /// One JSON object per span, newline-delimited, in open order.
+[[nodiscard]] std::string span_jsonl(const std::vector<Span>& spans);
 [[nodiscard]] std::string span_jsonl(const SpanContext& spans);
 
 /// Writes `content` to `path`, creating missing parent directories (so

@@ -1,0 +1,29 @@
+// Disk artifacts for the anomaly flight recorder: an index CSV plus one
+// Perfetto trace JSON per retained anomaly, so `tools/trace_inspect`
+// (and ui.perfetto.dev) open an anomalous flow exactly like a
+// DOHPERF_TRACE capture.
+#pragma once
+
+#include <string>
+
+#include "obs/flight_recorder.h"
+#include "report/csv.h"
+
+namespace dohperf::report {
+
+/// One row per retained anomaly:
+/// `slot,flow_index,session,flow,reasons,duration_ms,spans,trace_file`.
+/// `reasons` is the "slow_flow|retry_give_up|..." form; `trace_file` is
+/// the dump filename write_anomaly_dumps() uses for the record.
+[[nodiscard]] CsvWriter anomaly_index_csv(const obs::FlightRecorder& recorder);
+
+/// The dump filename of one record: "anomaly-<slot>-<flow_index>.json".
+[[nodiscard]] std::string anomaly_trace_filename(const obs::AnomalyRecord& rec);
+
+/// Writes `dir`/anomalies.csv plus one Perfetto trace JSON per retained
+/// record, creating `dir` if missing. Returns the number of trace files
+/// written.
+std::size_t write_anomaly_dumps(const obs::FlightRecorder& recorder,
+                                const std::string& dir);
+
+}  // namespace dohperf::report

@@ -10,7 +10,7 @@ namespace {
 
 std::string escape(const std::string& cell) {
   const bool needs_quoting =
-      cell.find_first_of(",\"\n") != std::string::npos;
+      cell.find_first_of(",\"\n\r") != std::string::npos;
   if (!needs_quoting) return cell;
   std::string out = "\"";
   for (const char c : cell) {
@@ -58,6 +58,80 @@ void CsvWriter::write_file(const std::string& path) const {
   if (!out) throw std::runtime_error("cannot open " + path);
   out << str();
   if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+std::optional<std::vector<std::vector<std::string>>> parse_csv(
+    std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool quoted = false;     // inside a quoted cell
+  bool had_cell = false;   // current row has at least one (possibly empty) cell
+  std::size_t i = 0;
+
+  const auto end_cell = [&] {
+    row.push_back(std::move(cell));
+    cell.clear();
+    had_cell = false;
+  };
+  const auto end_row = [&] {
+    end_cell();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  while (i < text.size()) {
+    const char c = text[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell.push_back('"');
+          i += 2;
+        } else {
+          quoted = false;
+          ++i;
+          // Only a separator (or end of input) may follow a closing quote.
+          if (i < text.size() && text[i] != ',' && text[i] != '\n' &&
+              text[i] != '\r') {
+            return std::nullopt;
+          }
+        }
+      } else {
+        cell.push_back(c);
+        ++i;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!cell.empty()) return std::nullopt;  // quote mid-cell
+        quoted = true;
+        had_cell = true;
+        ++i;
+        break;
+      case ',':
+        end_cell();
+        had_cell = true;  // a comma promises another cell
+        ++i;
+        break;
+      case '\r':
+        ++i;
+        if (i < text.size() && text[i] == '\n') ++i;
+        end_row();
+        break;
+      case '\n':
+        ++i;
+        end_row();
+        break;
+      default:
+        cell.push_back(c);
+        had_cell = true;
+        ++i;
+    }
+  }
+  if (quoted) return std::nullopt;  // unterminated quoted cell
+  if (had_cell || !cell.empty() || !row.empty()) end_row();
+  return rows;
 }
 
 }  // namespace dohperf::report

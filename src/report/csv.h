@@ -1,7 +1,9 @@
 // CSV output for figure data series.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace dohperf::report {
@@ -25,5 +27,14 @@ class CsvWriter {
   std::vector<std::string> columns_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Parses RFC 4180-style CSV (the dialect CsvWriter emits, including
+/// quoted cells with embedded commas, doubled quotes, and newlines)
+/// into rows of cells, header row included. Returns std::nullopt on a
+/// malformed document: an unterminated quoted cell, or bytes between a
+/// closing quote and the next separator. Every CsvWriter output
+/// round-trips: parse_csv(w.str()) reproduces the columns and rows.
+[[nodiscard]] std::optional<std::vector<std::vector<std::string>>> parse_csv(
+    std::string_view text);
 
 }  // namespace dohperf::report

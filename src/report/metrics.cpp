@@ -35,6 +35,7 @@ CsvWriter metrics_csv(const obs::Metrics& metrics) {
       {"handshake_retries", c.handshake_retries},
       {"retry_timeouts", c.retry_timeouts},
       {"fallbacks", c.fallbacks},
+      {"brownout_delays", c.brownout_delays},
       {"failures", c.failures},
   };
   for (const auto& [name, value] : counters) {

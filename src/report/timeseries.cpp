@@ -1,0 +1,115 @@
+#include "report/timeseries.h"
+
+#include <cstdio>
+
+namespace dohperf::report {
+namespace {
+
+std::string format_ms(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", ms);
+  return buf;
+}
+
+/// OpenMetrics metric names: [a-zA-Z0-9_:], everything else folded to _.
+std::string sanitize_metric(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+/// OpenMetrics label values: escape backslash, double-quote, newline.
+std::string escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string labels(const obs::SeriesKey& key, std::int64_t window,
+                   const char* extra = nullptr) {
+  std::string out = "{provider=\"" + escape_label(key.provider) +
+                    "\",country=\"" + escape_label(key.country) +
+                    "\",window=\"" + std::to_string(window) + "\"";
+  if (extra != nullptr) out += extra;
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+CsvWriter timeseries_csv(const obs::MetricSeries& series) {
+  CsvWriter csv({"metric", "provider", "country", "window_start_ms",
+                 "count", "p50_ms", "p90_ms", "p99_ms"});
+  for (const auto& [key, track] : series.counters()) {
+    for (const auto& [window, count] : track) {
+      csv.add_row({key.metric, key.provider, key.country,
+                   format_ms(series.window_start_ms(window)),
+                   std::to_string(count), "", "", ""});
+    }
+  }
+  for (const auto& [key, track] : series.latencies()) {
+    for (const auto& [window, hist] : track) {
+      csv.add_row({key.metric, key.provider, key.country,
+                   format_ms(series.window_start_ms(window)),
+                   std::to_string(hist.count()),
+                   format_ms(hist.quantile_ms(0.5)),
+                   format_ms(hist.quantile_ms(0.9)),
+                   format_ms(hist.quantile_ms(0.99))});
+    }
+  }
+  return csv;
+}
+
+std::string openmetrics_text(const obs::MetricSeries& series) {
+  std::string out;
+  std::string last_header;
+  const auto header = [&](const std::string& name, const char* type) {
+    if (name == last_header) return;
+    last_header = name;
+    out += "# TYPE " + name + " " + type + "\n";
+  };
+
+  for (const auto& [key, track] : series.counters()) {
+    const std::string name = "dohperf_" + sanitize_metric(key.metric);
+    header(name + "_total", "counter");
+    for (const auto& [window, count] : track) {
+      out += name + "_total" + labels(key, window) + " " +
+             std::to_string(count) + "\n";
+    }
+  }
+  for (const auto& [key, track] : series.latencies()) {
+    const std::string name = "dohperf_" + sanitize_metric(key.metric);
+    header(name, "summary");
+    for (const auto& [window, hist] : track) {
+      out += name + "_count" + labels(key, window) + " " +
+             std::to_string(hist.count()) + "\n";
+      const std::pair<const char*, double> quantiles[] = {
+          {",quantile=\"0.5\"", 0.5},
+          {",quantile=\"0.9\"", 0.9},
+          {",quantile=\"0.99\"", 0.99},
+      };
+      for (const auto& [label, q] : quantiles) {
+        out += name + labels(key, window, label) + " " +
+               format_ms(hist.quantile_ms(q)) + "\n";
+      }
+    }
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+}  // namespace dohperf::report

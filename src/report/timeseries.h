@@ -1,0 +1,25 @@
+// CSV and OpenMetrics-style rendering of a merged obs::MetricSeries.
+#pragma once
+
+#include <string>
+
+#include "obs/series.h"
+#include "report/csv.h"
+
+namespace dohperf::report {
+
+/// Flattens a series into one row per (track, window):
+/// `metric,provider,country,window_start_ms,count,p50_ms,p90_ms,p99_ms`.
+/// Counter tracks leave the quantile cells empty; latency tracks fill
+/// them from the window's histogram. Rows come out in key order then
+/// window order — deterministic for a deterministic series.
+[[nodiscard]] CsvWriter timeseries_csv(const obs::MetricSeries& series);
+
+/// OpenMetrics-style text exposition of the same data: counter tracks as
+/// `dohperf_<metric>_total{provider="..",country="..",window="<n>"}`,
+/// latency tracks as `_count` plus quantile samples with a `quantile`
+/// label. Metric names are sanitized to [a-zA-Z0-9_:]; label values are
+/// escaped per the exposition format. Ends with `# EOF`.
+[[nodiscard]] std::string openmetrics_text(const obs::MetricSeries& series);
+
+}  // namespace dohperf::report

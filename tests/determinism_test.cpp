@@ -13,7 +13,12 @@
 
 #include "measure/campaign.h"
 #include "measure/dataset.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/series.h"
+#include "report/csv.h"
+#include "report/table.h"
+#include "stats/cdf.h"
 #include "world/world_model.h"
 
 namespace dohperf::measure {
@@ -216,6 +221,118 @@ TEST(DeterminismTest, FaultMetricsIdenticalAcrossShardCounts) {
   EXPECT_TRUE(fault_metrics(1) == serial);
   EXPECT_TRUE(fault_metrics(2) == serial);
   EXPECT_TRUE(fault_metrics(4) == serial);
+}
+
+// --- Observability outputs -------------------------------------------
+// The sim-time metric series and the anomaly flight recorder carry the
+// same bit-identity contract as the dataset: epoch-relative windows,
+// integer-only cells, canonical-order merges. So do the figure CSVs
+// derived from the dataset — rebuilt here exactly as the fig4/fig5
+// benches build them and compared as strings.
+
+std::string fig4_csv(const Dataset& data) {
+  report::CsvWriter csv({"series", "ms", "cdf"});
+  const auto dump = [&csv](const std::string& name,
+                           const stats::EmpiricalCdf& cdf) {
+    for (const auto& [value, fraction] : cdf.curve(50)) {
+      csv.add_row({name, report::fmt(value, 1), report::fmt(fraction, 3)});
+    }
+  };
+  dump("Do53", stats::EmpiricalCdf(data.do53_values()));
+  for (const char* provider :
+       {"Cloudflare", "Google", "NextDNS", "Quad9"}) {
+    dump(std::string(provider) + "-DoH1",
+         stats::EmpiricalCdf(data.tdoh_values(provider)));
+    dump(std::string(provider) + "-DoHR",
+         stats::EmpiricalCdf(data.tdohr_values(provider)));
+  }
+  return csv.str();
+}
+
+std::string fig5_csv(const Dataset& data) {
+  report::CsvWriter csv({"iso2", "provider", "median_doh1_ms"});
+  const auto analysis = data.analysis_countries(10);
+  for (const char* provider :
+       {"Cloudflare", "Google", "NextDNS", "Quad9"}) {
+    const auto medians = data.country_doh_medians(provider, 1);
+    for (const auto& iso2 : analysis) {
+      if (const auto it = medians.find(iso2); it != medians.end()) {
+        csv.add_row({iso2, provider, report::fmt(it->second, 1)});
+      }
+    }
+  }
+  return csv.str();
+}
+
+CampaignConfig obs_fault_config(int threads) {
+  CampaignConfig config = fault_config(threads);
+  // Low enough that slow flows actually trip the recorder at test scale.
+  config.anomalies.slow_flow_ms = 500.0;
+  return config;
+}
+
+TEST(DeterminismTest, ObservabilityOutputsBitIdenticalAcrossShardCounts) {
+  struct Outputs {
+    obs::MetricSeries series;
+    obs::FlightRecorder anomalies;
+    std::string fig4;
+    std::string fig5;
+  };
+  const auto run = [](int threads) {
+    auto world = fresh_world();
+    Campaign campaign(*world, obs_fault_config(threads));
+    const Dataset data =
+        threads == 0 ? campaign.run_serial() : campaign.run();
+    EXPECT_FALSE(data.doh().empty());
+    return Outputs{campaign.series(), campaign.anomalies(), fig4_csv(data),
+                   fig5_csv(data)};
+  };
+
+  const Outputs serial = run(0);
+  EXPECT_FALSE(serial.series.empty());
+  // The fault campaign records both counter and latency tracks...
+  EXPECT_GT(serial.series.counters().count({"fault_loss_spike", "", ""}),
+            0u);
+  EXPECT_GT(
+      serial.series.latencies().count({"doh_ms", "Cloudflare", ""}), 0u);
+  // ...and the always-on recorder examined every flow and retained some.
+  EXPECT_GT(serial.anomalies.counts().flows, 0u);
+  EXPECT_GT(serial.anomalies.counts().anomalous, 0u);
+  EXPECT_FALSE(serial.anomalies.retained().empty());
+  EXPECT_LE(serial.anomalies.retained().size(),
+            serial.anomalies.policy().ring_capacity);
+  // The replay pass re-derived every retained flow's span tree.
+  for (const auto& [key, rec] : serial.anomalies.retained()) {
+    EXPECT_FALSE(rec.spans.empty())
+        << "slot " << key.first << " flow " << key.second;
+  }
+
+  for (const int threads : {1, 2, 4}) {
+    const Outputs sharded = run(threads);
+    EXPECT_TRUE(sharded.series == serial.series) << threads << " threads";
+    EXPECT_TRUE(sharded.anomalies == serial.anomalies)
+        << threads << " threads";
+    EXPECT_EQ(sharded.fig4, serial.fig4) << threads << " threads";
+    EXPECT_EQ(sharded.fig5, serial.fig5) << threads << " threads";
+  }
+}
+
+TEST(DeterminismTest, ShardProfilesCoverAllSessionsAndEvents) {
+  auto world = fresh_world();
+  Campaign campaign(*world, campaign_config(3));
+  (void)campaign.run();
+  const CampaignStats& stats = campaign.stats();
+  ASSERT_EQ(stats.shard_profiles.size(), 3u);
+  std::uint64_t sessions = 0;
+  std::uint64_t events = 0;
+  for (const ShardProfile& p : stats.shard_profiles) {
+    sessions += p.sessions;
+    events += p.events;
+    EXPECT_GT(p.queue_high_water, 0u);
+    EXPECT_GE(p.wall_seconds, 0.0);
+  }
+  EXPECT_EQ(sessions, stats.sessions);
+  EXPECT_EQ(events, stats.events_processed);
 }
 
 TEST(DeterminismTest, StatsCountShardsAndSessions) {

@@ -14,10 +14,13 @@
 #include "measure/flows.h"
 #include "netsim/netctx.h"
 #include "netsim/path.h"
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/series.h"
 #include "obs/span.h"
 #include "obs/trace_export.h"
+#include "obs/trace_load.h"
 #include "proxy/tunnel.h"
 #include "transport/connection.h"
 #include "transport/tls.h"
@@ -29,8 +32,12 @@ using netsim::NetCtx;
 using netsim::Site;
 using obs::LatencyHistogram;
 using obs::kNoSpan;
+using obs::MetricSeries;
+using obs::SeriesKey;
+using obs::SeriesRecorder;
 using obs::Span;
 using obs::SpanContext;
+using obs::anomaly_reasons;
 
 struct ObsFixture : ::testing::Test {
   netsim::Simulator sim;
@@ -409,6 +416,370 @@ TEST_F(ObsFixture, SpanJsonlEmitsOneValidObjectPerSpan) {
   EXPECT_EQ(lines, spans.spans().size());
 }
 
+// ------------------------------------------------- histogram boundaries
+
+TEST(LatencyHistogramTest, QuantileBoundaries) {
+  // q = 0 and q = 1 on a single sample both land on that sample's
+  // bucket: ceil(0 * n) is clamped to rank 1.
+  LatencyHistogram single;
+  single.record(10.0);
+  const double edge = LatencyHistogram::bucket_upper_ms(
+      LatencyHistogram::bucket_index(10.0));
+  EXPECT_EQ(single.quantile_ms(0.0), edge);
+  EXPECT_EQ(single.quantile_ms(1.0), edge);
+  EXPECT_EQ(single.quantile_ms(0.5), edge);
+
+  // All mass in the overflow bucket: the upper edge is infinite, so the
+  // quantile reports the bucket's *lower* edge (4096 ms) instead.
+  LatencyHistogram overflow;
+  overflow.record(5000.0);
+  overflow.record(1e9);
+  EXPECT_EQ(overflow.quantile_ms(0.0),
+            LatencyHistogram::bucket_lower_ms(
+                LatencyHistogram::kBucketCount - 1));
+  EXPECT_EQ(overflow.quantile_ms(1.0),
+            LatencyHistogram::bucket_lower_ms(
+                LatencyHistogram::kBucketCount - 1));
+  EXPECT_TRUE(std::isfinite(overflow.quantile_ms(0.99)));
+
+  // q = 0 with mixed mass picks the first non-empty bucket.
+  LatencyHistogram mixed;
+  mixed.record(2.0);
+  mixed.record(3000.0);
+  EXPECT_EQ(mixed.quantile_ms(0.0),
+            LatencyHistogram::bucket_upper_ms(
+                LatencyHistogram::bucket_index(2.0)));
+  EXPECT_EQ(mixed.quantile_ms(1.0),
+            LatencyHistogram::bucket_upper_ms(
+                LatencyHistogram::bucket_index(3000.0)));
+}
+
+// ----------------------------------------------------------- metric series
+
+TEST(MetricSeriesTest, WindowIndexingIsEpochRelative) {
+  MetricSeries series(netsim::from_ms(250.0));
+  EXPECT_EQ(series.window_index(netsim::from_ms(0.0)), 0);
+  EXPECT_EQ(series.window_index(netsim::from_ms(249.999)), 0);
+  EXPECT_EQ(series.window_index(netsim::from_ms(250.0)), 1);
+  EXPECT_EQ(series.window_index(netsim::from_ms(1000.0)), 4);
+  // Pre-epoch samples clamp to window 0 rather than going negative.
+  EXPECT_EQ(series.window_index(netsim::from_ms(-5.0)), 0);
+  EXPECT_DOUBLE_EQ(series.window_start_ms(4), 1000.0);
+}
+
+TEST(MetricSeriesTest, AddCountRangeBumpsEveryOverlappedWindow) {
+  MetricSeries series(netsim::from_ms(100.0));
+  const SeriesKey key{"fault_loss_spike", "", ""};
+  // [150, 320) overlaps windows 1, 2, 3; the half-open end at a window
+  // edge must not bump the next window.
+  series.add_count_range(key, netsim::from_ms(150.0), netsim::from_ms(320.0));
+  series.add_count_range(key, netsim::from_ms(100.0), netsim::from_ms(200.0));
+  const auto& track = series.counters().at(key);
+  ASSERT_EQ(track.size(), 3u);
+  EXPECT_EQ(track.at(1), 2u);
+  EXPECT_EQ(track.at(2), 1u);
+  EXPECT_EQ(track.at(3), 1u);
+  // Degenerate and inverted ranges record nothing.
+  MetricSeries empty(netsim::from_ms(100.0));
+  empty.add_count_range(key, netsim::from_ms(50.0), netsim::from_ms(50.0));
+  empty.add_count_range(key, netsim::from_ms(80.0), netsim::from_ms(20.0));
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(MetricSeriesTest, UnboundedRangeHitsTheWindowBackstop) {
+  // Session-long fault episodes end at Duration::max(); the walk over
+  // overlapped windows must stay bounded instead of looping for ~2^63
+  // microseconds' worth of windows.
+  MetricSeries series(netsim::from_ms(250.0));
+  const SeriesKey key{"fault_provider_outage", "Quad9", ""};
+  series.add_count_range(key, netsim::Duration{}, netsim::Duration::max());
+  EXPECT_EQ(series.counters().at(key).size(),
+            static_cast<std::size_t>(MetricSeries::kMaxRangeWindows));
+}
+
+TEST(MetricSeriesTest, MergeIsOrderIndependent) {
+  const SeriesKey cf{"doh_ms", "Cloudflare", "DE"};
+  const SeriesKey retries{"loss_retry", "", ""};
+  MetricSeries a(netsim::from_ms(250.0));
+  a.record_latency(cf, netsim::from_ms(10.0), 42.0);
+  a.add_count(retries, netsim::from_ms(10.0), 2);
+  MetricSeries b(netsim::from_ms(250.0));
+  b.record_latency(cf, netsim::from_ms(300.0), 99.0);
+  b.record_latency(cf, netsim::from_ms(12.0), 43.0);
+  b.add_count(retries, netsim::from_ms(10.0), 1);
+
+  MetricSeries ab = a;
+  ab.merge(b);
+  MetricSeries ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);
+  EXPECT_EQ(ab.counters().at(retries).at(0), 3u);
+  EXPECT_EQ(ab.latencies().at(cf).at(0).count(), 2u);
+  EXPECT_EQ(ab.latencies().at(cf).at(1).count(), 1u);
+}
+
+TEST(SeriesRecorderTest, DualRecordsAggregateAndIsNullSafe) {
+  MetricSeries series;
+  const netsim::SimTime epoch = netsim::SimTime{} + netsim::from_ms(500.0);
+  SeriesRecorder rec{&series, epoch, "Cloudflare", "DE"};
+  EXPECT_TRUE(rec.attached());
+  // Offsets are measured from the epoch, not the absolute clock.
+  rec.latency("doh_ms", epoch + netsim::from_ms(10.0), 42.0);
+  rec.count("loss_retry", epoch + netsim::from_ms(300.0));
+  EXPECT_EQ(series.latencies()
+                .at({"doh_ms", "Cloudflare", "DE"})
+                .at(0)
+                .count(),
+            1u);
+  // The per-provider all-countries aggregate rides along.
+  EXPECT_EQ(series.latencies()
+                .at({"doh_ms", "Cloudflare", ""})
+                .at(0)
+                .count(),
+            1u);
+  EXPECT_EQ(series.counters().at({"loss_retry", "Cloudflare", "DE"}).at(1),
+            1u);
+
+  // A country-less recorder must not double-record.
+  SeriesRecorder aggregate_only{&series, epoch, "Google", ""};
+  aggregate_only.latency("doh_ms", epoch, 10.0);
+  EXPECT_EQ(series.latencies().count({"doh_ms", "Google", ""}), 1u);
+
+  const SeriesRecorder detached;
+  EXPECT_FALSE(detached.attached());
+  detached.count("x", netsim::SimTime{});
+  detached.latency("x", netsim::SimTime{}, 1.0);  // must not crash
+}
+
+// --------------------------------------------------------- flight recorder
+
+/// Builds a single-root span tree of the given duration starting at
+/// `epoch + start_offset_ms`.
+SpanContext make_flow_spans(netsim::SimTime epoch, double start_offset_ms,
+                            double duration_ms) {
+  SpanContext ctx;
+  const netsim::SimTime start = epoch + netsim::from_ms(start_offset_ms);
+  const auto root = ctx.open("flow", start);
+  const auto child = ctx.open("phase", start);
+  ctx.close(child, start + netsim::from_ms(duration_ms / 2.0));
+  ctx.close(root, start + netsim::from_ms(duration_ms));
+  return ctx;
+}
+
+TEST(FlightRecorderTest, PredicateFiresOnCounterDeltasAndSlowFlows) {
+  obs::AnomalyPolicy policy;
+  policy.slow_flow_ms = 1000.0;
+  obs::FlightRecorder recorder(policy);
+
+  obs::MetricCounters before;
+  obs::MetricCounters after;
+
+  // A fast, clean flow is examined but not retained.
+  recorder.examine_flow(0, 0, "s0", "doh:Cloudflare", 50.0, before, after);
+  EXPECT_TRUE(recorder.retained().empty());
+
+  // Retry give-up + fallback deltas across the flow trip the predicate.
+  after.retry_timeouts = 1;
+  after.fallbacks = 1;
+  recorder.examine_flow(1, 2, "s1", "doh:Google", 50.0, before, after);
+  // Brownout-inflated processing alone also trips it.
+  obs::MetricCounters browned;
+  browned.brownout_delays = 3;
+  recorder.examine_flow(2, 0, "s2", "do53", 2000.0, before, browned);
+
+  ASSERT_EQ(recorder.retained().size(), 2u);
+  const obs::AnomalyRecord& first =
+      recorder.retained().at(obs::FlowKey{1, 2});
+  EXPECT_EQ(first.reasons, obs::kAnomalyRetryGiveUp | obs::kAnomalyFallback);
+  EXPECT_EQ(first.session, "s1");
+  EXPECT_DOUBLE_EQ(first.duration_ms, 50.0);
+  const obs::AnomalyRecord& second =
+      recorder.retained().at(obs::FlowKey{2, 0});
+  EXPECT_EQ(second.reasons, obs::kAnomalyBrownout | obs::kAnomalySlowFlow);
+
+  const obs::AnomalyCounts& counts = recorder.counts();
+  EXPECT_EQ(counts.flows, 3u);
+  EXPECT_EQ(counts.anomalous, 2u);
+  EXPECT_EQ(counts.give_up, 1u);
+  EXPECT_EQ(counts.fallback, 1u);
+  EXPECT_EQ(counts.brownout, 1u);
+  EXPECT_EQ(counts.slow, 1u);
+  EXPECT_EQ(anomaly_reasons(first.reasons), "retry_give_up|fallback");
+  EXPECT_EQ(anomaly_reasons(0), "none");
+}
+
+TEST(FlightRecorderTest, CapturedSpansAreRebasedAndAttachToRetained) {
+  obs::AnomalyPolicy policy;
+  policy.slow_flow_ms = 100.0;
+  obs::FlightRecorder recorder(policy);
+  recorder.examine_flow(0, 0, "s", "f", 200.0, {}, {});
+  ASSERT_EQ(recorder.retained().size(), 1u);
+  EXPECT_TRUE(recorder.retained().begin()->second.spans.empty());
+
+  // The replay pass captures only the wanted keys and rebases times.
+  obs::FlightRecorder capturer(policy);
+  capturer.capture_spans_for({obs::FlowKey{0, 0}});
+  EXPECT_TRUE(capturer.capturing());
+  EXPECT_TRUE(capturer.wants_spans(0, 0));
+  EXPECT_FALSE(capturer.wants_spans(0, 1));
+
+  const netsim::SimTime epoch = netsim::SimTime{} + netsim::from_ms(9999.0);
+  SpanContext flow = make_flow_spans(epoch, 5.0, 200.0);
+  capturer.capture_flow(0, 1, flow, epoch);  // not wanted: ignored
+  capturer.capture_flow(0, 0, flow, epoch);
+  // Examination is a no-op while capturing (replay must not re-count).
+  capturer.examine_flow(0, 0, "s", "f", 200.0, {}, {});
+  EXPECT_EQ(capturer.counts().flows, 0u);
+  ASSERT_EQ(capturer.captured().size(), 1u);
+
+  recorder.attach_spans(obs::FlowKey{0, 0},
+                        capturer.captured().begin()->second);
+  recorder.attach_spans(obs::FlowKey{9, 9}, {});  // unknown key: no-op
+  const obs::AnomalyRecord& rec = recorder.retained().begin()->second;
+  ASSERT_EQ(rec.spans.size(), 2u);
+  // The shard's absolute clock is gone: the root starts 5 ms after zero.
+  EXPECT_EQ(rec.spans.front().start,
+            netsim::SimTime{} + netsim::from_ms(5.0));
+  EXPECT_EQ(rec.spans.front().end,
+            netsim::SimTime{} + netsim::from_ms(205.0));
+}
+
+TEST(FlightRecorderTest, EvictsCanonicalOldestOverCapacity) {
+  obs::AnomalyPolicy policy;
+  policy.slow_flow_ms = 10.0;
+  policy.ring_capacity = 2;
+  obs::FlightRecorder recorder(policy);
+  // Arrival order 5, 1, 3 — canonical order decides eviction, so slot 1
+  // (the canonical-oldest) goes, regardless of arriving last-but-one.
+  for (const std::uint64_t slot : {5u, 1u, 3u}) {
+    recorder.examine_flow(slot, 0, "s", "f", 50.0, {}, {});
+  }
+  ASSERT_EQ(recorder.retained().size(), 2u);
+  EXPECT_EQ(recorder.retained().begin()->first, (obs::FlowKey{3, 0}));
+  EXPECT_EQ(recorder.retained().rbegin()->first, (obs::FlowKey{5, 0}));
+  EXPECT_EQ(recorder.counts().evicted, 1u);
+}
+
+TEST(FlightRecorderTest, ShardedMergePlusFinalizeMatchesSerial) {
+  obs::AnomalyPolicy policy;
+  policy.slow_flow_ms = 10.0;
+  policy.ring_capacity = 3;
+
+  // Serial: one recorder sees all eight flows in canonical order.
+  obs::FlightRecorder serial(policy);
+  // Sharded: even slots on one recorder, odd on another, each arriving
+  // in its own order.
+  obs::FlightRecorder even(policy);
+  obs::FlightRecorder odd(policy);
+  for (std::uint64_t slot = 0; slot < 8; ++slot) {
+    serial.examine_flow(slot, 0, "s", "f", 20.0 + 1.0 * slot, {}, {});
+    (slot % 2 == 0 ? even : odd)
+        .examine_flow(slot, 0, "s", "f", 20.0 + 1.0 * slot, {}, {});
+  }
+  serial.finalize();
+
+  obs::FlightRecorder merged(policy);
+  merged.merge(odd);
+  merged.merge(even);
+  merged.finalize();
+  EXPECT_TRUE(merged == serial);
+  ASSERT_EQ(merged.retained().size(), 3u);
+  EXPECT_EQ(merged.retained().begin()->first, (obs::FlowKey{5, 0}));
+}
+
+TEST(FlightRecorderTest, AnomalyDumpRoundTripsThroughTraceLoad) {
+  obs::AnomalyPolicy policy;
+  policy.slow_flow_ms = 10.0;
+  obs::FlightRecorder recorder(policy);
+  recorder.examine_flow(4, 1, "s", "doh:Quad9", 80.0, {}, {});
+  ASSERT_EQ(recorder.retained().size(), 1u);
+
+  const netsim::SimTime epoch = netsim::SimTime{} + netsim::from_ms(123.0);
+  obs::FlightRecorder capturer(policy);
+  capturer.capture_spans_for({obs::FlowKey{4, 1}});
+  SpanContext flow = make_flow_spans(epoch, 0.0, 80.0);
+  capturer.capture_flow(4, 1, flow, epoch);
+  recorder.attach_spans(obs::FlowKey{4, 1},
+                        capturer.captured().at(obs::FlowKey{4, 1}));
+  const obs::AnomalyRecord& rec = recorder.retained().begin()->second;
+
+  const std::string text = obs::perfetto_trace_json(rec.spans);
+  const obs::TraceLoadResult loaded = obs::parse_trace(text, "<memory>");
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  ASSERT_EQ(loaded.spans.size(), rec.spans.size());
+  EXPECT_EQ(loaded.spans.front().name, "flow");
+  EXPECT_EQ(loaded.spans.front().start_us, 0);
+  EXPECT_EQ(loaded.spans.front().end_us, 80000);
+}
+
+// ------------------------------------------------------------- trace load
+
+TEST(TraceLoadTest, TruncatedPerfettoJsonIsASingleDiagnostic) {
+  netsim::Simulator sim;
+  SpanContext ctx;
+  const auto root = ctx.open("flow", sim.now());
+  ctx.close(root, sim.now());
+  const std::string text = obs::perfetto_trace_json(ctx);
+
+  const auto whole = obs::parse_trace(text, "t.json");
+  ASSERT_TRUE(whole.ok()) << whole.error;
+  ASSERT_EQ(whole.spans.size(), 1u);
+
+  // Chopping the document anywhere must fail loudly, never yield a
+  // partial span list.
+  const auto truncated =
+      obs::parse_trace(text.substr(0, text.size() / 2), "t.json");
+  EXPECT_FALSE(truncated.ok());
+  EXPECT_TRUE(truncated.spans.empty());
+  EXPECT_NE(truncated.error.find("t.json"), std::string::npos)
+      << truncated.error;
+  EXPECT_NE(truncated.error.find("truncated or malformed"),
+            std::string::npos)
+      << truncated.error;
+}
+
+TEST(TraceLoadTest, MalformedEventsAndLinesAreDiagnosed) {
+  // A well-formed document whose event is not a span.
+  const auto bad_event = obs::parse_trace(
+      R"({"traceEvents":[{"name":"x","ph":"X"}]})", "t.json");
+  EXPECT_FALSE(bad_event.ok());
+  EXPECT_NE(bad_event.error.find("traceEvents[0]"), std::string::npos)
+      << bad_event.error;
+
+  const auto no_events = obs::parse_trace(R"({"other":1})", "t.json");
+  EXPECT_FALSE(no_events.ok());
+  EXPECT_NE(no_events.error.find("no traceEvents array"), std::string::npos);
+
+  const auto empty = obs::parse_trace("  \n\t ", "t.json");
+  EXPECT_FALSE(empty.ok());
+  EXPECT_NE(empty.error.find("empty trace"), std::string::npos);
+
+  const auto zero_spans =
+      obs::parse_trace(R"({"traceEvents":[]})", "t.json");
+  EXPECT_FALSE(zero_spans.ok());
+  EXPECT_NE(zero_spans.error.find("no spans"), std::string::npos);
+
+  // JSONL: the second line is garbage — report the line number.
+  const auto bad_line = obs::parse_trace(
+      "{\"id\":0,\"name\":\"flow\",\"start_us\":0,\"end_us\":5}\n"
+      "not json\n",
+      "s.jsonl");
+  EXPECT_FALSE(bad_line.ok());
+  EXPECT_NE(bad_line.error.find("line 2"), std::string::npos)
+      << bad_line.error;
+
+  const auto good_lines = obs::parse_trace(
+      "{\"id\":0,\"name\":\"flow\",\"start_us\":0,\"end_us\":5}\n"
+      "{\"id\":1,\"parent\":0,\"name\":\"hop\",\"start_us\":1,"
+      "\"end_us\":2,\"hop\":true,\"bytes\":64}\n",
+      "s.jsonl");
+  ASSERT_TRUE(good_lines.ok()) << good_lines.error;
+  ASSERT_EQ(good_lines.spans.size(), 2u);
+  EXPECT_TRUE(good_lines.spans[1].hop);
+  EXPECT_EQ(good_lines.spans[1].bytes, 64u);
+  EXPECT_EQ(good_lines.spans[1].parent, 0);
+}
+
 TEST(JsonParserTest, RejectsMalformedDocuments) {
   EXPECT_FALSE(obs::json::parse("").has_value());
   EXPECT_FALSE(obs::json::parse("{").has_value());
@@ -419,6 +790,45 @@ TEST(JsonParserTest, RejectsMalformedDocuments) {
   const auto unicode = obs::json::parse("\"\\u00e9\"");
   ASSERT_TRUE(unicode.has_value());
   EXPECT_EQ(unicode->as_string(), "\xc3\xa9");
+}
+
+TEST(JsonParserTest, EnforcesNestingDepthLimit) {
+  // Well past the limit: must be rejected, not overflow the stack.
+  const std::string deep_arrays(200, '[');
+  EXPECT_FALSE(obs::json::parse(deep_arrays + std::string(200, ']'))
+                   .has_value());
+  std::string deep_objects;
+  for (int i = 0; i < 200; ++i) deep_objects += "{\"k\":";
+  deep_objects += "1";
+  deep_objects.append(200, '}');
+  EXPECT_FALSE(obs::json::parse(deep_objects).has_value());
+  // Shallow nesting stays fine.
+  EXPECT_TRUE(obs::json::parse(std::string(10, '[') + std::string(10, ']'))
+                  .has_value());
+}
+
+TEST(JsonParserTest, UnicodeEscapeValidation) {
+  // A valid surrogate pair decodes to one 4-byte UTF-8 code point.
+  const auto pair = obs::json::parse("\"\\ud83d\\ude00\"");
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_EQ(pair->as_string(), "\xf0\x9f\x98\x80");  // U+1F600
+
+  // Lone surrogates — high without low, low alone, high followed by a
+  // non-surrogate escape — are parse errors, not garbage bytes.
+  EXPECT_FALSE(obs::json::parse("\"\\ud83d\"").has_value());
+  EXPECT_FALSE(obs::json::parse("\"\\ud83dx\"").has_value());
+  EXPECT_FALSE(obs::json::parse("\"\\ude00\"").has_value());
+  EXPECT_FALSE(obs::json::parse("\"\\ud83d\\u0041\"").has_value());
+
+  // Malformed hex digits are rejected outright.
+  EXPECT_FALSE(obs::json::parse("\"\\uzzzz\"").has_value());
+  EXPECT_FALSE(obs::json::parse("\"\\u00\"").has_value());
+  EXPECT_FALSE(obs::json::parse("\"\\u\"").has_value());
+
+  // Three-byte BMP code points still decode.
+  const auto bmp = obs::json::parse("\"\\u20ac\"");
+  ASSERT_TRUE(bmp.has_value());
+  EXPECT_EQ(bmp->as_string(), "\xe2\x82\xac");  // U+20AC euro sign
 }
 
 }  // namespace

@@ -9,6 +9,8 @@
 #include "dns/errors.h"
 #include "dns/wire.h"
 #include "netsim/random.h"
+#include "obs/json.h"
+#include "obs/trace_load.h"
 #include "proxy/headers.h"
 #include "transport/base64.h"
 #include "transport/http.h"
@@ -134,6 +136,54 @@ TEST_P(FuzzSweep, DecodeEncodeDecodeIsStable) {
     const auto reencoded = dns::encode(first);
     const dns::Message second = dns::decode(reencoded);
     EXPECT_EQ(first, second);
+  }
+}
+
+TEST_P(FuzzSweep, JsonParseNeverCrashesOnRandomBytes) {
+  for (int i = 0; i < 200; ++i) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(0, 400));
+    const auto bytes = random_bytes(rng, n);
+    const std::string text(bytes.begin(), bytes.end());
+    (void)obs::json::parse(text);  // optional; must not throw
+  }
+}
+
+TEST_P(FuzzSweep, JsonParseSurvivesMangledValidDocuments) {
+  const std::string wire =
+      R"({"traceEvents":[{"name":"flow 😀","ph":"X","ts":0,)"
+      R"("dur":5,"args":{"id":0,"parent":null}}],"displayTimeUnit":"ms"})";
+  ASSERT_TRUE(obs::json::parse(wire).has_value());
+  for (int i = 0; i < 300; ++i) {
+    std::string mangled = wire;
+    const auto pos = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(mangled.size()) - 1));
+    mangled[pos] = static_cast<char>(rng.next());
+    (void)obs::json::parse(mangled);
+  }
+}
+
+TEST_P(FuzzSweep, JsonParseRejectsRunawayNestingWithoutOverflow) {
+  // Random deep nesting, far past the parser's depth limit: every
+  // variant must come back nullopt promptly instead of recursing until
+  // the stack dies.
+  for (int i = 0; i < 20; ++i) {
+    const int depth = static_cast<int>(rng.uniform_int(100, 4000));
+    std::string text;
+    for (int d = 0; d < depth; ++d) {
+      text += rng.uniform_int(0, 1) == 0 ? "[" : "{\"k\":";
+    }
+    EXPECT_FALSE(obs::json::parse(text).has_value());
+  }
+}
+
+TEST_P(FuzzSweep, TraceLoaderNeverCrashesAndNeverReturnsPartialSpans) {
+  for (int i = 0; i < 100; ++i) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(0, 400));
+    const auto bytes = random_bytes(rng, n);
+    const std::string text(bytes.begin(), bytes.end());
+    const obs::TraceLoadResult result = obs::parse_trace(text, "<fuzz>");
+    // Strict contract: either spans or a diagnostic, never both/neither.
+    EXPECT_NE(result.spans.empty(), result.error.empty());
   }
 }
 

@@ -1,12 +1,21 @@
-// Tests for the report helpers (ASCII tables, CSV).
+// Tests for the report helpers (ASCII tables, CSV, metric series and
+// anomaly exports).
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 
+#include "netsim/time.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/series.h"
+#include "obs/span.h"
+#include "report/anomalies.h"
 #include "report/csv.h"
+#include "report/metrics.h"
 #include "report/table.h"
+#include "report/timeseries.h"
 
 namespace dohperf::report {
 namespace {
@@ -92,6 +101,144 @@ TEST(CsvTest, WriteFileCreatesMissingParentDirectories) {
   const std::filesystem::path path = dir / "nested" / "out.csv";
   csv.write_file(path.string());  // must not throw: parents are created
   EXPECT_TRUE(std::filesystem::exists(path));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CsvTest, ParseCsvRoundTripsEvilCells) {
+  CsvWriter csv({"name", "value"});
+  csv.add_row({"plain", "1"});
+  csv.add_row({"has,comma", "2"});
+  csv.add_row({"has\"quote", "3"});
+  csv.add_row({"multi\nline", "4"});
+  csv.add_row({"cr\rcell", "5"});
+  csv.add_row({"", "6"});  // empty cell survives too
+  const auto parsed = parse_csv(csv.str());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 7u);  // header + 6 rows
+  EXPECT_EQ((*parsed)[0], (std::vector<std::string>{"name", "value"}));
+  EXPECT_EQ((*parsed)[2][0], "has,comma");
+  EXPECT_EQ((*parsed)[3][0], "has\"quote");
+  EXPECT_EQ((*parsed)[4][0], "multi\nline");
+  EXPECT_EQ((*parsed)[5][0], "cr\rcell");
+  EXPECT_EQ((*parsed)[6][0], "");
+  EXPECT_EQ((*parsed)[6][1], "6");
+}
+
+TEST(CsvTest, ParseCsvRejectsMalformedDocuments) {
+  // Unterminated quoted cell.
+  EXPECT_FALSE(parse_csv("a,b\n\"open,1\n").has_value());
+  // Bytes between the closing quote and the separator.
+  EXPECT_FALSE(parse_csv("\"x\"y,1\n").has_value());
+  // A quote opening mid-cell.
+  EXPECT_FALSE(parse_csv("ab\"c,1\n").has_value());
+  // Well-formed edge cases parse.
+  const auto bare = parse_csv("a");
+  ASSERT_TRUE(bare.has_value());
+  ASSERT_EQ(bare->size(), 1u);
+  EXPECT_EQ((*bare)[0][0], "a");
+  EXPECT_TRUE(parse_csv("").has_value());
+  EXPECT_TRUE(parse_csv("")->empty());
+}
+
+TEST(MetricsCsvTest, EvilHistogramNamesRoundTripThroughQuoting) {
+  // Histogram names are provider strings today, but the CSV layer must
+  // not corrupt the table if one ever carries a delimiter.
+  obs::Metrics metrics;
+  metrics.histogram("evil,provider\"quote\"\nnewline").record(12.0);
+  metrics.histogram("plain").record(7.0);
+  const std::string text = metrics_csv(metrics).str();
+  const auto parsed = parse_csv(text);
+  ASSERT_TRUE(parsed.has_value());
+  bool found = false;
+  for (const auto& row : *parsed) {
+    ASSERT_GE(row.size(), 2u);
+    if (row[1] == "evil,provider\"quote\"\nnewline.count") found = true;
+    // Every row keeps the header's cell count: quoting kept the evil
+    // name inside one cell.
+    EXPECT_EQ(row.size(), parsed->front().size());
+  }
+  EXPECT_TRUE(found) << text;
+}
+
+TEST(TimeseriesCsvTest, EmitsCounterAndLatencyRows) {
+  obs::MetricSeries series(netsim::from_ms(250.0));
+  series.add_count({"loss_retry", "", ""}, netsim::from_ms(10.0), 3);
+  series.record_latency({"doh_ms", "Cloudflare", ""}, netsim::from_ms(300.0),
+                        42.0);
+  const auto parsed = parse_csv(timeseries_csv(series).str());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 3u);
+  EXPECT_EQ(parsed->front(),
+            (std::vector<std::string>{"metric", "provider", "country",
+                                      "window_start_ms", "count", "p50_ms",
+                                      "p90_ms", "p99_ms"}));
+  // Counter row: count filled, quantile cells empty.
+  EXPECT_EQ((*parsed)[1][0], "loss_retry");
+  EXPECT_EQ((*parsed)[1][3], "0");
+  EXPECT_EQ((*parsed)[1][4], "3");
+  EXPECT_EQ((*parsed)[1][5], "");
+  // Latency row: second window, quantiles present.
+  EXPECT_EQ((*parsed)[2][0], "doh_ms");
+  EXPECT_EQ((*parsed)[2][1], "Cloudflare");
+  EXPECT_EQ((*parsed)[2][3], "250");
+  EXPECT_EQ((*parsed)[2][4], "1");
+  EXPECT_FALSE((*parsed)[2][5].empty());
+}
+
+TEST(TimeseriesCsvTest, OpenMetricsTextIsWellShaped) {
+  obs::MetricSeries series(netsim::from_ms(250.0));
+  series.add_count({"retry give-up", "P\"x", "DE"}, netsim::from_ms(0.0), 2);
+  series.record_latency({"doh_ms", "Quad9", ""}, netsim::from_ms(0.0), 10.0);
+  const std::string text = openmetrics_text(series);
+  // Metric names are sanitized, label values escaped, stream terminated.
+  EXPECT_NE(text.find("# TYPE dohperf_retry_give_up_total counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("dohperf_retry_give_up_total{provider=\"P\\\"x\","),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE dohperf_doh_ms summary"), std::string::npos);
+  EXPECT_NE(text.find("dohperf_doh_ms_count{"), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+  EXPECT_EQ(text.rfind("# EOF\n"), text.size() - 6);
+}
+
+TEST(AnomalyReportTest, IndexCsvAndDumpsMatchRetainedRecords) {
+  obs::AnomalyPolicy policy;
+  policy.slow_flow_ms = 10.0;
+  obs::FlightRecorder recorder(policy);
+  recorder.examine_flow(7, 1, "shard-exit-7-run-0", "doh:Quad9", 120.0, {},
+                        {});
+  ASSERT_EQ(recorder.retained().size(), 1u);
+
+  // Attach a replayed span tree the way the campaign's replay pass does.
+  obs::SpanContext flow;
+  const netsim::SimTime epoch{};
+  const auto root = flow.open("flow", epoch);
+  flow.close(root, epoch + netsim::from_ms(120.0));
+  obs::FlightRecorder capturer(policy);
+  capturer.capture_spans_for({obs::FlowKey{7, 1}});
+  capturer.capture_flow(7, 1, flow, epoch);
+  recorder.attach_spans(obs::FlowKey{7, 1},
+                        capturer.captured().at(obs::FlowKey{7, 1}));
+
+  const auto parsed = parse_csv(anomaly_index_csv(recorder).str());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[1][0], "7");
+  EXPECT_EQ((*parsed)[1][1], "1");
+  EXPECT_EQ((*parsed)[1][2], "shard-exit-7-run-0");
+  EXPECT_EQ((*parsed)[1][3], "doh:Quad9");
+  EXPECT_EQ((*parsed)[1][4], "slow_flow");
+  EXPECT_EQ((*parsed)[1][7], "anomaly-7-1.json");
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "dohperf_anomaly_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  EXPECT_EQ(write_anomaly_dumps(recorder, dir.string()), 1u);
+  EXPECT_TRUE(std::filesystem::exists(dir / "anomalies.csv"));
+  EXPECT_TRUE(std::filesystem::exists(dir / "anomaly-7-1.json"));
   std::filesystem::remove_all(dir);
 }
 

@@ -1,0 +1,417 @@
+// Campaign health report: joins the sim-time metric series, the
+// anomaly flight-recorder dumps, and the fault-plan occupancy windows
+// into one self-contained HTML page.
+//
+//   obs_report <timeseries.csv> <anomalies_dir | -> <out.html>
+//
+// The timeseries CSV is report::timeseries_csv output. The anomalies
+// directory is report::write_anomaly_dumps output (anomalies.csv plus
+// one Perfetto JSON per retained flow); pass "-" to render a report
+// with no anomaly section. The page embeds an inline-SVG chart of
+// per-provider resolution latency (p50 solid, p99 dashed) with
+// fault-episode windows shaded behind the curves, followed by the
+// anomaly table with a per-phase breakdown read from each dump.
+//
+// Malformed input — CSV that does not parse, a dump trace_load
+// rejects — exits 1 with a one-line diagnostic; nothing partial is
+// written.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/trace_load.h"
+#include "report/csv.h"
+
+namespace {
+
+struct LatencyPoint {
+  double window_start_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+struct FaultWindow {
+  std::string metric;
+  double start_ms = 0.0;
+};
+
+struct AnomalyRow {
+  std::string slot;
+  std::string session;
+  std::string flow;
+  std::string reasons;
+  std::string duration_ms;
+  std::string phases;  // "tunnel 12.3ms, handshake 4.5ms, ..."
+};
+
+[[noreturn]] void die(const std::string& message) {
+  std::fprintf(stderr, "obs_report: %s\n", message.c_str());
+  std::exit(1);
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) return std::nullopt;
+  return text;
+}
+
+double parse_double(const std::string& cell, const std::string& where) {
+  char* end = nullptr;
+  const double value = std::strtod(cell.c_str(), &end);
+  if (end == cell.c_str() || *end != '\0') {
+    die(where + ": expected a number, got \"" + cell + "\"");
+  }
+  return value;
+}
+
+std::string html_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string format_ms(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", ms);
+  return buf;
+}
+
+/// Columns of report::timeseries_csv, validated against the header row.
+struct SeriesColumns {
+  std::size_t metric, provider, country, window_start_ms, count, p50, p99;
+};
+
+SeriesColumns series_columns(const std::vector<std::string>& header,
+                             const std::string& path) {
+  const auto find = [&](const char* name) {
+    const auto it = std::find(header.begin(), header.end(), name);
+    if (it == header.end()) {
+      die(path + ": missing column \"" + name + "\" in header");
+    }
+    return static_cast<std::size_t>(it - header.begin());
+  };
+  return {find("metric"),          find("provider"), find("country"),
+          find("window_start_ms"), find("count"),    find("p50_ms"),
+          find("p99_ms")};
+}
+
+/// Per-phase breakdown of one anomaly dump: the direct non-hop children
+/// of the root flow span, in start order.
+std::string phase_breakdown(const std::string& path) {
+  const dohperf::obs::TraceLoadResult loaded =
+      dohperf::obs::load_trace_file(path);
+  if (!loaded.ok()) die(loaded.error);
+
+  const dohperf::obs::SpanRec* root = nullptr;
+  for (const auto& span : loaded.spans) {
+    if (span.parent == dohperf::obs::SpanRec::kNoParent && !span.hop) {
+      root = &span;
+      break;
+    }
+  }
+  if (root == nullptr) return "(no flow span)";
+
+  std::vector<const dohperf::obs::SpanRec*> phases;
+  for (const auto& span : loaded.spans) {
+    if (span.parent == root->id && !span.hop) phases.push_back(&span);
+  }
+  std::sort(phases.begin(), phases.end(),
+            [](const auto* a, const auto* b) {
+              return a->start_us < b->start_us;
+            });
+  if (phases.empty()) return "(no phases)";
+
+  std::string out;
+  for (const auto* phase : phases) {
+    if (!out.empty()) out += ", ";
+    out += phase->name + " " + format_ms(phase->duration_ms()) + "ms";
+  }
+  return out;
+}
+
+std::string svg_polyline(const std::vector<std::pair<double, double>>& pts,
+                         const std::string& color, bool dashed) {
+  std::string out = "<polyline fill=\"none\" stroke=\"" + color +
+                    "\" stroke-width=\"1.5\"";
+  if (dashed) out += " stroke-dasharray=\"5,3\"";
+  out += " points=\"";
+  for (const auto& [x, y] : pts) {
+    out += format_ms(x) + "," + format_ms(y) + " ";
+  }
+  out += "\"/>\n";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 4) {
+    std::fprintf(stderr,
+                 "usage: obs_report <timeseries.csv> <anomalies_dir | -> "
+                 "<out.html>\n");
+    return 1;
+  }
+  const std::string series_path = argv[1];
+  const std::string anomalies_dir = argv[2];
+  const std::string out_path = argv[3];
+
+  // --- Load the metric series CSV. -------------------------------------
+  const std::optional<std::string> series_text = read_file(series_path);
+  if (!series_text) die(series_path + ": cannot read file");
+  const auto series_rows = dohperf::report::parse_csv(*series_text);
+  if (!series_rows || series_rows->empty()) {
+    die(series_path + ": malformed CSV");
+  }
+  const SeriesColumns col = series_columns(series_rows->front(), series_path);
+
+  // Latency series per provider (country=="" aggregate rows), plus the
+  // set of windows each fault class occupies. Window width is inferred
+  // from the smallest gap between distinct window starts.
+  std::map<std::string, std::map<std::string, std::vector<LatencyPoint>>>
+      by_metric;  // metric -> provider -> points
+  std::vector<FaultWindow> faults;
+  std::set<double> window_starts;
+  for (std::size_t r = 1; r < series_rows->size(); ++r) {
+    const std::vector<std::string>& row = (*series_rows)[r];
+    if (row.size() != series_rows->front().size()) {
+      die(series_path + ": row " + std::to_string(r + 1) +
+          " has the wrong cell count");
+    }
+    const std::string& metric = row[col.metric];
+    const std::string where =
+        series_path + ": row " + std::to_string(r + 1);
+    const double start = parse_double(row[col.window_start_ms], where);
+    window_starts.insert(start);
+    if (metric.rfind("fault_", 0) == 0) {
+      if (parse_double(row[col.count], where) > 0) {
+        faults.push_back({metric, start});
+      }
+      continue;
+    }
+    if (row[col.p50].empty()) continue;  // counter row
+    if (!row[col.country].empty()) continue;  // per-country detail
+    by_metric[metric][row[col.provider]].push_back(
+        {start, parse_double(row[col.p50], where),
+         parse_double(row[col.p99], where)});
+  }
+  double window_ms = 250.0;
+  if (window_starts.size() >= 2) {
+    window_ms = 1e300;
+    double prev = *window_starts.begin();
+    for (auto it = std::next(window_starts.begin());
+         it != window_starts.end(); ++it) {
+      window_ms = std::min(window_ms, *it - prev);
+      prev = *it;
+    }
+  }
+
+  // The chart plots DoH resolution latency; Do53 rides along when the
+  // series has it. Providers chart in map order (deterministic).
+  std::map<std::string, std::vector<LatencyPoint>> chart;
+  for (const char* metric : {"doh_ms", "do53_ms"}) {
+    const auto it = by_metric.find(metric);
+    if (it == by_metric.end()) continue;
+    for (auto& [provider, points] : it->second) {
+      auto& dst = chart[provider.empty() ? std::string(metric) : provider];
+      dst.insert(dst.end(), points.begin(), points.end());
+    }
+  }
+  for (auto& [provider, points] : chart) {
+    std::sort(points.begin(), points.end(),
+              [](const LatencyPoint& a, const LatencyPoint& b) {
+                return a.window_start_ms < b.window_start_ms;
+              });
+  }
+
+  // --- Load the anomaly index + per-dump phase breakdowns. -------------
+  std::vector<AnomalyRow> anomalies;
+  if (anomalies_dir != "-") {
+    const std::filesystem::path base(anomalies_dir);
+    const std::string index_path = (base / "anomalies.csv").string();
+    const std::optional<std::string> index_text = read_file(index_path);
+    if (!index_text) die(index_path + ": cannot read file");
+    const auto rows = dohperf::report::parse_csv(*index_text);
+    if (!rows || rows->empty()) die(index_path + ": malformed CSV");
+    const std::vector<std::string>& header = rows->front();
+    const auto find = [&](const char* name) {
+      const auto it = std::find(header.begin(), header.end(), name);
+      if (it == header.end()) {
+        die(index_path + ": missing column \"" + name + "\" in header");
+      }
+      return static_cast<std::size_t>(it - header.begin());
+    };
+    const std::size_t c_slot = find("slot");
+    const std::size_t c_session = find("session");
+    const std::size_t c_flow = find("flow");
+    const std::size_t c_reasons = find("reasons");
+    const std::size_t c_duration = find("duration_ms");
+    const std::size_t c_trace = find("trace_file");
+    for (std::size_t r = 1; r < rows->size(); ++r) {
+      const std::vector<std::string>& row = (*rows)[r];
+      if (row.size() != header.size()) {
+        die(index_path + ": row " + std::to_string(r + 1) +
+            " has the wrong cell count");
+      }
+      anomalies.push_back(
+          {row[c_slot], row[c_session], row[c_flow], row[c_reasons],
+           row[c_duration],
+           phase_breakdown((base / row[c_trace]).string())});
+    }
+  }
+
+  // --- Render the page. ------------------------------------------------
+  constexpr double kWidth = 900.0, kHeight = 300.0;
+  constexpr double kLeft = 60.0, kRight = 880.0;
+  constexpr double kTop = 20.0, kBottom = 270.0;
+
+  double x_min = 0.0, x_max = 1.0, y_max = 1.0;
+  if (!window_starts.empty()) {
+    x_min = *window_starts.begin();
+    x_max = *window_starts.rbegin() + window_ms;
+  }
+  for (const auto& [provider, points] : chart) {
+    for (const LatencyPoint& p : points) y_max = std::max(y_max, p.p99_ms);
+  }
+  const auto sx = [&](double ms) {
+    return kLeft + (ms - x_min) / (x_max - x_min) * (kRight - kLeft);
+  };
+  const auto sy = [&](double ms) {
+    return kBottom - ms / y_max * (kBottom - kTop);
+  };
+
+  std::string svg = "<svg viewBox=\"0 0 " + format_ms(kWidth) + " " +
+                    format_ms(kHeight) +
+                    "\" xmlns=\"http://www.w3.org/2000/svg\">\n";
+  // Fault-window shading first, behind the curves.
+  const std::map<std::string, const char*> fault_fill = {
+      {"fault_loss_spike", "#e8c468"},
+      {"fault_blackout", "#d46a6a"},
+      {"fault_brownout", "#b08ed9"},
+      {"fault_provider_outage", "#7aa6c2"},
+  };
+  for (const FaultWindow& fault : faults) {
+    const auto it = fault_fill.find(fault.metric);
+    const char* fill = it != fault_fill.end() ? it->second : "#cccccc";
+    svg += "<rect x=\"" + format_ms(sx(fault.start_ms)) + "\" y=\"" +
+           format_ms(kTop) + "\" width=\"" +
+           format_ms(sx(fault.start_ms + window_ms) - sx(fault.start_ms)) +
+           "\" height=\"" + format_ms(kBottom - kTop) + "\" fill=\"" + fill +
+           "\" fill-opacity=\"0.35\"><title>" + html_escape(fault.metric) +
+           " @ " + format_ms(fault.start_ms) + "ms</title></rect>\n";
+  }
+  // Axes.
+  svg += "<line x1=\"" + format_ms(kLeft) + "\" y1=\"" + format_ms(kTop) +
+         "\" x2=\"" + format_ms(kLeft) + "\" y2=\"" + format_ms(kBottom) +
+         "\" stroke=\"#333\"/>\n";
+  svg += "<line x1=\"" + format_ms(kLeft) + "\" y1=\"" + format_ms(kBottom) +
+         "\" x2=\"" + format_ms(kRight) + "\" y2=\"" + format_ms(kBottom) +
+         "\" stroke=\"#333\"/>\n";
+  svg += "<text x=\"" + format_ms(kLeft - 6) + "\" y=\"" +
+         format_ms(kTop + 4) +
+         "\" text-anchor=\"end\" font-size=\"10\">" + format_ms(y_max) +
+         "ms</text>\n";
+  svg += "<text x=\"" + format_ms(kLeft - 6) + "\" y=\"" + format_ms(kBottom) +
+         "\" text-anchor=\"end\" font-size=\"10\">0</text>\n";
+  svg += "<text x=\"" + format_ms(kRight) + "\" y=\"" +
+         format_ms(kBottom + 14) +
+         "\" text-anchor=\"end\" font-size=\"10\">" + format_ms(x_max) +
+         "ms (sim time)</text>\n";
+
+  const std::vector<std::string> palette = {"#1f77b4", "#d62728", "#2ca02c",
+                                            "#ff7f0e", "#9467bd", "#8c564b"};
+  std::string legend;
+  std::size_t color_index = 0;
+  double legend_x = kLeft;
+  for (const auto& [provider, points] : chart) {
+    const std::string& color = palette[color_index++ % palette.size()];
+    std::vector<std::pair<double, double>> p50, p99;
+    for (const LatencyPoint& p : points) {
+      // Anchor each point at its window midpoint.
+      const double x = sx(p.window_start_ms + window_ms / 2.0);
+      p50.emplace_back(x, sy(p.p50_ms));
+      p99.emplace_back(x, sy(std::min(p.p99_ms, y_max)));
+    }
+    svg += svg_polyline(p50, color, /*dashed=*/false);
+    svg += svg_polyline(p99, color, /*dashed=*/true);
+    legend += "<tspan x=\"" + format_ms(legend_x) + "\" fill=\"" + color +
+              "\">" + html_escape(provider) + "</tspan>";
+    legend_x += 140.0;
+  }
+  svg += "<text y=\"" + format_ms(kHeight - 6) + "\" font-size=\"11\">" +
+         legend + "</text>\n";
+  svg += "</svg>\n";
+
+  std::string html =
+      "<!DOCTYPE html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n"
+      "<title>dohperf campaign health report</title>\n"
+      "<style>\n"
+      "body { font-family: sans-serif; margin: 2em; max-width: 960px; }\n"
+      "table { border-collapse: collapse; font-size: 13px; }\n"
+      "th, td { border: 1px solid #bbb; padding: 4px 8px; "
+      "text-align: left; }\n"
+      "th { background: #eee; }\n"
+      ".note { color: #555; font-size: 13px; }\n"
+      "</style>\n</head>\n<body>\n"
+      "<h1>Campaign health report</h1>\n"
+      "<h2>Per-provider resolution latency</h2>\n"
+      "<p class=\"note\">Solid lines: p50. Dashed lines: p99. Shaded "
+      "bands: fault-plan episode windows (loss spike, blackout, "
+      "brownout, provider outage). Window width " +
+      format_ms(window_ms) + "ms, source " + html_escape(series_path) +
+      ".</p>\n" + svg;
+
+  html += "<h2>Anomalous flows</h2>\n";
+  if (anomalies_dir == "-") {
+    html += "<p class=\"note\">No anomaly directory supplied.</p>\n";
+  } else if (anomalies.empty()) {
+    html += "<p class=\"note\">Flight recorder retained no anomalous "
+            "flows.</p>\n";
+  } else {
+    html +=
+        "<table>\n<tr><th>slot</th><th>session</th><th>flow</th>"
+        "<th>reasons</th><th>duration</th><th>phase breakdown</th>"
+        "</tr>\n";
+    for (const AnomalyRow& row : anomalies) {
+      html += "<tr><td>" + html_escape(row.slot) + "</td><td>" +
+              html_escape(row.session) + "</td><td>" +
+              html_escape(row.flow) + "</td><td>" +
+              html_escape(row.reasons) + "</td><td>" +
+              html_escape(row.duration_ms) + "ms</td><td>" +
+              html_escape(row.phases) + "</td></tr>\n";
+    }
+    html += "</table>\n";
+    html += "<p class=\"note\">" + std::to_string(anomalies.size()) +
+            " flow(s) retained from " + html_escape(anomalies_dir) +
+            "; each row has a Perfetto dump alongside anomalies.csv.</p>\n";
+  }
+  html += "</body>\n</html>\n";
+
+  std::ofstream out(out_path, std::ios::binary);
+  out.write(html.data(), static_cast<std::streamsize>(html.size()));
+  out.flush();
+  if (!out) die(out_path + ": cannot write file");
+  std::printf("obs_report: wrote %s (%zu provider series, %zu fault "
+              "windows, %zu anomalies)\n",
+              out_path.c_str(), chart.size(), faults.size(),
+              anomalies.size());
+  return 0;
+}

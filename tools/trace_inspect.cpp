@@ -4,6 +4,11 @@
 //   trace_inspect out/trace.json        (Chrome/Perfetto trace_event JSON)
 //   trace_inspect out/trace.json.jsonl  (one span object per line)
 //
+// Loading is strict (obs/trace_load.h): a truncated or malformed trace
+// — invalid JSON, a missing traceEvents array, an event or line that
+// does not describe a span — exits with status 1 after a one-line
+// diagnostic instead of printing a partial breakdown.
+//
 // For every root span (a flow), the direct child phases are listed with
 // their share of the flow total, and contiguous phase decompositions
 // (e.g. doh_query = tunnel + handshake + resolution) are checked to sum
@@ -13,112 +18,15 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
-#include <fstream>
 #include <map>
-#include <optional>
-#include <sstream>
 #include <string>
 #include <vector>
 
-#include "obs/json.h"
+#include "obs/trace_load.h"
 
 namespace {
 
-using dohperf::obs::json::Value;
-
-constexpr std::int64_t kNoParent = -1;
-
-struct SpanRec {
-  std::int64_t id = kNoParent;
-  std::int64_t parent = kNoParent;
-  std::string name;
-  std::int64_t start_us = 0;
-  std::int64_t end_us = 0;
-  bool hop = false;
-  std::uint64_t bytes = 0;
-
-  [[nodiscard]] double duration_ms() const {
-    return static_cast<double>(end_us - start_us) / 1000.0;
-  }
-};
-
-std::int64_t id_or(const Value& obj, const char* key, std::int64_t fallback) {
-  const Value* v = obj.get(key);
-  if (v == nullptr || !v->is_number()) return fallback;
-  return static_cast<std::int64_t>(v->as_number());
-}
-
-/// One Perfetto trace_event object ("ph":"X") -> SpanRec.
-std::optional<SpanRec> from_trace_event(const Value& event) {
-  const Value* args = event.get("args");
-  if (args == nullptr || !args->is_object()) return std::nullopt;
-  SpanRec rec;
-  rec.id = id_or(*args, "id", kNoParent);
-  rec.parent = id_or(*args, "parent", kNoParent);
-  rec.name = event.string_or("name", "?");
-  rec.start_us = static_cast<std::int64_t>(event.number_or("ts", 0));
-  rec.end_us = rec.start_us +
-               static_cast<std::int64_t>(event.number_or("dur", 0));
-  rec.hop = event.string_or("cat", "span") == "hop";
-  rec.bytes = static_cast<std::uint64_t>(args->number_or("bytes", 0));
-  return rec;
-}
-
-/// One JSONL line object -> SpanRec.
-std::optional<SpanRec> from_jsonl_object(const Value& obj) {
-  SpanRec rec;
-  rec.id = id_or(obj, "id", kNoParent);
-  rec.parent = id_or(obj, "parent", kNoParent);
-  rec.name = obj.string_or("name", "?");
-  rec.start_us = static_cast<std::int64_t>(obj.number_or("start_us", 0));
-  rec.end_us = static_cast<std::int64_t>(obj.number_or("end_us", 0));
-  const Value* hop = obj.get("hop");
-  rec.hop = hop != nullptr && hop->is_bool() && hop->as_bool();
-  rec.bytes = static_cast<std::uint64_t>(obj.number_or("bytes", 0));
-  return rec;
-}
-
-std::optional<std::vector<SpanRec>> load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    std::fprintf(stderr, "trace_inspect: cannot open %s\n", path.c_str());
-    return std::nullopt;
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const std::string text = buffer.str();
-
-  std::vector<SpanRec> spans;
-
-  // Perfetto export: one JSON object with a traceEvents array.
-  if (const std::optional<Value> doc = dohperf::obs::json::parse(text)) {
-    const Value* events = doc->get("traceEvents");
-    if (events == nullptr || !events->is_array()) {
-      std::fprintf(stderr, "trace_inspect: %s: no traceEvents array\n",
-                   path.c_str());
-      return std::nullopt;
-    }
-    for (const Value& event : events->as_array()) {
-      if (auto rec = from_trace_event(event)) spans.push_back(std::move(*rec));
-    }
-    return spans;
-  }
-
-  // JSONL export: one span object per line.
-  std::istringstream lines(text);
-  std::string line;
-  while (std::getline(lines, line)) {
-    if (line.empty()) continue;
-    const std::optional<Value> obj = dohperf::obs::json::parse(line);
-    if (!obj || !obj->is_object()) {
-      std::fprintf(stderr, "trace_inspect: %s: bad JSONL line: %s\n",
-                   path.c_str(), line.c_str());
-      return std::nullopt;
-    }
-    if (auto rec = from_jsonl_object(*obj)) spans.push_back(std::move(*rec));
-  }
-  return spans;
-}
+using dohperf::obs::SpanRec;
 
 /// Prints one root flow's phase breakdown; returns false when a
 /// contiguous phase decomposition fails to sum to the flow total.
@@ -169,24 +77,29 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "usage: trace_inspect <trace.json | spans.jsonl>\n");
     return 1;
   }
-  const std::optional<std::vector<SpanRec>> spans = load(argv[1]);
-  if (!spans) return 1;
+  const dohperf::obs::TraceLoadResult loaded =
+      dohperf::obs::load_trace_file(argv[1]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "trace_inspect: %s\n", loaded.error.c_str());
+    return 1;
+  }
+  const std::vector<SpanRec>& spans = loaded.spans;
 
   std::uint64_t hops = 0;
   std::uint64_t bytes = 0;
-  for (const SpanRec& span : *spans) {
+  for (const SpanRec& span : spans) {
     if (!span.hop) continue;
     ++hops;
     bytes += span.bytes;
   }
   std::printf("trace: %zu spans (%llu hops, %llu bytes on wire) from %s\n\n",
-              spans->size(), static_cast<unsigned long long>(hops),
+              spans.size(), static_cast<unsigned long long>(hops),
               static_cast<unsigned long long>(bytes), argv[1]);
 
   bool phases_ok = true;
-  for (const SpanRec& span : *spans) {
-    if (span.parent != kNoParent || span.hop) continue;
-    if (!print_flow(span, *spans)) phases_ok = false;
+  for (const SpanRec& span : spans) {
+    if (span.parent != SpanRec::kNoParent || span.hop) continue;
+    if (!print_flow(span, spans)) phases_ok = false;
     std::printf("\n");
   }
 
@@ -196,7 +109,7 @@ int main(int argc, char** argv) {
     std::int64_t total_us = 0;
   };
   std::map<std::string, NameAgg> by_name;
-  for (const SpanRec& span : *spans) {
+  for (const SpanRec& span : spans) {
     NameAgg& agg = by_name[span.name];
     ++agg.count;
     agg.total_us += span.end_us - span.start_us;
