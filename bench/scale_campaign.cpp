@@ -1,0 +1,189 @@
+// Million-session scaling sweep (ISSUE 6): run the streaming-sink
+// campaign at increasing session counts over one fixed world and record
+// wall time, throughput, peak RSS, and arena counters per point.
+//
+// The world is built once; each sweep point raises runs_per_client until
+// the requested session count is reached, so any RSS growth across the
+// sweep is attributable to the campaign — the streaming sink's claim is
+// that there is (almost) none.
+//
+//   DOHPERF_SCALE_POINTS  comma-separated session targets
+//                         (default "10000,30000,100000,300000,1000000")
+//   DOHPERF_SCALE_OUT     output JSON path (default out/BENCH_scale.json)
+//   DOHPERF_SCALE / DOHPERF_SEED / DOHPERF_THREADS as everywhere else.
+//
+// The output carries schema tag "dohperf-bench-scale-v1" and is
+// validated by tools/bench_schema_check in CI.
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "measure/campaign.h"
+#include "obs/proc_stats.h"
+#include "proxy/brightdata.h"
+#include "support.h"
+#include "world/world_model.h"
+
+using namespace dohperf;
+
+namespace {
+
+std::vector<std::uint64_t> points_from_env() {
+  std::vector<std::uint64_t> points;
+  const char* env = std::getenv("DOHPERF_SCALE_POINTS");
+  std::string spec = env != nullptr ? env : "10000,30000,100000,300000,1000000";
+  for (std::size_t pos = 0; pos < spec.size();) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    const long long v = std::atoll(spec.substr(pos, comma - pos).c_str());
+    if (v > 0) points.push_back(static_cast<std::uint64_t>(v));
+    pos = comma + 1;
+  }
+  std::sort(points.begin(), points.end());
+  return points;
+}
+
+struct Point {
+  std::uint64_t requested = 0;
+  int runs_per_client = 0;
+  measure::CampaignStats stats;
+  netsim::ArenaStats arena;          // summed across shards
+  std::uint64_t arena_high_water = 0;  // max across shards
+  std::uint64_t doh_rows = 0;
+  std::uint64_t do53_rows = 0;
+  std::uint64_t atlas_rows = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t peak_rss = 0;
+  std::uint64_t current_rss = 0;
+  double doh_median_ms = 0.0;
+};
+
+void write_json(const std::string& path, const world::WorldConfig& wc,
+                std::size_t exits, const std::vector<Point>& points) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "scale_campaign: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"schema\": \"dohperf-bench-scale-v1\",\n");
+  std::fprintf(f,
+               "  \"world\": {\"scale\": %g, \"seed\": %" PRIu64
+               ", \"exits\": %zu},\n",
+               wc.client_scale, wc.seed, exits);
+  std::fprintf(f, "  \"points\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"requested_sessions\": %" PRIu64 ",\n",
+                 p.requested);
+    std::fprintf(f, "      \"runs_per_client\": %d,\n", p.runs_per_client);
+    std::fprintf(f, "      \"sessions\": %" PRIu64 ",\n", p.stats.sessions);
+    std::fprintf(f, "      \"shards\": %d,\n", p.stats.shards);
+    std::fprintf(f, "      \"events\": %" PRIu64 ",\n",
+                 p.stats.events_processed);
+    std::fprintf(f, "      \"wall_seconds\": %.6f,\n", p.stats.wall_seconds);
+    std::fprintf(f, "      \"events_per_second\": %.1f,\n",
+                 p.stats.wall_seconds > 0.0
+                     ? static_cast<double>(p.stats.events_processed) /
+                           p.stats.wall_seconds
+                     : 0.0);
+    std::fprintf(f, "      \"doh_rows\": %" PRIu64 ",\n", p.doh_rows);
+    std::fprintf(f, "      \"do53_rows\": %" PRIu64 ",\n", p.do53_rows);
+    std::fprintf(f, "      \"atlas_rows\": %" PRIu64 ",\n", p.atlas_rows);
+    std::fprintf(f, "      \"failed_measurements\": %" PRIu64 ",\n", p.failed);
+    std::fprintf(f, "      \"doh_median_ms\": %.3f,\n", p.doh_median_ms);
+    std::fprintf(f, "      \"peak_rss_bytes\": %" PRIu64 ",\n", p.peak_rss);
+    std::fprintf(f, "      \"current_rss_bytes\": %" PRIu64 ",\n",
+                 p.current_rss);
+    std::fprintf(f,
+                 "      \"arena\": {\"allocations\": %" PRIu64
+                 ", \"reused\": %" PRIu64 ", \"fallbacks\": %" PRIu64
+                 ", \"slab_bytes\": %" PRIu64
+                 ", \"high_water_bytes\": %" PRIu64 "}\n",
+                 p.arena.allocations, p.arena.reused, p.arena.fallbacks,
+                 p.arena.slab_bytes, p.arena_high_water);
+    std::fprintf(f, "    }%s\n", i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main() {
+  world::WorldConfig wc;
+  wc.seed = benchsupport::seed_from_env();
+  wc.client_scale = benchsupport::scale_from_env();
+  std::printf("scale_campaign: building world (scale %.2f, seed %" PRIu64
+              ")...\n",
+              wc.client_scale, wc.seed);
+  world::WorldModel world(wc);
+  const std::size_t exits = world.exit_count();
+  const std::uint64_t rss_after_world = obs::peak_rss_bytes();
+  std::printf("world: %zu exit nodes | peak RSS after build %.1f MiB\n",
+              exits, static_cast<double>(rss_after_world) / (1024.0 * 1024.0));
+
+  // Atlas sessions are fixed per sweep point; the remainder is reached by
+  // raising runs_per_client over the fixed exit population.
+  measure::CampaignConfig base;
+  const std::uint64_t atlas_total =
+      static_cast<std::uint64_t>(base.atlas_measurements_per_country) *
+      proxy::kSuperProxyCountries.size();
+
+  std::vector<Point> results;
+  for (const std::uint64_t target : points_from_env()) {
+    Point p;
+    p.requested = target;
+    const double wanted =
+        target > atlas_total ? static_cast<double>(target - atlas_total) : 0.0;
+    p.runs_per_client = std::max(
+        1, static_cast<int>(std::llround(wanted / static_cast<double>(exits))));
+
+    measure::CampaignConfig config = base;
+    config.runs_per_client = p.runs_per_client;
+    measure::Campaign campaign(world, config);
+    const measure::StreamSink sink = campaign.run_streaming();
+
+    p.stats = campaign.stats();
+    for (const measure::ShardProfile& sp : p.stats.shard_profiles) {
+      p.arena += sp.arena;
+      p.arena_high_water =
+          std::max(p.arena_high_water, sp.arena.high_water_bytes);
+    }
+    p.doh_rows = sink.doh_rows();
+    p.do53_rows = sink.do53_rows();
+    p.atlas_rows = sink.atlas_rows();
+    p.failed = sink.failed_measurements();
+    p.doh_median_ms = sink.tdoh_sketch().quantile(0.5);
+    p.peak_rss = obs::peak_rss_bytes();
+    p.current_rss = obs::current_rss_bytes();
+    results.push_back(p);
+
+    std::printf(
+        "  %8" PRIu64 " requested | %8" PRIu64 " sessions (runs=%d) | "
+        "%6.2f s | %9.0f events/s | peak RSS %.1f MiB | "
+        "arena reuse %.1f%%\n",
+        p.requested, p.stats.sessions, p.runs_per_client,
+        p.stats.wall_seconds,
+        p.stats.wall_seconds > 0.0
+            ? static_cast<double>(p.stats.events_processed) /
+                  p.stats.wall_seconds
+            : 0.0,
+        static_cast<double>(p.peak_rss) / (1024.0 * 1024.0),
+        p.arena.allocations > 0
+            ? 100.0 * static_cast<double>(p.arena.reused) /
+                  static_cast<double>(p.arena.allocations)
+            : 0.0);
+  }
+
+  const char* out_env = std::getenv("DOHPERF_SCALE_OUT");
+  const std::string path = out_env != nullptr
+                               ? std::string(out_env)
+                               : benchsupport::out_path("BENCH_scale.json");
+  write_json(path, wc, exits, results);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

@@ -7,6 +7,7 @@
 
 #include "geo/country.h"
 #include "measure/flows.h"
+#include "obs/proc_stats.h"
 #include "obs/span.h"
 #include "obs/trace_export.h"
 #include "report/anomalies.h"
@@ -149,6 +150,25 @@ void print_banner(const std::string& title) {
         static_cast<unsigned long long>(p.events), p.wall_seconds,
         p.events_per_second(), p.queue_high_water);
   }
+  netsim::ArenaStats arena;
+  std::uint64_t arena_high_water = 0;
+  for (const measure::ShardProfile& p : stats.shard_profiles) {
+    arena += p.arena;
+    arena_high_water = std::max(arena_high_water, p.arena.high_water_bytes);
+  }
+  std::printf(
+      "memory: peak RSS %.1f MiB | arena %llu frame allocs "
+      "(%.1f%% free-list reuse, %llu heap fallbacks) | "
+      "%.1f MiB slabs, high-water %.1f MiB/shard\n",
+      static_cast<double>(obs::peak_rss_bytes()) / (1024.0 * 1024.0),
+      static_cast<unsigned long long>(arena.allocations),
+      arena.allocations > 0
+          ? 100.0 * static_cast<double>(arena.reused) /
+                static_cast<double>(arena.allocations)
+          : 0.0,
+      static_cast<unsigned long long>(arena.fallbacks),
+      static_cast<double>(arena.slab_bytes) / (1024.0 * 1024.0),
+      static_cast<double>(arena_high_water) / (1024.0 * 1024.0));
   const obs::MetricCounters& c = env.metrics().counters;
   std::printf(
       "metrics: %llu dns / %llu doh / %llu do53 queries | "

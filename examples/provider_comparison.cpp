@@ -45,7 +45,8 @@ int main(int argc, char** argv) {
       const auto dohr_values = [&] {
         std::vector<double> out;
         for (const auto& rec : data.doh()) {
-          if (rec.provider == provider && rec.iso2 == iso2) {
+          if (data.name(rec.provider) == provider &&
+              data.name(rec.iso2) == iso2) {
             out.push_back(rec.tdohr_ms);
           }
         }

@@ -28,6 +28,11 @@ void Cache::insert(netsim::SimTime now, const DomainName& name,
   entry.expires_at = now + std::chrono::seconds(min_ttl);
   entries_[key] = std::move(entry);
   ++stats_.insertions;
+  if (++inserts_since_purge_ >= kPurgeInterval &&
+      entries_.size() >= kPurgeInterval) {
+    inserts_since_purge_ = 0;
+    purge(now);
+  }
 }
 
 std::optional<std::vector<ResourceRecord>> Cache::lookup(

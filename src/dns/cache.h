@@ -83,7 +83,18 @@ class Cache {
     netsim::SimTime expires_at;
   };
 
+  /// Inserts between amortized expiry sweeps. The campaign's measured
+  /// names are unique cache-busters (never looked up again), so without
+  /// periodic purging they sit in the map from insert until the 60 s TTL
+  /// *and* the next pressure purge — at a million sessions that is
+  /// gigabytes of dead entries. Sweeping every kPurgeInterval inserts
+  /// bounds the dead pool to one TTL window of insert traffic. Purging
+  /// only removes entries lookup() would already report as expired, so
+  /// results are unchanged.
+  static constexpr std::size_t kPurgeInterval = 256;
+
   std::size_t max_entries_;
+  std::size_t inserts_since_purge_ = 0;
   std::unordered_map<Key, Entry, KeyHash> entries_;
   CacheStats stats_;
 };

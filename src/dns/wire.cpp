@@ -13,6 +13,10 @@ namespace {
 
 class Writer {
  public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {
+    out_.clear();
+  }
+
   void u8(std::uint8_t v) { out_.push_back(v); }
   void u16(std::uint16_t v) {
     out_.push_back(static_cast<std::uint8_t>(v >> 8));
@@ -59,10 +63,8 @@ class Writer {
     u8(0);  // root
   }
 
-  std::vector<std::uint8_t> take() { return std::move(out_); }
-
  private:
-  std::vector<std::uint8_t> out_;
+  std::vector<std::uint8_t>& out_;
   std::map<std::string, std::size_t> offsets_;
 };
 
@@ -334,7 +336,13 @@ Header unpack_header(std::uint16_t id, std::uint16_t flags) {
 }  // namespace
 
 std::vector<std::uint8_t> encode(const Message& msg) {
-  Writer w;
+  std::vector<std::uint8_t> out;
+  encode_into(msg, out);
+  return out;
+}
+
+void encode_into(const Message& msg, std::vector<std::uint8_t>& out) {
+  Writer w(out);
   w.u16(msg.header.id);
   w.u16(pack_flags(msg.header));
   w.u16(static_cast<std::uint16_t>(msg.questions.size()));
@@ -350,7 +358,6 @@ std::vector<std::uint8_t> encode(const Message& msg) {
   for (const auto& rr : msg.answers) write_record(w, rr);
   for (const auto& rr : msg.authorities) write_record(w, rr);
   for (const auto& rr : msg.additionals) write_record(w, rr);
-  return w.take();
 }
 
 Message decode(std::span<const std::uint8_t> wire) {
@@ -383,6 +390,13 @@ Message decode(std::span<const std::uint8_t> wire) {
   return msg;
 }
 
-std::size_t wire_size(const Message& msg) { return encode(msg).size(); }
+std::size_t wire_size(const Message& msg) {
+  // Sizing is pure bookkeeping on the simulator hot path (every send and
+  // recv of every flow); reuse one scratch buffer per thread instead of
+  // allocating a wire image just to measure it.
+  thread_local std::vector<std::uint8_t> scratch;
+  encode_into(msg, scratch);
+  return scratch.size();
+}
 
 }  // namespace dohperf::dns

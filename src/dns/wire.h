@@ -14,6 +14,12 @@ namespace dohperf::dns {
 /// suffixes with 0xC0 pointers.
 [[nodiscard]] std::vector<std::uint8_t> encode(const Message& msg);
 
+/// encode() into a caller-owned buffer (cleared first, capacity kept).
+/// The hot session loop sizes every send/recv off wire_size(); routing
+/// the serialisation through a reused buffer keeps it off the global
+/// allocator.
+void encode_into(const Message& msg, std::vector<std::uint8_t>& out);
+
 /// Parses a wire-format message. Throws ParseError on truncated input,
 /// invalid compression pointers (forward or cyclic), label overflow, or
 /// unknown record types.

@@ -25,11 +25,15 @@ struct ExitTask {
   /// the paper does, not ground truth.
   geo::LatLon located;
   netsim::Site sp_site;
+  /// advertised_iso2 pre-interned on the main thread; records carry this
+  /// id so the hot path never touches the string table.
+  StrId iso2_id = kNoStrId;
 };
 
 /// One Atlas remedy country.
 struct AtlasTask {
   std::string iso2;
+  StrId iso2_id = kNoStrId;
   int count = 0;
   std::size_t slot_base = 0;  ///< First session slot of this country.
 };
@@ -41,6 +45,23 @@ struct SessionOutput {
   std::vector<DohRecord> doh;
   std::vector<Do53Record> do53;
   std::uint64_t failed = 0;
+};
+
+/// The campaign's immutable work description, built once on the main
+/// thread: the retained exits and Atlas countries (with their iso2 /
+/// provider names pre-interned in canonical order — providers in catalog
+/// order, then countries in world order), the canonical session-slot
+/// layout, and the client roster. Shards share it read-only; both sink
+/// modes consume the same plan, which is what keeps them bit-identical.
+struct CampaignPlan {
+  std::vector<ExitTask> exits;
+  std::vector<AtlasTask> atlas;
+  std::vector<ClientInfo> clients;  ///< Parallel to `exits`.
+  std::size_t n_sessions = 0;
+  std::uint64_t discarded_mismatch = 0;
+  std::vector<std::string> provider_names;  ///< Canonical catalog order.
+  std::vector<StrId> provider_ids;          ///< Parallel to the names.
+  StringTable names;
 };
 
 /// A shard's window onto the world: the shared immutable model plus the
@@ -150,6 +171,64 @@ std::string atlas_session_key(const std::string& iso2, int index) {
   return "shard-atlas-" + iso2 + "-" + std::to_string(index);
 }
 
+/// Enumerates the retained clients (Maxmind cross-check first) and the
+/// Atlas remedy countries in the canonical order, interning every name
+/// the records will carry. Runs once, on the main thread, before any
+/// shard starts — the interner is never touched concurrently.
+CampaignPlan build_plan(world::WorldModel& world,
+                        const CampaignConfig& config) {
+  CampaignPlan plan;
+
+  for (const anycast::Provider& provider : world.providers()) {
+    plan.provider_names.push_back(provider.name());
+    plan.provider_ids.push_back(plan.names.intern(provider.name()));
+  }
+
+  for (const std::string& iso2 : world.countries()) {
+    for (const std::uint64_t id : world.brightdata().exits_in(iso2)) {
+      const proxy::ExitNode* exit = world.brightdata().find(id);
+      const auto geo_record = world.maxmind().lookup(exit->prefix);
+      if (!geo_record || geo_record->country_iso2 != exit->advertised_iso2) {
+        ++plan.discarded_mismatch;
+        continue;
+      }
+      ExitTask task;
+      task.exit = exit;
+      task.true_country = geo::find_country(exit->true_iso2);
+      task.located = geo_record->position;
+      task.sp_site =
+          world.brightdata().nearest_super_proxy(exit->site.position).site;
+      task.iso2_id = plan.names.intern(exit->advertised_iso2);
+      plan.exits.push_back(std::move(task));
+
+      ClientInfo info;
+      info.exit_id = exit->id;
+      info.iso2 = exit->advertised_iso2;
+      info.position = geo_record->position;
+      info.nameserver_distance_miles = geo::distance_miles(
+          geo_record->position, world.authority().site().position);
+      plan.clients.push_back(std::move(info));
+    }
+  }
+
+  // Canonical session slots: run-major exit sessions, then Atlas
+  // sessions in Super Proxy country order.
+  plan.n_sessions =
+      static_cast<std::size_t>(config.runs_per_client) * plan.exits.size();
+  for (const std::string_view iso2_sv : proxy::kSuperProxyCountries) {
+    const std::string iso2(iso2_sv);
+    if (!world.atlas().has_probes_in(iso2)) continue;
+    AtlasTask t;
+    t.iso2 = iso2;
+    t.iso2_id = plan.names.intern(iso2);
+    t.count = config.atlas_measurements_per_country;
+    t.slot_base = plan.n_sessions;
+    plan.n_sessions += static_cast<std::size_t>(t.count);
+    plan.atlas.push_back(std::move(t));
+  }
+  return plan;
+}
+
 ExitState make_exit_state(ShardView& view, const ExitTask& task,
                           const netsim::Rng& root,
                           double provider_failure_rate) {
@@ -195,8 +274,7 @@ netsim::Task<void> measure_session(ShardView& view, const ExitState& st,
                                    std::string session_key,
                                    netsim::Rng session_rng,
                                    const CampaignConfig& config,
-                                   const std::vector<std::string>&
-                                       provider_names,
+                                   const CampaignPlan& plan,
                                    SessionOutput& out) {
   netsim::NetCtx net{view.sim, view.world.latency(), session_rng};
   const ExitTask& task = *st.task;
@@ -233,7 +311,7 @@ netsim::Task<void> measure_session(ShardView& view, const ExitState& st,
   if (config.faults.enabled()) {
     const geo::LatLon focal[] = {exit.site.position, task.sp_site.position};
     fault_plan = netsim::FaultPlan::sample(config.faults, focal,
-                                           provider_names,
+                                           plan.provider_names,
                                            session_rng.split("fault-plan"));
     net.faults = &fault_plan;
     net.fault_epoch = session_epoch;
@@ -297,10 +375,10 @@ netsim::Task<void> measure_session(ShardView& view, const ExitState& st,
 
     DohRecord rec;
     rec.exit_id = exit.id;
-    rec.iso2 = exit.advertised_iso2;
-    rec.provider = provider.name();
+    rec.iso2 = task.iso2_id;
+    rec.provider = plan.provider_ids[p];
     rec.run = run;
-    rec.pop_index = pop_index;
+    rec.pop_index = static_cast<std::uint32_t>(pop_index);
     rec.pop_distance_miles = geo::distance_miles(
         task.located, provider.pops()[pop_index].position);
     // "Potential improvement": distance to the PoP actually used minus
@@ -313,7 +391,7 @@ netsim::Task<void> measure_session(ShardView& view, const ExitState& st,
       net.metrics->histogram(provider.name()).record(rec.tdoh_ms);
     }
     net.series.latency("doh_ms", view.sim.now(), rec.tdoh_ms);
-    out.doh.push_back(std::move(rec));
+    out.doh.push_back(rec);
   }
 
   // --- Do53 via the default resolver ----------------------------------
@@ -363,11 +441,11 @@ netsim::Task<void> measure_session(ShardView& view, const ExitState& st,
     net.series.latency("do53_ms", view.sim.now(), obs.tun.dns_ms);
     Do53Record rec;
     rec.exit_id = exit.id;
-    rec.iso2 = exit.advertised_iso2;
+    rec.iso2 = task.iso2_id;
     rec.run = run;
     rec.via_atlas = false;
     rec.do53_ms = obs.tun.dns_ms;
-    out.do53.push_back(std::move(rec));
+    out.do53.push_back(rec);
   }
   // In Super Proxy countries the header value reflects the Super Proxy's
   // own resolution and is discarded; Atlas fills the gap below.
@@ -377,7 +455,7 @@ netsim::Task<void> measure_session(ShardView& view, const ExitState& st,
 // `iso2` and `session_key` are taken by value: the caller's strings may
 // die while this coroutine is suspended in the batch queue.
 netsim::Task<void> atlas_session(ShardView& view, std::string iso2,
-                                 std::uint64_t slot,
+                                 StrId iso2_id, std::uint64_t slot,
                                  std::string session_key,
                                  netsim::Rng session_rng,
                                  const CampaignConfig& config,
@@ -442,83 +520,119 @@ netsim::Task<void> atlas_session(ShardView& view, std::string iso2,
   net.series.latency("do53_ms", view.sim.now(), ms);
   Do53Record rec;
   rec.exit_id = kAtlasExitId;
-  rec.iso2 = iso2;
+  rec.iso2 = iso2_id;
   rec.run = 0;
   rec.via_atlas = true;
   rec.do53_ms = ms;
-  out.do53.push_back(std::move(rec));
+  out.do53.push_back(rec);
 }
 
 /// Runs every session owned by one shard (exit index and Atlas-country
 /// index modulo shard count) against `view`'s server stack. Returns the
-/// shard's self-profile (events, sessions, wall time, queue pressure).
+/// shard's self-profile (events, sessions, wall time, queue pressure,
+/// arena counters).
+///
+/// Sink modes: with `retained` the session rows land in the canonical
+/// per-slot outputs and survive the run; with `stream` each drained
+/// batch's rows are folded into the shard's StreamSink in ascending slot
+/// order and the slot buffers are recycled (capacity kept), so resident
+/// memory is bounded by one batch regardless of the session count.
+///
+/// All coroutine frames allocated inside this function come from the
+/// shard's slab arena (ArenaScope installs it on this thread); by the
+/// final drain every frame has been recycled, and the arena's high-water
+/// mark is published in the profile.
 ShardProfile run_shard(ShardView view, int shard_index, int shard_count,
                        const CampaignConfig& config,
-                       const netsim::Rng& root,
-                       const std::vector<ExitTask>& exits,
-                       const std::vector<AtlasTask>& atlas,
-                       const std::vector<std::string>& provider_names,
-                       std::vector<SessionOutput>& outputs) {
+                       const netsim::Rng& root, const CampaignPlan& plan,
+                       std::vector<SessionOutput>* retained,
+                       StreamSink* stream) {
   const auto wall_start = std::chrono::steady_clock::now();
   ShardProfile profile;
   profile.shard = shard_index;
   std::uint64_t events = 0;
 
-  // Per-exit state for this shard's slice, keyed by exit index.
-  std::vector<std::pair<std::size_t, ExitState>> states;
-  for (std::size_t e = 0; e < exits.size(); ++e) {
-    if (static_cast<int>(e % static_cast<std::size_t>(shard_count)) !=
-        shard_index) {
-      continue;
-    }
-    states.emplace_back(
-        e, make_exit_state(view, exits[e], root,
-                           config.provider_failure_rate));
-  }
+  netsim::Arena arena;
+  {
+    const netsim::ArenaScope arena_scope(arena);
+    const std::size_t batch_cap = std::max<std::size_t>(1, config.batch_size);
 
-  // Run sessions in batches so coroutine frames stay bounded.
-  std::vector<netsim::Task<void>> batch;
-  batch.reserve(config.batch_size);
-  auto drain = [&] {
-    events += view.sim.run();
-    for (auto& task : batch) task.result();  // propagate exceptions
-    batch.clear();
-  };
+    // Per-exit state for this shard's slice, keyed by exit index.
+    std::vector<std::pair<std::size_t, ExitState>> states;
+    for (std::size_t e = 0; e < plan.exits.size(); ++e) {
+      if (static_cast<int>(e % static_cast<std::size_t>(shard_count)) !=
+          shard_index) {
+        continue;
+      }
+      states.emplace_back(
+          e, make_exit_state(view, plan.exits[e], root,
+                             config.provider_failure_rate));
+    }
 
-  for (int run = 0; run < config.runs_per_client; ++run) {
-    for (const auto& [e, st] : states) {
-      const std::size_t slot =
-          static_cast<std::size_t>(run) * exits.size() + e;
-      std::string key = exit_session_key(st.task->exit->id, run);
-      netsim::Rng session_rng = root.split(key);
-      batch.push_back(measure_session(
-          view, st, run, static_cast<std::uint64_t>(slot), std::move(key),
-          std::move(session_rng), config, provider_names, outputs[slot]));
-      ++profile.sessions;
-      if (batch.size() >= config.batch_size) drain();
-    }
-  }
-  drain();
+    // Run sessions in batches so coroutine frames stay bounded. In
+    // streaming mode each batch position owns a recycled SessionOutput;
+    // tasks are pushed in ascending slot order within the shard, so the
+    // fold below visits rows in canonical order.
+    std::vector<SessionOutput> ring;
+    if (stream != nullptr) ring.resize(batch_cap);
+    std::vector<netsim::Task<void>> batch;
+    batch.reserve(batch_cap);
+    auto drain = [&] {
+      events += view.sim.run();
+      for (auto& task : batch) task.result();  // propagate exceptions
+      if (stream != nullptr) {
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          SessionOutput& s = ring[i];
+          stream->fold(s.doh, s.do53, s.failed);
+          s.doh.clear();
+          s.do53.clear();
+          s.failed = 0;
+        }
+      }
+      batch.clear();
+    };
+    auto slot_output = [&](std::size_t slot) -> SessionOutput& {
+      return retained != nullptr ? (*retained)[slot] : ring[batch.size()];
+    };
 
-  // The Atlas remedy for the 11 Super Proxy countries.
-  for (std::size_t c = 0; c < atlas.size(); ++c) {
-    if (static_cast<int>(c % static_cast<std::size_t>(shard_count)) !=
-        shard_index) {
-      continue;
+    for (int run = 0; run < config.runs_per_client; ++run) {
+      for (const auto& [e, st] : states) {
+        const std::size_t slot =
+            static_cast<std::size_t>(run) * plan.exits.size() + e;
+        std::string key = exit_session_key(st.task->exit->id, run);
+        netsim::Rng session_rng = root.split(key);
+        SessionOutput& out = slot_output(slot);
+        batch.push_back(measure_session(
+            view, st, run, static_cast<std::uint64_t>(slot), std::move(key),
+            std::move(session_rng), config, plan, out));
+        ++profile.sessions;
+        if (batch.size() >= batch_cap) drain();
+      }
     }
-    const AtlasTask& t = atlas[c];
-    for (int i = 0; i < t.count; ++i) {
-      const std::size_t slot = t.slot_base + static_cast<std::size_t>(i);
-      std::string key = atlas_session_key(t.iso2, i);
-      netsim::Rng session_rng = root.split(key);
-      batch.push_back(atlas_session(
-          view, t.iso2, static_cast<std::uint64_t>(slot), std::move(key),
-          std::move(session_rng), config, outputs[slot]));
-      ++profile.sessions;
-      if (batch.size() >= config.batch_size) drain();
+    drain();
+
+    // The Atlas remedy for the 11 Super Proxy countries.
+    for (std::size_t c = 0; c < plan.atlas.size(); ++c) {
+      if (static_cast<int>(c % static_cast<std::size_t>(shard_count)) !=
+          shard_index) {
+        continue;
+      }
+      const AtlasTask& t = plan.atlas[c];
+      for (int i = 0; i < t.count; ++i) {
+        const std::size_t slot = t.slot_base + static_cast<std::size_t>(i);
+        std::string key = atlas_session_key(t.iso2, i);
+        netsim::Rng session_rng = root.split(key);
+        SessionOutput& out = slot_output(slot);
+        batch.push_back(atlas_session(
+            view, t.iso2, t.iso2_id, static_cast<std::uint64_t>(slot),
+            std::move(key), std::move(session_rng), config, out));
+        ++profile.sessions;
+        if (batch.size() >= batch_cap) drain();
+      }
     }
+    drain();
   }
-  drain();
+  profile.arena = arena.stats();
 
   profile.events = events;
   profile.queue_high_water = view.sim.queue_high_water();
@@ -538,10 +652,7 @@ ShardProfile run_shard(ShardView view, int shard_index, int shard_count,
 /// examine millions of flows without materializing a single span.
 void replay_anomaly_spans(world::WorldModel& world,
                           const CampaignConfig& config,
-                          const netsim::Rng& root,
-                          const std::vector<ExitTask>& exits,
-                          const std::vector<AtlasTask>& atlas,
-                          const std::vector<std::string>& provider_names,
+                          const netsim::Rng& root, const CampaignPlan& plan,
                           obs::FlightRecorder& recorder) {
   if (recorder.retained().empty()) return;
 
@@ -557,25 +668,25 @@ void replay_anomaly_spans(world::WorldModel& world,
                  &capturer};
 
   const std::size_t n_exit_sessions =
-      static_cast<std::size_t>(config.runs_per_client) * exits.size();
+      static_cast<std::size_t>(config.runs_per_client) * plan.exits.size();
   SessionOutput scratch;
   for (std::size_t k = 0; k < keys.size(); ++k) {
     const std::uint64_t slot = keys[k].first;
     if (k > 0 && keys[k - 1].first == slot) continue;  // session done
     if (slot < n_exit_sessions) {
-      const auto e = static_cast<std::size_t>(slot % exits.size());
-      const int run = static_cast<int>(slot / exits.size());
-      const ExitState st = make_exit_state(view, exits[e], root,
+      const auto e = static_cast<std::size_t>(slot % plan.exits.size());
+      const int run = static_cast<int>(slot / plan.exits.size());
+      const ExitState st = make_exit_state(view, plan.exits[e], root,
                                            config.provider_failure_rate);
       std::string key = exit_session_key(st.task->exit->id, run);
       netsim::Rng session_rng = root.split(key);
       netsim::Task<void> task = measure_session(
           view, st, run, slot, std::move(key), std::move(session_rng),
-          config, provider_names, scratch);
+          config, plan, scratch);
       view.sim.run();
       task.result();
     } else {
-      for (const AtlasTask& t : atlas) {
+      for (const AtlasTask& t : plan.atlas) {
         if (slot < t.slot_base ||
             slot >= t.slot_base + static_cast<std::size_t>(t.count)) {
           continue;
@@ -584,8 +695,8 @@ void replay_anomaly_spans(world::WorldModel& world,
         std::string key = atlas_session_key(t.iso2, i);
         netsim::Rng session_rng = root.split(key);
         netsim::Task<void> task = atlas_session(
-            view, t.iso2, slot, std::move(key), std::move(session_rng),
-            config, scratch);
+            view, t.iso2, t.iso2_id, slot, std::move(key),
+            std::move(session_rng), config, scratch);
         view.sim.run();
         task.result();
         break;
@@ -597,6 +708,80 @@ void replay_anomaly_spans(world::WorldModel& world,
   for (const auto& [key, spans] : capturer.captured()) {
     recorder.attach_spans(key, spans);
   }
+}
+
+/// Shared execution engine behind both sink modes: spins up the shard
+/// workers (or the serial reference path when `shards` == 0), routes
+/// each shard's rows into either the retained per-slot outputs or its
+/// private StreamSink, merges the observability state in canonical shard
+/// order, runs the anomaly replay pass, and returns the shard profiles.
+std::vector<ShardProfile> execute_campaign(
+    world::WorldModel& world, const CampaignConfig& config,
+    const netsim::Rng& root, const CampaignPlan& plan, int shards,
+    std::vector<SessionOutput>* retained, std::vector<StreamSink>* sinks,
+    obs::Metrics& metrics, obs::MetricSeries& series,
+    obs::FlightRecorder& recorder) {
+  // One metrics registry, one sim-time series, and one flight recorder
+  // per shard; sessions record without contention and everything merges
+  // below in canonical shard order. Counter/bucket arithmetic is
+  // integer-only and anomaly retention is canonical-order, so the merged
+  // results are identical for every shard count.
+  const std::size_t n_shards = static_cast<std::size_t>(std::max(shards, 1));
+  std::vector<obs::Metrics> shard_metrics(n_shards);
+  std::vector<obs::MetricSeries> shard_series(
+      n_shards, obs::MetricSeries(config.series_window));
+  std::vector<obs::FlightRecorder> shard_recorders(
+      n_shards, obs::FlightRecorder(config.anomalies));
+  std::vector<ShardProfile> profiles(n_shards);
+
+  if (shards == 0) {
+    // Serial reference path: the world's own simulator and servers.
+    profiles[0] = run_shard(
+        ShardView{world, world.sim(), nullptr, &shard_metrics[0],
+                  &shard_series[0], &shard_recorders[0]},
+        0, 1, config, root, plan, retained,
+        sinks != nullptr ? &(*sinks)[0] : nullptr);
+  } else {
+    std::vector<std::thread> workers;
+    std::vector<std::exception_ptr> errors(static_cast<std::size_t>(shards));
+    workers.reserve(static_cast<std::size_t>(shards));
+    for (int s = 0; s < shards; ++s) {
+      workers.emplace_back([&, s] {
+        try {
+          // Each worker builds (and owns) its replica so even the server
+          // stack replication runs in parallel.
+          const std::unique_ptr<world::SimContext> replica =
+              world.make_replica();
+          const auto si = static_cast<std::size_t>(s);
+          profiles[si] = run_shard(
+              ShardView{world, replica->sim(), replica.get(),
+                        &shard_metrics[si], &shard_series[si],
+                        &shard_recorders[si]},
+              s, shards, config, root, plan, retained,
+              sinks != nullptr ? &(*sinks)[si] : nullptr);
+        } catch (...) {
+          errors[static_cast<std::size_t>(s)] = std::current_exception();
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    for (const auto& error : errors) {
+      if (error) std::rethrow_exception(error);
+    }
+  }
+
+  metrics.clear();
+  for (const obs::Metrics& m : shard_metrics) metrics.merge(m);
+  series = obs::MetricSeries(config.series_window);
+  for (const obs::MetricSeries& s : shard_series) series.merge(s);
+  recorder = obs::FlightRecorder(config.anomalies);
+  for (const obs::FlightRecorder& r : shard_recorders) recorder.merge(r);
+  recorder.finalize();
+  // Fill in the retained anomalies' span trees by deterministically
+  // re-running just those sessions (≤ ring_capacity of them) with span
+  // recording on — the hot path above examined every flow span-free.
+  replay_anomaly_spans(world, config, root, plan, recorder);
+  return profiles;
 }
 
 }  // namespace
@@ -621,150 +806,104 @@ Dataset Campaign::run() {
 
 Dataset Campaign::run_serial() { return run_impl(0); }
 
+StreamSink Campaign::run_streaming() {
+  const int threads = config_.threads > 0 ? config_.threads
+                                          : threads_from_env();
+  return run_streaming_impl(std::max(1, threads));
+}
+
+StreamSink Campaign::run_streaming_serial() { return run_streaming_impl(0); }
+
 Dataset Campaign::run_impl(int shards) {
   const auto wall_start = std::chrono::steady_clock::now();
+
+  CampaignPlan plan = build_plan(world_, config_);
   Dataset out;
-
-  // --- Enumerate retained clients (Maxmind cross-check first), in the
-  // canonical order: countries as built, exits as enrolled. ------------
-  std::vector<ExitTask> exits;
-  for (const std::string& iso2 : world_.countries()) {
-    for (const std::uint64_t id : world_.brightdata().exits_in(iso2)) {
-      const proxy::ExitNode* exit = world_.brightdata().find(id);
-      const auto geo_record = world_.maxmind().lookup(exit->prefix);
-      if (!geo_record || geo_record->country_iso2 != exit->advertised_iso2) {
-        ++out.discarded_mismatch;
-        continue;
-      }
-      ExitTask task;
-      task.exit = exit;
-      task.true_country = geo::find_country(exit->true_iso2);
-      task.located = geo_record->position;
-      task.sp_site =
-          world_.brightdata().nearest_super_proxy(exit->site.position).site;
-      exits.push_back(std::move(task));
-
-      ClientInfo info;
-      info.exit_id = exit->id;
-      info.iso2 = exit->advertised_iso2;
-      info.position = geo_record->position;
-      info.nameserver_distance_miles = geo::distance_miles(
-          geo_record->position, world_.authority().site().position);
-      out.add_client(std::move(info));
-    }
-  }
-
-  // --- Lay out the canonical session slots: run-major exit sessions,
-  // then Atlas sessions in Super Proxy country order. ------------------
-  std::size_t n_sessions =
-      static_cast<std::size_t>(config_.runs_per_client) * exits.size();
-  std::vector<AtlasTask> atlas;
-  for (const std::string_view iso2_sv : proxy::kSuperProxyCountries) {
-    const std::string iso2(iso2_sv);
-    if (!world_.atlas().has_probes_in(iso2)) continue;
-    AtlasTask t;
-    t.iso2 = iso2;
-    t.count = config_.atlas_measurements_per_country;
-    t.slot_base = n_sessions;
-    n_sessions += static_cast<std::size_t>(t.count);
-    atlas.push_back(std::move(t));
-  }
-  std::vector<SessionOutput> outputs(n_sessions);
+  out.names() = plan.names;  // records carry ids from the plan's table
+  out.discarded_mismatch = plan.discarded_mismatch;
+  for (ClientInfo& info : plan.clients) out.add_client(std::move(info));
 
   // Session randomness descends from the world seed through stable keys
   // only; split() is a pure function of (seed, tag), so the root can be
   // derived regardless of how much the world RNG has already been used.
   const netsim::Rng root = world_.rng().split("campaign-sessions");
 
-  // Provider names in canonical catalog order, shared by every shard's
-  // fault-plan sampling (provider-outage draws iterate this list).
-  std::vector<std::string> provider_names;
-  provider_names.reserve(world_.providers().size());
-  for (const anycast::Provider& provider : world_.providers()) {
-    provider_names.push_back(provider.name());
-  }
+  std::vector<SessionOutput> outputs(plan.n_sessions);
+  std::vector<ShardProfile> profiles =
+      execute_campaign(world_, config_, root, plan, shards, &outputs,
+                       nullptr, metrics_, series_, recorder_);
 
-  // --- Execute ---------------------------------------------------------
-  // One metrics registry, one sim-time series, and one flight recorder
-  // per shard; sessions record without contention and everything merges
-  // below in canonical shard order. Counter/bucket arithmetic is
-  // integer-only and anomaly retention is canonical-order, so the merged
-  // results are identical for every shard count.
-  const std::size_t n_shards = static_cast<std::size_t>(std::max(shards, 1));
-  std::vector<obs::Metrics> shard_metrics(n_shards);
-  std::vector<obs::MetricSeries> shard_series(
-      n_shards, obs::MetricSeries(config_.series_window));
-  std::vector<obs::FlightRecorder> shard_recorders(
-      n_shards, obs::FlightRecorder(config_.anomalies));
-  std::vector<ShardProfile> profiles(n_shards);
-  if (shards == 0) {
-    // Serial reference path: the world's own simulator and servers.
-    profiles[0] = run_shard(
-        ShardView{world_, world_.sim(), nullptr, &shard_metrics[0],
-                  &shard_series[0], &shard_recorders[0]},
-        0, 1, config_, root, exits, atlas, provider_names, outputs);
-    stats_.shards = 1;
-  } else {
-    std::vector<std::thread> workers;
-    std::vector<std::exception_ptr> errors(
-        static_cast<std::size_t>(shards));
-    workers.reserve(static_cast<std::size_t>(shards));
-    for (int s = 0; s < shards; ++s) {
-      workers.emplace_back([&, s] {
-        try {
-          // Each worker builds (and owns) its replica so even the server
-          // stack replication runs in parallel.
-          const std::unique_ptr<world::SimContext> replica =
-              world_.make_replica();
-          const auto si = static_cast<std::size_t>(s);
-          profiles[si] = run_shard(
-              ShardView{world_, replica->sim(), replica.get(),
-                        &shard_metrics[si], &shard_series[si],
-                        &shard_recorders[si]},
-              s, shards, config_, root, exits, atlas, provider_names,
-              outputs);
-        } catch (...) {
-          errors[static_cast<std::size_t>(s)] = std::current_exception();
-        }
-      });
-    }
-    for (auto& w : workers) w.join();
-    for (const auto& error : errors) {
-      if (error) std::rethrow_exception(error);
-    }
-    stats_.shards = shards;
-  }
   std::uint64_t events = 0;
   for (const ShardProfile& p : profiles) events += p.events;
+  stats_.shards = std::max(shards, 1);
   stats_.shard_profiles = std::move(profiles);
 
-  // --- Merge in canonical slot / shard order ----------------------------
-  metrics_.clear();
-  for (const obs::Metrics& m : shard_metrics) metrics_.merge(m);
-  series_ = obs::MetricSeries(config_.series_window);
-  for (const obs::MetricSeries& s : shard_series) series_.merge(s);
-  recorder_ = obs::FlightRecorder(config_.anomalies);
-  for (const obs::FlightRecorder& r : shard_recorders) recorder_.merge(r);
-  recorder_.finalize();
-  // Fill in the retained anomalies' span trees by deterministically
-  // re-running just those sessions (≤ ring_capacity of them) with span
-  // recording on — the hot path above examined every flow span-free.
-  replay_anomaly_spans(world_, config_, root, exits, atlas, provider_names,
-                       recorder_);
-
+  // --- Merge in canonical slot order -----------------------------------
   for (SessionOutput& slot : outputs) {
-    for (DohRecord& rec : slot.doh) out.add_doh(std::move(rec));
-    for (Do53Record& rec : slot.do53) out.add_do53(std::move(rec));
+    for (DohRecord& rec : slot.doh) out.add_doh(rec);
+    for (Do53Record& rec : slot.do53) out.add_do53(rec);
     out.failed_measurements += slot.failed;
   }
 
-  stats_.sessions = n_sessions;
+  stats_.sessions = plan.n_sessions;
   stats_.events_processed = events;
   stats_.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
   return out;
+}
+
+StreamSink Campaign::run_streaming_impl(int shards) {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  const CampaignPlan plan = build_plan(world_, config_);
+
+  // Canonical exit enumeration handed to every shard sink so unique-
+  // client bitsets and client-stat arrays agree across shard counts.
+  std::vector<std::uint64_t> exit_ids;
+  std::vector<StrId> exit_iso2;
+  std::vector<double> exit_ns_distance;
+  exit_ids.reserve(plan.exits.size());
+  exit_iso2.reserve(plan.exits.size());
+  exit_ns_distance.reserve(plan.exits.size());
+  for (std::size_t e = 0; e < plan.exits.size(); ++e) {
+    exit_ids.push_back(plan.exits[e].exit->id);
+    exit_iso2.push_back(plan.exits[e].iso2_id);
+    exit_ns_distance.push_back(plan.clients[e].nameserver_distance_miles);
+  }
+
+  const std::size_t n_shards = static_cast<std::size_t>(std::max(shards, 1));
+  std::vector<StreamSink> sinks;
+  sinks.reserve(n_shards);
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    sinks.emplace_back(config_.stream, config_.runs_per_client, exit_ids,
+                       exit_iso2, exit_ns_distance, plan.provider_ids,
+                       plan.names);
+  }
+
+  const netsim::Rng root = world_.rng().split("campaign-sessions");
+
+  std::vector<ShardProfile> profiles =
+      execute_campaign(world_, config_, root, plan, shards, nullptr, &sinks,
+                       metrics_, series_, recorder_);
+
+  std::uint64_t events = 0;
+  for (const ShardProfile& p : profiles) events += p.events;
+  stats_.shards = std::max(shards, 1);
+  stats_.shard_profiles = std::move(profiles);
+
+  StreamSink merged = std::move(sinks[0]);
+  for (std::size_t s = 1; s < sinks.size(); ++s) merged.merge(sinks[s]);
+  merged.discarded_mismatch = plan.discarded_mismatch;
+
+  stats_.sessions = plan.n_sessions;
+  stats_.events_processed = events;
+  stats_.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return merged;
 }
 
 }  // namespace dohperf::measure

@@ -9,19 +9,28 @@
 //
 // Execution is sharded: the retained exit nodes (and the Atlas countries)
 // are partitioned across worker threads, each with its own simulator,
-// event queue, and replicated server stack (world::SimContext). Every
-// session draws its randomness from a private substream keyed by a stable
-// identifier ("shard-exit-<id>-run-<n>" / "shard-atlas-<iso2>-<i>"), never
-// by shard index or scheduling order, and the per-shard datasets are
-// merged in canonical (exit_id, run, provider) order — so the output is
-// bit-identical for every thread count, including the serial reference
-// path.
+// event queue, replicated server stack (world::SimContext), and slab
+// arena for coroutine frames (netsim::Arena). Every session draws its
+// randomness from a private substream keyed by a stable identifier
+// ("shard-exit-<id>-run-<n>" / "shard-atlas-<iso2>-<i>"), never by shard
+// index or scheduling order, and the per-shard results are merged in
+// canonical order — so the output is bit-identical for every thread
+// count, including the serial reference path.
+//
+// Two sink modes share the execution engine:
+//   * run() / run_serial()            -> retained-rows Dataset (paper-
+//     scale analyses; every record resident).
+//   * run_streaming() / *_serial()    -> StreamSink (million-session
+//     scale; rows folded into sketches/bitsets/counters as sessions
+//     complete, O(world) memory instead of O(sessions)).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "measure/dataset.h"
+#include "measure/stream_sink.h"
+#include "netsim/arena.h"
 #include "netsim/faultplan.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
@@ -62,6 +71,8 @@ struct CampaignConfig {
   /// span tree is built and examined, and only anomalous trees are
   /// retained (see obs/flight_recorder.h for the predicate).
   obs::AnomalyPolicy anomalies;
+  /// Streaming-sink tuning (run_streaming() only).
+  StreamSinkConfig stream;
 };
 
 /// Per-shard self-profiling of one run: how the wall-clock work and the
@@ -73,6 +84,9 @@ struct ShardProfile {
   std::uint64_t events = 0;    ///< Simulator events this shard processed.
   double wall_seconds = 0.0;
   std::size_t queue_high_water = 0;  ///< Deepest event queue observed.
+  /// Coroutine-frame arena counters for this shard (high-water, slab
+  /// bytes, free-list reuse); see netsim/arena.h.
+  netsim::ArenaStats arena;
 
   [[nodiscard]] double events_per_second() const {
     return wall_seconds > 0.0 ? static_cast<double>(events) / wall_seconds
@@ -80,8 +94,8 @@ struct ShardProfile {
   }
 };
 
-/// Execution counters of the last Campaign::run() / run_serial() (used by
-/// the benches to track the sharding speedup).
+/// Execution counters of the last Campaign run (used by the benches to
+/// track the sharding speedup).
 struct CampaignStats {
   int shards = 0;
   std::uint64_t sessions = 0;
@@ -104,6 +118,14 @@ class Campaign {
   /// server stack, no replicas, no threads. run() at any thread count is
   /// bit-identical to this.
   [[nodiscard]] Dataset run_serial();
+
+  /// Streaming-sink mode: rows are folded into the per-shard sinks as
+  /// sessions complete and never accumulate. Memory stays O(world);
+  /// aggregate results are bit-identical for every thread count.
+  [[nodiscard]] StreamSink run_streaming();
+
+  /// Serial reference path for the streaming sink.
+  [[nodiscard]] StreamSink run_streaming_serial();
 
   /// Counters of the most recent run.
   [[nodiscard]] const CampaignStats& stats() const { return stats_; }
@@ -135,6 +157,7 @@ class Campaign {
  private:
   /// `shards` == 0 selects the serial reference path.
   Dataset run_impl(int shards);
+  StreamSink run_streaming_impl(int shards);
 
   world::WorldModel& world_;
   CampaignConfig config_;

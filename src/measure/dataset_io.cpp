@@ -102,7 +102,8 @@ void save_dataset(const Dataset& dataset, const std::string& directory) {
     out << "exit_id,iso2,provider,run,pop_index,pop_distance_miles,"
            "potential_improvement_miles,tdoh_ms,tdohr_ms\n";
     for (const auto& rec : dataset.doh()) {
-      out << rec.exit_id << ',' << rec.iso2 << ',' << rec.provider << ','
+      out << rec.exit_id << ',' << dataset.name(rec.iso2) << ','
+          << dataset.name(rec.provider) << ','
           << rec.run << ',' << rec.pop_index << ','
           << fmt_double(rec.pop_distance_miles) << ','
           << fmt_double(rec.potential_improvement_miles) << ','
@@ -114,7 +115,8 @@ void save_dataset(const Dataset& dataset, const std::string& directory) {
     auto out = open_out(dir / "do53.csv");
     out << "exit_id,iso2,run,via_atlas,do53_ms\n";
     for (const auto& rec : dataset.do53()) {
-      out << rec.exit_id << ',' << rec.iso2 << ',' << rec.run << ','
+      out << rec.exit_id << ',' << dataset.name(rec.iso2) << ','
+          << rec.run << ','
           << (rec.via_atlas ? 1 : 0) << ',' << fmt_double(rec.do53_ms)
           << '\n';
     }
@@ -165,15 +167,16 @@ Dataset load_dataset(const std::string& directory) {
       }
       DohRecord rec;
       rec.exit_id = parse_u64(f[0], "doh.csv");
-      rec.iso2 = f[1];
-      rec.provider = f[2];
+      rec.iso2 = dataset.intern(f[1]);
+      rec.provider = dataset.intern(f[2]);
       rec.run = static_cast<int>(parse_u64(f[3], "doh.csv"));
-      rec.pop_index = parse_u64(f[4], "doh.csv");
+      rec.pop_index =
+          static_cast<std::uint32_t>(parse_u64(f[4], "doh.csv"));
       rec.pop_distance_miles = parse_double(f[5], "doh.csv");
       rec.potential_improvement_miles = parse_double(f[6], "doh.csv");
       rec.tdoh_ms = parse_double(f[7], "doh.csv");
       rec.tdohr_ms = parse_double(f[8], "doh.csv");
-      dataset.add_doh(std::move(rec));
+      dataset.add_doh(rec);
     }
   }
   {
@@ -187,11 +190,11 @@ Dataset load_dataset(const std::string& directory) {
       }
       Do53Record rec;
       rec.exit_id = parse_u64(f[0], "do53.csv");
-      rec.iso2 = f[1];
+      rec.iso2 = dataset.intern(f[1]);
       rec.run = static_cast<int>(parse_u64(f[2], "do53.csv"));
       rec.via_atlas = f[3] == "1";
       rec.do53_ms = parse_double(f[4], "do53.csv");
-      dataset.add_do53(std::move(rec));
+      dataset.add_do53(rec);
     }
   }
   {

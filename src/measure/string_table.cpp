@@ -1,0 +1,40 @@
+#include "measure/string_table.h"
+
+namespace dohperf::measure {
+
+StringTable& StringTable::operator=(const StringTable& other) {
+  if (this == &other) return *this;
+  // The lookup map views the deque's storage; rebuild it against our own
+  // copy of the strings rather than copying views into `other`.
+  names_ = other.names_;
+  ids_.clear();
+  ids_.reserve(names_.size());
+  for (StrId id = 0; id < static_cast<StrId>(names_.size()); ++id) {
+    ids_.emplace(names_[id], id);
+  }
+  return *this;
+}
+
+StrId StringTable::intern(std::string_view s) {
+  if (const auto it = ids_.find(s); it != ids_.end()) return it->second;
+  const auto id = static_cast<StrId>(names_.size());
+  names_.emplace_back(s);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+StrId StringTable::find(std::string_view s) const {
+  const auto it = ids_.find(s);
+  return it == ids_.end() ? kNoStrId : it->second;
+}
+
+std::string_view StringTable::name(StrId id) const {
+  if (id >= names_.size()) return {};
+  return names_[id];
+}
+
+bool StringTable::operator==(const StringTable& other) const {
+  return names_ == other.names_;
+}
+
+}  // namespace dohperf::measure

@@ -1,0 +1,56 @@
+// Deterministic string interner for dataset rows.
+//
+// Million-session campaigns cannot afford two heap std::strings per
+// DohRecord: iso2 and provider names repeat endlessly, so rows carry a
+// small integer StrId instead and the Dataset owns one StringTable that
+// maps ids back to names. Id assignment is deterministic — ids are
+// handed out in intern() call order — and the campaign interns every
+// name the sessions can produce on the main thread, in canonical
+// catalog/country order, *before* sharding. Worker shards therefore only
+// ever read precomputed ids, the table needs no synchronisation, and the
+// id of "Cloudflare" is the same for every thread count.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace dohperf::measure {
+
+using StrId = std::uint32_t;
+inline constexpr StrId kNoStrId = 0xFFFFFFFFu;
+
+class StringTable {
+ public:
+  StringTable() = default;
+  StringTable(const StringTable& other) { *this = other; }
+  StringTable& operator=(const StringTable& other);
+  StringTable(StringTable&&) = default;
+  StringTable& operator=(StringTable&&) = default;
+
+  /// The id of `s`, interning it on first sight. Ids are dense and
+  /// assigned in first-intern order.
+  StrId intern(std::string_view s);
+
+  /// The id of `s` if already interned; kNoStrId otherwise.
+  [[nodiscard]] StrId find(std::string_view s) const;
+
+  /// The name behind an id; empty view for kNoStrId.
+  [[nodiscard]] std::string_view name(StrId id) const;
+
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+
+  /// Equal when both tables interned the same names in the same order —
+  /// the determinism-test check that ids are stable across shard counts.
+  bool operator==(const StringTable& other) const;
+
+ private:
+  // std::deque: growth never moves existing strings, so the lookup map's
+  // string_view keys stay valid.
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, StrId> ids_;
+};
+
+}  // namespace dohperf::measure

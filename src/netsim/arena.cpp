@@ -1,0 +1,105 @@
+#include "netsim/arena.h"
+
+#include <cassert>
+#include <new>
+
+namespace dohperf::netsim {
+namespace {
+
+thread_local Arena* tls_arena = nullptr;
+
+/// Prefix of every frame block; 16 bytes, so a 16-aligned block keeps
+/// its payload 16-aligned (the default new alignment).
+struct BlockHeader {
+  Arena* owner;       ///< nullptr = global operator new.
+  std::size_t bytes;  ///< Block size as passed to allocate().
+};
+static_assert(sizeof(BlockHeader) == 16);
+
+}  // namespace
+
+Arena* Arena::current() noexcept { return tls_arena; }
+
+void* Arena::bump(std::size_t bytes) {
+  if (static_cast<std::size_t>(slab_end_ - cursor_) < bytes) {
+    if (active_slab_ == slabs_.size()) {
+      slabs_.push_back(std::make_unique<std::byte[]>(kSlabBytes));
+      stats_.slab_bytes += kSlabBytes;
+    }
+    cursor_ = slabs_[active_slab_].get();
+    slab_end_ = cursor_ + kSlabBytes;
+    ++active_slab_;
+  }
+  std::byte* p = cursor_;
+  cursor_ += bytes;
+  return p;
+}
+
+void* Arena::allocate(std::size_t bytes) {
+  const std::size_t cls = class_size(bytes);
+  assert(cls <= kMaxBlockBytes);
+  ++stats_.allocations;
+  stats_.live_bytes += cls;
+  if (stats_.live_bytes > stats_.high_water_bytes) {
+    stats_.high_water_bytes = stats_.live_bytes;
+  }
+  void*& head = free_lists_[cls / kGranule - 1];
+  if (head != nullptr) {
+    ++stats_.reused;
+    void* p = head;
+    head = *static_cast<void**>(p);
+    return p;
+  }
+  return bump(cls);
+}
+
+void Arena::deallocate(void* p, std::size_t bytes) noexcept {
+  const std::size_t cls = class_size(bytes);
+  stats_.live_bytes -= cls;
+  void*& head = free_lists_[cls / kGranule - 1];
+  *static_cast<void**>(p) = head;
+  head = p;
+}
+
+void Arena::reset() noexcept {
+  assert(stats_.live_bytes == 0 && "reset with outstanding blocks");
+  free_lists_.fill(nullptr);
+  active_slab_ = 0;
+  cursor_ = nullptr;
+  slab_end_ = nullptr;
+}
+
+ArenaScope::ArenaScope(Arena& arena) noexcept : previous_(tls_arena) {
+  tls_arena = &arena;
+}
+
+ArenaScope::~ArenaScope() { tls_arena = previous_; }
+
+void* arena_frame_allocate(std::size_t bytes) {
+  const std::size_t total = bytes + sizeof(BlockHeader);
+  Arena* arena = tls_arena;
+  void* raw = nullptr;
+  if (arena != nullptr && total <= Arena::kMaxBlockBytes) {
+    raw = arena->allocate(total);
+  } else {
+    if (arena != nullptr) arena->note_fallback();
+    arena = nullptr;
+    raw = ::operator new(total);
+  }
+  auto* header = static_cast<BlockHeader*>(raw);
+  header->owner = arena;
+  header->bytes = total;
+  return header + 1;
+}
+
+void arena_frame_free(void* p) noexcept {
+  if (p == nullptr) return;
+  auto* header = static_cast<BlockHeader*>(p) - 1;
+  if (header->owner != nullptr) {
+    header->owner->deallocate(header, header->bytes);
+  } else {
+    ::operator delete(header);
+  }
+}
+
+}  // namespace dohperf::netsim

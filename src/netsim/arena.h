@@ -1,0 +1,109 @@
+// Per-shard slab arena for the session hot path.
+//
+// A campaign shard churns through millions of short-lived coroutine
+// frames (one per protocol flow) whose sizes repeat across sessions.
+// Hitting the global allocator for every frame serialises shards on the
+// allocator's locks and fragments the heap; the arena instead carves
+// fixed slabs into size-class blocks and recycles freed blocks through
+// per-class free lists, so steady-state session execution performs no
+// global allocation at all.
+//
+// Threading contract: an Arena is single-threaded. A shard installs its
+// arena via ArenaScope for the duration of run_shard(); every frame is
+// allocated and freed on that shard's thread before the scope ends.
+// Blocks carry a back-pointer header, so a block freed after its scope
+// ended (or allocated outside any scope) still routes correctly.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace dohperf::netsim {
+
+/// Allocation counters for the self-profile (ShardProfile / benches).
+struct ArenaStats {
+  std::uint64_t allocations = 0;  ///< Blocks served by the arena.
+  std::uint64_t reused = 0;       ///< ... of which came from a free list.
+  std::uint64_t fallbacks = 0;    ///< Oversized requests sent to ::new.
+  std::uint64_t slab_bytes = 0;   ///< Total slab capacity acquired.
+  std::uint64_t live_bytes = 0;   ///< Currently outstanding block bytes.
+  std::uint64_t high_water_bytes = 0;  ///< Peak of live_bytes.
+
+  ArenaStats& operator+=(const ArenaStats& o) {
+    allocations += o.allocations;
+    reused += o.reused;
+    fallbacks += o.fallbacks;
+    slab_bytes += o.slab_bytes;
+    live_bytes += o.live_bytes;
+    high_water_bytes += o.high_water_bytes;
+    return *this;
+  }
+};
+
+/// A bump/slab allocator with size-class free lists.
+class Arena {
+ public:
+  static constexpr std::size_t kSlabBytes = 256 * 1024;
+  static constexpr std::size_t kGranule = 64;
+  static constexpr std::size_t kMaxBlockBytes = 8192;
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// A block of at least `bytes` (<= kMaxBlockBytes), 16-byte aligned.
+  void* allocate(std::size_t bytes);
+  /// Returns a block to its size-class free list. `bytes` must be the
+  /// value passed to allocate().
+  void deallocate(void* p, std::size_t bytes) noexcept;
+
+  /// Drops every free list and rewinds the bump cursor; slabs are kept
+  /// for reuse. Only valid when no blocks are outstanding.
+  void reset() noexcept;
+
+  [[nodiscard]] const ArenaStats& stats() const { return stats_; }
+  [[nodiscard]] static std::size_t class_size(std::size_t bytes) {
+    return (bytes + kGranule - 1) / kGranule * kGranule;
+  }
+
+  /// The arena installed on the current thread (nullptr outside any
+  /// ArenaScope).
+  [[nodiscard]] static Arena* current() noexcept;
+
+  void note_fallback() noexcept { ++stats_.fallbacks; }
+
+ private:
+  void* bump(std::size_t bytes);
+
+  std::vector<std::unique_ptr<std::byte[]>> slabs_;
+  std::size_t active_slab_ = 0;  ///< Next slab index to open.
+  std::byte* cursor_ = nullptr;
+  std::byte* slab_end_ = nullptr;
+  std::array<void*, kMaxBlockBytes / kGranule> free_lists_{};
+  ArenaStats stats_;
+};
+
+/// RAII installation of an arena as the current thread's allocator for
+/// coroutine frames (see arena_frame_allocate below).
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& arena) noexcept;
+  ~ArenaScope();
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  Arena* previous_ = nullptr;
+};
+
+/// Frame allocation entry points used by Task's promise operator new /
+/// delete. Every block is prefixed with a 16-byte header recording the
+/// owning arena (nullptr = global heap), so deallocation never depends
+/// on which scope — if any — is installed at free time.
+[[nodiscard]] void* arena_frame_allocate(std::size_t bytes);
+void arena_frame_free(void* p) noexcept;
+
+}  // namespace dohperf::netsim

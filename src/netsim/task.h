@@ -20,6 +20,7 @@
 #include <optional>
 #include <utility>
 
+#include "netsim/arena.h"
 #include "netsim/simulator.h"
 
 namespace dohperf::netsim {
@@ -32,6 +33,16 @@ namespace detail {
 struct PromiseBase {
   std::coroutine_handle<> continuation;
   std::exception_ptr error;
+
+  // Frames come from the shard's arena when one is installed (see
+  // netsim/arena.h); the block header makes delete safe either way.
+  static void* operator new(std::size_t bytes) {
+    return arena_frame_allocate(bytes);
+  }
+  static void operator delete(void* p) noexcept { arena_frame_free(p); }
+  static void operator delete(void* p, std::size_t) noexcept {
+    arena_frame_free(p);
+  }
 
   std::suspend_never initial_suspend() noexcept { return {}; }
 

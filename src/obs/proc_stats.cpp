@@ -1,0 +1,46 @@
+#include "obs/proc_stats.h"
+
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+namespace dohperf::obs {
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  // macOS reports ru_maxrss in bytes.
+  return static_cast<std::uint64_t>(usage.ru_maxrss);
+#else
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024u;
+#endif
+#else
+  return 0;
+#endif
+}
+
+std::uint64_t current_rss_bytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long size = 0;
+  unsigned long long resident = 0;
+  const int matched = std::fscanf(f, "%llu %llu", &size, &resident);
+  std::fclose(f);
+  if (matched != 2) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  if (page <= 0) return 0;
+  return static_cast<std::uint64_t>(resident) *
+         static_cast<std::uint64_t>(page);
+#else
+  return 0;
+#endif
+}
+
+}  // namespace dohperf::obs

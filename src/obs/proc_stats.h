@@ -1,0 +1,21 @@
+// Process-level resource probes for the benches and self-profiles.
+//
+// The million-session scaling story (ISSUE 6) hinges on peak RSS staying
+// flat after the world is built; these probes are how the benches and the
+// CI schema check observe it. Both return 0 when the platform offers no
+// cheap answer — callers must treat 0 as "unknown", not "zero bytes".
+#pragma once
+
+#include <cstdint>
+
+namespace dohperf::obs {
+
+/// Peak resident set size of this process in bytes (getrusage ru_maxrss).
+/// 0 when unavailable.
+[[nodiscard]] std::uint64_t peak_rss_bytes();
+
+/// Current resident set size in bytes (/proc/self/statm). 0 when
+/// unavailable (non-Linux).
+[[nodiscard]] std::uint64_t current_rss_bytes();
+
+}  // namespace dohperf::obs

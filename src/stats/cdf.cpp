@@ -21,7 +21,8 @@ double EmpiricalCdf::at(double x) const {
 }
 
 double EmpiricalCdf::value_at(double q) const {
-  return quantile(sorted_, q);
+  // sorted_ is already ascending — don't pay quantile()'s copy.
+  return quantile_sorted(sorted_, q);
 }
 
 std::vector<std::pair<double, double>> EmpiricalCdf::curve(

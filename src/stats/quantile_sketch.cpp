@@ -1,0 +1,95 @@
+#include "stats/quantile_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dohperf::stats {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace
+
+std::size_t QuantileSketch::bucket_index(double value) {
+  if (!(value >= kMinValue)) return 0;  // underflow (also NaN-safe)
+  const double octaves = std::log2(value / kMinValue);
+  const auto idx = static_cast<long>(octaves *
+                                     static_cast<double>(kBucketsPerOctave));
+  if (idx >= kLogBuckets) return kBuckets - 1;  // overflow
+  return static_cast<std::size_t>(idx) + 1;
+}
+
+double QuantileSketch::lower_edge(std::size_t bucket) {
+  // bucket 0 is underflow (edge 0); log bucket i starts at kMinValue *
+  // 2^(i / kBucketsPerOctave); the overflow bucket starts at the range top.
+  if (bucket == 0) return 0.0;
+  return kMinValue *
+         std::exp2(static_cast<double>(bucket - 1) /
+                   static_cast<double>(kBucketsPerOctave));
+}
+
+void QuantileSketch::record(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++counts_[bucket_index(value)];
+  ++count_;
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (count_ == 0) return kNaN;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+
+  // Type-7 style continuous rank over the bucketed counts, interpolating
+  // linearly between a bucket's clamped edges.
+  const double rank = q * static_cast<double>(count_ - 1);
+  std::uint64_t before = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const std::uint64_t n = counts_[b];
+    if (n == 0) continue;
+    if (rank < static_cast<double>(before + n)) {
+      const double lo = std::max(lower_edge(b), min_);
+      const double hi =
+          std::min(b + 1 < kBuckets ? lower_edge(b + 1) : max_, max_);
+      const double f =
+          (rank - static_cast<double>(before)) / static_cast<double>(n);
+      return std::clamp(lo + f * (hi - lo), min_, max_);
+    }
+    before += n;
+  }
+  return max_;
+}
+
+std::vector<std::pair<double, double>> QuantileSketch::curve(
+    std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (count_ == 0 || points == 0) return out;
+  out.reserve(points + 1);
+  for (std::size_t i = 0; i <= points; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(points);
+    out.emplace_back(quantile(q), q);
+  }
+  return out;
+}
+
+}  // namespace dohperf::stats

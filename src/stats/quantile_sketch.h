@@ -1,0 +1,67 @@
+// A mergeable, deterministic quantile sketch.
+//
+// Fixed log-spaced buckets (1/32 octave, ~2.2% relative width) over the
+// latency range the campaign produces, plus underflow/overflow buckets
+// and exact min/max. Because the bucket edges are compile-time constants,
+// merging two sketches is element-wise integer addition — commutative,
+// associative, and therefore bit-identical for any shard count or merge
+// order, which is the property the streaming campaign's determinism gate
+// rests on. Quantile queries interpolate within a bucket and are a pure
+// function of the (merged) counts, never of insertion order.
+//
+// Contrast with stats::EmpiricalCdf, which retains the full sample: a
+// sketch is ~6 KB regardless of how many values it absorbed.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dohperf::stats {
+
+class QuantileSketch {
+ public:
+  /// Bucket geometry: kBucketsPerOctave buckets per doubling, spanning
+  /// [kMinValue, kMaxValue); values outside land in the underflow /
+  /// overflow buckets and are still bounded by the exact min/max.
+  static constexpr int kBucketsPerOctave = 32;
+  static constexpr int kOctaves = 24;  // 2^-4 .. 2^20 (0.0625 .. ~1e6 ms)
+  static constexpr double kMinValue = 0.0625;
+  static constexpr int kLogBuckets = kBucketsPerOctave * kOctaves;
+  static constexpr std::size_t kBuckets =
+      static_cast<std::size_t>(kLogBuckets) + 2;  // + underflow + overflow
+
+  void record(double value);
+
+  /// Element-wise bucket addition; min/max combine. Order-canonical:
+  /// a.merge(b) == b.merge(a) for the resulting counts.
+  void merge(const QuantileSketch& other);
+
+  /// Interpolated quantile estimate; NaN when empty. q is clamped to
+  /// [0,1]; q=0 / q=1 return the exact min / max.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// (value, cumulative_fraction) pairs on `points` evenly spaced
+  /// quantiles — the sketch analogue of EmpiricalCdf::curve().
+  [[nodiscard]] std::vector<std::pair<double, double>> curve(
+      std::size_t points = 100) const;
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+  bool operator==(const QuantileSketch&) const = default;
+
+ private:
+  static std::size_t bucket_index(double value);
+  static double lower_edge(std::size_t bucket);
+
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace dohperf::stats

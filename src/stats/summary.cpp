@@ -12,19 +12,45 @@ constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 
 }  // namespace
 
+double quantile_inplace(std::span<double> xs, double q) {
+  if (xs.empty()) return kNaN;
+  q = std::clamp(q, 0.0, 1.0);
+  const double h = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(h);
+  const double frac = h - static_cast<double>(lo);
+  // Select the lo-th order statistic; when the rank falls between two
+  // statistics, the (lo+1)-th is the smallest element of the upper
+  // partition nth_element leaves behind. Same values a full sort would
+  // produce, in O(n).
+  const auto nth = xs.begin() + static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(xs.begin(), nth, xs.end());
+  const double vlo = *nth;
+  if (frac == 0.0 || lo + 1 >= xs.size()) return vlo;
+  const double vhi = *std::min_element(nth + 1, xs.end());
+  return vlo + frac * (vhi - vlo);
+}
+
 double quantile(std::span<const double> xs, double q) {
   if (xs.empty()) return kNaN;
-  std::vector<double> sorted(xs.begin(), xs.end());
-  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> scratch(xs.begin(), xs.end());
+  return quantile_inplace(scratch, q);
+}
+
+double quantile_sorted(std::span<const double> xs, double q) {
+  if (xs.empty()) return kNaN;
   q = std::clamp(q, 0.0, 1.0);
-  const double h = q * static_cast<double>(sorted.size() - 1);
+  const double h = q * static_cast<double>(xs.size() - 1);
   const auto lo = static_cast<std::size_t>(h);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
   const double frac = h - static_cast<double>(lo);
-  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
 }
 
 double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double median_inplace(std::span<double> xs) {
+  return quantile_inplace(xs, 0.5);
+}
 
 double mean(std::span<const double> xs) {
   if (xs.empty()) return kNaN;

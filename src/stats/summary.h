@@ -14,6 +14,17 @@ namespace dohperf::stats {
 /// (type-7, the R/NumPy default); NaN for an empty sample.
 [[nodiscard]] double quantile(std::span<const double> xs, double q);
 
+/// quantile() over a sample the caller allows to be reordered: selects
+/// the two order statistics with nth_element instead of copying and
+/// sorting. Identical result, O(n) instead of O(n log n).
+[[nodiscard]] double quantile_inplace(std::span<double> xs, double q);
+
+/// quantile() over an already-ascending sample; no copy, no sort.
+[[nodiscard]] double quantile_sorted(std::span<const double> xs, double q);
+
+/// median() over a sample the caller allows to be reordered.
+[[nodiscard]] double median_inplace(std::span<double> xs);
+
 [[nodiscard]] double mean(std::span<const double> xs);
 
 /// Sample standard deviation (n-1 denominator); NaN for n < 2.

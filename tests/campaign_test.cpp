@@ -11,13 +11,13 @@ namespace {
 
 // ------------------------------------------------ dataset (hand-built)
 
-DohRecord doh_record(std::uint64_t exit_id, const char* iso2,
-                     const char* provider, int run, double tdoh,
-                     double tdohr) {
+DohRecord doh_record(Dataset& data, std::uint64_t exit_id,
+                     const char* iso2, const char* provider, int run,
+                     double tdoh, double tdohr) {
   DohRecord rec;
   rec.exit_id = exit_id;
-  rec.iso2 = iso2;
-  rec.provider = provider;
+  rec.iso2 = data.intern(iso2);
+  rec.provider = data.intern(provider);
   rec.run = run;
   rec.tdoh_ms = tdoh;
   rec.tdohr_ms = tdohr;
@@ -35,16 +35,16 @@ Dataset small_dataset() {
     info.nameserver_distance_miles = 4000;
     data.add_client(info);
   }
-  data.add_doh(doh_record(1, "SE", "Cloudflare", 0, 300, 200));
-  data.add_doh(doh_record(1, "SE", "Cloudflare", 1, 340, 220));
-  data.add_doh(doh_record(1, "SE", "Google", 0, 400, 280));
-  data.add_doh(doh_record(2, "SE", "Cloudflare", 0, 500, 330));
-  data.add_doh(doh_record(3, "BR", "Cloudflare", 0, 260, 180));
+  data.add_doh(doh_record(data, 1, "SE", "Cloudflare", 0, 300, 200));
+  data.add_doh(doh_record(data, 1, "SE", "Cloudflare", 1, 340, 220));
+  data.add_doh(doh_record(data, 1, "SE", "Google", 0, 400, 280));
+  data.add_doh(doh_record(data, 2, "SE", "Cloudflare", 0, 500, 330));
+  data.add_doh(doh_record(data, 3, "BR", "Cloudflare", 0, 260, 180));
 
-  data.add_do53(Do53Record{1, "SE", 0, false, 240});
-  data.add_do53(Do53Record{1, "SE", 1, false, 260});
-  data.add_do53(Do53Record{3, "BR", 0, false, 400});
-  data.add_do53(Do53Record{kAtlasExitId, "US", 0, true, 50});
+  data.add_do53(Do53Record{1, data.intern("SE"), 0, false, 240});
+  data.add_do53(Do53Record{1, data.intern("SE"), 1, false, 260});
+  data.add_do53(Do53Record{3, data.intern("BR"), 0, false, 400});
+  data.add_do53(Do53Record{kAtlasExitId, data.intern("US"), 0, true, 50});
   return data;
 }
 
@@ -86,7 +86,9 @@ TEST(DatasetTest, ClientProviderStatsJoinsMediansAndDo53) {
 }
 
 TEST(DatasetTest, DohNAlgebra) {
-  const auto rec = doh_record(1, "SE", "Cloudflare", 0, 400, 200);
+  DohRecord rec;
+  rec.tdoh_ms = 400;
+  rec.tdohr_ms = 200;
   EXPECT_DOUBLE_EQ(rec.doh_n(1), 400);
   EXPECT_DOUBLE_EQ(rec.doh_n(10), 220);
 }
@@ -104,13 +106,13 @@ TEST(DatasetTest, CountryMedians) {
 TEST(DatasetTest, AnalysisCountriesRequireAllProviders) {
   Dataset data;
   for (int i = 0; i < 12; ++i) {
-    data.add_doh(doh_record(100 + i, "SE", "Cloudflare", 0, 300, 200));
-    data.add_doh(doh_record(100 + i, "SE", "Google", 0, 300, 200));
+    data.add_doh(doh_record(data, 100 + i, "SE", "Cloudflare", 0, 300, 200));
+    data.add_doh(doh_record(data, 100 + i, "SE", "Google", 0, 300, 200));
   }
   // SE has 12 clients for Cloudflare and Google but none for a third
   // provider -> once NextDNS rows appear anywhere, SE must be excluded.
   EXPECT_EQ(data.analysis_countries(10).size(), 1u);
-  data.add_doh(doh_record(500, "BR", "NextDNS", 0, 300, 200));
+  data.add_doh(doh_record(data, 500, "BR", "NextDNS", 0, 300, 200));
   EXPECT_TRUE(data.analysis_countries(10).empty());
 }
 
@@ -167,18 +169,21 @@ TEST_F(CampaignFixture, AllFourProvidersCovered) {
 
 TEST_F(CampaignFixture, SuperProxyCountriesHaveOnlyAtlasDo53) {
   for (const auto& rec : dataset().do53()) {
-    if (rec.iso2 == "US" || rec.iso2 == "JP") {
-      EXPECT_TRUE(rec.via_atlas) << rec.iso2;
+    const std::string_view iso2 = dataset().name(rec.iso2);
+    if (iso2 == "US" || iso2 == "JP") {
+      EXPECT_TRUE(rec.via_atlas) << iso2;
       EXPECT_EQ(rec.exit_id, kAtlasExitId);
     } else {
-      EXPECT_FALSE(rec.via_atlas) << rec.iso2;
+      EXPECT_FALSE(rec.via_atlas) << iso2;
     }
   }
 }
 
 TEST_F(CampaignFixture, AtlasRemedyCoversSuperProxyCountries) {
   std::size_t us_rows = 0;
-  for (const auto& rec : dataset().do53()) us_rows += rec.iso2 == "US";
+  for (const auto& rec : dataset().do53()) {
+    us_rows += dataset().name(rec.iso2) == "US";
+  }
   EXPECT_GE(us_rows, 20u);
 }
 

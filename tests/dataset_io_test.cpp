@@ -22,8 +22,8 @@ Dataset sample_dataset() {
 
   DohRecord doh;
   doh.exit_id = 17;
-  doh.iso2 = "SE";
-  doh.provider = "Cloudflare";
+  doh.iso2 = data.intern("SE");
+  doh.provider = data.intern("Cloudflare");
   doh.run = 1;
   doh.pop_index = 42;
   doh.pop_distance_miles = 123.456789;
@@ -34,7 +34,7 @@ Dataset sample_dataset() {
 
   Do53Record do53;
   do53.exit_id = 17;
-  do53.iso2 = "SE";
+  do53.iso2 = data.intern("SE");
   do53.run = 0;
   do53.via_atlas = false;
   do53.do53_ms = 234.25;
@@ -42,7 +42,7 @@ Dataset sample_dataset() {
 
   Do53Record atlas;
   atlas.exit_id = kAtlasExitId;
-  atlas.iso2 = "US";
+  atlas.iso2 = data.intern("US");
   atlas.via_atlas = true;
   atlas.do53_ms = 48.75;
   data.add_do53(atlas);
@@ -72,7 +72,7 @@ TEST(DatasetIoTest, RoundTripsExactly) {
 
   ASSERT_EQ(loaded.doh().size(), 1u);
   const DohRecord& doh = loaded.doh()[0];
-  EXPECT_EQ(doh.provider, "Cloudflare");
+  EXPECT_EQ(loaded.name(doh.provider), "Cloudflare");
   EXPECT_EQ(doh.run, 1);
   EXPECT_EQ(doh.pop_index, 42u);
   EXPECT_DOUBLE_EQ(doh.tdoh_ms, 338.0123456789);  // bit-exact via %.17g

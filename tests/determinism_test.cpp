@@ -9,16 +9,20 @@
 // campaign warms the world's mutable server state.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 
 #include "measure/campaign.h"
 #include "measure/dataset.h"
+#include "measure/stream_sink.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/series.h"
 #include "report/csv.h"
 #include "report/table.h"
 #include "stats/cdf.h"
+#include "stats/quantile_sketch.h"
+#include "stats/summary.h"
 #include "world/world_model.h"
 
 namespace dohperf::measure {
@@ -50,6 +54,10 @@ Dataset run_with_shards(int threads) {
 void expect_identical(const Dataset& a, const Dataset& b) {
   EXPECT_EQ(a.discarded_mismatch, b.discarded_mismatch);
   EXPECT_EQ(a.failed_measurements, b.failed_measurements);
+  // Interned ids are only comparable across runs because the string
+  // tables are built identically (canonical pre-interning on the main
+  // thread); assert that directly.
+  EXPECT_TRUE(a.names() == b.names());
 
   ASSERT_EQ(a.clients().size(), b.clients().size());
   for (auto ia = a.clients().begin(), ib = b.clients().begin();
@@ -333,6 +341,171 @@ TEST(DeterminismTest, ShardProfilesCoverAllSessionsAndEvents) {
   }
   EXPECT_EQ(sessions, stats.sessions);
   EXPECT_EQ(events, stats.events_processed);
+}
+
+// --- Streaming sink ---------------------------------------------------
+// The streaming campaign folds rows into sketches/bitsets/counters as
+// sessions complete instead of retaining them. Its determinism contract
+// is the same: every aggregate bit-identical at serial/1/2/4 shards, and
+// the fig4/fig5 CSVs built from the sink must be stable strings.
+
+CampaignConfig stream_config(int threads) {
+  CampaignConfig config = campaign_config(threads);
+  config.stream.client_stats = true;  // exercise the dense arrays too
+  return config;
+}
+
+StreamSink stream_with_shards(int threads) {
+  auto world = fresh_world();
+  Campaign campaign(*world, stream_config(threads));
+  return threads == 0 ? campaign.run_streaming_serial()
+                      : campaign.run_streaming();
+}
+
+const StreamSink& golden_stream_serial() {
+  static const StreamSink sink = stream_with_shards(0);
+  return sink;
+}
+
+std::string stream_fig4_csv(const StreamSink& sink) {
+  report::CsvWriter csv({"series", "ms", "cdf"});
+  const auto dump = [&csv](const std::string& name,
+                           const stats::QuantileSketch& sketch) {
+    for (const auto& [value, fraction] : sketch.curve(50)) {
+      csv.add_row({name, report::fmt(value, 1), report::fmt(fraction, 3)});
+    }
+  };
+  dump("Do53", sink.do53_sketch());
+  for (const char* provider :
+       {"Cloudflare", "Google", "NextDNS", "Quad9"}) {
+    dump(std::string(provider) + "-DoH1", sink.tdoh_sketch(provider));
+    dump(std::string(provider) + "-DoHR", sink.tdohr_sketch(provider));
+  }
+  return csv.str();
+}
+
+std::string stream_fig5_csv(const StreamSink& sink) {
+  report::CsvWriter csv({"iso2", "provider", "median_doh1_ms"});
+  const auto analysis = sink.analysis_countries(10);
+  for (const char* provider :
+       {"Cloudflare", "Google", "NextDNS", "Quad9"}) {
+    const auto medians = sink.country_doh1_medians(provider);
+    for (const auto& iso2 : analysis) {
+      if (const auto it = medians.find(iso2); it != medians.end()) {
+        csv.add_row({iso2, provider, report::fmt(it->second, 1)});
+      }
+    }
+  }
+  return csv.str();
+}
+
+TEST(DeterminismTest, StreamingSinkBitIdenticalAcrossShardCounts) {
+  const StreamSink& serial = golden_stream_serial();
+  EXPECT_GT(serial.sessions(), 0u);
+  EXPECT_GT(serial.doh_rows(), 0u);
+  EXPECT_GT(serial.do53_rows(), 0u);
+  EXPECT_GT(serial.atlas_rows(), 0u);
+  EXPECT_GT(serial.discarded_mismatch, 0u);
+
+  const std::string fig4 = stream_fig4_csv(serial);
+  const std::string fig5 = stream_fig5_csv(serial);
+  EXPECT_FALSE(fig4.empty());
+  EXPECT_FALSE(fig5.empty());
+
+  for (const int threads : {1, 2, 4}) {
+    const StreamSink sharded = stream_with_shards(threads);
+    EXPECT_TRUE(sharded == serial) << threads << " threads";
+    EXPECT_EQ(stream_fig4_csv(sharded), fig4) << threads << " threads";
+    EXPECT_EQ(stream_fig5_csv(sharded), fig5) << threads << " threads";
+  }
+}
+
+// Both sink modes execute the identical session schedule, so everything
+// that does not depend on the sink — row counts, failure totals, unique
+// clients/countries, analysis filter, exact client medians, the merged
+// metrics — must agree exactly between them.
+TEST(DeterminismTest, StreamingAgreesWithRetainedCampaign) {
+  auto world_stream = fresh_world();
+  Campaign stream_campaign(*world_stream, stream_config(2));
+  const StreamSink sink = stream_campaign.run_streaming();
+
+  auto world_retained = fresh_world();
+  Campaign retained_campaign(*world_retained, stream_config(2));
+  const Dataset data = retained_campaign.run();
+
+  EXPECT_EQ(sink.discarded_mismatch, data.discarded_mismatch);
+  EXPECT_EQ(sink.failed_measurements(), data.failed_measurements);
+  EXPECT_EQ(sink.doh_rows(), data.doh().size());
+  EXPECT_EQ(sink.do53_rows() + sink.atlas_rows(), data.do53().size());
+  EXPECT_EQ(sink.client_count(), data.clients().size());
+
+  for (const char* provider :
+       {"Cloudflare", "Google", "NextDNS", "Quad9"}) {
+    EXPECT_EQ(sink.unique_clients(provider),
+              data.unique_clients(provider))
+        << provider;
+    EXPECT_EQ(sink.unique_countries(provider),
+              data.unique_countries(provider))
+        << provider;
+  }
+  EXPECT_EQ(sink.do53_clients(), data.do53_clients());
+  EXPECT_EQ(sink.do53_countries(), data.do53_countries());
+  EXPECT_EQ(sink.analysis_countries(10), data.analysis_countries(10));
+
+  // Exact client medians: the dense stream store sees the same values in
+  // the same per-client order as the retained fold, so the stats must be
+  // bit-identical, NaNs excepted.
+  const auto stream_stats = sink.client_provider_stats();
+  const auto retained_stats = data.client_provider_stats();
+  ASSERT_EQ(stream_stats.size(), retained_stats.size());
+  for (std::size_t i = 0; i < stream_stats.size(); ++i) {
+    const ClientProviderStat& s = stream_stats[i];
+    const ClientProviderStat& r = retained_stats[i];
+    EXPECT_EQ(s.exit_id, r.exit_id) << i;
+    EXPECT_EQ(s.provider, r.provider) << i;
+    EXPECT_EQ(s.iso2, r.iso2) << i;
+    EXPECT_EQ(s.tdoh_ms, r.tdoh_ms) << i;
+    EXPECT_EQ(s.tdohr_ms, r.tdohr_ms) << i;
+    EXPECT_EQ(s.pop_distance_miles, r.pop_distance_miles) << i;
+    EXPECT_EQ(s.potential_improvement_miles,
+              r.potential_improvement_miles)
+        << i;
+    EXPECT_EQ(s.nameserver_distance_miles, r.nameserver_distance_miles)
+        << i;
+    if (std::isnan(r.do53_ms)) {
+      EXPECT_TRUE(std::isnan(s.do53_ms)) << i;
+    } else {
+      EXPECT_EQ(s.do53_ms, r.do53_ms) << i;
+    }
+  }
+
+  // Sketch medians approximate the exact medians within the sketch's
+  // relative bucket resolution (2^(1/32) per bucket ≈ 2.2%).
+  const std::vector<double> all_doh = data.tdoh_values();
+  EXPECT_NEAR(sink.tdoh_sketch().quantile(0.5),
+              stats::median(all_doh), stats::median(all_doh) * 0.05);
+
+  // The observability side is sink-independent entirely.
+  EXPECT_TRUE(stream_campaign.metrics() == retained_campaign.metrics());
+  EXPECT_TRUE(stream_campaign.series() == retained_campaign.series());
+  EXPECT_TRUE(stream_campaign.anomalies() ==
+              retained_campaign.anomalies());
+}
+
+TEST(DeterminismTest, ShardProfilesReportArenaActivity) {
+  auto world = fresh_world();
+  Campaign campaign(*world, campaign_config(2));
+  (void)campaign.run();
+  for (const ShardProfile& p : campaign.stats().shard_profiles) {
+    // Every session coroutine frame comes from the shard arena.
+    EXPECT_GT(p.arena.allocations, 0u) << p.shard;
+    EXPECT_GT(p.arena.high_water_bytes, 0u) << p.shard;
+    EXPECT_GT(p.arena.slab_bytes, 0u) << p.shard;
+    // Batching recycles frames: reuse must dominate fresh slab growth.
+    EXPECT_GT(p.arena.reused, p.arena.allocations / 2) << p.shard;
+    // By the final drain every frame was returned.
+    EXPECT_EQ(p.arena.live_bytes, 0u) << p.shard;
+  }
 }
 
 TEST(DeterminismTest, StatsCountShardsAndSessions) {

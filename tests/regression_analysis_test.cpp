@@ -28,13 +28,13 @@ Dataset planted_dataset(const std::string& fast_iso2,
       data.add_client(info);
 
       const double do53 = rng.uniform(150, 260);
-      data.add_do53(Do53Record{id, iso2, 0, false, do53});
+      data.add_do53(Do53Record{id, data.intern(iso2), 0, false, do53});
       for (const char* provider :
            {"Cloudflare", "Google", "NextDNS", "Quad9"}) {
         DohRecord rec;
         rec.exit_id = id;
-        rec.iso2 = iso2;
-        rec.provider = provider;
+        rec.iso2 = data.intern(iso2);
+        rec.provider = data.intern(provider);
         rec.run = 0;
         rec.tdoh_ms = do53 * doh_scale * rng.uniform(0.7, 1.35) + 80;
         rec.tdohr_ms = do53 * doh_scale * rng.uniform(0.6, 1.1);
@@ -72,8 +72,8 @@ TEST(RegressionRowsTest, SkipsClientsWithoutDo53) {
   Dataset data = planted_dataset("SE", "TD", 10);
   DohRecord orphan;
   orphan.exit_id = 9999;
-  orphan.iso2 = "US";
-  orphan.provider = "Cloudflare";
+  orphan.iso2 = data.intern("US");
+  orphan.provider = data.intern("Cloudflare");
   orphan.tdoh_ms = 300;
   orphan.tdohr_ms = 200;
   data.add_doh(orphan);
@@ -108,11 +108,11 @@ TEST(LogisticTableTest, DetectsPlantedSlowBandwidthEffect) {
       info.iso2 = iso2;
       data.add_client(info);
       const double do53 = rng.uniform(150, 260);
-      data.add_do53(Do53Record{id, iso2, 0, false, do53});
+      data.add_do53(Do53Record{id, data.intern(iso2), 0, false, do53});
       DohRecord rec;
       rec.exit_id = id;
-      rec.iso2 = iso2;
-      rec.provider = "Cloudflare";
+      rec.iso2 = data.intern(iso2);
+      rec.provider = data.intern("Cloudflare");
       rec.tdoh_ms = do53 * scale * rng.uniform(0.75, 1.3) + 60;
       rec.tdohr_ms = do53 * scale * rng.uniform(0.6, 1.1);
       data.add_doh(rec);
@@ -188,11 +188,11 @@ TEST(LinearTableTest, InfrastructureGradientIsRecoverable) {
       info.nameserver_distance_miles = rng.uniform(2000, 6000);
       data.add_client(info);
       const double do53 = rng.uniform(150, 250);
-      data.add_do53(Do53Record{id, iso2, 0, false, do53});
+      data.add_do53(Do53Record{id, data.intern(iso2), 0, false, do53});
       DohRecord rec;
       rec.exit_id = id;
-      rec.iso2 = iso2;
-      rec.provider = "Cloudflare";
+      rec.iso2 = data.intern(iso2);
+      rec.provider = data.intern("Cloudflare");
       rec.tdoh_ms =
           do53 + 60 + 3000.0 / country->bandwidth_mbps * rng.uniform(0.8, 1.2);
       rec.tdohr_ms = rec.tdoh_ms - 50;

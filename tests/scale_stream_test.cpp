@@ -1,0 +1,279 @@
+// Unit tests for the million-session scaling pieces: the mergeable
+// quantile sketch, the deterministic string interner, the coroutine-frame
+// slab arena, and the nth_element quantile fast path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "measure/string_table.h"
+#include "netsim/arena.h"
+#include "netsim/random.h"
+#include "netsim/task.h"
+#include "stats/quantile_sketch.h"
+#include "stats/summary.h"
+
+namespace dohperf {
+namespace {
+
+// --------------------------------------------------------- QuantileSketch
+
+std::vector<double> latency_sample(std::size_t n, std::uint64_t seed) {
+  netsim::Rng rng(seed);
+  std::vector<double> values;
+  values.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Latency-shaped: a bulk around 50-400 ms plus a long tail.
+    double v = rng.uniform(20.0, 400.0);
+    if (rng.bernoulli(0.05)) v *= rng.uniform(3.0, 12.0);
+    values.push_back(v);
+  }
+  return values;
+}
+
+TEST(QuantileSketchTest, QuantilesTrackExactWithinBucketResolution) {
+  const std::vector<double> values = latency_sample(5000, 11);
+  stats::QuantileSketch sketch;
+  for (const double v : values) sketch.record(v);
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+
+  EXPECT_EQ(sketch.count(), values.size());
+  for (const double q : {0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double exact = stats::quantile_sorted(sorted, q);
+    // 1/32-octave buckets are ~2.2% wide; interpolation keeps the
+    // estimate inside the bucket.
+    EXPECT_NEAR(sketch.quantile(q), exact, exact * 0.025) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketchTest, ExtremesAndDegenerateCases) {
+  stats::QuantileSketch empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_TRUE(std::isnan(empty.quantile(0.5)));
+  EXPECT_TRUE(empty.curve(10).empty());
+
+  stats::QuantileSketch one;
+  one.record(123.5);
+  EXPECT_DOUBLE_EQ(one.quantile(0.0), 123.5);
+  EXPECT_DOUBLE_EQ(one.quantile(0.5), 123.5);
+  EXPECT_DOUBLE_EQ(one.quantile(1.0), 123.5);
+
+  stats::QuantileSketch s;
+  s.record(0.001);    // under kMinValue -> underflow bucket
+  s.record(5.0e8);    // beyond the top octave -> overflow bucket
+  EXPECT_DOUBLE_EQ(s.min(), 0.001);  // min/max stay exact regardless
+  EXPECT_DOUBLE_EQ(s.max(), 5.0e8);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.001);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0e8);
+  // Every estimate is clamped into [min, max].
+  for (const double q : {0.1, 0.5, 0.9}) {
+    EXPECT_GE(s.quantile(q), s.min());
+    EXPECT_LE(s.quantile(q), s.max());
+  }
+}
+
+TEST(QuantileSketchTest, MergeIsBitIdenticalUnderPermutedOrder) {
+  const std::vector<double> values = latency_sample(4096, 17);
+
+  // Shard the sample eight ways, round-robin (like exits across shards).
+  std::vector<stats::QuantileSketch> shards(8);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    shards[i % shards.size()].record(values[i]);
+  }
+
+  const auto merge_in_order = [&](const std::vector<std::size_t>& order) {
+    stats::QuantileSketch out;
+    for (const std::size_t s : order) out.merge(shards[s]);
+    return out;
+  };
+
+  const stats::QuantileSketch forward =
+      merge_in_order({0, 1, 2, 3, 4, 5, 6, 7});
+  const stats::QuantileSketch backward =
+      merge_in_order({7, 6, 5, 4, 3, 2, 1, 0});
+  const stats::QuantileSketch shuffled =
+      merge_in_order({3, 0, 6, 1, 7, 2, 5, 4});
+
+  EXPECT_TRUE(forward == backward);
+  EXPECT_TRUE(forward == shuffled);
+
+  // ... and identical to the unsharded fold.
+  stats::QuantileSketch serial;
+  for (const double v : values) serial.record(v);
+  EXPECT_TRUE(forward == serial);
+  EXPECT_EQ(forward.count(), values.size());
+}
+
+TEST(QuantileSketchTest, CurveIsMonotoneAndBounded) {
+  stats::QuantileSketch sketch;
+  for (const double v : latency_sample(1000, 23)) sketch.record(v);
+  const auto curve = sketch.curve(50);
+  ASSERT_EQ(curve.size(), 51u);  // 0..points inclusive, like EmpiricalCdf
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].first, curve[i - 1].first);
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+  }
+  EXPECT_GE(curve.front().first, sketch.min());
+  EXPECT_LE(curve.back().first, sketch.max());
+}
+
+// ------------------------------------------------------------ StringTable
+
+TEST(StringTableTest, IdsAreDenseAndFirstInternOrdered) {
+  measure::StringTable table;
+  EXPECT_EQ(table.intern("Cloudflare"), 0u);
+  EXPECT_EQ(table.intern("Google"), 1u);
+  EXPECT_EQ(table.intern("Cloudflare"), 0u);  // idempotent
+  EXPECT_EQ(table.intern("SE"), 2u);
+  EXPECT_EQ(table.size(), 3u);
+
+  EXPECT_EQ(table.find("Google"), 1u);
+  EXPECT_EQ(table.find("absent"), measure::kNoStrId);
+  EXPECT_EQ(table.name(2), "SE");
+  EXPECT_EQ(table.name(measure::kNoStrId), "");
+}
+
+TEST(StringTableTest, SameInternSequenceYieldsIdenticalTables) {
+  // The campaign pre-interns providers then countries in canonical order
+  // on every run; two runs of the same sequence must agree bit-for-bit —
+  // this is what makes StrIds comparable across shard counts.
+  const auto build = [] {
+    measure::StringTable t;
+    for (const char* s :
+         {"Cloudflare", "Google", "NextDNS", "Quad9", "US", "SE", "BR"}) {
+      t.intern(s);
+    }
+    return t;
+  };
+  EXPECT_TRUE(build() == build());
+
+  measure::StringTable other;
+  other.intern("Google");  // different order -> different ids
+  other.intern("Cloudflare");
+  EXPECT_FALSE(build() == other);
+}
+
+TEST(StringTableTest, CopiesAreIndependentAndEqual) {
+  measure::StringTable original;
+  original.intern("Cloudflare");
+  original.intern("SE");
+
+  measure::StringTable copy = original;
+  EXPECT_TRUE(copy == original);
+  EXPECT_EQ(copy.find("SE"), 1u);  // lookup map rebuilt onto own storage
+
+  original.intern("BR");  // diverge the source
+  EXPECT_EQ(copy.size(), 2u);
+  EXPECT_EQ(copy.find("BR"), measure::kNoStrId);
+  EXPECT_EQ(copy.name(0), "Cloudflare");
+}
+
+// ------------------------------------------------------------------ Arena
+
+TEST(ArenaTest, RecyclesBlocksThroughFreeLists) {
+  netsim::Arena arena;
+  void* a = arena.allocate(100);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(arena.stats().allocations, 1u);
+  EXPECT_EQ(arena.stats().reused, 0u);
+  EXPECT_EQ(arena.stats().live_bytes, netsim::Arena::class_size(100));
+
+  arena.deallocate(a, 100);
+  EXPECT_EQ(arena.stats().live_bytes, 0u);
+
+  // Same size class -> served from the free list, same block back.
+  void* b = arena.allocate(90);
+  EXPECT_EQ(b, a);
+  EXPECT_EQ(arena.stats().reused, 1u);
+  arena.deallocate(b, 90);
+
+  EXPECT_EQ(arena.stats().high_water_bytes, netsim::Arena::class_size(100));
+  EXPECT_EQ(arena.stats().slab_bytes, netsim::Arena::kSlabBytes);
+}
+
+TEST(ArenaTest, ResetKeepsSlabsAndDropsFreeLists) {
+  netsim::Arena arena;
+  std::vector<void*> blocks;
+  for (int i = 0; i < 100; ++i) blocks.push_back(arena.allocate(256));
+  for (void* p : blocks) arena.deallocate(p, 256);
+  const std::uint64_t slab_bytes = arena.stats().slab_bytes;
+
+  arena.reset();
+  EXPECT_EQ(arena.stats().live_bytes, 0u);
+  EXPECT_EQ(arena.stats().slab_bytes, slab_bytes);  // capacity retained
+
+  // Allocation after reset bumps from the rewound cursor, no new slab.
+  (void)arena.allocate(256);
+  EXPECT_EQ(arena.stats().slab_bytes, slab_bytes);
+}
+
+TEST(ArenaTest, FrameAllocationRoutesByHeaderAcrossScopes) {
+  netsim::Arena arena;
+  void* in_scope = nullptr;
+  {
+    netsim::ArenaScope scope(arena);
+    EXPECT_EQ(netsim::Arena::current(), &arena);
+    in_scope = netsim::arena_frame_allocate(128);
+    EXPECT_GT(arena.stats().allocations, 0u);
+    EXPECT_GT(arena.stats().live_bytes, 0u);
+  }
+  EXPECT_EQ(netsim::Arena::current(), nullptr);
+  // Freed after the scope ended: the header still routes to the arena.
+  netsim::arena_frame_free(in_scope);
+  EXPECT_EQ(arena.stats().live_bytes, 0u);
+
+  // Outside any scope the global heap serves the frame; freeing must not
+  // touch the arena.
+  void* global = netsim::arena_frame_allocate(128);
+  netsim::arena_frame_free(global);
+  EXPECT_EQ(arena.stats().live_bytes, 0u);
+}
+
+TEST(ArenaTest, OversizedFramesFallBackToGlobalHeap) {
+  netsim::Arena arena;
+  netsim::ArenaScope scope(arena);
+  void* big = netsim::arena_frame_allocate(netsim::Arena::kMaxBlockBytes);
+  EXPECT_EQ(arena.stats().fallbacks, 1u);
+  EXPECT_EQ(arena.stats().live_bytes, 0u);  // not arena-resident
+  netsim::arena_frame_free(big);  // must route to ::operator delete
+}
+
+netsim::Task<int> trivial_coroutine() { co_return 7; }
+
+TEST(ArenaTest, CoroutineFramesComeFromTheInstalledArena) {
+  netsim::Arena arena;
+  {
+    netsim::ArenaScope scope(arena);
+    netsim::Task<int> t = trivial_coroutine();
+    EXPECT_EQ(t.result(), 7);
+    EXPECT_GT(arena.stats().allocations, 0u);
+    EXPECT_GT(arena.stats().live_bytes, 0u);  // frame alive via the Task
+  }
+  EXPECT_EQ(arena.stats().live_bytes, 0u);  // Task destroyed, frame freed
+  EXPECT_GT(arena.stats().high_water_bytes, 0u);
+}
+
+// --------------------------------------------------- nth_element quantile
+
+TEST(QuantileFastPathTest, MatchesSortBasedQuantileBitForBit) {
+  const std::vector<double> values = latency_sample(997, 31);
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+
+  for (const double q :
+       {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.999, 1.0}) {
+    const double reference = stats::quantile_sorted(sorted, q);
+    EXPECT_EQ(stats::quantile(values, q), reference) << "q=" << q;
+    std::vector<double> scratch = values;
+    EXPECT_EQ(stats::quantile_inplace(scratch, q), reference) << "q=" << q;
+  }
+  std::vector<double> scratch = values;
+  EXPECT_EQ(stats::median_inplace(scratch),
+            stats::quantile_sorted(sorted, 0.5));
+}
+
+}  // namespace
+}  // namespace dohperf

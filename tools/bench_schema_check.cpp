@@ -1,0 +1,126 @@
+// Validates a BENCH_scale.json produced by bench/scale_campaign against
+// the "dohperf-bench-scale-v1" schema. Exits nonzero on any problem so
+// CI fails loudly on malformed bench artifacts instead of archiving junk.
+//
+//   bench_schema_check <path/to/BENCH_scale.json>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+using dohperf::obs::json::Value;
+
+namespace {
+
+int g_errors = 0;
+
+void fail(const std::string& what) {
+  std::fprintf(stderr, "bench_schema_check: %s\n", what.c_str());
+  ++g_errors;
+}
+
+/// Requires `obj[key]` to be a number; with `nonneg`, >= 0 too.
+void require_number(const Value& obj, const std::string& key,
+                    const std::string& where, bool nonneg = true) {
+  const Value* v = obj.get(key);
+  if (v == nullptr || !v->is_number()) {
+    fail(where + ": missing or non-numeric \"" + key + "\"");
+    return;
+  }
+  if (nonneg && v->as_number() < 0.0) {
+    fail(where + ": \"" + key + "\" is negative");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: bench_schema_check <BENCH_scale.json>\n");
+    return 2;
+  }
+
+  std::ifstream in(argv[1]);
+  if (!in) {
+    fail(std::string("cannot open ") + argv[1]);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  const auto doc = dohperf::obs::json::parse(buffer.str());
+  if (!doc.has_value() || !doc->is_object()) {
+    fail("not a JSON object");
+    return 1;
+  }
+
+  if (doc->string_or("schema", "") != "dohperf-bench-scale-v1") {
+    fail("schema tag is not \"dohperf-bench-scale-v1\"");
+  }
+
+  const Value* world = doc->get("world");
+  if (world == nullptr || !world->is_object()) {
+    fail("missing \"world\" object");
+  } else {
+    require_number(*world, "scale", "world");
+    require_number(*world, "seed", "world");
+    require_number(*world, "exits", "world");
+    if (world->number_or("exits", 0) <= 0) fail("world.exits must be > 0");
+  }
+
+  const Value* points = doc->get("points");
+  if (points == nullptr || !points->is_array() || points->as_array().empty()) {
+    fail("missing or empty \"points\" array");
+    return 1;
+  }
+
+  double prev_sessions = 0;
+  std::size_t index = 0;
+  for (const Value& point : points->as_array()) {
+    const std::string where = "points[" + std::to_string(index) + "]";
+    if (!point.is_object()) {
+      fail(where + ": not an object");
+      ++index;
+      continue;
+    }
+    for (const char* key :
+         {"requested_sessions", "runs_per_client", "sessions", "shards",
+          "events", "wall_seconds", "events_per_second", "doh_rows",
+          "do53_rows", "atlas_rows", "failed_measurements", "doh_median_ms",
+          "peak_rss_bytes", "current_rss_bytes"}) {
+      require_number(point, key, where);
+    }
+    if (point.number_or("sessions", 0) <= 0) {
+      fail(where + ": sessions must be > 0");
+    }
+    if (point.number_or("sessions", 0) < prev_sessions) {
+      fail(where + ": sessions not ascending across the sweep");
+    }
+    prev_sessions = point.number_or("sessions", 0);
+
+    const Value* arena = point.get("arena");
+    if (arena == nullptr || !arena->is_object()) {
+      fail(where + ": missing \"arena\" object");
+    } else {
+      for (const char* key : {"allocations", "reused", "fallbacks",
+                              "slab_bytes", "high_water_bytes"}) {
+        require_number(*arena, key, where + ".arena");
+      }
+      if (arena->number_or("reused", 0) > arena->number_or("allocations", 0)) {
+        fail(where + ".arena: reused exceeds allocations");
+      }
+    }
+    ++index;
+  }
+
+  if (g_errors != 0) {
+    std::fprintf(stderr, "bench_schema_check: %d error(s) in %s\n", g_errors,
+                 argv[1]);
+    return 1;
+  }
+  std::printf("bench_schema_check: %s OK (%zu sweep point(s))\n", argv[1],
+              points->as_array().size());
+  return 0;
+}
