@@ -6,6 +6,7 @@
 // quantifying what better PoP assignment would buy (paper Section 7).
 #include <cstdio>
 
+#include "anycast/catalog.h"
 #include "support.h"
 
 using namespace dohperf;
@@ -35,15 +36,15 @@ Outcome run(bool perfect) {
   for (int p = 0; p < 4; ++p) {
     std::vector<double> improvement;
     for (const auto& s : stats_rows) {
-      if (s.provider == benchsupport::kProviders[p]) {
+      if (s.provider == anycast::kProviderNames[p]) {
         improvement.push_back(s.potential_improvement_miles);
       }
     }
-    out.improvement_median[p] = stats::median(improvement);
-    out.doh1_median[p] =
-        stats::median(data.tdoh_values(benchsupport::kProviders[p]));
-    out.dohr_median[p] =
-        stats::median(data.tdohr_values(benchsupport::kProviders[p]));
+    out.improvement_median[p] = stats::median_inplace(improvement);
+    std::vector<double> doh1 = data.tdoh_values(anycast::kProviderNames[p]);
+    out.doh1_median[p] = stats::median_inplace(doh1);
+    std::vector<double> dohr = data.tdohr_values(anycast::kProviderNames[p]);
+    out.dohr_median[p] = stats::median_inplace(dohr);
   }
   return out;
 }
@@ -61,7 +62,7 @@ int main() {
                 "DoH1 noisy", "DoH1 perfect", "DoHR noisy",
                 "DoHR perfect"});
   for (int p = 0; p < 4; ++p) {
-    table.row({benchsupport::kProviders[p],
+    table.row({anycast::kProviderNames[p],
                report::fmt(noisy.improvement_median[p], 0) + " mi",
                report::fmt(perfect.improvement_median[p], 0) + " mi",
                report::fmt(noisy.doh1_median[p], 0),

@@ -43,8 +43,10 @@ Outcome run(bool couple_infra) {
   out.or_few_ases = logistic.term(measure::kTermFewAses).odds_ratio;
   out.scaled_bandwidth_coef =
       linear.term(measure::kTermBandwidth).scaled_coef;
-  out.doh1_median = stats::median(data.tdoh_values());
-  out.do53_median = stats::median(data.do53_values());
+  std::vector<double> tdoh = data.tdoh_values();
+  out.doh1_median = stats::median_inplace(tdoh);
+  std::vector<double> do53 = data.do53_values();
+  out.do53_median = stats::median_inplace(do53);
   return out;
 }
 

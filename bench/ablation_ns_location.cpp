@@ -37,9 +37,11 @@ Outcome run(const std::string& city) {
   }
 
   Outcome out;
-  out.do53_median = stats::median(data.do53_values());
-  out.doh1_median = stats::median(data.tdoh_values());
-  out.delta10_median = stats::median(delta10);
+  std::vector<double> do53 = data.do53_values();
+  out.do53_median = stats::median_inplace(do53);
+  std::vector<double> tdoh = data.tdoh_values();
+  out.doh1_median = stats::median_inplace(tdoh);
+  out.delta10_median = stats::median_inplace(delta10);
   return out;
 }
 

@@ -27,7 +27,8 @@ Outcome run(transport::TlsVersion version) {
 
   const auto rows = measure::regression_rows(data);
   Outcome out;
-  out.doh1_median = stats::median(data.tdoh_values());
+  std::vector<double> tdoh = data.tdoh_values();
+  out.doh1_median = stats::median_inplace(tdoh);
   out.m1_median = measure::multiplier_medians(rows).m1;
   return out;
 }

@@ -113,7 +113,7 @@ CacheOutcome run_workload(world::WorldModel& world,
     out.hit_rate = static_cast<double>(distributed_hits) /
                    std::max<std::uint64_t>(1, distributed_queries);
   }
-  out.median_ms = stats::median(latencies);
+  out.median_ms = stats::median_inplace(latencies);
   return out;
 }
 

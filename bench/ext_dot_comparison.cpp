@@ -77,11 +77,13 @@ int main() {
         if (ms >= 0) do53.push_back(ms);
       }
     }
-    table.row({provider.name(), report::fmt(stats::median(dot1), 0),
-               report::fmt(stats::median(dotr), 0),
-               report::fmt(stats::median(doh1), 0),
-               report::fmt(stats::median(dohr), 0),
-               report::fmt(stats::median(doh1) - stats::median(dot1), 1)});
+    const double dot1_median = stats::median_inplace(dot1);
+    const double doh1_median = stats::median_inplace(doh1);
+    table.row({provider.name(), report::fmt(dot1_median, 0),
+               report::fmt(stats::median_inplace(dotr), 0),
+               report::fmt(doh1_median, 0),
+               report::fmt(stats::median_inplace(dohr), 0),
+               report::fmt(doh1_median - dot1_median, 1)});
   }
   table.caption(
       "One sampled client per country per provider; DoT skips the HTTP "

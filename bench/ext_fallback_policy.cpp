@@ -55,7 +55,7 @@ ModeStats run_mode(world::WorldModel& world, const std::string& iso2,
     downgraded += outcome.downgraded;
     if (outcome.resolved) elapsed.push_back(outcome.elapsed_ms);
   }
-  return {stats::median(elapsed),
+  return {stats::median_inplace(elapsed),
           static_cast<double>(resolved) / std::max(1, total),
           static_cast<double>(downgraded) / std::max(1, total)};
 }

@@ -1,23 +1,42 @@
 // Extension — episodic fault injection: how does the DoH-vs-Do53 gap
 // respond as loss-spike episodes intensify?
 //
-// Sweeps the per-session loss-spike probability (fixed spike severity)
-// across otherwise-identical quarter-scale campaigns. DoH's longer
-// setup chain (tunnel, TCP, TLS, HTTP) crosses more datagram exchanges
-// per measurement than Do53's single UDP round trip, so episodic loss
-// should both retard DoH more in absolute terms and convert more DoH
-// measurements into hard failures. The retry counters come from the
-// per-attempt state machines (NetCtx::await_datagram_delivery /
-// handshake_gate), merged bit-identically across shards.
+// The experiment is a declarative sweep spec: otherwise-identical
+// quarter-scale campaigns stepping the per-session loss-spike
+// probability (fixed spike severity). scenario::expand() turns the spec
+// into the cell grid and scenario::run() executes each cell; this file
+// only shapes the results. DoH's longer setup chain (tunnel, TCP, TLS,
+// HTTP) crosses more datagram exchanges per measurement than Do53's
+// single UDP round trip, so episodic loss should both retard DoH more
+// in absolute terms and convert more DoH measurements into hard
+// failures. The retry counters come from the per-attempt state machines
+// (NetCtx::await_datagram_delivery / handshake_gate), merged
+// bit-identically across shards.
 #include <cstdio>
 #include <fstream>
 #include <vector>
 
+#include "scenario/sweep.h"
 #include "support.h"
 
 using namespace dohperf;
 
 namespace {
+
+constexpr const char* kSweepSpec = R"(name = "ext-fault-injection"
+
+[world]
+client_scale = 0.25
+
+[campaign]
+atlas_measurements_per_country = 20
+
+[faults]
+spike_extra_loss = 0.5
+
+[sweep]
+faults.loss_spike_probability = [0, 0.25, 0.5, 1]
+)";
 
 struct Outcome {
   double spike_probability;
@@ -29,28 +48,16 @@ struct Outcome {
   std::uint64_t sessions;
 };
 
-Outcome run(double spike_probability) {
-  world::WorldConfig config;
-  config.seed = benchsupport::seed_from_env();
-  config.client_scale = 0.25 * benchsupport::scale_from_env();
-  world::WorldModel world(config);
-
-  measure::CampaignConfig campaign_config;
-  campaign_config.atlas_measurements_per_country = 20;
-  campaign_config.faults.loss_spike_probability = spike_probability;
-  campaign_config.faults.spike_extra_loss = 0.5;
-  measure::Campaign campaign(world, campaign_config);
-  const measure::Dataset data = campaign.run();
-
+Outcome run_cell(const scenario::SweepCell& cell) {
+  const scenario::RunResult result = scenario::run(cell.spec);
   Outcome out;
-  out.spike_probability = spike_probability;
-  out.doh1_median = stats::median(data.tdoh_values());
-  out.do53_median = stats::median(data.do53_values());
-  out.retries = campaign.metrics().counters.loss_retries +
-                campaign.metrics().counters.handshake_retries;
-  out.timeouts = campaign.metrics().counters.retry_timeouts;
-  out.failed = data.failed_measurements;
-  out.sessions = campaign.stats().sessions;
+  out.spike_probability = cell.spec.campaign.faults.loss_spike_probability;
+  out.doh1_median = result.doh1_median_ms;
+  out.do53_median = result.do53_median_ms;
+  out.retries = result.retries;
+  out.timeouts = result.retry_timeouts;
+  out.failed = result.failed_measurements;
+  out.sessions = result.stats.sessions;
   return out;
 }
 
@@ -61,9 +68,21 @@ int main() {
               "(quarter-scale campaigns; spike severity fixed at 0.5 "
               "extra loss,\n windowed per session)\n\n");
 
-  const double intensities[] = {0.0, 0.25, 0.5, 1.0};
+  const scenario::SpecParseResult parsed =
+      scenario::parse_spec(kSweepSpec, "ext_fault_injection");
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.error.c_str());
+    return 2;
+  }
+  scenario::SpecDocument doc = parsed.doc;
+  scenario::apply_env_overrides(doc.base);
+  std::printf("sweep spec hash %s\n\n",
+              scenario::document_hash(doc).c_str());
+
   std::vector<Outcome> outcomes;
-  for (const double p : intensities) outcomes.push_back(run(p));
+  for (const scenario::SweepCell& cell : scenario::expand(doc)) {
+    outcomes.push_back(run_cell(cell));
+  }
 
   report::Table table("Loss-episode intensity vs DoH / Do53");
   table.header({"spike prob", "DoH1 med (ms)", "Do53 med (ms)",

@@ -4,6 +4,7 @@
 // Emits the CDF series as CSV next to the summary table.
 #include <cstdio>
 
+#include "anycast/catalog.h"
 #include "report/csv.h"
 #include "stats/cdf.h"
 #include "support.h"
@@ -38,7 +39,7 @@ int main() {
   dump("Do53", do53);
 
   double cf_dohr_gap = 0.0;
-  for (const char* provider : benchsupport::kProviders) {
+  for (const char* provider : anycast::kProviderNames) {
     const stats::EmpiricalCdf doh1(data.tdoh_values(provider));
     const stats::EmpiricalCdf dohr(data.tdohr_values(provider));
     add_series(std::string(provider) + " DoH1", doh1);

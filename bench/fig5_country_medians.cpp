@@ -4,6 +4,7 @@
 // PoP counts and the paper's named observations (Senegal, extremes).
 #include <cstdio>
 
+#include "anycast/catalog.h"
 #include "report/csv.h"
 #include "support.h"
 
@@ -20,7 +21,7 @@ int main() {
   pops.header({"Provider", "PoPs", "paper"});
   const std::size_t counts[] = {146, 26, 107, 152};
   for (std::size_t p = 0; p < 4; ++p) {
-    pops.row({benchsupport::kProviders[p],
+    pops.row({anycast::kProviderNames[p],
               std::to_string(env.world().providers()[p].pops().size()),
               std::to_string(counts[p])});
   }
@@ -31,7 +32,7 @@ int main() {
   // Country medians -> CSV (the map's colour channel).
   report::CsvWriter csv({"iso2", "provider", "median_doh1_ms"});
   const auto analysis = data.analysis_countries(10);
-  for (const char* provider : benchsupport::kProviders) {
+  for (const char* provider : anycast::kProviderNames) {
     const auto medians = data.country_doh_medians(provider, 1);
     for (const auto& iso2 : analysis) {
       if (const auto it = medians.find(iso2); it != medians.end()) {
@@ -56,9 +57,9 @@ int main() {
   report::Table named("Country-level observations");
   named.header({"Observation", "ours", "paper"});
   named.row({"median country DoH1 (ms)",
-             report::fmt(stats::median(doh_medians), 1), "564.7"});
+             report::fmt(stats::median_inplace(doh_medians), 1), "564.7"});
   named.row({"median country Do53 (ms)",
-             report::fmt(stats::median(do53_medians), 1), "332.9"});
+             report::fmt(stats::median_inplace(do53_medians), 1), "332.9"});
   auto row_for = [&](const char* iso2, const char* metric, double paper) {
     const auto it = all_doh.find(iso2);
     named.row({std::string(iso2) + " " + metric,

@@ -1,6 +1,7 @@
 // Figure 9 — Per-client distance to the servicing DoH PoP, by provider.
 #include <cstdio>
 
+#include "anycast/catalog.h"
 #include "report/csv.h"
 #include "stats/cdf.h"
 #include "support.h"
@@ -16,7 +17,7 @@ int main() {
   report::Table table("Distance to the PoP used (miles)");
   table.header({"Provider", "p25", "median", "p75", "p90"});
   report::CsvWriter csv({"provider", "miles", "cdf"});
-  for (const char* provider : benchsupport::kProviders) {
+  for (const char* provider : anycast::kProviderNames) {
     std::vector<double> distances;
     for (const auto& s : stats_rows) {
       if (s.provider == provider) distances.push_back(s.pop_distance_miles);

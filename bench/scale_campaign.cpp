@@ -2,29 +2,33 @@
 // campaign at increasing session counts over one fixed world and record
 // wall time, throughput, peak RSS, and arena counters per point.
 //
-// The world is built once; each sweep point raises runs_per_client until
-// the requested session count is reached, so any RSS growth across the
-// sweep is attributable to the campaign — the streaming sink's claim is
-// that there is (almost) none.
+// The experiment is a streaming scenario spec: the world is built once
+// from the spec's [world] section; each sweep point raises
+// runs_per_client until the requested session count is reached and runs
+// through scenario::run() against the shared world, so any RSS growth
+// across the sweep is attributable to the campaign — the streaming
+// sink's claim is that there is (almost) none.
 //
 //   DOHPERF_SCALE_POINTS  comma-separated session targets
 //                         (default "10000,30000,100000,300000,1000000")
 //   DOHPERF_SCALE_OUT     output JSON path (default out/BENCH_scale.json)
 //   DOHPERF_SCALE / DOHPERF_SEED / DOHPERF_THREADS as everywhere else.
 //
-// The output carries schema tag "dohperf-bench-scale-v1" and is
+// The output carries schema tag "dohperf-bench-scale-v1" — each point
+// stamped with the content hash of the exact spec it ran — and is
 // validated by tools/bench_schema_check in CI.
 #include <algorithm>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
-#include "measure/campaign.h"
 #include "obs/proc_stats.h"
 #include "proxy/brightdata.h"
+#include "scenario/runner.h"
 #include "support.h"
 #include "world/world_model.h"
 
@@ -49,6 +53,7 @@ std::vector<std::uint64_t> points_from_env() {
 struct Point {
   std::uint64_t requested = 0;
   int runs_per_client = 0;
+  std::string spec_hash;
   measure::CampaignStats stats;
   netsim::ArenaStats arena;          // summed across shards
   std::uint64_t arena_high_water = 0;  // max across shards
@@ -61,18 +66,26 @@ struct Point {
   double doh_median_ms = 0.0;
 };
 
-void write_json(const std::string& path, const world::WorldConfig& wc,
-                std::size_t exits, const std::vector<Point>& points) {
+void write_json(const std::string& path, const scenario::CampaignSpec& spec,
+                const std::string& base_hash, std::size_t exits,
+                const std::vector<Point>& points) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);  // best-effort
+  }
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "scale_campaign: cannot open %s\n", path.c_str());
     std::exit(1);
   }
   std::fprintf(f, "{\n  \"schema\": \"dohperf-bench-scale-v1\",\n");
+  std::fprintf(f, "  \"spec_hash\": \"%s\",\n", base_hash.c_str());
   std::fprintf(f,
                "  \"world\": {\"scale\": %g, \"seed\": %" PRIu64
                ", \"exits\": %zu},\n",
-               wc.client_scale, wc.seed, exits);
+               spec.world.client_scale, spec.world.seed, exits);
   std::fprintf(f, "  \"points\": [\n");
   for (std::size_t i = 0; i < points.size(); ++i) {
     const Point& p = points[i];
@@ -80,6 +93,7 @@ void write_json(const std::string& path, const world::WorldConfig& wc,
     std::fprintf(f, "      \"requested_sessions\": %" PRIu64 ",\n",
                  p.requested);
     std::fprintf(f, "      \"runs_per_client\": %d,\n", p.runs_per_client);
+    std::fprintf(f, "      \"spec_hash\": \"%s\",\n", p.spec_hash.c_str());
     std::fprintf(f, "      \"sessions\": %" PRIu64 ",\n", p.stats.sessions);
     std::fprintf(f, "      \"shards\": %d,\n", p.stats.shards);
     std::fprintf(f, "      \"events\": %" PRIu64 ",\n",
@@ -114,13 +128,17 @@ void write_json(const std::string& path, const world::WorldConfig& wc,
 }  // namespace
 
 int main() {
-  world::WorldConfig wc;
-  wc.seed = benchsupport::seed_from_env();
-  wc.client_scale = benchsupport::scale_from_env();
+  scenario::CampaignSpec spec = scenario::paper_baseline_spec();
+  spec.name = "scale-campaign";
+  spec.sink = scenario::SinkMode::kStreaming;
+  scenario::apply_env_overrides(spec);
+  spec.outputs = scenario::OutputsSpec{};  // this bench shapes its own JSON
+  const std::string base_hash = scenario::spec_hash(spec);
+
   std::printf("scale_campaign: building world (scale %.2f, seed %" PRIu64
-              ")...\n",
-              wc.client_scale, wc.seed);
-  world::WorldModel world(wc);
+              ", spec %s)...\n",
+              spec.world.client_scale, spec.world.seed, base_hash.c_str());
+  world::WorldModel world(spec.world);
   const std::size_t exits = world.exit_count();
   const std::uint64_t rss_after_world = obs::peak_rss_bytes();
   std::printf("world: %zu exit nodes | peak RSS after build %.1f MiB\n",
@@ -128,9 +146,8 @@ int main() {
 
   // Atlas sessions are fixed per sweep point; the remainder is reached by
   // raising runs_per_client over the fixed exit population.
-  measure::CampaignConfig base;
   const std::uint64_t atlas_total =
-      static_cast<std::uint64_t>(base.atlas_measurements_per_country) *
+      static_cast<std::uint64_t>(spec.campaign.atlas_measurements_per_country) *
       proxy::kSuperProxyCountries.size();
 
   std::vector<Point> results;
@@ -142,22 +159,21 @@ int main() {
     p.runs_per_client = std::max(
         1, static_cast<int>(std::llround(wanted / static_cast<double>(exits))));
 
-    measure::CampaignConfig config = base;
-    config.runs_per_client = p.runs_per_client;
-    measure::Campaign campaign(world, config);
-    const measure::StreamSink sink = campaign.run_streaming();
+    spec.campaign.runs_per_client = p.runs_per_client;
+    const scenario::RunResult result = scenario::run(spec, world);
 
-    p.stats = campaign.stats();
+    p.spec_hash = result.hash;
+    p.stats = result.stats;
     for (const measure::ShardProfile& sp : p.stats.shard_profiles) {
       p.arena += sp.arena;
       p.arena_high_water =
           std::max(p.arena_high_water, sp.arena.high_water_bytes);
     }
-    p.doh_rows = sink.doh_rows();
-    p.do53_rows = sink.do53_rows();
-    p.atlas_rows = sink.atlas_rows();
-    p.failed = sink.failed_measurements();
-    p.doh_median_ms = sink.tdoh_sketch().quantile(0.5);
+    p.doh_rows = result.sink.doh_rows();
+    p.do53_rows = result.sink.do53_rows();
+    p.atlas_rows = result.sink.atlas_rows();
+    p.failed = result.failed_measurements;
+    p.doh_median_ms = result.doh1_median_ms;
     p.peak_rss = obs::peak_rss_bytes();
     p.current_rss = obs::current_rss_bytes();
     results.push_back(p);
@@ -183,7 +199,7 @@ int main() {
   const std::string path = out_env != nullptr
                                ? std::string(out_env)
                                : benchsupport::out_path("BENCH_scale.json");
-  write_json(path, wc, exits, results);
+  write_json(path, spec, base_hash, exits, results);
   std::printf("wrote %s\n", path.c_str());
   return 0;
 }

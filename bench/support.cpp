@@ -10,9 +10,6 @@
 #include "obs/proc_stats.h"
 #include "obs/span.h"
 #include "obs/trace_export.h"
-#include "report/anomalies.h"
-#include "report/metrics.h"
-#include "report/timeseries.h"
 
 namespace dohperf::benchsupport {
 namespace {
@@ -85,46 +82,59 @@ Env& Env::instance() {
   return env;
 }
 
-Env::Env() : scale_(scale_from_env()) {
-  world::WorldConfig config;
-  config.seed = seed_from_env();
-  config.client_scale = scale_;
-  world_ = std::make_unique<world::WorldModel>(config);
+Env::Env() {
+  scenario::CampaignSpec spec;
+  if (const char* spec_path = std::getenv("DOHPERF_SPEC")) {
+    const scenario::SpecParseResult parsed =
+        scenario::load_spec_file(spec_path);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.error.c_str());
+      std::exit(2);
+    }
+    if (parsed.doc.is_sweep()) {
+      std::fprintf(stderr,
+                   "bench: %s is a sweep spec; benches run one campaign "
+                   "(use tools/campaign_run for sweeps)\n",
+                   spec_path);
+      std::exit(2);
+    }
+    spec = parsed.doc.base;
+    scenario::apply_env_overrides(spec);
+  } else {
+    spec = scenario::paper_baseline_spec();
+    scenario::apply_env_overrides(spec);
+    // The benches' historical Atlas scaling rule: the paper's >=250
+    // samples per country, shrunk with the world but never below 10.
+    // Applies to the baseline only — an explicit spec file says what it
+    // means.
+    spec.campaign.atlas_measurements_per_country =
+        std::max(10, static_cast<int>(250 * spec.world.client_scale));
+  }
+  spec.sink = scenario::SinkMode::kRetained;  // benches query the rows
 
-  measure::CampaignConfig campaign_config;
-  campaign_config.atlas_measurements_per_country =
-      std::max(10, static_cast<int>(250 * scale_));
-  measure::Campaign campaign(*world_, campaign_config);
-  dataset_ = campaign.run();
-  stats_ = campaign.stats();
-  metrics_ = campaign.metrics();
-  series_ = campaign.series();
-  anomalies_ = campaign.anomalies();
+  world_ = std::make_unique<world::WorldModel>(spec.world);
+  scenario::RunResult result = scenario::run(spec, *world_);
+  scenario::write_outputs(result);
+
+  spec_ = std::move(result.spec);
+  hash_ = std::move(result.hash);
+  dataset_ = std::move(result.dataset);
+  stats_ = std::move(result.stats);
+  metrics_ = std::move(result.metrics);
+  series_ = std::move(result.series);
+  anomalies_ = std::move(result.anomalies);
 
   if (const char* trace_path = std::getenv("DOHPERF_TRACE")) {
     capture_trace(*world_, trace_path);
-  }
-  if (const char* metrics_path = std::getenv("DOHPERF_METRICS")) {
-    report::metrics_csv(metrics_).write_file(metrics_path);
-  }
-  if (const char* series_path = std::getenv("DOHPERF_SERIES")) {
-    report::timeseries_csv(series_).write_file(series_path);
-  }
-  if (const char* om_path = std::getenv("DOHPERF_OPENMETRICS")) {
-    obs::write_text_file(om_path, report::openmetrics_text(series_));
-  }
-  if (const char* anomalies_dir = std::getenv("DOHPERF_ANOMALIES")) {
-    std::error_code ec;
-    std::filesystem::create_directories(anomalies_dir, ec);  // best-effort
-    const std::size_t dumps = report::write_anomaly_dumps(anomalies_, anomalies_dir);
-    std::fprintf(stderr, "anomalies: %zu flow dump(s) -> %s\n", dumps,
-                 anomalies_dir);
   }
 }
 
 void print_banner(const std::string& title) {
   Env& env = Env::instance();
   std::printf("%s\n", title.c_str());
+  std::printf("scenario %s | hash %s | sink %s\n",
+              env.spec().name.c_str(), env.spec_hash().c_str(),
+              std::string(scenario::to_string(env.spec().sink)).c_str());
   std::printf(
       "world scale %.2f | %zu exit nodes | %zu retained clients | "
       "%llu mismatch-discarded | %llu failed measurements\n",

@@ -1,8 +1,15 @@
 // Shared environment for the reproduction benches: builds the world and
-// runs the campaign once per process.
+// runs the campaign once per process, driven by a scenario spec.
 //
-// DOHPERF_SCALE   scales the client population (default 1.0 = paper scale,
-//                 ~22k clients; use 0.1 for a quick look).
+// The spec is scenario::paper_baseline_spec() unless DOHPERF_SPEC names
+// a spec file; either way the DOHPERF_* environment applies on top as
+// spec overrides (see scenario::apply_env_overrides):
+//
+// DOHPERF_SPEC    path to a scenario spec file replacing the paper
+//                 baseline (sweep specs are rejected — benches run one
+//                 campaign; use tools/campaign_run for sweeps).
+// DOHPERF_SCALE   multiplies the spec's client scale (default 1.0 =
+//                 paper scale, ~22k clients; use 0.1 for a quick look).
 // DOHPERF_SEED    world seed (default 42).
 // DOHPERF_THREADS campaign worker shards (default: hardware concurrency).
 //                 The dataset is bit-identical for every value.
@@ -11,15 +18,11 @@
 //                 trace JSON to the given path (plus a JSONL span dump at
 //                 <path>.jsonl). The campaign itself runs untraced, so
 //                 datasets are unaffected.
-// DOHPERF_METRICS when set, dumps the merged campaign metrics registry as
-//                 CSV to the given path.
-// DOHPERF_SERIES  when set, dumps the merged sim-time metric series as
-//                 CSV (report::timeseries_csv) to the given path.
-// DOHPERF_OPENMETRICS  when set, dumps the series in OpenMetrics text
-//                 exposition format to the given path.
-// DOHPERF_ANOMALIES    when set, writes the flight recorder's retained
-//                 anomalous flows (anomalies.csv + one Perfetto JSON per
-//                 flow) into the given directory, created if needed.
+// DOHPERF_METRICS / DOHPERF_SERIES / DOHPERF_OPENMETRICS /
+// DOHPERF_ANOMALIES / DOHPERF_SUMMARY
+//                 become the spec's [outputs] entries; files are written
+//                 by scenario::write_outputs with the spec's content
+//                 hash stamped into every artifact.
 #pragma once
 
 #include <memory>
@@ -32,16 +35,14 @@
 #include "obs/metrics.h"
 #include "obs/series.h"
 #include "report/table.h"
+#include "scenario/runner.h"
 #include "stats/summary.h"
 #include "world/world_model.h"
 
 namespace dohperf::benchsupport {
 
-/// The four studied providers, in the paper's order.
-inline constexpr const char* kProviders[] = {"Cloudflare", "Google",
-                                             "NextDNS", "Quad9"};
-
-/// Scale / seed from the environment.
+/// Scale / seed from the environment (for benches that build their own
+/// ablated worlds rather than riding the shared Env).
 [[nodiscard]] double scale_from_env();
 [[nodiscard]] std::uint64_t seed_from_env();
 
@@ -53,7 +54,11 @@ class Env {
 
   [[nodiscard]] world::WorldModel& world() { return *world_; }
   [[nodiscard]] const measure::Dataset& dataset() const { return dataset_; }
-  [[nodiscard]] double scale() const { return scale_; }
+  [[nodiscard]] double scale() const { return spec_.world.client_scale; }
+  /// The scenario this process ran, and its content hash (stamped into
+  /// every artifact the run wrote).
+  [[nodiscard]] const scenario::CampaignSpec& spec() const { return spec_; }
+  [[nodiscard]] const std::string& spec_hash() const { return hash_; }
   /// Execution counters of the campaign run (shards, events, wall time).
   [[nodiscard]] const measure::CampaignStats& stats() const {
     return stats_;
@@ -72,7 +77,8 @@ class Env {
 
  private:
   Env();
-  double scale_;
+  scenario::CampaignSpec spec_;
+  std::string hash_;
   std::unique_ptr<world::WorldModel> world_;
   measure::Dataset dataset_;
   measure::CampaignStats stats_;
@@ -81,7 +87,8 @@ class Env {
   obs::FlightRecorder anomalies_;
 };
 
-/// Prints the standard bench banner (scale, client counts, runtime note).
+/// Prints the standard bench banner (scenario, scale, client counts,
+/// runtime note).
 void print_banner(const std::string& title);
 
 /// Where generated artifacts (figure CSVs) belong: `out/<name>`, relative

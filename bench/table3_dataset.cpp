@@ -1,6 +1,7 @@
 // Table 3 — Dataset composition, plus the Section 5 headline medians.
 #include <cstdio>
 
+#include "anycast/catalog.h"
 #include "support.h"
 
 using namespace dohperf;
@@ -42,19 +43,23 @@ int main() {
   // Headline medians (paper Section 1/5).
   report::Table headline("Headline medians");
   headline.header({"Metric", "ours (ms)", "paper (ms)"});
-  headline.row({"global DoH1", report::fmt(stats::median(data.tdoh_values()), 0),
+  std::vector<double> tdoh = data.tdoh_values();
+  headline.row({"global DoH1", report::fmt(stats::median_inplace(tdoh), 0),
                 "415"});
-  headline.row({"global Do53", report::fmt(stats::median(data.do53_values()), 0),
+  std::vector<double> do53 = data.do53_values();
+  headline.row({"global Do53", report::fmt(stats::median_inplace(do53), 0),
                 "234"});
-  for (const char* provider : benchsupport::kProviders) {
+  for (const char* provider : anycast::kProviderNames) {
+    std::vector<double> doh1 = data.tdoh_values(provider);
     headline.row({std::string(provider) + " DoH1",
-                  report::fmt(stats::median(data.tdoh_values(provider)), 0),
+                  report::fmt(stats::median_inplace(doh1), 0),
                   provider == std::string("Cloudflare")   ? "338"
                   : provider == std::string("Google")     ? "429"
                   : provider == std::string("NextDNS")    ? "467"
                                                           : "447"});
+    std::vector<double> dohr = data.tdohr_values(provider);
     headline.row({std::string(provider) + " DoHR",
-                  report::fmt(stats::median(data.tdohr_values(provider)), 0),
+                  report::fmt(stats::median_inplace(dohr), 0),
                   provider == std::string("Cloudflare")   ? "257"
                   : provider == std::string("Google")     ? "315"
                   : provider == std::string("NextDNS")    ? "324"

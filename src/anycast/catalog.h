@@ -14,6 +14,15 @@
 
 namespace dohperf::anycast {
 
+/// The four studied providers in the paper's canonical order — the same
+/// order studied_providers() builds them and the campaign enumerates
+/// them. This is the single source of truth: benches, the scenario
+/// layer, and reports must consume it instead of re-declaring the list.
+inline constexpr const char* kProviderNames[] = {"Cloudflare", "Google",
+                                                 "NextDNS", "Quad9"};
+inline constexpr std::size_t kProviderCount =
+    sizeof(kProviderNames) / sizeof(kProviderNames[0]);
+
 /// Observed catalog sizes from the paper (Section 5.2).
 inline constexpr std::size_t kCloudflarePopCount = 146;
 inline constexpr std::size_t kGooglePopCount = 26;

@@ -1,0 +1,255 @@
+#include "scenario/runner.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "anycast/catalog.h"
+#include "obs/proc_stats.h"
+#include "report/anomalies.h"
+#include "report/metrics.h"
+#include "report/table.h"
+#include "report/timeseries.h"
+#include "stats/cdf.h"
+#include "stats/summary.h"
+
+namespace dohperf::scenario {
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+void write_text(const std::string& path, const std::string& content) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);  // best-effort
+  }
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  if (!out) {
+    throw std::runtime_error("scenario: cannot write " + path);
+  }
+}
+
+double median_of(std::vector<double> values) {
+  return values.empty() ? 0.0 : stats::median_inplace(values);
+}
+
+}  // namespace
+
+RunResult run(const CampaignSpec& spec, world::WorldModel& world) {
+  RunResult result;
+  result.spec = spec;
+  result.hash = spec_hash(spec);
+
+  measure::Campaign campaign(world, spec.campaign);
+  if (spec.sink == SinkMode::kRetained) {
+    result.dataset = campaign.run();
+    result.failed_measurements = result.dataset.failed_measurements;
+    result.discarded_mismatch = result.dataset.discarded_mismatch;
+    result.doh1_median_ms = median_of(result.dataset.tdoh_values());
+    result.do53_median_ms = median_of(result.dataset.do53_values());
+  } else {
+    result.sink = campaign.run_streaming();
+    result.failed_measurements = result.sink.failed_measurements();
+    result.discarded_mismatch = result.sink.discarded_mismatch;
+    result.doh1_median_ms = result.sink.tdoh_sketch().quantile(0.5);
+    result.do53_median_ms = result.sink.do53_sketch().quantile(0.5);
+  }
+  result.stats = campaign.stats();
+  result.metrics = campaign.metrics();
+  result.series = campaign.series();
+  result.anomalies = campaign.anomalies();
+  result.retries = result.metrics.counters.loss_retries +
+                   result.metrics.counters.handshake_retries;
+  result.retry_timeouts = result.metrics.counters.retry_timeouts;
+  return result;
+}
+
+RunResult run(const CampaignSpec& spec) {
+  world::WorldModel world(spec.world);
+  return run(spec, world);
+}
+
+report::CsvWriter fig4_csv(const measure::Dataset& data) {
+  report::CsvWriter csv({"series", "ms", "cdf"});
+  const auto dump = [&csv](const std::string& name,
+                           const stats::EmpiricalCdf& cdf) {
+    for (const auto& [value, fraction] : cdf.curve(50)) {
+      csv.add_row({name, report::fmt(value, 1), report::fmt(fraction, 3)});
+    }
+  };
+  dump("Do53", stats::EmpiricalCdf(data.do53_values()));
+  for (const char* provider : anycast::kProviderNames) {
+    dump(std::string(provider) + "-DoH1",
+         stats::EmpiricalCdf(data.tdoh_values(provider)));
+    dump(std::string(provider) + "-DoHR",
+         stats::EmpiricalCdf(data.tdohr_values(provider)));
+  }
+  return csv;
+}
+
+report::CsvWriter fig4_csv(const measure::StreamSink& sink) {
+  report::CsvWriter csv({"series", "ms", "cdf"});
+  const auto dump = [&csv](const std::string& name,
+                           const stats::QuantileSketch& sketch) {
+    for (const auto& [value, fraction] : sketch.curve(50)) {
+      csv.add_row({name, report::fmt(value, 1), report::fmt(fraction, 3)});
+    }
+  };
+  dump("Do53", sink.do53_sketch());
+  for (const char* provider : anycast::kProviderNames) {
+    dump(std::string(provider) + "-DoH1", sink.tdoh_sketch(provider));
+    dump(std::string(provider) + "-DoHR", sink.tdohr_sketch(provider));
+  }
+  return csv;
+}
+
+report::CsvWriter fig5_csv(const measure::Dataset& data) {
+  report::CsvWriter csv({"iso2", "provider", "median_doh1_ms"});
+  const auto analysis = data.analysis_countries(10);
+  for (const char* provider : anycast::kProviderNames) {
+    const auto medians = data.country_doh_medians(provider, 1);
+    for (const auto& iso2 : analysis) {
+      if (const auto it = medians.find(iso2); it != medians.end()) {
+        csv.add_row({iso2, provider, report::fmt(it->second, 1)});
+      }
+    }
+  }
+  return csv;
+}
+
+report::CsvWriter fig5_csv(const measure::StreamSink& sink) {
+  report::CsvWriter csv({"iso2", "provider", "median_doh1_ms"});
+  const auto analysis = sink.analysis_countries(10);
+  for (const char* provider : anycast::kProviderNames) {
+    const auto medians = sink.country_doh1_medians(provider);
+    for (const auto& iso2 : analysis) {
+      if (const auto it = medians.find(iso2); it != medians.end()) {
+        csv.add_row({iso2, provider, report::fmt(it->second, 1)});
+      }
+    }
+  }
+  return csv;
+}
+
+std::string summary_json(const RunResult& result) {
+  const CampaignSpec& spec = result.spec;
+  std::string out = "{\n  \"schema\": \"dohperf-scenario-summary-v1\",\n";
+  out += "  \"name\": ";
+  append_json_string(out, spec.name);
+  out += ",\n  \"spec_hash\": ";
+  append_json_string(out, result.hash);
+  out += ",\n  \"sink\": ";
+  append_json_string(out, to_string(spec.sink));
+  out += ",\n  \"world\": {\"seed\": " + std::to_string(spec.world.seed) +
+         ", \"client_scale\": " + format_double(spec.world.client_scale) +
+         "},\n";
+  out += "  \"campaign\": {\"runs_per_client\": " +
+         std::to_string(spec.campaign.runs_per_client) +
+         ", \"atlas_measurements_per_country\": " +
+         std::to_string(spec.campaign.atlas_measurements_per_country) +
+         "},\n";
+  out += "  \"sessions\": " + std::to_string(result.stats.sessions) + ",\n";
+  out += "  \"shards\": " + std::to_string(result.stats.shards) + ",\n";
+  out += "  \"events\": " + std::to_string(result.stats.events_processed) +
+         ",\n";
+  out += "  \"wall_seconds\": " + format_double(result.stats.wall_seconds) +
+         ",\n";
+  out += "  \"doh1_median_ms\": " + format_double(result.doh1_median_ms) +
+         ",\n";
+  out += "  \"do53_median_ms\": " + format_double(result.do53_median_ms) +
+         ",\n";
+  out += "  \"retries\": " + std::to_string(result.retries) + ",\n";
+  out += "  \"retry_timeouts\": " + std::to_string(result.retry_timeouts) +
+         ",\n";
+  out += "  \"failed_measurements\": " +
+         std::to_string(result.failed_measurements) + ",\n";
+  out += "  \"discarded_mismatch\": " +
+         std::to_string(result.discarded_mismatch) + ",\n";
+  out += "  \"peak_rss_bytes\": " + std::to_string(obs::peak_rss_bytes()) +
+         ",\n";
+  out += "  \"outputs\": [";
+  bool first = true;
+  for (const std::string& path : result.written) {
+    if (!first) out += ", ";
+    first = false;
+    append_json_string(out, path);
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+std::string provenance_line(const RunResult& result) {
+  std::string line = "# dohperf-spec name=";
+  line += result.spec.name;
+  line += " hash=";
+  line += result.hash;
+  line += " sink=";
+  line += to_string(result.spec.sink);
+  line += "\n";
+  return line;
+}
+
+void write_outputs(RunResult& result) {
+  const OutputsSpec& outputs = result.spec.outputs;
+  const std::string stamp = provenance_line(result);
+
+  const auto emit_csv = [&](const std::string& path,
+                            const report::CsvWriter& csv) {
+    write_text(path, stamp + csv.str());
+    result.written.push_back(path);
+  };
+
+  if (!outputs.fig4_csv.empty()) {
+    emit_csv(outputs.fig4_csv, result.spec.sink == SinkMode::kRetained
+                                   ? fig4_csv(result.dataset)
+                                   : fig4_csv(result.sink));
+  }
+  if (!outputs.fig5_csv.empty()) {
+    emit_csv(outputs.fig5_csv, result.spec.sink == SinkMode::kRetained
+                                   ? fig5_csv(result.dataset)
+                                   : fig5_csv(result.sink));
+  }
+  if (!outputs.metrics_csv.empty()) {
+    emit_csv(outputs.metrics_csv, report::metrics_csv(result.metrics));
+  }
+  if (!outputs.series_csv.empty()) {
+    emit_csv(outputs.series_csv, report::timeseries_csv(result.series));
+  }
+  if (!outputs.openmetrics.empty()) {
+    write_text(outputs.openmetrics,
+               stamp + report::openmetrics_text(result.series));
+    result.written.push_back(outputs.openmetrics);
+  }
+  if (!outputs.anomalies_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(outputs.anomalies_dir, ec);
+    const std::size_t dumps =
+        report::write_anomaly_dumps(result.anomalies, outputs.anomalies_dir);
+    write_text((std::filesystem::path(outputs.anomalies_dir) / "spec.txt")
+                   .string(),
+               stamp + canonical_text(result.spec));
+    std::fprintf(stderr, "anomalies: %zu flow dump(s) -> %s\n", dumps,
+                 outputs.anomalies_dir.c_str());
+    result.written.push_back(outputs.anomalies_dir);
+  }
+  // The summary goes last so its "outputs" array lists everything else
+  // this run produced.
+  if (!outputs.summary_json.empty()) {
+    write_text(outputs.summary_json, summary_json(result));
+    result.written.push_back(outputs.summary_json);
+  }
+}
+
+}  // namespace dohperf::scenario

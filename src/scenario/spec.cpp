@@ -1,0 +1,813 @@
+#include "scenario/spec.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace dohperf::scenario {
+namespace {
+
+// ---------------------------------------------------------------------
+// Field registry: every settable scalar key, its section, type, and a
+// pointer accessor into a CampaignSpec. One table drives the parser,
+// the canonical serializer, set_key(), and the sweep axis validator, so
+// they can never disagree about what a key means.
+// ---------------------------------------------------------------------
+
+enum class FieldType {
+  kString,
+  kStringList,
+  kBool,
+  kInt,
+  kSizeT,
+  kUint64,
+  kDouble,
+  kDurationMs,  ///< Stored as netsim::Duration, written as fractional ms.
+  kTls,         ///< "tls12" | "tls13".
+  kSink,        ///< "retained" | "streaming".
+};
+
+/// Extra validation on numeric fields.
+enum : unsigned {
+  kNoCheck = 0,
+  kProbability = 1,  ///< double in [0, 1].
+  kNonNegative = 2,  ///< double >= 0.
+  kPositive = 4,     ///< double > 0 / int >= 1.
+};
+
+struct FieldDef {
+  const char* section;  ///< "" = top level.
+  const char* key;
+  FieldType type;
+  unsigned checks;
+  void* (*access)(CampaignSpec&);
+};
+
+#define DOHPERF_SPEC_FIELD(sec, key, ftype, checks, member)            \
+  FieldDef {                                                           \
+    sec, key, FieldType::ftype, checks,                                \
+        +[](CampaignSpec& s) -> void* { return &(s.member); }          \
+  }
+
+const FieldDef kFields[] = {
+    DOHPERF_SPEC_FIELD("", "name", kString, kNoCheck, name),
+    DOHPERF_SPEC_FIELD("", "sink", kSink, kNoCheck, sink),
+
+    DOHPERF_SPEC_FIELD("world", "seed", kUint64, kNoCheck, world.seed),
+    DOHPERF_SPEC_FIELD("world", "client_scale", kDouble, kPositive,
+                       world.client_scale),
+    DOHPERF_SPEC_FIELD("world", "only_countries", kStringList, kNoCheck,
+                       world.only_countries),
+    DOHPERF_SPEC_FIELD("world", "couple_infra", kBool, kNoCheck,
+                       world.couple_infra),
+    DOHPERF_SPEC_FIELD("world", "tls_version", kTls, kNoCheck,
+                       world.tls_version),
+    DOHPERF_SPEC_FIELD("world", "perfect_anycast", kBool, kNoCheck,
+                       world.perfect_anycast),
+    DOHPERF_SPEC_FIELD("world", "authority_city", kString, kNoCheck,
+                       world.authority_city),
+    DOHPERF_SPEC_FIELD("world", "mislabel_rate", kDouble, kProbability,
+                       world.mislabel_rate),
+    DOHPERF_SPEC_FIELD("world", "remote_dns_rate", kDouble, kProbability,
+                       world.remote_dns_rate),
+
+    DOHPERF_SPEC_FIELD("campaign", "runs_per_client", kInt, kPositive,
+                       campaign.runs_per_client),
+    DOHPERF_SPEC_FIELD("campaign", "provider_failure_rate", kDouble,
+                       kProbability, campaign.provider_failure_rate),
+    DOHPERF_SPEC_FIELD("campaign", "atlas_measurements_per_country", kInt,
+                       kNonNegative, campaign.atlas_measurements_per_country),
+    DOHPERF_SPEC_FIELD("campaign", "batch_size", kSizeT, kPositive,
+                       campaign.batch_size),
+    DOHPERF_SPEC_FIELD("campaign", "threads", kInt, kNonNegative,
+                       campaign.threads),
+    DOHPERF_SPEC_FIELD("campaign", "series_window_ms", kDurationMs,
+                       kPositive, campaign.series_window),
+
+    DOHPERF_SPEC_FIELD("faults", "loss_spike_probability", kDouble,
+                       kProbability, campaign.faults.loss_spike_probability),
+    DOHPERF_SPEC_FIELD("faults", "spike_extra_loss", kDouble, kProbability,
+                       campaign.faults.spike_extra_loss),
+    DOHPERF_SPEC_FIELD("faults", "spike_radius_miles", kDouble, kNonNegative,
+                       campaign.faults.spike_radius_miles),
+    DOHPERF_SPEC_FIELD("faults", "spike_start_max_ms", kDurationMs,
+                       kNonNegative, campaign.faults.spike_start_max),
+    DOHPERF_SPEC_FIELD("faults", "spike_duration_ms", kDurationMs,
+                       kNonNegative, campaign.faults.spike_duration),
+    DOHPERF_SPEC_FIELD("faults", "blackout_probability", kDouble,
+                       kProbability, campaign.faults.blackout_probability),
+    DOHPERF_SPEC_FIELD("faults", "blackout_radius_miles", kDouble,
+                       kNonNegative, campaign.faults.blackout_radius_miles),
+    DOHPERF_SPEC_FIELD("faults", "blackout_start_max_ms", kDurationMs,
+                       kNonNegative, campaign.faults.blackout_start_max),
+    DOHPERF_SPEC_FIELD("faults", "blackout_duration_ms", kDurationMs,
+                       kNonNegative, campaign.faults.blackout_duration),
+    DOHPERF_SPEC_FIELD("faults", "brownout_probability", kDouble,
+                       kProbability, campaign.faults.brownout_probability),
+    DOHPERF_SPEC_FIELD("faults", "brownout_multiplier", kDouble, kPositive,
+                       campaign.faults.brownout_multiplier),
+    DOHPERF_SPEC_FIELD("faults", "brownout_radius_miles", kDouble,
+                       kNonNegative, campaign.faults.brownout_radius_miles),
+    DOHPERF_SPEC_FIELD("faults", "brownout_start_max_ms", kDurationMs,
+                       kNonNegative, campaign.faults.brownout_start_max),
+    DOHPERF_SPEC_FIELD("faults", "brownout_duration_ms", kDurationMs,
+                       kNonNegative, campaign.faults.brownout_duration),
+    DOHPERF_SPEC_FIELD("faults", "provider_outage_probability", kDouble,
+                       kProbability,
+                       campaign.faults.provider_outage_probability),
+
+    DOHPERF_SPEC_FIELD("anomalies", "enabled", kBool, kNoCheck,
+                       campaign.anomalies.enabled),
+    DOHPERF_SPEC_FIELD("anomalies", "slow_flow_ms", kDouble, kNonNegative,
+                       campaign.anomalies.slow_flow_ms),
+    DOHPERF_SPEC_FIELD("anomalies", "ring_capacity", kSizeT, kNonNegative,
+                       campaign.anomalies.ring_capacity),
+
+    DOHPERF_SPEC_FIELD("stream", "client_stats", kBool, kNoCheck,
+                       campaign.stream.client_stats),
+    DOHPERF_SPEC_FIELD("stream", "run_capacity", kInt, kPositive,
+                       campaign.stream.run_capacity),
+
+    DOHPERF_SPEC_FIELD("outputs", "summary_json", kString, kNoCheck,
+                       outputs.summary_json),
+    DOHPERF_SPEC_FIELD("outputs", "fig4_csv", kString, kNoCheck,
+                       outputs.fig4_csv),
+    DOHPERF_SPEC_FIELD("outputs", "fig5_csv", kString, kNoCheck,
+                       outputs.fig5_csv),
+    DOHPERF_SPEC_FIELD("outputs", "metrics_csv", kString, kNoCheck,
+                       outputs.metrics_csv),
+    DOHPERF_SPEC_FIELD("outputs", "series_csv", kString, kNoCheck,
+                       outputs.series_csv),
+    DOHPERF_SPEC_FIELD("outputs", "openmetrics", kString, kNoCheck,
+                       outputs.openmetrics),
+    DOHPERF_SPEC_FIELD("outputs", "anomalies_dir", kString, kNoCheck,
+                       outputs.anomalies_dir),
+};
+
+#undef DOHPERF_SPEC_FIELD
+
+/// Section emission order for the canonical text (and the section-name
+/// whitelist, [sweep] aside).
+const char* const kSections[] = {"",        "world",  "campaign", "faults",
+                                 "anomalies", "stream", "outputs"};
+
+std::string dotted(const FieldDef& f) {
+  return f.section[0] == '\0' ? std::string(f.key)
+                              : std::string(f.section) + "." + f.key;
+}
+
+const FieldDef* find_field(std::string_view key) {
+  for (const FieldDef& f : kFields) {
+    if (dotted(f) == key) return &f;
+  }
+  return nullptr;
+}
+
+bool known_section(std::string_view name) {
+  for (const char* s : kSections) {
+    if (name == s) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------
+// Tokens
+// ---------------------------------------------------------------------
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::string quote(std::string_view s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Parses a double-quoted string token (the only string form specs
+/// accept); supports \" and \\ escapes, rejects control characters.
+bool parse_quoted(std::string_view token, std::string* out,
+                  std::string* error) {
+  if (token.size() < 2 || token.front() != '"' || token.back() != '"') {
+    *error = "expected a double-quoted string";
+    return false;
+  }
+  out->clear();
+  for (std::size_t i = 1; i + 1 < token.size(); ++i) {
+    char c = token[i];
+    if (c == '\\') {
+      if (i + 2 >= token.size() ||
+          (token[i + 1] != '"' && token[i + 1] != '\\')) {
+        *error = "bad escape in string (only \\\" and \\\\ are allowed)";
+        return false;
+      }
+      c = token[++i];
+    } else if (c == '"') {
+      *error = "unescaped quote inside string";
+      return false;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      *error = "control character inside string";
+      return false;
+    }
+    *out += c;
+  }
+  return true;
+}
+
+bool parse_bool(std::string_view token, bool* out, std::string* error) {
+  if (token == "true") {
+    *out = true;
+    return true;
+  }
+  if (token == "false") {
+    *out = false;
+    return true;
+  }
+  *error = "expected true or false";
+  return false;
+}
+
+bool integer_shaped(std::string_view token, bool allow_negative) {
+  if (!token.empty() && (token.front() == '+' ||
+                         (allow_negative && token.front() == '-'))) {
+    token.remove_prefix(1);
+  }
+  if (token.empty()) return false;
+  for (const char c : token) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+bool parse_double(std::string_view token, double* out, std::string* error) {
+  const std::string buf(token);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || buf.empty() || errno == ERANGE ||
+      !std::isfinite(v)) {
+    *error = "expected a finite number";
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+/// Splits a `[a, b, c]` list into element tokens, respecting quotes.
+bool split_list(std::string_view text, std::vector<std::string>* out,
+                std::string* error) {
+  text = trim(text);
+  if (text.size() < 2 || text.front() != '[' || text.back() != ']') {
+    *error = "expected a [v1, v2, ...] list";
+    return false;
+  }
+  text = trim(text.substr(1, text.size() - 2));
+  out->clear();
+  if (text.empty()) return true;
+
+  std::string current;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      current += c;
+      if (c == '\\' && i + 1 < text.size()) {
+        current += text[++i];
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+      current += c;
+    } else if (c == ',') {
+      const std::string_view elem = trim(current);
+      if (elem.empty()) {
+        *error = "empty list element";
+        return false;
+      }
+      out->emplace_back(elem);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (in_string) {
+    *error = "unterminated string in list";
+    return false;
+  }
+  const std::string_view last = trim(current);
+  if (last.empty()) {
+    *error = "trailing comma in list";
+    return false;
+  }
+  out->emplace_back(last);
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// Typed set / get
+// ---------------------------------------------------------------------
+
+/// Millisecond <-> Duration conversions for spec fields. from_ms()
+/// truncates, which can drop one microsecond when the printed ms value
+/// re-parses a hair below the integer tick count; rounding makes
+/// print -> parse the exact identity the canonicalizer promises.
+netsim::Duration duration_from_ms_token(double ms) {
+  return netsim::Duration(static_cast<std::int64_t>(std::llround(ms * 1000.0)));
+}
+
+bool check_value(const FieldDef& f, double v, std::string* error) {
+  if ((f.checks & kProbability) != 0 && (v < 0.0 || v > 1.0)) {
+    *error = "value must be a probability in [0, 1]";
+    return false;
+  }
+  if ((f.checks & kNonNegative) != 0 && v < 0.0) {
+    *error = "value must be >= 0";
+    return false;
+  }
+  if ((f.checks & kPositive) != 0 && v <= 0.0) {
+    *error = "value must be > 0";
+    return false;
+  }
+  return true;
+}
+
+bool set_field(CampaignSpec& spec, const FieldDef& f,
+               std::string_view value_text, std::string* error) {
+  void* p = f.access(spec);
+  switch (f.type) {
+    case FieldType::kString: {
+      return parse_quoted(value_text, static_cast<std::string*>(p), error);
+    }
+    case FieldType::kStringList: {
+      std::vector<std::string> tokens;
+      if (!split_list(value_text, &tokens, error)) return false;
+      auto* list = static_cast<std::vector<std::string>*>(p);
+      list->clear();
+      for (const std::string& t : tokens) {
+        std::string s;
+        if (!parse_quoted(t, &s, error)) return false;
+        list->push_back(std::move(s));
+      }
+      return true;
+    }
+    case FieldType::kBool:
+      return parse_bool(value_text, static_cast<bool*>(p), error);
+    case FieldType::kInt: {
+      if (!integer_shaped(value_text, true)) {
+        *error = "expected an integer";
+        return false;
+      }
+      const long long v = std::strtoll(std::string(value_text).c_str(),
+                                       nullptr, 10);
+      if (!check_value(f, static_cast<double>(v), error)) return false;
+      *static_cast<int*>(p) = static_cast<int>(v);
+      return true;
+    }
+    case FieldType::kSizeT: {
+      if (!integer_shaped(value_text, false)) {
+        *error = "expected a non-negative integer";
+        return false;
+      }
+      const unsigned long long v =
+          std::strtoull(std::string(value_text).c_str(), nullptr, 10);
+      if (!check_value(f, static_cast<double>(v), error)) return false;
+      *static_cast<std::size_t*>(p) = static_cast<std::size_t>(v);
+      return true;
+    }
+    case FieldType::kUint64: {
+      if (!integer_shaped(value_text, false)) {
+        *error = "expected a non-negative integer";
+        return false;
+      }
+      *static_cast<std::uint64_t*>(p) =
+          std::strtoull(std::string(value_text).c_str(), nullptr, 10);
+      return true;
+    }
+    case FieldType::kDouble: {
+      double v = 0.0;
+      if (!parse_double(value_text, &v, error)) return false;
+      if (!check_value(f, v, error)) return false;
+      *static_cast<double*>(p) = v;
+      return true;
+    }
+    case FieldType::kDurationMs: {
+      double ms = 0.0;
+      if (!parse_double(value_text, &ms, error)) return false;
+      if (!check_value(f, ms, error)) return false;
+      *static_cast<netsim::Duration*>(p) = duration_from_ms_token(ms);
+      return true;
+    }
+    case FieldType::kTls: {
+      std::string s;
+      if (!parse_quoted(value_text, &s, error)) return false;
+      auto* v = static_cast<transport::TlsVersion*>(p);
+      if (s == "tls12") {
+        *v = transport::TlsVersion::kTls12;
+      } else if (s == "tls13") {
+        *v = transport::TlsVersion::kTls13;
+      } else {
+        *error = "tls_version must be \"tls12\" or \"tls13\"";
+        return false;
+      }
+      return true;
+    }
+    case FieldType::kSink: {
+      std::string s;
+      if (!parse_quoted(value_text, &s, error)) return false;
+      auto* v = static_cast<SinkMode*>(p);
+      if (s == "retained") {
+        *v = SinkMode::kRetained;
+      } else if (s == "streaming") {
+        *v = SinkMode::kStreaming;
+      } else {
+        *error = "sink must be \"retained\" or \"streaming\"";
+        return false;
+      }
+      return true;
+    }
+  }
+  *error = "internal: unhandled field type";
+  return false;
+}
+
+std::string get_field(const CampaignSpec& spec, const FieldDef& f) {
+  // The accessors are non-const for set_field; reading through them
+  // never mutates.
+  void* p = f.access(const_cast<CampaignSpec&>(spec));
+  switch (f.type) {
+    case FieldType::kString:
+      return quote(*static_cast<const std::string*>(p));
+    case FieldType::kStringList: {
+      const auto* list = static_cast<const std::vector<std::string>*>(p);
+      std::string out = "[";
+      for (std::size_t i = 0; i < list->size(); ++i) {
+        if (i > 0) out += ", ";
+        out += quote((*list)[i]);
+      }
+      out += "]";
+      return out;
+    }
+    case FieldType::kBool:
+      return *static_cast<const bool*>(p) ? "true" : "false";
+    case FieldType::kInt:
+      return std::to_string(*static_cast<const int*>(p));
+    case FieldType::kSizeT:
+      return std::to_string(*static_cast<const std::size_t*>(p));
+    case FieldType::kUint64:
+      return std::to_string(*static_cast<const std::uint64_t*>(p));
+    case FieldType::kDouble:
+      return format_double(*static_cast<const double*>(p));
+    case FieldType::kDurationMs:
+      return format_double(
+          netsim::to_ms(*static_cast<const netsim::Duration*>(p)));
+    case FieldType::kTls:
+      return *static_cast<const transport::TlsVersion*>(p) ==
+                     transport::TlsVersion::kTls12
+                 ? "\"tls12\""
+                 : "\"tls13\"";
+    case FieldType::kSink:
+      return *static_cast<const SinkMode*>(p) == SinkMode::kRetained
+                 ? "\"retained\""
+                 : "\"streaming\"";
+  }
+  return {};
+}
+
+/// Keys that cannot change a run's results and are therefore excluded
+/// from the content hash (and rejected as sweep axes).
+bool result_neutral(std::string_view key) {
+  return key == "campaign.threads" || key.substr(0, 8) == "outputs.";
+}
+
+std::uint64_t fnv1a64(std::string_view text) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::string_view to_string(SinkMode mode) {
+  return mode == SinkMode::kRetained ? "retained" : "streaming";
+}
+
+std::string format_double(double v) {
+  // Integral values print as plain integers ("750", not "7.5e+02") —
+  // the canonical text is meant to be read and edited by humans.
+  const auto integral = static_cast<long long>(v);
+  if (static_cast<double>(integral) == v && std::fabs(v) < 1e15) {
+    return std::to_string(integral);
+  }
+  for (int prec = 1; prec <= 17; ++prec) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+bool set_key(CampaignSpec& spec, const std::string& dotted_key,
+             std::string_view value_text, std::string* canonical,
+             std::string* error) {
+  const FieldDef* f = find_field(dotted_key);
+  if (f == nullptr) {
+    if (error != nullptr) *error = "unknown key \"" + dotted_key + "\"";
+    return false;
+  }
+  std::string local_error;
+  if (!set_field(spec, *f, trim(value_text), &local_error)) {
+    if (error != nullptr) {
+      *error = "key \"" + dotted_key + "\": " + local_error;
+    }
+    return false;
+  }
+  if (canonical != nullptr) *canonical = get_field(spec, *f);
+  return true;
+}
+
+SpecParseResult parse_spec(std::string_view text,
+                           const std::string& origin) {
+  SpecParseResult result;
+  SpecDocument& doc = result.doc;
+  CampaignSpec scratch;  // validates sweep values without touching base
+
+  std::set<std::string> seen_keys;
+  std::set<std::string> seen_sections;
+  std::set<std::string> seen_axes;
+  std::string section;
+  bool in_sweep = false;
+
+  const auto fail = [&](int line, const std::string& message) {
+    result.error =
+        "spec: " + origin + ":" + std::to_string(line) + ": " + message;
+  };
+
+  int line_number = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = std::min(text.find('\n', pos), text.size());
+    std::string_view raw = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_number;
+    if (pos > text.size() && raw.empty()) break;
+
+    // Strip a # comment, but not inside a quoted string.
+    bool in_string = false;
+    std::size_t cut = raw.size();
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      const char c = raw[i];
+      if (in_string) {
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          in_string = false;
+        }
+      } else if (c == '"') {
+        in_string = true;
+      } else if (c == '#') {
+        cut = i;
+        break;
+      }
+    }
+    const std::string_view line = trim(raw.substr(0, cut));
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        fail(line_number, "malformed section header");
+        return result;
+      }
+      const std::string name(trim(line.substr(1, line.size() - 2)));
+      if (name == "sweep") {
+        in_sweep = true;
+      } else if (name.empty() || !known_section(name)) {
+        fail(line_number, "unknown section [" + name + "]");
+        return result;
+      } else {
+        in_sweep = false;
+        section = name;
+      }
+      if (!seen_sections.insert(in_sweep ? "sweep" : name).second) {
+        fail(line_number, "duplicate section [" +
+                              (in_sweep ? std::string("sweep") : name) + "]");
+        return result;
+      }
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      fail(line_number, "expected `key = value` or a [section] header");
+      return result;
+    }
+    const std::string key(trim(line.substr(0, eq)));
+    const std::string_view value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      fail(line_number, "missing key before '='");
+      return result;
+    }
+    if (value.empty()) {
+      fail(line_number, "missing value for key \"" + key + "\"");
+      return result;
+    }
+
+    if (in_sweep) {
+      // Axis: full dotted key, list of values. Validate each value by
+      // applying it to a scratch spec through the shared setter.
+      const FieldDef* f = find_field(key);
+      if (f == nullptr) {
+        fail(line_number, "unknown sweep axis key \"" + key + "\"");
+        return result;
+      }
+      if (f->type == FieldType::kStringList) {
+        fail(line_number, "sweep axis \"" + key +
+                              "\" must be a scalar key (lists of lists are "
+                              "not supported)");
+        return result;
+      }
+      if (result_neutral(key)) {
+        fail(line_number,
+             "key \"" + key +
+                 "\" cannot be a sweep axis: it does not affect results");
+        return result;
+      }
+      if (!seen_axes.insert(key).second) {
+        fail(line_number, "duplicate sweep axis \"" + key + "\"");
+        return result;
+      }
+      std::vector<std::string> tokens;
+      std::string err;
+      if (!split_list(value, &tokens, &err)) {
+        fail(line_number, "sweep axis \"" + key + "\": " + err);
+        return result;
+      }
+      if (tokens.empty()) {
+        fail(line_number, "sweep axis \"" + key + "\" has no values");
+        return result;
+      }
+      SweepAxis axis;
+      axis.key = key;
+      for (const std::string& token : tokens) {
+        std::string canonical;
+        if (!set_key(scratch, key, token, &canonical, &err)) {
+          fail(line_number, err);
+          return result;
+        }
+        axis.values.push_back(std::move(canonical));
+      }
+      doc.axes.push_back(std::move(axis));
+      continue;
+    }
+
+    const std::string full =
+        section.empty() ? key : section + "." + key;
+    if (!section.empty() && key.find('.') != std::string::npos) {
+      fail(line_number, "unknown key \"" + full + "\"");
+      return result;
+    }
+    const FieldDef* f = find_field(full);
+    if (f == nullptr || (section.empty() && f->section[0] != '\0')) {
+      fail(line_number, "unknown key \"" + full + "\"");
+      return result;
+    }
+    if (!seen_keys.insert(full).second) {
+      fail(line_number, "duplicate key \"" + full + "\"");
+      return result;
+    }
+    std::string err;
+    if (!set_key(doc.base, full, value, nullptr, &err)) {
+      fail(line_number, err);
+      return result;
+    }
+  }
+
+  return result;
+}
+
+SpecParseResult load_spec_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    SpecParseResult result;
+    result.error = "spec: " + path + ": cannot open";
+    return result;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_spec(buffer.str(), path);
+}
+
+std::string canonical_text(const SpecDocument& doc) {
+  std::string out;
+  for (const char* section : kSections) {
+    if (section[0] != '\0') {
+      out += "\n[";
+      out += section;
+      out += "]\n";
+    }
+    for (const FieldDef& f : kFields) {
+      if (std::strcmp(f.section, section) != 0) continue;
+      out += f.key;
+      out += " = ";
+      out += get_field(doc.base, f);
+      out += "\n";
+    }
+  }
+  if (!doc.axes.empty()) {
+    out += "\n[sweep]\n";
+    for (const SweepAxis& axis : doc.axes) {
+      out += axis.key;
+      out += " = [";
+      for (std::size_t i = 0; i < axis.values.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += axis.values[i];
+      }
+      out += "]\n";
+    }
+  }
+  return out;
+}
+
+std::string canonical_text(const CampaignSpec& spec) {
+  SpecDocument doc;
+  doc.base = spec;
+  return canonical_text(doc);
+}
+
+std::string spec_hash(const CampaignSpec& spec) {
+  CampaignSpec neutral = spec;
+  neutral.campaign.threads = 0;
+  neutral.outputs = OutputsSpec{};
+  return hex64(fnv1a64(canonical_text(neutral)));
+}
+
+std::string document_hash(const SpecDocument& doc) {
+  SpecDocument neutral = doc;
+  neutral.base.campaign.threads = 0;
+  neutral.base.outputs = OutputsSpec{};
+  return hex64(fnv1a64(canonical_text(neutral)));
+}
+
+CampaignSpec paper_baseline_spec() {
+  CampaignSpec spec;
+  spec.name = "paper-baseline";
+  return spec;  // WorldConfig/CampaignConfig defaults ARE the paper run.
+}
+
+void apply_env_overrides(CampaignSpec& spec) {
+  if (const char* value = std::getenv("DOHPERF_SEED")) {
+    spec.world.seed = static_cast<std::uint64_t>(std::atoll(value));
+  }
+  if (const char* value = std::getenv("DOHPERF_SCALE")) {
+    const double scale = std::atof(value);
+    if (scale > 0.0) spec.world.client_scale *= scale;
+  }
+  if (const char* value = std::getenv("DOHPERF_METRICS")) {
+    spec.outputs.metrics_csv = value;
+  }
+  if (const char* value = std::getenv("DOHPERF_SERIES")) {
+    spec.outputs.series_csv = value;
+  }
+  if (const char* value = std::getenv("DOHPERF_OPENMETRICS")) {
+    spec.outputs.openmetrics = value;
+  }
+  if (const char* value = std::getenv("DOHPERF_ANOMALIES")) {
+    spec.outputs.anomalies_dir = value;
+  }
+  if (const char* value = std::getenv("DOHPERF_SUMMARY")) {
+    spec.outputs.summary_json = value;
+  }
+}
+
+}  // namespace dohperf::scenario

@@ -20,6 +20,8 @@
 #include "obs/series.h"
 #include "report/csv.h"
 #include "report/table.h"
+#include "scenario/runner.h"
+#include "scenario/spec.h"
 #include "stats/cdf.h"
 #include "stats/quantile_sketch.h"
 #include "stats/summary.h"
@@ -506,6 +508,50 @@ TEST(DeterminismTest, ShardProfilesReportArenaActivity) {
     // By the final drain every frame was returned.
     EXPECT_EQ(p.arena.live_bytes, 0u) << p.shard;
   }
+}
+
+// The scenario layer's end of the contract: one spec text means one
+// hash, and one hash means bit-identical artifacts no matter how many
+// shards executed the campaign.
+TEST(DeterminismTest, SpecDrivenRunsBitIdenticalAcrossShardCounts) {
+  const scenario::SpecParseResult parsed = scenario::parse_spec(
+      "name = \"determinism\"\n"
+      "[world]\n"
+      "seed = 99\n"
+      "client_scale = 0.05\n"
+      "[campaign]\n"
+      "atlas_measurements_per_country = 20\n",
+      "<memory>");
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+
+  const auto run_at = [&](int threads) {
+    scenario::CampaignSpec spec = parsed.doc.base;
+    spec.campaign.threads = threads;
+    return scenario::run(spec);
+  };
+  const scenario::RunResult one = run_at(1);
+  const scenario::RunResult two = run_at(2);
+  const scenario::RunResult four = run_at(4);
+
+  // threads is excluded from the hash: one scenario, one identity.
+  EXPECT_EQ(one.hash, two.hash);
+  EXPECT_EQ(one.hash, four.hash);
+  EXPECT_EQ(one.hash, scenario::spec_hash(parsed.doc.base));
+
+  // Figure artifacts and headline aggregates are bit-identical.
+  EXPECT_EQ(scenario::fig4_csv(one.dataset).str(),
+            scenario::fig4_csv(two.dataset).str());
+  EXPECT_EQ(scenario::fig4_csv(one.dataset).str(),
+            scenario::fig4_csv(four.dataset).str());
+  EXPECT_EQ(scenario::fig5_csv(one.dataset).str(),
+            scenario::fig5_csv(two.dataset).str());
+  EXPECT_EQ(scenario::fig5_csv(one.dataset).str(),
+            scenario::fig5_csv(four.dataset).str());
+  EXPECT_EQ(one.doh1_median_ms, four.doh1_median_ms);
+  EXPECT_EQ(one.do53_median_ms, four.do53_median_ms);
+  EXPECT_EQ(one.retries, four.retries);
+  EXPECT_EQ(one.retry_timeouts, four.retry_timeouts);
+  expect_identical(one.dataset, four.dataset);
 }
 
 TEST(DeterminismTest, StatsCountShardsAndSessions) {

@@ -138,7 +138,8 @@ TEST(ScopedSpanTest, NullContextNetCtxSpanIsNoop) {
 TEST_F(ObsFixture, TunnelFlowYieldsNestedTreeAcrossSuspension) {
   proxy::Tunnel tunnel{net, client, super_proxy, exit};
 
-  auto flow = [&]() -> netsim::Task<void> {
+  // Named so the closure outlives the coroutine frame that captures it.
+  auto flow_fn = [&]() -> netsim::Task<void> {
     const auto root = net.span("flow");
     transport::HttpRequest connect_req;
     connect_req.method = "CONNECT";
@@ -150,7 +151,8 @@ TEST_F(ObsFixture, TunnelFlowYieldsNestedTreeAcrossSuspension) {
     const transport::TlsSession session(tunnel);
     co_await session.send(200);
     co_await session.recv(400);
-  }();
+  };
+  auto flow = flow_fn();
   sim.run();
   flow.result();
 
@@ -197,13 +199,15 @@ TEST_F(ObsFixture, InterleavedPathSendsUnderOneSpanStayLabeled) {
   // span that was innermost when each *started*. With one flow span this
   // checks suspension does not unwind the stack early.
   netsim::Path path(net, client, exit);
-  auto flow = [&]() -> netsim::Task<void> {
+  // Named so the closure outlives the coroutine frame that captures it.
+  auto flow_fn = [&]() -> netsim::Task<void> {
     const auto guard = net.span("burst");
     auto first = path.send(100);
     auto second = path.send(300);
     co_await first;
     co_await second;
-  }();
+  };
+  auto flow = flow_fn();
   sim.run();
   flow.result();
 
@@ -340,11 +344,13 @@ TEST(MetricsTest, MergeSumsCountersAndHistograms) {
 
 TEST_F(ObsFixture, PerfettoJsonParsesBackWithMatchingSpans) {
   proxy::Tunnel tunnel{net, client, super_proxy, exit};
-  auto flow = [&]() -> netsim::Task<void> {
+  // Named so the closure outlives the coroutine frame that captures it.
+  auto flow_fn = [&]() -> netsim::Task<void> {
     const auto root = net.span("flow");
     co_await tunnel.send(150);
     co_await tunnel.recv(300);
-  }();
+  };
+  auto flow = flow_fn();
   sim.run();
   flow.result();
 
@@ -389,11 +395,13 @@ TEST_F(ObsFixture, PerfettoJsonParsesBackWithMatchingSpans) {
 }
 
 TEST_F(ObsFixture, SpanJsonlEmitsOneValidObjectPerSpan) {
-  auto flow = [&]() -> netsim::Task<void> {
+  // Named so the closure outlives the coroutine frame that captures it.
+  auto flow_fn = [&]() -> netsim::Task<void> {
     const auto root = net.span("flow");
     netsim::Path path(net, client, exit);
     co_await path.send(64);
-  }();
+  };
+  auto flow = flow_fn();
   sim.run();
   flow.result();
 

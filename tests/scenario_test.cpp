@@ -1,0 +1,264 @@
+// scenario::CampaignSpec — strict parsing, canonicalization, hashing,
+// env overrides, and sweep-grid expansion.
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "scenario/spec.h"
+#include "scenario/sweep.h"
+
+namespace {
+
+using namespace dohperf;
+
+scenario::SpecDocument parse_ok(const std::string& text) {
+  const scenario::SpecParseResult result =
+      scenario::parse_spec(text, "<memory>");
+  EXPECT_TRUE(result.ok()) << result.error;
+  return result.doc;
+}
+
+std::string parse_error(const std::string& text) {
+  const scenario::SpecParseResult result =
+      scenario::parse_spec(text, "<memory>");
+  EXPECT_FALSE(result.ok());
+  return result.error;
+}
+
+// RAII environment override so tests cannot leak into each other.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      ::setenv(name_.c_str(), saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(ScenarioSpecTest, EmptyTextIsTheDefaultSpec) {
+  const scenario::SpecDocument doc = parse_ok("");
+  EXPECT_EQ(doc.base.name, "unnamed");
+  EXPECT_EQ(doc.base.sink, scenario::SinkMode::kRetained);
+  EXPECT_FALSE(doc.is_sweep());
+  const scenario::CampaignSpec defaults;
+  EXPECT_EQ(scenario::canonical_text(doc.base),
+            scenario::canonical_text(defaults));
+}
+
+TEST(ScenarioSpecTest, CanonicalTextRoundTripsBitIdentically) {
+  const std::string text = R"(# a kitchen-sink spec
+name = "round-trip"
+sink = "streaming"
+
+[world]
+seed = 18446744073709551615
+client_scale = 0.1
+only_countries = ["US", "DE", "JP"]
+couple_infra = false
+tls_version = "tls12"
+mislabel_rate = 0.125
+
+[campaign]
+runs_per_client = 3
+series_window_ms = 0.049
+threads = 7
+
+[faults]
+loss_spike_probability = 0.3
+spike_extra_loss = 0.45
+spike_duration_ms = 1234.5
+
+[anomalies]
+slow_flow_ms = 1500.5
+
+[stream]
+client_stats = true
+
+[outputs]
+summary_json = "out/rt.json"
+)";
+  const scenario::SpecDocument doc = parse_ok(text);
+  const std::string canon = scenario::canonical_text(doc);
+  const scenario::SpecDocument again = parse_ok(canon);
+  // Text fixpoint: canonicalizing the canonical text changes nothing.
+  EXPECT_EQ(scenario::canonical_text(again), canon);
+  // Value fixpoint, doubles included.
+  EXPECT_EQ(again.base.world.seed, doc.base.world.seed);
+  EXPECT_EQ(again.base.world.client_scale, doc.base.world.client_scale);
+  EXPECT_EQ(again.base.campaign.series_window, doc.base.campaign.series_window);
+  EXPECT_EQ(again.base.campaign.faults.spike_duration,
+            doc.base.campaign.faults.spike_duration);
+  // Hash is a function of the canonical text, so it must agree too.
+  EXPECT_EQ(scenario::document_hash(again), scenario::document_hash(doc));
+}
+
+TEST(ScenarioSpecTest, SubMillisecondDurationSurvivesTheRoundTrip) {
+  // 0.049 ms = 49 us; a truncating duration_cast of 0.048999... would
+  // lose a microsecond and the canonical text would drift per cycle.
+  const scenario::SpecDocument doc =
+      parse_ok("[campaign]\nseries_window_ms = 0.049\n");
+  EXPECT_EQ(doc.base.campaign.series_window.count(), 49);
+  const scenario::SpecDocument again =
+      parse_ok(scenario::canonical_text(doc));
+  EXPECT_EQ(again.base.campaign.series_window.count(), 49);
+}
+
+TEST(ScenarioSpecTest, UnknownKeyIsOneLineNumberedDiagnostic) {
+  const std::string error = parse_error(
+      "name = \"x\"\n"
+      "[faults]\n"
+      "los_spike_probability = 0.5\n");
+  EXPECT_NE(error.find("<memory>:3:"), std::string::npos) << error;
+  EXPECT_NE(error.find("los_spike_probability"), std::string::npos) << error;
+}
+
+TEST(ScenarioSpecTest, UnknownSectionIsRejected) {
+  const std::string error = parse_error("[fautls]\n");
+  EXPECT_NE(error.find("<memory>:1:"), std::string::npos) << error;
+}
+
+TEST(ScenarioSpecTest, DuplicateKeyAndSectionAreRejected) {
+  const std::string dup_key = parse_error(
+      "[world]\nseed = 1\nseed = 2\n");
+  EXPECT_NE(dup_key.find("<memory>:3:"), std::string::npos) << dup_key;
+  const std::string dup_section = parse_error(
+      "[world]\nseed = 1\n[campaign]\nthreads = 1\n[world]\n");
+  EXPECT_NE(dup_section.find("<memory>:5:"), std::string::npos)
+      << dup_section;
+}
+
+TEST(ScenarioSpecTest, TypeAndRangeDefectsAreDiagnosed) {
+  EXPECT_NE(parse_error("[world]\nseed = -1\n").find("<memory>:2:"),
+            std::string::npos);
+  EXPECT_NE(parse_error("[world]\nclient_scale = 0\n").find("<memory>:2:"),
+            std::string::npos);
+  EXPECT_NE(parse_error("[faults]\nloss_spike_probability = 1.5\n")
+                .find("<memory>:2:"),
+            std::string::npos);
+  EXPECT_NE(parse_error("sink = \"buffered\"\n").find("<memory>:1:"),
+            std::string::npos);
+}
+
+TEST(ScenarioSpecTest, HashExcludesThreadsAndOutputs) {
+  scenario::CampaignSpec a = scenario::paper_baseline_spec();
+  scenario::CampaignSpec b = a;
+  b.campaign.threads = 16;
+  b.outputs.summary_json = "elsewhere/summary.json";
+  b.outputs.anomalies_dir = "elsewhere/anomalies";
+  EXPECT_EQ(scenario::spec_hash(a), scenario::spec_hash(b));
+  // ...but result-bearing keys do move the hash.
+  b.campaign.faults.loss_spike_probability = 0.5;
+  EXPECT_NE(scenario::spec_hash(a), scenario::spec_hash(b));
+}
+
+TEST(ScenarioSpecTest, HashIsStableAcrossOriginalAndCanonicalText) {
+  const std::string text =
+      "name = \"h\"\n[world]\nclient_scale = 0.25\n"
+      "[sweep]\nfaults.loss_spike_probability = [0, 0.5]\n";
+  const scenario::SpecDocument doc = parse_ok(text);
+  const scenario::SpecDocument canon =
+      parse_ok(scenario::canonical_text(doc));
+  EXPECT_EQ(scenario::document_hash(doc), scenario::document_hash(canon));
+}
+
+TEST(ScenarioSpecTest, SetKeyMatchesParser) {
+  scenario::CampaignSpec spec;
+  std::string canonical, error;
+  ASSERT_TRUE(scenario::set_key(spec, "faults.spike_extra_loss", "0.75",
+                                &canonical, &error))
+      << error;
+  EXPECT_EQ(spec.campaign.faults.spike_extra_loss, 0.75);
+  EXPECT_EQ(canonical, "0.75");
+  EXPECT_FALSE(scenario::set_key(spec, "faults.spike_extra_loss", "2",
+                                 &canonical, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(
+      scenario::set_key(spec, "no.such_key", "1", &canonical, &error));
+}
+
+TEST(ScenarioSpecTest, EnvOverridesBecomeSpecFields) {
+  ScopedEnv seed("DOHPERF_SEED", "1234");
+  ScopedEnv scale("DOHPERF_SCALE", "0.5");
+  ScopedEnv summary("DOHPERF_SUMMARY", "out/env-summary.json");
+  scenario::CampaignSpec spec = scenario::paper_baseline_spec();
+  spec.world.client_scale = 0.25;
+  scenario::apply_env_overrides(spec);
+  EXPECT_EQ(spec.world.seed, 1234u);
+  EXPECT_EQ(spec.world.client_scale, 0.125);  // multiplier, not override
+  EXPECT_EQ(spec.outputs.summary_json, "out/env-summary.json");
+}
+
+TEST(ScenarioSweepTest, ExpansionIsRowMajorWithFirstAxisSlowest) {
+  const scenario::SpecDocument doc = parse_ok(
+      "[sweep]\n"
+      "faults.loss_spike_probability = [0, 0.5]\n"
+      "campaign.runs_per_client = [1, 2, 3]\n");
+  const std::vector<scenario::SweepCell> cells = scenario::expand(doc);
+  ASSERT_EQ(cells.size(), 6u);
+  // First declared axis varies slowest.
+  EXPECT_EQ(cells[0].assignment[0].second, "0");
+  EXPECT_EQ(cells[2].assignment[0].second, "0");
+  EXPECT_EQ(cells[3].assignment[0].second, "0.5");
+  // Second axis cycles fastest.
+  EXPECT_EQ(cells[0].assignment[1].second, "1");
+  EXPECT_EQ(cells[1].assignment[1].second, "2");
+  EXPECT_EQ(cells[2].assignment[1].second, "3");
+  EXPECT_EQ(cells[3].assignment[1].second, "1");
+  // The assignment is applied to each cell's spec.
+  EXPECT_EQ(cells[5].spec.campaign.faults.loss_spike_probability, 0.5);
+  EXPECT_EQ(cells[5].spec.campaign.runs_per_client, 3);
+  // Cells are indexed in order.
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, i);
+  }
+}
+
+TEST(ScenarioSweepTest, NoAxesYieldsTheBaseSpecAsOneCell) {
+  const scenario::SpecDocument doc = parse_ok("name = \"solo\"\n");
+  const std::vector<scenario::SweepCell> cells = scenario::expand(doc);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_TRUE(cells[0].assignment.empty());
+  EXPECT_EQ(cells[0].spec.name, "solo");
+}
+
+TEST(ScenarioSweepTest, ResultNeutralAndRepeatedAxesAreRejected) {
+  EXPECT_NE(parse_error("[sweep]\ncampaign.threads = [1, 2]\n")
+                .find("<memory>:2:"),
+            std::string::npos);
+  EXPECT_NE(
+      parse_error("[sweep]\noutputs.summary_json = [\"a\", \"b\"]\n")
+          .find("<memory>:2:"),
+      std::string::npos);
+  EXPECT_NE(parse_error("[sweep]\n"
+                        "world.seed = [1, 2]\n"
+                        "world.seed = [3]\n")
+                .find("<memory>:3:"),
+            std::string::npos);
+}
+
+TEST(ScenarioSpecTest, FormatDoubleIsShortestRoundTrip) {
+  EXPECT_EQ(scenario::format_double(750.0), "750");
+  EXPECT_EQ(scenario::format_double(0.1), "0.1");
+  EXPECT_EQ(scenario::format_double(0.25), "0.25");
+  for (const double v : {0.049, 1.0 / 3.0, 1e-9, 123456.789}) {
+    const std::string text = scenario::format_double(v);
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), v) << text;
+  }
+}
+
+}  // namespace

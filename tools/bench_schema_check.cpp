@@ -1,8 +1,12 @@
-// Validates a BENCH_scale.json produced by bench/scale_campaign against
-// the "dohperf-bench-scale-v1" schema. Exits nonzero on any problem so
-// CI fails loudly on malformed bench artifacts instead of archiving junk.
+// Validates dohperf JSON bench/scenario artifacts so CI fails loudly on
+// malformed output instead of archiving junk. Dispatches on the
+// document's "schema" tag:
 //
-//   bench_schema_check <path/to/BENCH_scale.json>
+//   dohperf-bench-scale-v1        bench/scale_campaign sweeps
+//   dohperf-scenario-summary-v1   scenario::run() summaries
+//   dohperf-sweep-v1              scenario sweep driver reports
+//
+//   bench_schema_check <path/to/artifact.json>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -34,33 +38,38 @@ void require_number(const Value& obj, const std::string& key,
   }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: bench_schema_check <BENCH_scale.json>\n");
-    return 2;
+/// Requires `obj[key]` to be a non-empty string.
+void require_string(const Value& obj, const std::string& key,
+                    const std::string& where) {
+  const Value* v = obj.get(key);
+  if (v == nullptr || !v->is_string() || v->as_string().empty()) {
+    fail(where + ": missing or empty \"" + key + "\"");
   }
+}
 
-  std::ifstream in(argv[1]);
-  if (!in) {
-    fail(std::string("cannot open ") + argv[1]);
-    return 1;
+bool is_hex16(const std::string& s) {
+  if (s.size() != 16) return false;
+  for (const char c : s) {
+    if ((c < '0' || c > '9') && (c < 'a' || c > 'f')) return false;
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
+  return true;
+}
 
-  const auto doc = dohperf::obs::json::parse(buffer.str());
-  if (!doc.has_value() || !doc->is_object()) {
-    fail("not a JSON object");
-    return 1;
+/// Requires `obj[key]` to be a 16-lowercase-hex-digit content hash.
+void require_hash(const Value& obj, const std::string& key,
+                  const std::string& where) {
+  const Value* v = obj.get(key);
+  if (v == nullptr || !v->is_string() || !is_hex16(v->as_string())) {
+    fail(where + ": \"" + key + "\" is not a 16-hex-digit content hash");
   }
+}
 
-  if (doc->string_or("schema", "") != "dohperf-bench-scale-v1") {
-    fail("schema tag is not \"dohperf-bench-scale-v1\"");
-  }
+// ---- dohperf-bench-scale-v1 -------------------------------------------
 
-  const Value* world = doc->get("world");
+void check_scale(const Value& doc) {
+  require_hash(doc, "spec_hash", "document");
+
+  const Value* world = doc.get("world");
   if (world == nullptr || !world->is_object()) {
     fail("missing \"world\" object");
   } else {
@@ -70,10 +79,10 @@ int main(int argc, char** argv) {
     if (world->number_or("exits", 0) <= 0) fail("world.exits must be > 0");
   }
 
-  const Value* points = doc->get("points");
+  const Value* points = doc.get("points");
   if (points == nullptr || !points->is_array() || points->as_array().empty()) {
     fail("missing or empty \"points\" array");
-    return 1;
+    return;
   }
 
   double prev_sessions = 0;
@@ -92,6 +101,7 @@ int main(int argc, char** argv) {
           "peak_rss_bytes", "current_rss_bytes"}) {
       require_number(point, key, where);
     }
+    require_hash(point, "spec_hash", where);
     if (point.number_or("sessions", 0) <= 0) {
       fail(where + ": sessions must be > 0");
     }
@@ -114,13 +124,156 @@ int main(int argc, char** argv) {
     }
     ++index;
   }
+  if (g_errors == 0) {
+    std::printf("bench_schema_check: dohperf-bench-scale-v1 OK "
+                "(%zu sweep point(s))\n",
+                points->as_array().size());
+  }
+}
+
+// ---- dohperf-scenario-summary-v1 --------------------------------------
+
+void check_summary(const Value& doc, const std::string& where) {
+  require_string(doc, "name", where);
+  require_hash(doc, "spec_hash", where);
+  const std::string sink = doc.string_or("sink", "");
+  if (sink != "retained" && sink != "streaming") {
+    fail(where + ": \"sink\" is neither \"retained\" nor \"streaming\"");
+  }
+  const Value* world = doc.get("world");
+  if (world == nullptr || !world->is_object()) {
+    fail(where + ": missing \"world\" object");
+  } else {
+    require_number(*world, "seed", where + ".world");
+    require_number(*world, "client_scale", where + ".world");
+  }
+  for (const char* key :
+       {"sessions", "shards", "events", "wall_seconds", "doh1_median_ms",
+        "do53_median_ms", "retries", "retry_timeouts",
+        "failed_measurements", "discarded_mismatch", "peak_rss_bytes"}) {
+    require_number(doc, key, where);
+  }
+  if (doc.number_or("sessions", 0) <= 0) {
+    fail(where + ": sessions must be > 0");
+  }
+  const Value* outputs = doc.get("outputs");
+  if (outputs == nullptr || !outputs->is_array()) {
+    fail(where + ": missing \"outputs\" array");
+  }
+}
+
+// ---- dohperf-sweep-v1 -------------------------------------------------
+
+void check_sweep(const Value& doc) {
+  require_string(doc, "name", "document");
+  require_hash(doc, "document_hash", "document");
+
+  std::size_t expected_cells = 1;
+  const Value* axes = doc.get("axes");
+  if (axes == nullptr || !axes->is_array()) {
+    fail("missing \"axes\" array");
+  } else {
+    std::size_t index = 0;
+    for (const Value& axis : axes->as_array()) {
+      const std::string where = "axes[" + std::to_string(index) + "]";
+      if (!axis.is_object()) {
+        fail(where + ": not an object");
+      } else {
+        require_string(axis, "key", where);
+        const Value* values = axis.get("values");
+        if (values == nullptr || !values->is_array() ||
+            values->as_array().empty()) {
+          fail(where + ": missing or empty \"values\" array");
+        } else {
+          expected_cells *= values->as_array().size();
+        }
+      }
+      ++index;
+    }
+  }
+
+  const Value* cells = doc.get("cells");
+  if (cells == nullptr || !cells->is_array() || cells->as_array().empty()) {
+    fail("missing or empty \"cells\" array");
+    return;
+  }
+  if (axes != nullptr && axes->is_array() &&
+      cells->as_array().size() != expected_cells) {
+    fail("cells array has " + std::to_string(cells->as_array().size()) +
+         " entries but the axes expand to " +
+         std::to_string(expected_cells));
+  }
+  std::size_t index = 0;
+  for (const Value& cell : cells->as_array()) {
+    const std::string where = "cells[" + std::to_string(index) + "]";
+    if (!cell.is_object()) {
+      fail(where + ": not an object");
+      ++index;
+      continue;
+    }
+    require_number(cell, "cell", where);
+    const Value* assignment = cell.get("axes");
+    if (assignment == nullptr || !assignment->is_object()) {
+      fail(where + ": missing \"axes\" object");
+    }
+    const Value* summary = cell.get("summary");
+    if (summary == nullptr || !summary->is_object()) {
+      fail(where + ": missing \"summary\" object");
+    } else {
+      if (summary->string_or("schema", "") != "dohperf-scenario-summary-v1") {
+        fail(where + ".summary: schema tag is not "
+                     "\"dohperf-scenario-summary-v1\"");
+      }
+      check_summary(*summary, where + ".summary");
+    }
+    ++index;
+  }
+  if (g_errors == 0) {
+    std::printf("bench_schema_check: dohperf-sweep-v1 OK (%zu cell(s))\n",
+                cells->as_array().size());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: bench_schema_check <artifact.json>\n");
+    return 2;
+  }
+
+  std::ifstream in(argv[1]);
+  if (!in) {
+    fail(std::string("cannot open ") + argv[1]);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  const auto doc = dohperf::obs::json::parse(buffer.str());
+  if (!doc.has_value() || !doc->is_object()) {
+    fail("not a JSON object");
+    return 1;
+  }
+
+  const std::string schema = doc->string_or("schema", "");
+  if (schema == "dohperf-bench-scale-v1") {
+    check_scale(*doc);
+  } else if (schema == "dohperf-scenario-summary-v1") {
+    check_summary(*doc, "document");
+    if (g_errors == 0) {
+      std::printf("bench_schema_check: dohperf-scenario-summary-v1 OK\n");
+    }
+  } else if (schema == "dohperf-sweep-v1") {
+    check_sweep(*doc);
+  } else {
+    fail("unknown schema tag \"" + schema + "\"");
+  }
 
   if (g_errors != 0) {
     std::fprintf(stderr, "bench_schema_check: %d error(s) in %s\n", g_errors,
                  argv[1]);
     return 1;
   }
-  std::printf("bench_schema_check: %s OK (%zu sweep point(s))\n", argv[1],
-              points->as_array().size());
   return 0;
 }

@@ -181,7 +181,19 @@ int main(int argc, char** argv) {
   if (!series_rows || series_rows->empty()) {
     die(series_path + ": malformed CSV");
   }
-  const SeriesColumns col = series_columns(series_rows->front(), series_path);
+  // Scenario-run artifacts open with a `# dohperf-spec ...` provenance
+  // line; the header is the first non-comment row.
+  std::size_t header_row = 0;
+  while (header_row < series_rows->size() &&
+         !(*series_rows)[header_row].empty() &&
+         (*series_rows)[header_row].front().rfind("#", 0) == 0) {
+    ++header_row;
+  }
+  if (header_row == series_rows->size()) {
+    die(series_path + ": no header row (only comments)");
+  }
+  const std::vector<std::string>& series_header = (*series_rows)[header_row];
+  const SeriesColumns col = series_columns(series_header, series_path);
 
   // Latency series per provider (country=="" aggregate rows), plus the
   // set of windows each fault class occupies. Window width is inferred
@@ -190,9 +202,9 @@ int main(int argc, char** argv) {
       by_metric;  // metric -> provider -> points
   std::vector<FaultWindow> faults;
   std::set<double> window_starts;
-  for (std::size_t r = 1; r < series_rows->size(); ++r) {
+  for (std::size_t r = header_row + 1; r < series_rows->size(); ++r) {
     const std::vector<std::string>& row = (*series_rows)[r];
-    if (row.size() != series_rows->front().size()) {
+    if (row.size() != series_header.size()) {
       die(series_path + ": row " + std::to_string(r + 1) +
           " has the wrong cell count");
     }
