@@ -66,6 +66,8 @@ std::string_view to_string(DohMode mode) {
       return "opportunistic (DoH with Do53 fallback)";
     case DohMode::kStrict:
       return "strict (DoH only)";
+    case DohMode::kRace:
+      return "race (DoH raced against Do53)";
   }
   return "?";
 }
@@ -79,6 +81,48 @@ netsim::Task<PolicyOutcome> resolve_with_policy(netsim::NetCtx& net,
   if (mode == DohMode::kOff) {
     outcome.resolved = co_await resolve_do53(net, ctx);
     outcome.elapsed_ms = netsim::ms_between(start, net.sim.now());
+    outcome.outcome = obs::classify_flow_outcome({.ok = outcome.resolved});
+    co_return outcome;
+  }
+
+  if (mode == DohMode::kRace) {
+    // Happy-eyeballs: the DoH leg fires immediately, the Do53 leg
+    // race_stagger later, and the first answer wins. The two legs share
+    // no simulated resource, so each is timed on its own and the winner
+    // is composed analytically — identical answer to interleaving them,
+    // without nesting scheduler tasks.
+    double doh_ms = -1.0;
+    if (!ctx.doh_unreachable) {
+      const SimTime leg = net.sim.now();
+      if (co_await resolve_doh(net, ctx)) {
+        doh_ms = netsim::ms_between(leg, net.sim.now());
+      }
+    }
+    double do53_ms = -1.0;
+    {
+      const SimTime leg = net.sim.now();
+      if (co_await resolve_do53(net, ctx)) {
+        do53_ms = netsim::to_ms(ctx.race_stagger) +
+                  netsim::ms_between(leg, net.sim.now());
+      }
+    }
+    outcome.resolved = doh_ms >= 0.0 || do53_ms >= 0.0;
+    outcome.used_doh =
+        doh_ms >= 0.0 && (do53_ms < 0.0 || doh_ms <= do53_ms);
+    outcome.downgraded = outcome.resolved ? !outcome.used_doh : true;
+    if (outcome.downgraded && net.metrics != nullptr) {
+      ++net.metrics->counters.fallbacks;
+      ++(outcome.resolved ? net.metrics->counters.fallback_ok
+                          : net.metrics->counters.fallback_failed);
+    }
+    outcome.elapsed_ms = outcome.used_doh ? doh_ms
+                         : outcome.resolved
+                             ? do53_ms
+                             : netsim::ms_between(start, net.sim.now());
+    outcome.outcome = obs::classify_flow_outcome(
+        {.ok = outcome.resolved,
+         .used_fallback = outcome.downgraded,
+         .provider_unreachable = ctx.doh_unreachable});
     co_return outcome;
   }
 
@@ -106,12 +150,22 @@ netsim::Task<PolicyOutcome> resolve_with_policy(netsim::NetCtx& net,
     if (mode == DohMode::kStrict) {
       // Fail closed: no resolution, privacy preserved.
       outcome.elapsed_ms = netsim::ms_between(start, net.sim.now());
+      outcome.outcome =
+          obs::classify_flow_outcome({.provider_unreachable = true});
       co_return outcome;
     }
     outcome.downgraded = true;
     if (net.metrics != nullptr) ++net.metrics->counters.fallbacks;
     outcome.resolved = co_await resolve_do53(net, ctx);
+    if (net.metrics != nullptr) {
+      ++(outcome.resolved ? net.metrics->counters.fallback_ok
+                          : net.metrics->counters.fallback_failed);
+    }
     outcome.elapsed_ms = netsim::ms_between(start, net.sim.now());
+    outcome.outcome =
+        obs::classify_flow_outcome({.ok = outcome.resolved,
+                                    .used_fallback = true,
+                                    .provider_unreachable = true});
     co_return outcome;
   }
 
@@ -123,8 +177,14 @@ netsim::Task<PolicyOutcome> resolve_with_policy(netsim::NetCtx& net,
     outcome.downgraded = true;
     if (net.metrics != nullptr) ++net.metrics->counters.fallbacks;
     outcome.resolved = co_await resolve_do53(net, ctx);
+    if (net.metrics != nullptr) {
+      ++(outcome.resolved ? net.metrics->counters.fallback_ok
+                          : net.metrics->counters.fallback_failed);
+    }
   }
   outcome.elapsed_ms = netsim::ms_between(start, net.sim.now());
+  outcome.outcome = obs::classify_flow_outcome(
+      {.ok = outcome.resolved, .used_fallback = outcome.downgraded});
   co_return outcome;
 }
 

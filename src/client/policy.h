@@ -13,17 +13,21 @@
 
 #include "dns/name.h"
 #include "netsim/netctx.h"
+#include "obs/outcome.h"
 #include "resolver/doh_server.h"
 #include "resolver/recursive.h"
 #include "transport/tls.h"
 
 namespace dohperf::client {
 
-/// The three canonical browser configurations.
+/// The canonical browser configurations, plus the happy-eyeballs racer
+/// the availability literature compares serial fallback against.
 enum class DohMode {
   kOff,            ///< Classic Do53 via the default resolver.
   kOpportunistic,  ///< Try DoH; on failure/timeout, downgrade to Do53.
   kStrict,         ///< DoH only; fail closed when unreachable.
+  kRace,           ///< Fire DoH and (a stagger later) Do53 concurrently;
+                   ///< first answer wins. Masks outages at a privacy cost.
 };
 
 [[nodiscard]] std::string_view to_string(DohMode mode);
@@ -41,14 +45,20 @@ struct PolicyContext {
   /// How long the client waits before declaring DoH dead (browsers use a
   /// few seconds; Firefox's network.trr.request_timeout_ms is 1500).
   netsim::Duration doh_timeout = netsim::from_ms(1500);
+  /// kRace only: head start the DoH leg gets before the Do53 leg fires
+  /// (the happy-eyeballs connection-attempt delay).
+  netsim::Duration race_stagger = netsim::from_ms(250);
 };
 
 /// Outcome of one policy-driven resolution.
 struct PolicyOutcome {
   bool resolved = false;
   bool used_doh = false;       ///< The answer came over DoH.
-  bool downgraded = false;     ///< Fell back to Do53 after a DoH failure.
+  bool downgraded = false;     ///< The answer (or final failure) came from
+                               ///< the Do53 leg after DoH lost or failed.
   double elapsed_ms = 0.0;     ///< Wall time until an answer (or failure).
+  /// Terminal classification, assigned exactly once at the exit path.
+  obs::Outcome outcome = obs::Outcome::kTimeoutGiveup;
 };
 
 /// Resolves one fresh name under `mode`. The DoH path pays the full

@@ -80,6 +80,10 @@ struct ShardView {
   /// Shard-private anomaly flight recorder; same ownership and merge
   /// story (canonical-order retention makes the merge layout-proof).
   obs::FlightRecorder* recorder = nullptr;
+  /// Shard-private SLO outcome tracker; same ownership and merge story
+  /// (integer counts keyed by (provider, country, window)). nullptr on
+  /// the anomaly replay pass so replays never double-record outcomes.
+  obs::SloTracker* slo = nullptr;
 
   resolver::DohServer& doh(std::size_t p, std::size_t i) {
     return replica ? replica->doh_server(p, i) : world.doh_server(p, i);
@@ -156,6 +160,44 @@ void record_fault_windows(obs::MetricSeries* series,
     series->add_count_range({"fault_provider_outage", ep.provider, {}},
                             ep.window.start, clamp(ep.window.end));
   }
+}
+
+/// FNV-1a over a short string; used only to derive a stable campaign-time
+/// phase per country for the recurring regional-blackout schedule.
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Fault signals for classifying a failed flow: did a declared window of
+/// the session's plan overlap the flow's [start, end) interval? Blackout
+/// episodes were centered on this session's own focal sites, so window
+/// overlap is the relevant test; provider outages additionally match by
+/// name.
+obs::FlowSignals window_signals(const netsim::FaultPlan* plan,
+                                std::string_view provider,
+                                netsim::Duration flow_start,
+                                netsim::Duration flow_end) {
+  obs::FlowSignals signals;
+  if (plan == nullptr) return signals;
+  for (const netsim::ProviderOutageEpisode& ep : plan->provider_outages()) {
+    if (ep.provider == provider && ep.window.start < flow_end &&
+        ep.window.end > flow_start) {
+      signals.provider_outage = true;
+      break;
+    }
+  }
+  for (const netsim::BlackoutEpisode& ep : plan->blackouts()) {
+    if (ep.window.start < flow_end && ep.window.end > flow_start) {
+      signals.blackout = true;
+      break;
+    }
+  }
+  return signals;
 }
 
 /// Stable per-session RNG keys. Sessions are keyed by what they measure
@@ -291,6 +333,20 @@ netsim::Task<void> measure_session(ShardView& view, const ExitState& st,
   net.series = {view.series, session_epoch, std::string(),
                 exit.advertised_iso2};
 
+  // Virtual campaign time: this session's slot on the multi-day axis.
+  // A pure function of the slot, so SLO windows and recurring fault
+  // schedules are shard-invariant by construction.
+  const netsim::Duration campaign_base =
+      config.session_spacing * static_cast<std::int64_t>(slot);
+  const auto record_outcome = [&](std::string_view provider,
+                                  obs::Outcome outcome, double latency_ms,
+                                  bool has_latency) {
+    if (view.slo == nullptr) return;
+    view.slo->record(provider, exit.advertised_iso2,
+                     campaign_base + (view.sim.now() - session_epoch),
+                     outcome, latency_ms, has_latency);
+  };
+
   // Flight-recorder wiring. Examination is span-free (sim-time duration
   // + counter deltas); spans are only recorded during the replay pass,
   // and only for the flows the recorder asks for. The scratch tree must
@@ -313,6 +369,16 @@ netsim::Task<void> measure_session(ShardView& view, const ExitState& st,
     fault_plan = netsim::FaultPlan::sample(config.faults, focal,
                                            plan.provider_names,
                                            session_rng.split("fault-plan"));
+    if (config.faults.recurring_enabled()) {
+      // Campaign-time recurring schedules, translated into this session's
+      // epoch. No RNG: the realized windows are a pure function of
+      // (config, slot, country), so they merge bit-identically.
+      fault_plan.append_recurring_episodes(
+          config.faults, campaign_base, kFaultRecordHorizon,
+          plan.provider_names, exit.site.position,
+          netsim::Duration{static_cast<std::int64_t>(
+              fnv1a64(exit.advertised_iso2) >> 1)});
+    }
     net.faults = &fault_plan;
     net.fault_epoch = session_epoch;
     record_fault_windows(view.series, fault_plan);
@@ -329,6 +395,11 @@ netsim::Task<void> measure_session(ShardView& view, const ExitState& st,
       ++out.failed;
       if (net.metrics != nullptr) ++net.metrics->counters.failures;
       net.series.count("failure", view.sim.now());
+      record_outcome(provider.name(),
+                     obs::classify_flow_outcome(
+                         {.provider_unreachable = st.provider_failed[p],
+                          .provider_outage = provider_out}),
+                     0.0, false);
       continue;
     }
 
@@ -370,6 +441,12 @@ netsim::Task<void> measure_session(ShardView& view, const ExitState& st,
       ++out.failed;
       if (net.metrics != nullptr) ++net.metrics->counters.failures;
       net.series.count("failure", view.sim.now());
+      record_outcome(provider.name(),
+                     obs::classify_flow_outcome(window_signals(
+                         net.faults, provider.name(),
+                         flow_start - session_epoch,
+                         view.sim.now() - session_epoch)),
+                     0.0, false);
       continue;
     }
 
@@ -391,6 +468,13 @@ netsim::Task<void> measure_session(ShardView& view, const ExitState& st,
       net.metrics->histogram(provider.name()).record(rec.tdoh_ms);
     }
     net.series.latency("doh_ms", view.sim.now(), rec.tdoh_ms);
+    record_outcome(
+        provider.name(),
+        obs::classify_flow_outcome(
+            {.ok = true,
+             .brownout_delays = session_metrics.counters.brownout_delays -
+                                before.brownout_delays}),
+        rec.tdoh_ms, true);
     out.doh.push_back(rec);
   }
 
@@ -432,8 +516,20 @@ netsim::Task<void> measure_session(ShardView& view, const ExitState& st,
     ++out.failed;
     if (net.metrics != nullptr) ++net.metrics->counters.failures;
     net.series.count("failure", view.sim.now());
+    record_outcome("Do53",
+                   obs::classify_flow_outcome(window_signals(
+                       net.faults, "Do53", flow_start - session_epoch,
+                       view.sim.now() - session_epoch)),
+                   0.0, false);
     co_return;
   }
+  record_outcome(
+      "Do53",
+      obs::classify_flow_outcome(
+          {.ok = true,
+           .brownout_delays = session_metrics.counters.brownout_delays -
+                              before.brownout_delays}),
+      obs.tun.dns_ms, !obs.resolved_at_super_proxy);
   if (!obs.resolved_at_super_proxy) {
     if (net.metrics != nullptr) {
       net.metrics->histogram("Do53").record(obs.tun.dns_ms);
@@ -474,6 +570,16 @@ netsim::Task<void> atlas_session(ShardView& view, std::string iso2,
   proxy::AtlasProbe local_probe = *probe;
   local_probe.default_resolver = view.local(probe->default_resolver);
 
+  const netsim::Duration campaign_base =
+      config.session_spacing * static_cast<std::int64_t>(slot);
+  const auto record_outcome = [&](obs::Outcome outcome, double latency_ms,
+                                  bool has_latency) {
+    if (view.slo == nullptr) return;
+    view.slo->record("Do53", iso2,
+                     campaign_base + (view.sim.now() - session_epoch),
+                     outcome, latency_ms, has_latency);
+  };
+
   // Atlas probes see the same weather as the proxy clients: episodes
   // centred near the probe itself (no Super Proxy leg, no DoH provider).
   netsim::FaultPlan fault_plan;
@@ -481,6 +587,13 @@ netsim::Task<void> atlas_session(ShardView& view, std::string iso2,
     const geo::LatLon focal[] = {local_probe.site.position};
     fault_plan = netsim::FaultPlan::sample(config.faults, focal, {},
                                            session_rng.split("fault-plan"));
+    if (config.faults.recurring_enabled()) {
+      fault_plan.append_recurring_episodes(
+          config.faults, campaign_base, kFaultRecordHorizon, {},
+          local_probe.site.position,
+          netsim::Duration{
+              static_cast<std::int64_t>(fnv1a64(iso2) >> 1)});
+    }
     net.faults = &fault_plan;
     net.fault_epoch = session_epoch;
     record_fault_windows(view.series, fault_plan);
@@ -514,10 +627,20 @@ netsim::Task<void> atlas_session(ShardView& view, std::string iso2,
     ++out.failed;
     if (net.metrics != nullptr) ++net.metrics->counters.failures;
     net.series.count("failure", view.sim.now());
+    record_outcome(obs::classify_flow_outcome(window_signals(
+                       net.faults, "Do53", flow_start - session_epoch,
+                       view.sim.now() - session_epoch)),
+                   0.0, false);
     co_return;
   }
   if (net.metrics != nullptr) net.metrics->histogram("Do53").record(ms);
   net.series.latency("do53_ms", view.sim.now(), ms);
+  record_outcome(
+      obs::classify_flow_outcome(
+          {.ok = true,
+           .brownout_delays = session_metrics.counters.brownout_delays -
+                              before.brownout_delays}),
+      ms, true);
   Do53Record rec;
   rec.exit_id = kAtlasExitId;
   rec.iso2 = iso2_id;
@@ -720,7 +843,7 @@ std::vector<ShardProfile> execute_campaign(
     const netsim::Rng& root, const CampaignPlan& plan, int shards,
     std::vector<SessionOutput>* retained, std::vector<StreamSink>* sinks,
     obs::Metrics& metrics, obs::MetricSeries& series,
-    obs::FlightRecorder& recorder) {
+    obs::FlightRecorder& recorder, obs::SloTracker& slo) {
   // One metrics registry, one sim-time series, and one flight recorder
   // per shard; sessions record without contention and everything merges
   // below in canonical shard order. Counter/bucket arithmetic is
@@ -732,13 +855,15 @@ std::vector<ShardProfile> execute_campaign(
       n_shards, obs::MetricSeries(config.series_window));
   std::vector<obs::FlightRecorder> shard_recorders(
       n_shards, obs::FlightRecorder(config.anomalies));
+  std::vector<obs::SloTracker> shard_slo(n_shards,
+                                         obs::SloTracker(config.slo));
   std::vector<ShardProfile> profiles(n_shards);
 
   if (shards == 0) {
     // Serial reference path: the world's own simulator and servers.
     profiles[0] = run_shard(
         ShardView{world, world.sim(), nullptr, &shard_metrics[0],
-                  &shard_series[0], &shard_recorders[0]},
+                  &shard_series[0], &shard_recorders[0], &shard_slo[0]},
         0, 1, config, root, plan, retained,
         sinks != nullptr ? &(*sinks)[0] : nullptr);
   } else {
@@ -756,7 +881,7 @@ std::vector<ShardProfile> execute_campaign(
           profiles[si] = run_shard(
               ShardView{world, replica->sim(), replica.get(),
                         &shard_metrics[si], &shard_series[si],
-                        &shard_recorders[si]},
+                        &shard_recorders[si], &shard_slo[si]},
               s, shards, config, root, plan, retained,
               sinks != nullptr ? &(*sinks)[si] : nullptr);
         } catch (...) {
@@ -777,6 +902,8 @@ std::vector<ShardProfile> execute_campaign(
   recorder = obs::FlightRecorder(config.anomalies);
   for (const obs::FlightRecorder& r : shard_recorders) recorder.merge(r);
   recorder.finalize();
+  slo = obs::SloTracker(config.slo);
+  for (const obs::SloTracker& t : shard_slo) slo.merge(t);
   // Fill in the retained anomalies' span trees by deterministically
   // re-running just those sessions (≤ ring_capacity of them) with span
   // recording on — the hot path above examined every flow span-free.
@@ -831,7 +958,7 @@ Dataset Campaign::run_impl(int shards) {
   std::vector<SessionOutput> outputs(plan.n_sessions);
   std::vector<ShardProfile> profiles =
       execute_campaign(world_, config_, root, plan, shards, &outputs,
-                       nullptr, metrics_, series_, recorder_);
+                       nullptr, metrics_, series_, recorder_, slo_);
 
   std::uint64_t events = 0;
   for (const ShardProfile& p : profiles) events += p.events;
@@ -886,7 +1013,7 @@ StreamSink Campaign::run_streaming_impl(int shards) {
 
   std::vector<ShardProfile> profiles =
       execute_campaign(world_, config_, root, plan, shards, nullptr, &sinks,
-                       metrics_, series_, recorder_);
+                       metrics_, series_, recorder_, slo_);
 
   std::uint64_t events = 0;
   for (const ShardProfile& p : profiles) events += p.events;

@@ -35,6 +35,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/series.h"
+#include "obs/slo.h"
 #include "world/world_model.h"
 
 namespace dohperf::measure {
@@ -73,6 +74,17 @@ struct CampaignConfig {
   obs::AnomalyPolicy anomalies;
   /// Streaming-sink tuning (run_streaming() only).
   StreamSinkConfig stream;
+  /// Virtual campaign-time spacing between session slots. Each session's
+  /// SLO window offset is slot * session_spacing plus its own sim time —
+  /// a pure function of the slot, so the multi-day campaign axis exists
+  /// without moving any shard's clock and without perturbing a single
+  /// RNG draw (zero spacing, the default, collapses the axis). The
+  /// recurring fault schedules in `faults` are windowed on this axis too.
+  netsim::Duration session_spacing{};
+  /// SLO objectives and burn-rate window geometry. Outcome recording is
+  /// always on (it is integer bookkeeping); `slo.enabled` gates alert
+  /// evaluation and report outputs.
+  obs::SloConfig slo;
 };
 
 /// Per-shard self-profiling of one run: how the wall-clock work and the
@@ -150,6 +162,11 @@ class Campaign {
     return recorder_;
   }
 
+  /// SLO outcome tracker of the most recent run: per-(provider, country)
+  /// outcome counts in campaign-time windows, classified once at each
+  /// flow's exit path. Same bit-identity contract as metrics().
+  [[nodiscard]] const obs::SloTracker& slo() const { return slo_; }
+
   /// DOHPERF_THREADS from the environment, falling back to
   /// std::thread::hardware_concurrency() (minimum 1).
   [[nodiscard]] static int threads_from_env();
@@ -165,6 +182,7 @@ class Campaign {
   obs::Metrics metrics_;
   obs::MetricSeries series_;
   obs::FlightRecorder recorder_;
+  obs::SloTracker slo_;
 };
 
 }  // namespace dohperf::measure

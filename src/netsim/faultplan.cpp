@@ -94,6 +94,57 @@ bool FaultPlan::affects_path(const geo::LatLon& a, const geo::LatLon& b,
   return link_blacked_out(a, b, t);
 }
 
+void FaultPlan::append_recurring_episodes(
+    const FaultPlanConfig& config, Duration campaign_start, Duration horizon,
+    std::span<const std::string> providers, const geo::LatLon& region_center,
+    Duration blackout_phase) {
+  // Emits every k >= 0 whose window [phase + k*period, +duration)
+  // overlaps [campaign_start, campaign_start + horizon), translated into
+  // session time. Pure integer arithmetic on microsecond ticks.
+  const auto each_overlap = [&](Duration phase, Duration period,
+                                Duration duration, auto&& emit) {
+    if (period <= Duration::zero() || duration <= Duration::zero()) return;
+    const std::int64_t p = period.count();
+    const std::int64_t lo = (campaign_start - phase - duration).count();
+    const std::int64_t hi = (campaign_start + horizon - phase).count();
+    if (hi <= 0) return;
+    // Smallest k with window end past campaign_start, first k whose
+    // start precedes the horizon.
+    const std::int64_t k_min = lo >= 0 ? lo / p + 1 : 0;
+    const std::int64_t k_max = (hi - 1) / p;
+    for (std::int64_t k = k_min; k <= k_max; ++k) {
+      FaultWindow window;
+      window.start = phase + period * k - campaign_start;
+      window.end = window.start + duration;
+      emit(window);
+    }
+  };
+
+  for (std::size_t i = 0; i < providers.size(); ++i) {
+    // Provider i's period scales with its index, so outage cadence — and
+    // therefore long-run availability — differs per provider.
+    each_overlap(config.provider_outage_stagger * static_cast<int>(i),
+                 config.provider_outage_period * static_cast<int>(i + 1),
+                 config.provider_outage_duration, [&](FaultWindow window) {
+                   add_provider_outage(
+                       ProviderOutageEpisode{window, providers[i]});
+                 });
+  }
+  if (config.regional_blackout_period > Duration::zero()) {
+    const Duration phase{blackout_phase.count() %
+                         config.regional_blackout_period.count()};
+    each_overlap(phase, config.regional_blackout_period,
+                 config.regional_blackout_duration, [&](FaultWindow window) {
+                   BlackoutEpisode episode;
+                   episode.window = window;
+                   episode.a = region_center;
+                   episode.a_radius_miles =
+                       config.regional_blackout_radius_miles;
+                   add_blackout(episode);
+                 });
+  }
+}
+
 FaultPlan FaultPlan::sample(const FaultPlanConfig& config,
                             std::span<const geo::LatLon> focal,
                             std::span<const std::string> providers,

@@ -106,9 +106,36 @@ struct FaultPlanConfig {
   /// Per-provider probability of a session-long outage.
   double provider_outage_probability = 0.0;
 
+  /// Deterministic recurring schedules, declared in *campaign* time (the
+  /// virtual multi-day axis the SLO layer windows over) and translated
+  /// into session-epoch-relative episodes by append_recurring_episodes().
+  /// Provider i (by position in the campaign's provider list) is down
+  /// during [stagger*i + k*period*(i+1), +duration) for every integer
+  /// k >= 0 — the per-provider period spread is what makes availability
+  /// differ measurably across providers. A zero period disables the
+  /// schedule.
+  Duration provider_outage_period{};
+  Duration provider_outage_duration{};
+  Duration provider_outage_stagger{};
+
+  /// Recurring regional blackout: the client's region goes dark during
+  /// [phase + k*period, +duration), with the phase supplied per session
+  /// (a stable hash of the client's country, so regions fail at
+  /// different campaign times). Zero period disables.
+  Duration regional_blackout_period{};
+  Duration regional_blackout_duration{};
+  double regional_blackout_radius_miles = 500.0;
+
   [[nodiscard]] bool enabled() const {
     return loss_spike_probability > 0.0 || blackout_probability > 0.0 ||
-           brownout_probability > 0.0 || provider_outage_probability > 0.0;
+           brownout_probability > 0.0 || provider_outage_probability > 0.0 ||
+           recurring_enabled();
+  }
+
+  /// True when any campaign-time recurring schedule is declared.
+  [[nodiscard]] bool recurring_enabled() const {
+    return provider_outage_period > Duration::zero() ||
+           regional_blackout_period > Duration::zero();
   }
 
   /// The canonical non-trivial plan used by the determinism tests and the
@@ -185,6 +212,20 @@ class FaultPlan {
                                         std::span<const geo::LatLon> focal,
                                         std::span<const std::string> providers,
                                         Rng rng);
+
+  /// Appends the episodes of `config`'s recurring schedules that overlap
+  /// the session's campaign-time interval
+  /// [campaign_start, campaign_start + horizon), with windows translated
+  /// into the session's own epoch (campaign time minus campaign_start).
+  /// Pure arithmetic — no RNG draws — so the realized episodes are a
+  /// function of (config, campaign_start, blackout_phase) only, which is
+  /// what keeps sharded campaigns bit-identical: campaign_start is a pure
+  /// function of the session slot.
+  void append_recurring_episodes(const FaultPlanConfig& config,
+                                 Duration campaign_start, Duration horizon,
+                                 std::span<const std::string> providers,
+                                 const geo::LatLon& region_center,
+                                 Duration blackout_phase);
 
  private:
   std::vector<LossSpikeEpisode> loss_spikes_;

@@ -85,6 +85,8 @@ void Metrics::merge(const Metrics& other) {
   counters.handshake_retries += other.counters.handshake_retries;
   counters.retry_timeouts += other.counters.retry_timeouts;
   counters.fallbacks += other.counters.fallbacks;
+  counters.fallback_ok += other.counters.fallback_ok;
+  counters.fallback_failed += other.counters.fallback_failed;
   counters.brownout_delays += other.counters.brownout_delays;
   counters.failures += other.counters.failures;
   for (const auto& [name, hist] : other.histograms_) {

@@ -74,6 +74,8 @@ struct MetricCounters {
   std::uint64_t handshake_retries = 0;  ///< SYN/Initial/Hello retransmits.
   std::uint64_t retry_timeouts = 0;  ///< Exchanges that gave up entirely.
   std::uint64_t fallbacks = 0;       ///< Policy downgrades DoH -> Do53.
+  std::uint64_t fallback_ok = 0;     ///< Downgrades whose Do53 leg resolved.
+  std::uint64_t fallback_failed = 0;  ///< Downgrades that failed anyway.
   std::uint64_t brownout_delays = 0;  ///< Server steps inflated by brownout.
   std::uint64_t failures = 0;        ///< Failed measurements.
 

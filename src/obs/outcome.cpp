@@ -1,0 +1,40 @@
+#include "obs/outcome.h"
+
+namespace dohperf::obs {
+
+std::string_view to_string(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kOk:
+      return "ok";
+    case Outcome::kFallbackOk:
+      return "fallback_ok";
+    case Outcome::kBrownoutDegraded:
+      return "brownout_degraded";
+    case Outcome::kTimeoutGiveup:
+      return "timeout_giveup";
+    case Outcome::kFallbackFailed:
+      return "fallback_failed";
+    case Outcome::kProviderOutage:
+      return "provider_outage";
+    case Outcome::kBlackout:
+      return "blackout";
+    case Outcome::kUnreachable:
+      return "unreachable";
+  }
+  return "unknown";
+}
+
+Outcome classify_flow_outcome(const FlowSignals& signals) {
+  if (signals.ok) {
+    if (signals.used_fallback) return Outcome::kFallbackOk;
+    if (signals.brownout_delays > 0) return Outcome::kBrownoutDegraded;
+    return Outcome::kOk;
+  }
+  if (signals.used_fallback) return Outcome::kFallbackFailed;
+  if (signals.provider_unreachable) return Outcome::kUnreachable;
+  if (signals.provider_outage) return Outcome::kProviderOutage;
+  if (signals.blackout) return Outcome::kBlackout;
+  return Outcome::kTimeoutGiveup;
+}
+
+}  // namespace dohperf::obs

@@ -1,0 +1,74 @@
+// First-class session-outcome taxonomy.
+//
+// Every measurement flow (DoH-via-proxy, Do53 baseline, Atlas probe,
+// policy resolution) ends in exactly one Outcome, classified once at the
+// flow's exit path from the signals the flow itself observed — never
+// re-derived later from counter deltas. The taxonomy is the unit the SLO
+// layer aggregates: availability is simply the success-outcome share of a
+// window, so the classification rules below *are* the availability
+// definition.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace dohperf::obs {
+
+/// Terminal classification of one measurement flow. Order is part of the
+/// on-disk contract (availability CSV columns, OpenMetrics labels) —
+/// append only.
+enum class Outcome : std::uint8_t {
+  // Successes.
+  kOk = 0,             ///< Resolved on the primary (DoH) path, no degradation.
+  kFallbackOk,         ///< Resolved, but only after downgrading to Do53.
+  kBrownoutDegraded,   ///< Resolved on the primary path under brownout
+                       ///< processing inflation (latency SLO at risk).
+  // Failures.
+  kTimeoutGiveup,      ///< Retry machine exhausted its budget; no answer.
+  kFallbackFailed,     ///< Downgraded to Do53 and the fallback failed too.
+  kProviderOutage,     ///< The target provider was inside a declared outage
+                       ///< window when the flow ran.
+  kBlackout,           ///< The client's region was blacked out.
+  kUnreachable,        ///< Sticky per-session unreachability (the paper's
+                       ///< "provider failed" hold-down), no retry attempted.
+};
+
+/// Number of enumerators — sized for std::array<_, kOutcomeCount> cells.
+inline constexpr int kOutcomeCount = 8;
+
+/// Stable snake_case name used in CSV headers and OpenMetrics labels.
+[[nodiscard]] std::string_view to_string(Outcome outcome);
+
+/// True for the outcomes that count toward availability (the client got
+/// an answer, however degraded the path).
+[[nodiscard]] constexpr bool is_success(Outcome outcome) {
+  return outcome == Outcome::kOk || outcome == Outcome::kFallbackOk ||
+         outcome == Outcome::kBrownoutDegraded;
+}
+
+/// Everything a flow's exit path knows when it completes; inputs to the
+/// one classification function so the precedence order lives in exactly
+/// one place.
+struct FlowSignals {
+  bool ok = false;                  ///< Did the flow produce an answer?
+  bool used_fallback = false;       ///< Did it downgrade to Do53 first?
+  bool provider_unreachable = false;///< Sticky session-level unreachability.
+  bool provider_outage = false;     ///< Declared outage window was active.
+  bool blackout = false;            ///< Regional blackout window was active.
+  std::uint64_t brownout_delays = 0;///< Brownout inflations during the flow.
+};
+
+/// Classifies one completed flow. Failure causes take precedence in order
+/// of specificity: if a fallback was attempted, its failure is the
+/// terminal cause (the flow got past the primary's problem and still
+/// failed); otherwise a sticky unreachability verdict beats the declared
+/// fault windows (no attempt was even made), a declared outage beats the
+/// generic timeout it caused, and a blackout beats a bare timeout. On
+/// success, a Do53 downgrade is more noteworthy than a brownout slowdown.
+///
+///   failure:  fallback_failed > unreachable > provider_outage > blackout
+///             > timeout_giveup
+///   success:  fallback_ok > brownout_degraded > ok
+[[nodiscard]] Outcome classify_flow_outcome(const FlowSignals& signals);
+
+}  // namespace dohperf::obs

@@ -35,6 +35,8 @@ CsvWriter metrics_csv(const obs::Metrics& metrics) {
       {"handshake_retries", c.handshake_retries},
       {"retry_timeouts", c.retry_timeouts},
       {"fallbacks", c.fallbacks},
+      {"fallback_ok", c.fallback_ok},
+      {"fallback_failed", c.fallback_failed},
       {"brownout_delays", c.brownout_delays},
       {"failures", c.failures},
   };

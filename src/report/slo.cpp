@@ -1,0 +1,108 @@
+#include "report/slo.h"
+
+#include <cstdio>
+
+namespace dohperf::report {
+namespace {
+
+std::string format_ratio(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  return buf;
+}
+
+std::string escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string key_labels(const obs::SloKey& key) {
+  return "{provider=\"" + escape_label(key.provider) + "\",country=\"" +
+         escape_label(key.country) + "\"}";
+}
+
+std::vector<std::string> cell_row(const obs::SloKey& key,
+                                  const std::string& window_cell,
+                                  double objective,
+                                  const obs::SloCell& cell) {
+  std::vector<std::string> row = {key.provider, key.country, window_cell,
+                                  format_ratio(objective),
+                                  std::to_string(cell.total())};
+  for (int i = 0; i < obs::kOutcomeCount; ++i) {
+    row.push_back(std::to_string(cell.outcomes[i]));
+  }
+  row.push_back(std::to_string(cell.slow));
+  const std::uint64_t total = cell.total();
+  row.push_back(format_ratio(
+      total == 0 ? 1.0
+                 : static_cast<double>(cell.good()) /
+                       static_cast<double>(total)));
+  return row;
+}
+
+}  // namespace
+
+CsvWriter availability_csv(const obs::SloTracker& tracker) {
+  std::vector<std::string> columns = {"provider", "country",
+                                      "window_start_ms", "objective",
+                                      "total"};
+  for (int i = 0; i < obs::kOutcomeCount; ++i) {
+    columns.emplace_back(obs::to_string(static_cast<obs::Outcome>(i)));
+  }
+  columns.emplace_back("slow");
+  columns.emplace_back("availability");
+  CsvWriter csv(std::move(columns));
+
+  const double objective = tracker.config().availability_objective;
+  for (const auto& [key, windows] : tracker.cells()) {
+    obs::SloCell total;
+    for (const auto& [window, cell] : windows) {
+      csv.add_row(cell_row(key, std::to_string(window * tracker.window_ms()),
+                           objective, cell));
+      total.merge(cell);
+    }
+    // Whole-campaign roll-up: empty window cell.
+    csv.add_row(cell_row(key, std::string(), objective, total));
+  }
+  return csv;
+}
+
+CsvWriter slo_alerts_csv(std::span<const obs::SloAlert> alerts) {
+  CsvWriter csv({"provider", "severity", "window_start_ms", "burn_short",
+                 "burn_long"});
+  for (const obs::SloAlert& alert : alerts) {
+    csv.add_row({alert.provider, alert.severity,
+                 std::to_string(alert.window_start_ms),
+                 format_ratio(alert.burn_short),
+                 format_ratio(alert.burn_long)});
+  }
+  return csv;
+}
+
+std::string slo_openmetrics_text(const obs::SloTracker& tracker) {
+  std::string out;
+  const auto budgets = tracker.budgets();
+  if (budgets.empty()) return out;
+  out += "# TYPE dohperf_availability gauge\n";
+  for (const auto& [key, budget] : budgets) {
+    out += "dohperf_availability" + key_labels(key) + " " +
+           format_ratio(budget.availability) + "\n";
+  }
+  out += "# TYPE dohperf_error_budget_consumed gauge\n";
+  for (const auto& [key, budget] : budgets) {
+    out += "dohperf_error_budget_consumed" + key_labels(key) + " " +
+           format_ratio(budget.error_budget_consumed) + "\n";
+  }
+  return out;
+}
+
+}  // namespace dohperf::report

@@ -1,0 +1,33 @@
+// SLO report surfaces: availability table CSV, alert-event CSV, and
+// OpenMetrics gauges, all rendered from the merged SloTracker so every
+// number is derived post-merge from shard-invariant integer counts.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "obs/slo.h"
+#include "report/csv.h"
+
+namespace dohperf::report {
+
+/// The per-(provider, country) availability table ("dohperf-availability"
+/// column contract; bench_schema_check validates the JSON twin):
+///   provider,country,window_start_ms,objective,total,ok,fallback_ok,
+///   brownout_degraded,timeout_giveup,fallback_failed,provider_outage,
+///   blackout,unreachable,slow,availability
+/// One row per live window per key, then one whole-campaign total row per
+/// key with an empty window_start_ms cell. Aggregate keys carry an empty
+/// country cell.
+[[nodiscard]] CsvWriter availability_csv(const obs::SloTracker& tracker);
+
+/// The burn-rate alert events:
+///   provider,severity,window_start_ms,burn_short,burn_long
+[[nodiscard]] CsvWriter slo_alerts_csv(std::span<const obs::SloAlert> alerts);
+
+/// OpenMetrics gauge block (no "# EOF"; the caller owns document
+/// framing): whole-campaign availability and error-budget consumption
+/// per key.
+[[nodiscard]] std::string slo_openmetrics_text(const obs::SloTracker& tracker);
+
+}  // namespace dohperf::report

@@ -54,15 +54,35 @@ std::string labels(const obs::SeriesKey& key, std::int64_t window,
 CsvWriter timeseries_csv(const obs::MetricSeries& series) {
   CsvWriter csv({"metric", "provider", "country", "window_start_ms",
                  "count", "p50_ms", "p90_ms", "p99_ms"});
+  // Tracks render densely from window 0 through their last live window:
+  // a track whose first event lands in window k > 0 still emits k
+  // explicit zero rows first, so downstream consumers can align tracks
+  // by row position without re-deriving the window grid.
   for (const auto& [key, track] : series.counters()) {
-    for (const auto& [window, count] : track) {
+    if (track.empty()) continue;
+    for (std::int64_t window = 0; window <= track.rbegin()->first;
+         ++window) {
+      const auto it = track.find(window);
       csv.add_row({key.metric, key.provider, key.country,
                    format_ms(series.window_start_ms(window)),
-                   std::to_string(count), "", "", ""});
+                   std::to_string(it != track.end() ? it->second : 0), "",
+                   "", ""});
     }
   }
   for (const auto& [key, track] : series.latencies()) {
-    for (const auto& [window, hist] : track) {
+    if (track.empty()) continue;
+    for (std::int64_t window = 0; window <= track.rbegin()->first;
+         ++window) {
+      const auto it = track.find(window);
+      if (it == track.end()) {
+        // Empty quantile cells mark a zero window, same shape as the
+        // counter rows.
+        csv.add_row({key.metric, key.provider, key.country,
+                     format_ms(series.window_start_ms(window)), "0", "",
+                     "", ""});
+        continue;
+      }
+      const obs::LatencyHistogram& hist = it->second;
       csv.add_row({key.metric, key.provider, key.country,
                    format_ms(series.window_start_ms(window)),
                    std::to_string(hist.count()),

@@ -10,6 +10,7 @@
 #include "obs/proc_stats.h"
 #include "report/anomalies.h"
 #include "report/metrics.h"
+#include "report/slo.h"
 #include "report/table.h"
 #include "report/timeseries.h"
 #include "stats/cdf.h"
@@ -70,6 +71,10 @@ RunResult run(const CampaignSpec& spec, world::WorldModel& world) {
   result.metrics = campaign.metrics();
   result.series = campaign.series();
   result.anomalies = campaign.anomalies();
+  result.slo = campaign.slo();
+  if (spec.campaign.slo.enabled) {
+    result.slo_alerts = result.slo.evaluate();
+  }
   result.retries = result.metrics.counters.loss_retries +
                    result.metrics.counters.handshake_retries;
   result.retry_timeouts = result.metrics.counters.retry_timeouts;
@@ -179,6 +184,26 @@ std::string summary_json(const RunResult& result) {
          std::to_string(result.discarded_mismatch) + ",\n";
   out += "  \"peak_rss_bytes\": " + std::to_string(obs::peak_rss_bytes()) +
          ",\n";
+  if (spec.campaign.slo.enabled) {
+    out += "  \"slo\": {\"availability_objective\": " +
+           format_double(spec.campaign.slo.availability_objective) +
+           ", \"alerts\": " + std::to_string(result.slo_alerts.size()) +
+           ", \"providers\": [";
+    bool first_provider = true;
+    for (const auto& [key, budget] : result.slo.budgets()) {
+      if (!key.country.empty()) continue;  // Aggregates only.
+      if (!first_provider) out += ", ";
+      first_provider = false;
+      out += "{\"provider\": ";
+      append_json_string(out, key.provider);
+      out += ", \"total\": " + std::to_string(budget.total) +
+             ", \"errors\": " + std::to_string(budget.errors) +
+             ", \"availability\": " + format_double(budget.availability) +
+             ", \"error_budget_consumed\": " +
+             format_double(budget.error_budget_consumed) + "}";
+    }
+    out += "]},\n";
+  }
   out += "  \"outputs\": [";
   bool first = true;
   for (const std::string& path : result.written) {
@@ -227,9 +252,27 @@ void write_outputs(RunResult& result) {
   if (!outputs.series_csv.empty()) {
     emit_csv(outputs.series_csv, report::timeseries_csv(result.series));
   }
+  if (!outputs.availability_csv.empty()) {
+    emit_csv(outputs.availability_csv, report::availability_csv(result.slo));
+  }
+  if (!outputs.slo_alerts_csv.empty()) {
+    emit_csv(outputs.slo_alerts_csv,
+             report::slo_alerts_csv(result.slo_alerts));
+  }
   if (!outputs.openmetrics.empty()) {
-    write_text(outputs.openmetrics,
-               stamp + report::openmetrics_text(result.series));
+    std::string om = report::openmetrics_text(result.series);
+    if (result.spec.campaign.slo.enabled) {
+      // The SLO gauges join the series exposition inside the same
+      // document frame (before "# EOF").
+      const std::size_t eof = om.rfind("# EOF\n");
+      const std::string gauges = report::slo_openmetrics_text(result.slo);
+      if (eof != std::string::npos) {
+        om.insert(eof, gauges);
+      } else {
+        om += gauges;
+      }
+    }
+    write_text(outputs.openmetrics, stamp + om);
     result.written.push_back(outputs.openmetrics);
   }
   if (!outputs.anomalies_dir.empty()) {

@@ -30,6 +30,10 @@ struct RunResult {
   obs::Metrics metrics;
   obs::MetricSeries series;
   obs::FlightRecorder anomalies;
+  obs::SloTracker slo;
+  /// Burn-rate alert events, evaluated post-merge when the spec's [slo]
+  /// section is enabled (empty otherwise).
+  std::vector<obs::SloAlert> slo_alerts;
 
   measure::Dataset dataset;  ///< Populated in retained mode.
   measure::StreamSink sink;  ///< Populated in streaming mode.

@@ -89,6 +89,8 @@ const FieldDef kFields[] = {
                        campaign.threads),
     DOHPERF_SPEC_FIELD("campaign", "series_window_ms", kDurationMs,
                        kPositive, campaign.series_window),
+    DOHPERF_SPEC_FIELD("campaign", "session_spacing_ms", kDurationMs,
+                       kNonNegative, campaign.session_spacing),
 
     DOHPERF_SPEC_FIELD("faults", "loss_spike_probability", kDouble,
                        kProbability, campaign.faults.loss_spike_probability),
@@ -122,6 +124,44 @@ const FieldDef kFields[] = {
                        kProbability,
                        campaign.faults.provider_outage_probability),
 
+    DOHPERF_SPEC_FIELD("faults", "provider_outage_period_ms", kDurationMs,
+                       kNonNegative, campaign.faults.provider_outage_period),
+    DOHPERF_SPEC_FIELD("faults", "provider_outage_duration_ms", kDurationMs,
+                       kNonNegative,
+                       campaign.faults.provider_outage_duration),
+    DOHPERF_SPEC_FIELD("faults", "provider_outage_stagger_ms", kDurationMs,
+                       kNonNegative, campaign.faults.provider_outage_stagger),
+    DOHPERF_SPEC_FIELD("faults", "regional_blackout_period_ms", kDurationMs,
+                       kNonNegative,
+                       campaign.faults.regional_blackout_period),
+    DOHPERF_SPEC_FIELD("faults", "regional_blackout_duration_ms",
+                       kDurationMs, kNonNegative,
+                       campaign.faults.regional_blackout_duration),
+    DOHPERF_SPEC_FIELD("faults", "regional_blackout_radius_miles", kDouble,
+                       kNonNegative,
+                       campaign.faults.regional_blackout_radius_miles),
+
+    DOHPERF_SPEC_FIELD("slo", "enabled", kBool, kNoCheck,
+                       campaign.slo.enabled),
+    DOHPERF_SPEC_FIELD("slo", "window_ms", kDurationMs, kPositive,
+                       campaign.slo.window),
+    DOHPERF_SPEC_FIELD("slo", "availability_objective", kDouble,
+                       kProbability, campaign.slo.availability_objective),
+    DOHPERF_SPEC_FIELD("slo", "p99_objective_ms", kDouble, kNonNegative,
+                       campaign.slo.p99_objective_ms),
+    DOHPERF_SPEC_FIELD("slo", "fast_short_ms", kDurationMs, kPositive,
+                       campaign.slo.fast_short),
+    DOHPERF_SPEC_FIELD("slo", "fast_long_ms", kDurationMs, kPositive,
+                       campaign.slo.fast_long),
+    DOHPERF_SPEC_FIELD("slo", "fast_burn", kDouble, kPositive,
+                       campaign.slo.fast_burn),
+    DOHPERF_SPEC_FIELD("slo", "slow_short_ms", kDurationMs, kPositive,
+                       campaign.slo.slow_short),
+    DOHPERF_SPEC_FIELD("slo", "slow_long_ms", kDurationMs, kPositive,
+                       campaign.slo.slow_long),
+    DOHPERF_SPEC_FIELD("slo", "slow_burn", kDouble, kPositive,
+                       campaign.slo.slow_burn),
+
     DOHPERF_SPEC_FIELD("anomalies", "enabled", kBool, kNoCheck,
                        campaign.anomalies.enabled),
     DOHPERF_SPEC_FIELD("anomalies", "slow_flow_ms", kDouble, kNonNegative,
@@ -148,14 +188,19 @@ const FieldDef kFields[] = {
                        outputs.openmetrics),
     DOHPERF_SPEC_FIELD("outputs", "anomalies_dir", kString, kNoCheck,
                        outputs.anomalies_dir),
+    DOHPERF_SPEC_FIELD("outputs", "availability_csv", kString, kNoCheck,
+                       outputs.availability_csv),
+    DOHPERF_SPEC_FIELD("outputs", "slo_alerts_csv", kString, kNoCheck,
+                       outputs.slo_alerts_csv),
 };
 
 #undef DOHPERF_SPEC_FIELD
 
 /// Section emission order for the canonical text (and the section-name
 /// whitelist, [sweep] aside).
-const char* const kSections[] = {"",        "world",  "campaign", "faults",
-                                 "anomalies", "stream", "outputs"};
+const char* const kSections[] = {"",          "world",  "campaign",
+                                 "faults",    "slo",    "anomalies",
+                                 "stream",    "outputs"};
 
 std::string dotted(const FieldDef& f) {
   return f.section[0] == '\0' ? std::string(f.key)

@@ -52,6 +52,8 @@ struct OutputsSpec {
   std::string series_csv;    ///< Sim-time metric series.
   std::string openmetrics;   ///< Series in OpenMetrics exposition.
   std::string anomalies_dir; ///< Flight-recorder dumps directory.
+  std::string availability_csv;  ///< Per-(provider, country) SLO table.
+  std::string slo_alerts_csv;    ///< Burn-rate alert events.
 };
 
 /// Everything one campaign run needs.

@@ -18,7 +18,9 @@
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/series.h"
+#include "obs/slo.h"
 #include "report/csv.h"
+#include "report/slo.h"
 #include "report/table.h"
 #include "scenario/runner.h"
 #include "scenario/spec.h"
@@ -324,6 +326,75 @@ TEST(DeterminismTest, ObservabilityOutputsBitIdenticalAcrossShardCounts) {
         << threads << " threads";
     EXPECT_EQ(sharded.fig4, serial.fig4) << threads << " threads";
     EXPECT_EQ(sharded.fig5, serial.fig5) << threads << " threads";
+  }
+}
+
+// --- SLO tracker ------------------------------------------------------
+// The SLO pipeline stacks every shard-sensitive mechanism at once: a
+// virtual campaign-time axis (session_spacing), recurring provider
+// outage + regional blackout schedules windowed on that axis, outcome
+// classification at flow completion, and burn-rate evaluation over the
+// merged integer cells. All of it must be bit-identical at serial/1/2/4
+// shards — tracker cells, the rendered availability CSV, and the alert
+// event stream.
+CampaignConfig slo_fault_config(int threads) {
+  CampaignConfig config = fault_config(threads);
+  config.session_spacing = netsim::from_ms(60'000.0);
+  config.faults.provider_outage_period = netsim::from_ms(3'600'000.0);
+  config.faults.provider_outage_duration = netsim::from_ms(600'000.0);
+  config.faults.provider_outage_stagger = netsim::from_ms(900'000.0);
+  config.faults.regional_blackout_period = netsim::from_ms(7'200'000.0);
+  config.faults.regional_blackout_duration = netsim::from_ms(300'000.0);
+  config.slo.enabled = true;
+  config.slo.window = netsim::from_ms(300'000.0);
+  config.slo.p99_objective_ms = 2000.0;
+  return config;
+}
+
+TEST(DeterminismTest, SloOutputsBitIdenticalAcrossShardCounts) {
+  struct Outputs {
+    obs::SloTracker slo;
+    std::vector<obs::SloAlert> alerts;
+    std::string availability;
+  };
+  const auto run = [](int threads) {
+    auto world = fresh_world();
+    Campaign campaign(*world, slo_fault_config(threads));
+    const Dataset data =
+        threads == 0 ? campaign.run_serial() : campaign.run();
+    EXPECT_FALSE(data.doh().empty());
+    return Outputs{campaign.slo(), campaign.slo().evaluate(),
+                   report::availability_csv(campaign.slo()).str()};
+  };
+
+  const Outputs serial = run(0);
+  ASSERT_FALSE(serial.slo.empty());
+  // The recurring schedules must actually produce outage/blackout
+  // outcomes, and the campaign axis must spread sessions over many
+  // windows (spacing 60s, window 300s).
+  std::uint64_t outages = 0, blackouts = 0;
+  std::size_t max_windows = 0;
+  for (const auto& [key, windows] : serial.slo.cells()) {
+    max_windows = std::max(max_windows, windows.size());
+    for (const auto& [window, cell] : windows) {
+      outages += cell.outcomes[static_cast<int>(
+          obs::Outcome::kProviderOutage)];
+      blackouts +=
+          cell.outcomes[static_cast<int>(obs::Outcome::kBlackout)];
+    }
+  }
+  EXPECT_GT(outages, 0u);
+  EXPECT_GT(blackouts, 0u);
+  EXPECT_GT(max_windows, 4u);
+  // Sustained 100%-error outage windows must fire burn-rate alerts.
+  EXPECT_FALSE(serial.alerts.empty());
+
+  for (const int threads : {1, 2, 4}) {
+    const Outputs sharded = run(threads);
+    EXPECT_TRUE(sharded.slo == serial.slo) << threads << " threads";
+    EXPECT_TRUE(sharded.alerts == serial.alerts) << threads << " threads";
+    EXPECT_EQ(sharded.availability, serial.availability)
+        << threads << " threads";
   }
 }
 

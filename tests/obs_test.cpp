@@ -17,7 +17,9 @@
 #include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/outcome.h"
 #include "obs/series.h"
+#include "obs/slo.h"
 #include "obs/span.h"
 #include "obs/trace_export.h"
 #include "obs/trace_load.h"
@@ -837,6 +839,170 @@ TEST(JsonParserTest, UnicodeEscapeValidation) {
   const auto bmp = obs::json::parse("\"\\u20ac\"");
   ASSERT_TRUE(bmp.has_value());
   EXPECT_EQ(bmp->as_string(), "\xe2\x82\xac");  // U+20AC euro sign
+}
+
+// -------------------------------------------------- outcome taxonomy
+
+TEST(OutcomeTest, ClassificationPrecedence) {
+  using obs::FlowSignals;
+  using obs::Outcome;
+  using obs::classify_flow_outcome;
+
+  // Successes: fallback wins over brownout wins over plain ok.
+  EXPECT_EQ(classify_flow_outcome({.ok = true}), Outcome::kOk);
+  EXPECT_EQ(classify_flow_outcome({.ok = true, .used_fallback = true}),
+            Outcome::kFallbackOk);
+  EXPECT_EQ(classify_flow_outcome({.ok = true, .brownout_delays = 2}),
+            Outcome::kBrownoutDegraded);
+  EXPECT_EQ(classify_flow_outcome(
+                {.ok = true, .used_fallback = true, .brownout_delays = 2}),
+            Outcome::kFallbackOk);
+
+  // Failures: a failed fallback is the terminal cause, then the fault
+  // ladder unreachable > outage > blackout, then plain give-up.
+  EXPECT_EQ(classify_flow_outcome({}), Outcome::kTimeoutGiveup);
+  EXPECT_EQ(classify_flow_outcome({.used_fallback = true}),
+            Outcome::kFallbackFailed);
+  EXPECT_EQ(classify_flow_outcome(
+                {.used_fallback = true, .provider_outage = true}),
+            Outcome::kFallbackFailed);
+  EXPECT_EQ(classify_flow_outcome({.provider_unreachable = true}),
+            Outcome::kUnreachable);
+  EXPECT_EQ(classify_flow_outcome(
+                {.provider_unreachable = true, .provider_outage = true}),
+            Outcome::kUnreachable);
+  EXPECT_EQ(classify_flow_outcome({.provider_outage = true}),
+            Outcome::kProviderOutage);
+  EXPECT_EQ(classify_flow_outcome(
+                {.provider_outage = true, .blackout = true}),
+            Outcome::kProviderOutage);
+  EXPECT_EQ(classify_flow_outcome({.blackout = true}),
+            Outcome::kBlackout);
+
+  // Success flags mask every failure signal.
+  EXPECT_EQ(classify_flow_outcome({.ok = true, .provider_outage = true,
+                                   .blackout = true}),
+            Outcome::kOk);
+
+  for (int i = 0; i < obs::kOutcomeCount; ++i) {
+    const auto outcome = static_cast<Outcome>(i);
+    EXPECT_FALSE(std::string_view(obs::to_string(outcome)).empty()) << i;
+    EXPECT_EQ(obs::is_success(outcome),
+              outcome == Outcome::kOk || outcome == Outcome::kFallbackOk ||
+                  outcome == Outcome::kBrownoutDegraded)
+        << i;
+  }
+}
+
+// ------------------------------------------------------- SLO tracker
+
+TEST(SloTrackerTest, RecordsAggregateAndCountryCells) {
+  obs::SloConfig config;
+  config.window = netsim::from_ms(1000.0);
+  config.p99_objective_ms = 100.0;
+  obs::SloTracker tracker(config);
+  tracker.record("Quad9", "SE", netsim::from_ms(500.0),
+                 obs::Outcome::kOk, 20.0, true);
+  tracker.record("Quad9", "SE", netsim::from_ms(1500.0),
+                 obs::Outcome::kTimeoutGiveup);
+  tracker.record("Quad9", "DE", netsim::from_ms(1500.0),
+                 obs::Outcome::kOk, 150.0, true);  // slow
+  // Pre-epoch offsets clamp into window 0 instead of going negative.
+  tracker.record("Quad9", "SE", netsim::from_ms(-50.0),
+                 obs::Outcome::kBlackout);
+
+  ASSERT_EQ(tracker.cells().size(), 3u);  // aggregate + DE + SE
+  const auto& aggregate = tracker.cells().at({"Quad9", ""});
+  ASSERT_EQ(aggregate.size(), 2u);
+  EXPECT_EQ(aggregate.at(0).total(), 2u);
+  EXPECT_EQ(aggregate.at(1).total(), 2u);
+  EXPECT_EQ(aggregate.at(1).slow, 1u);
+  EXPECT_EQ(aggregate.at(0).outcomes[static_cast<int>(
+                obs::Outcome::kBlackout)],
+            1u);
+
+  const auto budgets = tracker.budgets();
+  const obs::SloBudget& budget = budgets.at({"Quad9", ""});
+  EXPECT_EQ(budget.total, 4u);
+  EXPECT_EQ(budget.errors, 2u);
+  EXPECT_EQ(budget.slow, 1u);
+  EXPECT_DOUBLE_EQ(budget.availability, 0.5);
+  // 2 errors / (4 * 0.001 budget) = 500x over (modulo the 1 - 0.999
+  // representation error in the budget denominator).
+  EXPECT_NEAR(budget.error_budget_consumed, 500.0, 1e-9);
+  // 1 slow / (4 * 0.01) = 25x the latency budget.
+  EXPECT_NEAR(budget.latency_budget_consumed, 25.0, 1e-9);
+}
+
+TEST(SloTrackerTest, SplitMergeEqualsWholeRecording) {
+  obs::SloConfig config;
+  config.window = netsim::from_ms(500.0);
+  const auto record_range = [&](obs::SloTracker& tracker, int from,
+                                int to) {
+    for (int i = from; i < to; ++i) {
+      const auto outcome = i % 7 == 0 ? obs::Outcome::kProviderOutage
+                           : i % 5 == 0
+                               ? obs::Outcome::kFallbackOk
+                               : obs::Outcome::kOk;
+      tracker.record(i % 2 == 0 ? "Google" : "Quad9", i % 3 == 0 ? "SE"
+                                                                 : "BR",
+                     netsim::from_ms(40.0 * i), outcome, 10.0 + i, true);
+    }
+  };
+  obs::SloTracker whole(config);
+  record_range(whole, 0, 100);
+
+  obs::SloTracker left(config), middle(config), right(config);
+  record_range(left, 0, 30);
+  record_range(middle, 30, 71);
+  record_range(right, 71, 100);
+  // Merge in non-chronological order: counts are commutative integers.
+  obs::SloTracker merged(config);
+  merged.merge(right);
+  merged.merge(left);
+  merged.merge(middle);
+
+  EXPECT_TRUE(merged == whole);
+  EXPECT_EQ(merged.cells(), whole.cells());
+  EXPECT_EQ(merged.evaluate(), whole.evaluate());
+}
+
+TEST(SloTrackerTest, BurnRateAlertsAreEdgeTriggered) {
+  obs::SloConfig config;
+  config.window = netsim::from_ms(60'000.0);  // 1-minute windows
+  config.fast_short = netsim::from_ms(60'000.0);   // 1 window
+  config.fast_long = netsim::from_ms(300'000.0);   // 5 windows
+  config.fast_burn = 10.0;
+  // Push the slow pair out of reach so only the fast pair can fire.
+  config.slow_burn = 1e9;
+  obs::SloTracker tracker(config);
+
+  // Windows 0-1 healthy, 2-4 hard down, 5-9 healthy again, 12 down.
+  const auto fill = [&](int window, int good, int bad) {
+    for (int i = 0; i < good; ++i) {
+      tracker.record("Google", "", netsim::from_ms(window * 60'000.0),
+                     obs::Outcome::kOk);
+    }
+    for (int i = 0; i < bad; ++i) {
+      tracker.record("Google", "", netsim::from_ms(window * 60'000.0),
+                     obs::Outcome::kProviderOutage);
+    }
+  };
+  for (const int w : {0, 1}) fill(w, 20, 0);
+  for (const int w : {2, 3, 4}) fill(w, 0, 20);
+  for (const int w : {5, 6, 7, 8, 9}) fill(w, 20, 0);
+  fill(12, 0, 20);
+
+  const std::vector<obs::SloAlert> alerts = tracker.evaluate();
+  // One edge at the first bad window, one after re-arming — not one
+  // alert per bad window.
+  ASSERT_EQ(alerts.size(), 2u);
+  EXPECT_EQ(alerts[0].provider, "Google");
+  EXPECT_EQ(alerts[0].severity, "page");
+  EXPECT_EQ(alerts[0].window_start_ms, 2 * 60'000);
+  EXPECT_GE(alerts[0].burn_short, config.fast_burn);
+  EXPECT_GE(alerts[0].burn_long, config.fast_burn);
+  EXPECT_EQ(alerts[1].window_start_ms, 12 * 60'000);
 }
 
 }  // namespace

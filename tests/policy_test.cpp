@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include "client/policy.h"
+#include "obs/metrics.h"
+#include "obs/outcome.h"
 #include "world/world_model.h"
 
 namespace dohperf::client {
@@ -36,6 +38,18 @@ struct PolicyFixture : ::testing::Test {
 
   static PolicyOutcome run(const PolicyContext& ctx, DohMode mode) {
     auto net = world().ctx();
+    auto task = resolve_with_policy(net, ctx, mode);
+    world().sim().run();
+    return task.result();
+  }
+
+  /// Like run(), but with a metrics registry attached so the fallback
+  /// outcome counters are observable.
+  static PolicyOutcome run_with_metrics(const PolicyContext& ctx,
+                                        DohMode mode,
+                                        obs::Metrics& metrics) {
+    netsim::NetCtx net{world().sim(), world().latency(), world().rng(),
+                       nullptr,       nullptr,           &metrics};
     auto task = resolve_with_policy(net, ctx, mode);
     world().sim().run();
     return task.result();
@@ -100,9 +114,64 @@ TEST_F(PolicyFixture, CustomTimeoutIsRespected) {
   EXPECT_LT(outcome.elapsed_ms, 1500.0);
 }
 
+TEST_F(PolicyFixture, RaceResolvesThroughOutage) {
+  const auto outcome = run(make_ctx("SE", true), DohMode::kRace);
+  EXPECT_TRUE(outcome.resolved);
+  EXPECT_FALSE(outcome.used_doh);
+  EXPECT_TRUE(outcome.downgraded);
+  EXPECT_EQ(outcome.outcome, obs::Outcome::kFallbackOk);
+  // The Do53 leg answers after its stagger; the client never sits out
+  // the 1.5 s DoH timeout the serial policies pay.
+  EXPECT_GE(outcome.elapsed_ms, 250.0);
+  EXPECT_LT(outcome.elapsed_ms, 1500.0);
+}
+
+TEST_F(PolicyFixture, RacePicksTheFasterLegWhenHealthy) {
+  const auto outcome = run(make_ctx("SE", false), DohMode::kRace);
+  EXPECT_TRUE(outcome.resolved);
+  EXPECT_TRUE(obs::is_success(outcome.outcome));
+  // Whichever leg won, the flags must agree with each other.
+  EXPECT_EQ(outcome.downgraded, !outcome.used_doh);
+  EXPECT_GT(outcome.elapsed_ms, 0.0);
+}
+
+TEST_F(PolicyFixture, OutcomeTaxonomyPerMode) {
+  EXPECT_EQ(run(make_ctx("SE", false), DohMode::kOff).outcome,
+            obs::Outcome::kOk);
+  EXPECT_EQ(run(make_ctx("SE", false), DohMode::kOpportunistic).outcome,
+            obs::Outcome::kOk);
+  EXPECT_EQ(run(make_ctx("SE", true), DohMode::kOpportunistic).outcome,
+            obs::Outcome::kFallbackOk);
+  EXPECT_EQ(run(make_ctx("SE", true), DohMode::kStrict).outcome,
+            obs::Outcome::kUnreachable);
+  EXPECT_EQ(run(make_ctx("BR", false), DohMode::kStrict).outcome,
+            obs::Outcome::kOk);
+}
+
+TEST_F(PolicyFixture, FallbackOutcomeCountersSplitOkFromFailed) {
+  obs::Metrics metrics;
+  const auto outcome =
+      run_with_metrics(make_ctx("SE", true), DohMode::kOpportunistic,
+                       metrics);
+  EXPECT_TRUE(outcome.resolved);
+  EXPECT_EQ(metrics.counters.fallbacks, 1U);
+  EXPECT_EQ(metrics.counters.fallback_ok, 1U);
+  EXPECT_EQ(metrics.counters.fallback_failed, 0U);
+
+  // The race policy counts its Do53 rescue the same way.
+  obs::Metrics race_metrics;
+  run_with_metrics(make_ctx("SE", true), DohMode::kRace, race_metrics);
+  EXPECT_EQ(race_metrics.counters.fallbacks, 1U);
+  EXPECT_EQ(race_metrics.counters.fallback_ok, 1U);
+  EXPECT_EQ(race_metrics.counters.fallback_failed, 0U);
+}
+
 TEST_F(PolicyFixture, ModeNames) {
   EXPECT_EQ(to_string(DohMode::kOff), "off (Do53)");
+  EXPECT_EQ(to_string(DohMode::kOpportunistic),
+            "opportunistic (DoH with Do53 fallback)");
   EXPECT_EQ(to_string(DohMode::kStrict), "strict (DoH only)");
+  EXPECT_EQ(to_string(DohMode::kRace), "race (DoH raced against Do53)");
 }
 
 }  // namespace

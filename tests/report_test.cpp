@@ -10,10 +10,12 @@
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/series.h"
+#include "obs/slo.h"
 #include "obs/span.h"
 #include "report/anomalies.h"
 #include "report/csv.h"
 #include "report/metrics.h"
+#include "report/slo.h"
 #include "report/table.h"
 #include "report/timeseries.h"
 
@@ -167,7 +169,7 @@ TEST(TimeseriesCsvTest, EmitsCounterAndLatencyRows) {
                         42.0);
   const auto parsed = parse_csv(timeseries_csv(series).str());
   ASSERT_TRUE(parsed.has_value());
-  ASSERT_EQ(parsed->size(), 3u);
+  ASSERT_EQ(parsed->size(), 4u);
   EXPECT_EQ(parsed->front(),
             (std::vector<std::string>{"metric", "provider", "country",
                                       "window_start_ms", "count", "p50_ms",
@@ -177,12 +179,110 @@ TEST(TimeseriesCsvTest, EmitsCounterAndLatencyRows) {
   EXPECT_EQ((*parsed)[1][3], "0");
   EXPECT_EQ((*parsed)[1][4], "3");
   EXPECT_EQ((*parsed)[1][5], "");
-  // Latency row: second window, quantiles present.
+  // The latency track starts in the second window, so the dense
+  // rendering emits the first window as an explicit zero row...
   EXPECT_EQ((*parsed)[2][0], "doh_ms");
   EXPECT_EQ((*parsed)[2][1], "Cloudflare");
-  EXPECT_EQ((*parsed)[2][3], "250");
-  EXPECT_EQ((*parsed)[2][4], "1");
-  EXPECT_FALSE((*parsed)[2][5].empty());
+  EXPECT_EQ((*parsed)[2][3], "0");
+  EXPECT_EQ((*parsed)[2][4], "0");
+  EXPECT_EQ((*parsed)[2][5], "");
+  // ...then the populated second window with quantiles present.
+  EXPECT_EQ((*parsed)[3][0], "doh_ms");
+  EXPECT_EQ((*parsed)[3][3], "250");
+  EXPECT_EQ((*parsed)[3][4], "1");
+  EXPECT_FALSE((*parsed)[3][5].empty());
+}
+
+// A track whose first sample lands mid-campaign must render every
+// leading window as an explicit zero row — downstream consumers (the
+// burn-rate timeline, the health-report chart) read the window axis as
+// dense, and a silently missing window would shift it.
+TEST(TimeseriesCsvTest, WindowsStartingMidCampaignRenderLeadingZeros) {
+  obs::MetricSeries series(netsim::from_ms(250.0));
+  // Counter first seen in window 3, latency first seen in window 2.
+  series.add_count({"fault_provider_outage", "", ""},
+                   netsim::from_ms(800.0), 5);
+  series.record_latency({"do53_ms", "", ""}, netsim::from_ms(510.0), 9.0);
+  const auto parsed = parse_csv(timeseries_csv(series).str());
+  ASSERT_TRUE(parsed.has_value());
+  // Header + 4 counter windows (0..3) + 3 latency windows (0..2).
+  ASSERT_EQ(parsed->size(), 8u);
+  for (int window = 0; window < 4; ++window) {
+    const std::vector<std::string>& row = (*parsed)[1 + window];
+    EXPECT_EQ(row[0], "fault_provider_outage") << window;
+    EXPECT_EQ(row[3], std::to_string(window * 250)) << window;
+    EXPECT_EQ(row[4], window == 3 ? "5" : "0") << window;
+    EXPECT_EQ(row[5], "") << window;
+  }
+  for (int window = 0; window < 3; ++window) {
+    const std::vector<std::string>& row = (*parsed)[5 + window];
+    EXPECT_EQ(row[0], "do53_ms") << window;
+    EXPECT_EQ(row[3], std::to_string(window * 250)) << window;
+    EXPECT_EQ(row[4], window == 2 ? "1" : "0") << window;
+    // Empty quantile cells mark the zero windows.
+    EXPECT_EQ(row[5].empty(), window != 2) << window;
+  }
+}
+
+TEST(SloReportTest, AvailabilityCsvHasPerWindowAndRollupRows) {
+  obs::SloConfig config;
+  config.window = netsim::from_ms(1000.0);
+  config.p99_objective_ms = 50.0;
+  obs::SloTracker tracker(config);
+  tracker.record("Quad9", "SE", netsim::from_ms(100.0),
+                 obs::Outcome::kOk, 10.0, true);
+  tracker.record("Quad9", "SE", netsim::from_ms(2500.0),
+                 obs::Outcome::kProviderOutage);
+  tracker.record("Quad9", "SE", netsim::from_ms(2600.0),
+                 obs::Outcome::kOk, 80.0, true);  // slow success
+
+  const auto parsed = parse_csv(availability_csv(tracker).str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->front().front(), "provider");
+  // Two keys (aggregate + SE), two populated windows each, one roll-up
+  // row each.
+  ASSERT_EQ(parsed->size(), 7u);
+  const std::size_t cells = parsed->front().size();
+  for (const auto& row : *parsed) EXPECT_EQ(row.size(), cells);
+  // Aggregate key sorts first (empty country), roll-up row closes each
+  // key block with an empty window cell.
+  EXPECT_EQ((*parsed)[1][1], "");
+  EXPECT_EQ((*parsed)[1][2], "0");
+  EXPECT_EQ((*parsed)[2][2], "2000");
+  EXPECT_EQ((*parsed)[3][2], "");  // aggregate roll-up
+  EXPECT_EQ((*parsed)[4][1], "SE");
+  // Roll-up availability: 2 good of 3 total.
+  const std::size_t avail_col = cells - 1;
+  EXPECT_EQ((*parsed)[3][avail_col], "0.666667");
+  // One slow sample counted against the latency budget.
+  EXPECT_EQ((*parsed)[3][cells - 2], "1");
+}
+
+TEST(SloReportTest, AlertsCsvAndOpenMetricsRenderDeterministically) {
+  obs::SloConfig config;
+  obs::SloTracker tracker(config);
+  tracker.record("Google", "", netsim::Duration{},
+                 obs::Outcome::kTimeoutGiveup);
+  tracker.record("Google", "DE", netsim::from_ms(61'000.0),
+                 obs::Outcome::kOk);
+
+  const std::vector<obs::SloAlert> alerts = {
+      {"Google", "page", 300000, 15.1, 14.9}};
+  EXPECT_EQ(slo_alerts_csv(alerts).str(),
+            "provider,severity,window_start_ms,burn_short,burn_long\n"
+            "Google,page,300000,15.1,14.9\n");
+
+  const std::string om = slo_openmetrics_text(tracker);
+  EXPECT_NE(om.find("# TYPE dohperf_availability gauge"),
+            std::string::npos);
+  EXPECT_NE(om.find("dohperf_availability{provider=\"Google\","
+                    "country=\"\"}"),
+            std::string::npos)
+      << om;
+  EXPECT_NE(om.find("# TYPE dohperf_error_budget_consumed gauge"),
+            std::string::npos);
+  // No document framing: the scenario runner owns "# EOF".
+  EXPECT_EQ(om.find("# EOF"), std::string::npos);
 }
 
 TEST(TimeseriesCsvTest, OpenMetricsTextIsWellShaped) {

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "netsim/time.h"
+#include "obs/slo.h"
 #include "scenario/spec.h"
 #include "scenario/sweep.h"
 
@@ -174,6 +176,80 @@ TEST(ScenarioSpecTest, HashIsStableAcrossOriginalAndCanonicalText) {
   const scenario::SpecDocument canon =
       parse_ok(scenario::canonical_text(doc));
   EXPECT_EQ(scenario::document_hash(doc), scenario::document_hash(canon));
+}
+
+TEST(ScenarioSpecTest, SloSectionRoundTripsAndMovesTheHash) {
+  const std::string text = R"(name = "slo"
+[campaign]
+session_spacing_ms = 60000
+
+[faults]
+provider_outage_period_ms = 21600000
+provider_outage_duration_ms = 1800000
+provider_outage_stagger_ms = 3600000
+regional_blackout_period_ms = 43200000
+regional_blackout_duration_ms = 900000
+regional_blackout_radius_miles = 650.5
+
+[slo]
+enabled = true
+window_ms = 300000
+availability_objective = 0.9995
+p99_objective_ms = 1250.5
+fast_short_ms = 120000
+fast_long_ms = 1800000
+fast_burn = 10
+slow_short_ms = 10800000
+slow_long_ms = 86400000
+slow_burn = 3.5
+
+[outputs]
+availability_csv = "out/availability.csv"
+slo_alerts_csv = "out/alerts.csv"
+)";
+  const scenario::SpecDocument doc = parse_ok(text);
+  const obs::SloConfig& slo = doc.base.campaign.slo;
+  EXPECT_TRUE(slo.enabled);
+  EXPECT_EQ(slo.window, netsim::from_ms(300'000.0));
+  EXPECT_EQ(slo.availability_objective, 0.9995);
+  EXPECT_EQ(slo.p99_objective_ms, 1250.5);
+  EXPECT_EQ(slo.fast_short, netsim::from_ms(120'000.0));
+  EXPECT_EQ(slo.slow_burn, 3.5);
+  EXPECT_EQ(doc.base.campaign.session_spacing, netsim::from_ms(60'000.0));
+  EXPECT_EQ(doc.base.campaign.faults.provider_outage_stagger,
+            netsim::from_ms(3'600'000.0));
+  EXPECT_EQ(doc.base.campaign.faults.regional_blackout_radius_miles, 650.5);
+  EXPECT_EQ(doc.base.outputs.availability_csv, "out/availability.csv");
+  EXPECT_EQ(doc.base.outputs.slo_alerts_csv, "out/alerts.csv");
+
+  // Canonical fixpoint, [slo] included.
+  const std::string canon = scenario::canonical_text(doc);
+  const scenario::SpecDocument again = parse_ok(canon);
+  EXPECT_EQ(scenario::canonical_text(again), canon);
+  EXPECT_EQ(again.base.campaign.slo.window, slo.window);
+  EXPECT_EQ(again.base.campaign.slo.availability_objective,
+            slo.availability_objective);
+  EXPECT_EQ(scenario::document_hash(again), scenario::document_hash(doc));
+
+  // SLO keys are result-bearing (alerts, CSVs), so they move the hash;
+  // the output paths do not.
+  scenario::CampaignSpec plain = doc.base;
+  plain.campaign.slo = obs::SloConfig{};
+  EXPECT_NE(scenario::spec_hash(doc.base), scenario::spec_hash(plain));
+  scenario::CampaignSpec moved_outputs = doc.base;
+  moved_outputs.outputs.availability_csv = "elsewhere.csv";
+  EXPECT_EQ(scenario::spec_hash(doc.base),
+            scenario::spec_hash(moved_outputs));
+
+  // Range defects in the new sections diagnose like every other key.
+  EXPECT_NE(parse_error("[slo]\nwindow_ms = 0\n").find("<memory>:2:"),
+            std::string::npos);
+  EXPECT_NE(parse_error("[slo]\navailability_objective = 1.5\n")
+                .find("<memory>:2:"),
+            std::string::npos);
+  EXPECT_NE(parse_error("[faults]\nprovider_outage_period_ms = -1\n")
+                .find("<memory>:2:"),
+            std::string::npos);
 }
 
 TEST(ScenarioSpecTest, SetKeyMatchesParser) {

@@ -5,6 +5,7 @@
 //   dohperf-bench-scale-v1        bench/scale_campaign sweeps
 //   dohperf-scenario-summary-v1   scenario::run() summaries
 //   dohperf-sweep-v1              scenario sweep driver reports
+//   dohperf-availability-v1       bench/ext_availability_slo summaries
 //
 //   bench_schema_check <path/to/artifact.json>
 #include <cstdio>
@@ -234,6 +235,78 @@ void check_sweep(const Value& doc) {
   }
 }
 
+// ---- dohperf-availability-v1 ------------------------------------------
+
+/// One per-(provider | strategy) budget entry shared by both arrays of
+/// the availability summary.
+void check_budget_entry(const Value& entry, const std::string& where,
+                        const char* name_key) {
+  if (!entry.is_object()) {
+    fail(where + ": not an object");
+    return;
+  }
+  require_string(entry, name_key, where);
+  for (const char* key :
+       {"total", "errors", "availability", "error_budget_consumed"}) {
+    require_number(entry, key, where);
+  }
+  if (entry.number_or("total", 0) <= 0) {
+    fail(where + ": total must be > 0");
+  }
+  if (entry.number_or("errors", 0) > entry.number_or("total", 0)) {
+    fail(where + ": errors exceeds total");
+  }
+  const double availability = entry.number_or("availability", -1.0);
+  if (availability < 0.0 || availability > 1.0) {
+    fail(where + ": availability outside [0, 1]");
+  }
+}
+
+void check_availability(const Value& doc) {
+  require_hash(doc, "spec_hash", "document");
+  require_number(doc, "alerts", "document");
+  require_number(doc, "windows", "document");
+  const double objective = doc.number_or("availability_objective", -1.0);
+  if (objective <= 0.0 || objective >= 1.0) {
+    fail("\"availability_objective\" outside (0, 1)");
+  }
+
+  const Value* providers = doc.get("providers");
+  if (providers == nullptr || !providers->is_array() ||
+      providers->as_array().empty()) {
+    fail("missing or empty \"providers\" array");
+  } else {
+    std::size_t index = 0;
+    for (const Value& provider : providers->as_array()) {
+      check_budget_entry(provider,
+                         "providers[" + std::to_string(index) + "]",
+                         "provider");
+      ++index;
+    }
+  }
+
+  const Value* strategies = doc.get("strategies");
+  if (strategies == nullptr || !strategies->is_array() ||
+      strategies->as_array().empty()) {
+    fail("missing or empty \"strategies\" array");
+  } else {
+    std::size_t index = 0;
+    for (const Value& strategy : strategies->as_array()) {
+      check_budget_entry(strategy,
+                         "strategies[" + std::to_string(index) + "]",
+                         "strategy");
+      ++index;
+    }
+  }
+
+  if (g_errors == 0) {
+    std::printf("bench_schema_check: dohperf-availability-v1 OK "
+                "(%zu provider(s), %zu strateg(y/ies))\n",
+                providers->as_array().size(),
+                strategies->as_array().size());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -266,6 +339,8 @@ int main(int argc, char** argv) {
     }
   } else if (schema == "dohperf-sweep-v1") {
     check_sweep(*doc);
+  } else if (schema == "dohperf-availability-v1") {
+    check_availability(*doc);
   } else {
     fail("unknown schema tag \"" + schema + "\"");
   }

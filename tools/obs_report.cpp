@@ -3,6 +3,7 @@
 // into one self-contained HTML page.
 //
 //   obs_report <timeseries.csv> <anomalies_dir | -> <out.html>
+//              [availability.csv] [slo_alerts.csv]
 //
 // The timeseries CSV is report::timeseries_csv output. The anomalies
 // directory is report::write_anomaly_dumps output (anomalies.csv plus
@@ -11,6 +12,15 @@
 // per-provider resolution latency (p50 solid, p99 dashed) with
 // fault-episode windows shaded behind the curves, followed by the
 // anomaly table with a per-phase breakdown read from each dump.
+//
+// When an availability CSV (report::availability_csv output) is
+// supplied, the page adds a per-(provider, country) availability heat
+// table and a burn-rate timeline over campaign time, with
+// outage-occupied windows shaded and — when the alerts CSV
+// (report::slo_alerts_csv output) is supplied too — burn-rate alert
+// events marked on the timeline. If any input carries a
+// `# dohperf-spec` provenance stamp, the page title cites the spec
+// hash so the report is traceable to the scenario that produced it.
 //
 // Malformed input — CSV that does not parse, a dump trace_load
 // rejects — exits 1 with a one-line diagnostic; nothing partial is
@@ -40,6 +50,26 @@ struct LatencyPoint {
 struct FaultWindow {
   std::string metric;
   double start_ms = 0.0;
+};
+
+/// One report::availability_csv row; `has_window` distinguishes the
+/// per-window rows from the whole-campaign roll-up (empty window cell).
+struct AvailabilityRow {
+  std::string provider;
+  std::string country;
+  bool has_window = false;
+  double window_start_ms = 0.0;
+  double objective = 0.0;
+  double total = 0.0;
+  double errors = 0.0;
+  double outage = 0.0;  ///< provider_outage + blackout outcome counts.
+  double availability = 1.0;
+};
+
+struct AlertMark {
+  std::string provider;
+  std::string severity;
+  double window_start_ms = 0.0;
 };
 
 struct AnomalyRow {
@@ -92,6 +122,43 @@ std::string html_escape(const std::string& text) {
 std::string format_ms(double ms) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.6g", ms);
+  return buf;
+}
+
+std::size_t find_column(const std::vector<std::string>& header,
+                        const char* name, const std::string& path) {
+  const auto it = std::find(header.begin(), header.end(), name);
+  if (it == header.end()) {
+    die(path + ": missing column \"" + name + "\" in header");
+  }
+  return static_cast<std::size_t>(it - header.begin());
+}
+
+/// First non-comment row index; artifacts open with `# dohperf-spec`
+/// provenance stamps that parse as single-cell comment rows.
+std::size_t skip_comments(const std::vector<std::vector<std::string>>& rows,
+                          const std::string& path) {
+  std::size_t r = 0;
+  while (r < rows.size() && !rows[r].empty() &&
+         rows[r].front().rfind("#", 0) == 0) {
+    ++r;
+  }
+  if (r == rows.size()) die(path + ": no header row (only comments)");
+  return r;
+}
+
+/// Heat-table cell fill: green at/above the objective, shading to red
+/// as the error budget burns (linear in budget consumed, clamped).
+std::string heat_color(double availability, double objective) {
+  const double budget = std::max(1e-12, 1.0 - objective);
+  const double deficit =
+      std::clamp((objective - availability) / budget, 0.0, 1.0);
+  const auto mix = [&](int from, int to) {
+    return static_cast<int>(from + deficit * (to - from));
+  };
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "#%02x%02x%02x", mix(0xd4, 0xf5),
+                mix(0xed, 0xb7), mix(0xda, 0xb1));
   return buf;
 }
 
@@ -164,15 +231,17 @@ std::string svg_polyline(const std::vector<std::pair<double, double>>& pts,
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 4) {
+  if (argc < 4 || argc > 6) {
     std::fprintf(stderr,
                  "usage: obs_report <timeseries.csv> <anomalies_dir | -> "
-                 "<out.html>\n");
+                 "<out.html> [availability.csv] [slo_alerts.csv]\n");
     return 1;
   }
   const std::string series_path = argv[1];
   const std::string anomalies_dir = argv[2];
   const std::string out_path = argv[3];
+  const std::string availability_path = argc > 4 ? argv[4] : "";
+  const std::string alerts_path = argc > 5 ? argv[5] : "";
 
   // --- Load the metric series CSV. -------------------------------------
   const std::optional<std::string> series_text = read_file(series_path);
@@ -181,16 +250,18 @@ int main(int argc, char** argv) {
   if (!series_rows || series_rows->empty()) {
     die(series_path + ": malformed CSV");
   }
-  // Scenario-run artifacts open with a `# dohperf-spec ...` provenance
-  // line; the header is the first non-comment row.
-  std::size_t header_row = 0;
-  while (header_row < series_rows->size() &&
-         !(*series_rows)[header_row].empty() &&
-         (*series_rows)[header_row].front().rfind("#", 0) == 0) {
-    ++header_row;
-  }
-  if (header_row == series_rows->size()) {
-    die(series_path + ": no header row (only comments)");
+  const std::size_t header_row = skip_comments(*series_rows, series_path);
+  // The provenance stamp carries the spec hash; cite it in the title so
+  // the report is traceable to the scenario that produced it.
+  std::string spec_hash;
+  for (std::size_t r = 0; r < header_row; ++r) {
+    const std::string& comment = (*series_rows)[r].front();
+    const std::size_t pos = comment.find("hash=");
+    if (pos == std::string::npos) continue;
+    std::size_t end = pos + 5;
+    while (end < comment.size() && comment[end] != ' ') ++end;
+    spec_hash = comment.substr(pos + 5, end - (pos + 5));
+    break;
   }
   const std::vector<std::string>& series_header = (*series_rows)[header_row];
   const SeriesColumns col = series_columns(series_header, series_path);
@@ -290,6 +361,90 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- Load the SLO availability table + burn-rate alerts. -------------
+  std::vector<AvailabilityRow> avail;
+  if (!availability_path.empty()) {
+    const std::optional<std::string> text = read_file(availability_path);
+    if (!text) die(availability_path + ": cannot read file");
+    const auto rows = dohperf::report::parse_csv(*text);
+    if (!rows || rows->empty()) die(availability_path + ": malformed CSV");
+    const std::size_t hr = skip_comments(*rows, availability_path);
+    const std::vector<std::string>& header = (*rows)[hr];
+    const std::size_t c_provider =
+        find_column(header, "provider", availability_path);
+    const std::size_t c_country =
+        find_column(header, "country", availability_path);
+    const std::size_t c_window =
+        find_column(header, "window_start_ms", availability_path);
+    const std::size_t c_objective =
+        find_column(header, "objective", availability_path);
+    const std::size_t c_total = find_column(header, "total",
+                                            availability_path);
+    const std::size_t c_ok = find_column(header, "ok", availability_path);
+    const std::size_t c_fallback_ok =
+        find_column(header, "fallback_ok", availability_path);
+    const std::size_t c_brownout =
+        find_column(header, "brownout_degraded", availability_path);
+    const std::size_t c_outage =
+        find_column(header, "provider_outage", availability_path);
+    const std::size_t c_blackout =
+        find_column(header, "blackout", availability_path);
+    const std::size_t c_avail =
+        find_column(header, "availability", availability_path);
+    for (std::size_t r = hr + 1; r < rows->size(); ++r) {
+      const std::vector<std::string>& row = (*rows)[r];
+      if (row.size() != header.size()) {
+        die(availability_path + ": row " + std::to_string(r + 1) +
+            " has the wrong cell count");
+      }
+      const std::string where =
+          availability_path + ": row " + std::to_string(r + 1);
+      AvailabilityRow a;
+      a.provider = row[c_provider];
+      a.country = row[c_country];
+      a.has_window = !row[c_window].empty();
+      if (a.has_window) {
+        a.window_start_ms = parse_double(row[c_window], where);
+      }
+      a.objective = parse_double(row[c_objective], where);
+      a.total = parse_double(row[c_total], where);
+      a.errors = a.total - parse_double(row[c_ok], where) -
+                 parse_double(row[c_fallback_ok], where) -
+                 parse_double(row[c_brownout], where);
+      a.outage = parse_double(row[c_outage], where) +
+                 parse_double(row[c_blackout], where);
+      a.availability = parse_double(row[c_avail], where);
+      avail.push_back(a);
+    }
+  }
+
+  std::vector<AlertMark> alert_marks;
+  if (!alerts_path.empty()) {
+    const std::optional<std::string> text = read_file(alerts_path);
+    if (!text) die(alerts_path + ": cannot read file");
+    const auto rows = dohperf::report::parse_csv(*text);
+    if (!rows || rows->empty()) die(alerts_path + ": malformed CSV");
+    const std::size_t hr = skip_comments(*rows, alerts_path);
+    const std::vector<std::string>& header = (*rows)[hr];
+    const std::size_t c_provider = find_column(header, "provider",
+                                               alerts_path);
+    const std::size_t c_severity = find_column(header, "severity",
+                                               alerts_path);
+    const std::size_t c_window =
+        find_column(header, "window_start_ms", alerts_path);
+    for (std::size_t r = hr + 1; r < rows->size(); ++r) {
+      const std::vector<std::string>& row = (*rows)[r];
+      if (row.size() != header.size()) {
+        die(alerts_path + ": row " + std::to_string(r + 1) +
+            " has the wrong cell count");
+      }
+      alert_marks.push_back(
+          {row[c_provider], row[c_severity],
+           parse_double(row[c_window],
+                        alerts_path + ": row " + std::to_string(r + 1))});
+    }
+  }
+
   // --- Render the page. ------------------------------------------------
   constexpr double kWidth = 900.0, kHeight = 300.0;
   constexpr double kLeft = 60.0, kRight = 880.0;
@@ -372,9 +527,12 @@ int main(int argc, char** argv) {
          legend + "</text>\n";
   svg += "</svg>\n";
 
+  std::string title = "dohperf campaign health report";
+  if (!spec_hash.empty()) title += " [spec " + spec_hash + "]";
+
   std::string html =
       "<!DOCTYPE html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n"
-      "<title>dohperf campaign health report</title>\n"
+      "<title>" + html_escape(title) + "</title>\n"
       "<style>\n"
       "body { font-family: sans-serif; margin: 2em; max-width: 960px; }\n"
       "table { border-collapse: collapse; font-size: 13px; }\n"
@@ -390,6 +548,161 @@ int main(int argc, char** argv) {
       "brownout, provider outage). Window width " +
       format_ms(window_ms) + "ms, source " + html_escape(series_path) +
       ".</p>\n" + svg;
+
+  // --- Availability heat table + burn-rate timeline. -------------------
+  if (!avail.empty()) {
+    // Heat table from the whole-campaign roll-up rows (empty window
+    // cell); the empty country is the provider aggregate.
+    std::map<std::string, std::map<std::string, const AvailabilityRow*>>
+        heat;
+    std::set<std::string> countries;
+    for (const AvailabilityRow& a : avail) {
+      if (a.has_window) continue;
+      heat[a.provider][a.country] = &a;
+      countries.insert(a.country);
+    }
+    const double objective = avail.front().objective;
+    html += "<h2>Availability</h2>\n<table>\n<tr><th>provider</th>";
+    for (const std::string& country : countries) {
+      html += "<th>" +
+              html_escape(country.empty() ? std::string("(all)") : country) +
+              "</th>";
+    }
+    html += "</tr>\n";
+    for (const auto& [provider, by_country] : heat) {
+      html += "<tr><td>" + html_escape(provider) + "</td>";
+      for (const std::string& country : countries) {
+        const auto it = by_country.find(country);
+        if (it == by_country.end()) {
+          html += "<td></td>";
+          continue;
+        }
+        const AvailabilityRow& a = *it->second;
+        html += "<td style=\"background:" +
+                heat_color(a.availability, a.objective) + "\">" +
+                format_ms(a.availability * 100.0) + "% (" +
+                format_ms(a.total) + ")</td>";
+      }
+      html += "</tr>\n";
+    }
+    html += "</table>\n<p class=\"note\">Whole-campaign availability per "
+            "(provider, country); (all) is the provider aggregate. Cells "
+            "shade toward red as the error budget against the " +
+            format_ms(objective * 100.0) +
+            "% objective burns; session counts in parentheses.</p>\n";
+
+    // Burn-rate timeline over campaign time from the per-window
+    // provider-aggregate rows; outage-occupied windows shade behind the
+    // curves and alert events mark on top.
+    std::map<std::string, std::vector<std::pair<double, double>>> burn;
+    std::set<double> burn_windows;
+    std::set<double> outage_windows;
+    double burn_max = 1.0;
+    for (const AvailabilityRow& a : avail) {
+      if (!a.has_window || !a.country.empty()) continue;
+      const double budget = std::max(1e-12, 1.0 - a.objective);
+      const double rate = a.total > 0 ? a.errors / a.total : 0.0;
+      burn[a.provider].emplace_back(a.window_start_ms, rate / budget);
+      burn_windows.insert(a.window_start_ms);
+      burn_max = std::max(burn_max, rate / budget);
+      if (a.outage > 0) outage_windows.insert(a.window_start_ms);
+    }
+    double slo_window_ms = 60000.0;
+    if (burn_windows.size() >= 2) {
+      slo_window_ms = 1e300;
+      double prev = *burn_windows.begin();
+      for (auto it = std::next(burn_windows.begin());
+           it != burn_windows.end(); ++it) {
+        slo_window_ms = std::min(slo_window_ms, *it - prev);
+        prev = *it;
+      }
+    }
+    double bx_min = 0.0, bx_max = slo_window_ms;
+    if (!burn_windows.empty()) {
+      bx_min = *burn_windows.begin();
+      bx_max = *burn_windows.rbegin() + slo_window_ms;
+    }
+    const auto bx = [&](double ms) {
+      return kLeft + (ms - bx_min) / (bx_max - bx_min) * (kRight - kLeft);
+    };
+    const auto by = [&](double value) {
+      return kBottom - value / burn_max * (kBottom - kTop);
+    };
+    std::string burn_svg = "<svg viewBox=\"0 0 " + format_ms(kWidth) +
+                           " " + format_ms(kHeight) +
+                           "\" xmlns=\"http://www.w3.org/2000/svg\">\n";
+    for (const double start : outage_windows) {
+      burn_svg += "<rect x=\"" + format_ms(bx(start)) + "\" y=\"" +
+                  format_ms(kTop) + "\" width=\"" +
+                  format_ms(bx(start + slo_window_ms) - bx(start)) +
+                  "\" height=\"" + format_ms(kBottom - kTop) +
+                  "\" fill=\"#d46a6a\" fill-opacity=\"0.25\"><title>"
+                  "outage/blackout window @ " +
+                  format_ms(start) + "ms</title></rect>\n";
+    }
+    burn_svg += "<line x1=\"" + format_ms(kLeft) + "\" y1=\"" +
+                format_ms(kTop) + "\" x2=\"" + format_ms(kLeft) +
+                "\" y2=\"" + format_ms(kBottom) + "\" stroke=\"#333\"/>\n";
+    burn_svg += "<line x1=\"" + format_ms(kLeft) + "\" y1=\"" +
+                format_ms(kBottom) + "\" x2=\"" + format_ms(kRight) +
+                "\" y2=\"" + format_ms(kBottom) + "\" stroke=\"#333\"/>\n";
+    // Budget-neutral reference: burn rate 1 spends exactly the budget.
+    burn_svg += "<line x1=\"" + format_ms(kLeft) + "\" y1=\"" +
+                format_ms(by(1.0)) + "\" x2=\"" + format_ms(kRight) +
+                "\" y2=\"" + format_ms(by(1.0)) +
+                "\" stroke=\"#999\" stroke-dasharray=\"2,4\"/>\n";
+    burn_svg += "<text x=\"" + format_ms(kLeft - 6) + "\" y=\"" +
+                format_ms(kTop + 4) +
+                "\" text-anchor=\"end\" font-size=\"10\">" +
+                format_ms(burn_max) + "x</text>\n";
+    burn_svg += "<text x=\"" + format_ms(kLeft - 6) + "\" y=\"" +
+                format_ms(kBottom) +
+                "\" text-anchor=\"end\" font-size=\"10\">0</text>\n";
+    burn_svg += "<text x=\"" + format_ms(kRight) + "\" y=\"" +
+                format_ms(kBottom + 14) +
+                "\" text-anchor=\"end\" font-size=\"10\">" +
+                format_ms(bx_max) + "ms (campaign time)</text>\n";
+    std::string burn_legend;
+    std::size_t burn_color = 0;
+    double burn_legend_x = kLeft;
+    for (const auto& [provider, points] : burn) {
+      const std::string& color = palette[burn_color++ % palette.size()];
+      std::vector<std::pair<double, double>> line;
+      for (const auto& [start, value] : points) {
+        line.emplace_back(bx(start + slo_window_ms / 2.0), by(value));
+      }
+      burn_svg += svg_polyline(line, color, /*dashed=*/false);
+      burn_legend += "<tspan x=\"" + format_ms(burn_legend_x) +
+                     "\" fill=\"" + color + "\">" + html_escape(provider) +
+                     "</tspan>";
+      burn_legend_x += 140.0;
+    }
+    for (const AlertMark& mark : alert_marks) {
+      const bool page = mark.severity == "page";
+      const double x = bx(mark.window_start_ms + slo_window_ms / 2.0);
+      burn_svg += "<line x1=\"" + format_ms(x) + "\" y1=\"" +
+                  format_ms(kTop) + "\" x2=\"" + format_ms(x) +
+                  "\" y2=\"" + format_ms(kBottom) + "\" stroke=\"" +
+                  (page ? "#c0392b" : "#e67e22") +
+                  "\" stroke-width=\"1.5\" stroke-dasharray=\"4,2\">"
+                  "<title>" +
+                  html_escape(mark.severity) + " alert: " +
+                  html_escape(mark.provider) + " @ " +
+                  format_ms(mark.window_start_ms) + "ms</title></line>\n";
+    }
+    burn_svg += "<text y=\"" + format_ms(kHeight - 6) +
+                "\" font-size=\"11\">" + burn_legend + "</text>\n";
+    burn_svg += "</svg>\n";
+    html += "<h2>Error-budget burn rate</h2>\n"
+            "<p class=\"note\">Per-provider error-rate / budget ratio per "
+            "SLO window (1x dashed line = budget-neutral). Red shading: "
+            "windows with outage or blackout outcomes. Vertical markers: "
+            "burn-rate alerts (red = page, orange = ticket)" +
+            std::string(alerts_path.empty()
+                            ? "; no alerts CSV supplied"
+                            : "") +
+            ".</p>\n" + burn_svg;
+  }
 
   html += "<h2>Anomalous flows</h2>\n";
   if (anomalies_dir == "-") {
@@ -422,8 +735,9 @@ int main(int argc, char** argv) {
   out.flush();
   if (!out) die(out_path + ": cannot write file");
   std::printf("obs_report: wrote %s (%zu provider series, %zu fault "
-              "windows, %zu anomalies)\n",
-              out_path.c_str(), chart.size(), faults.size(),
-              anomalies.size());
+              "windows, %zu availability rows, %zu alerts, %zu "
+              "anomalies)\n",
+              out_path.c_str(), chart.size(), faults.size(), avail.size(),
+              alert_marks.size(), anomalies.size());
   return 0;
 }
