@@ -17,31 +17,12 @@
 
 #include "dns/wire.h"
 #include "stats/summary.h"
+#include "stats/zipf.h"
 #include "support.h"
 
 using namespace dohperf;
 
 namespace {
-
-/// Zipf(s=1.0) sampler over ranks [0, n).
-std::size_t zipf(netsim::Rng& rng, std::size_t n) {
-  // Inverse-CDF on the harmonic weights; n is small enough to scan.
-  static std::vector<double> cumulative;
-  if (cumulative.size() != n) {
-    cumulative.assign(n, 0.0);
-    double total = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      total += 1.0 / static_cast<double>(i + 1);
-      cumulative[i] = total;
-    }
-    for (auto& c : cumulative) c /= total;
-  }
-  const double u = rng.uniform();
-  for (std::size_t i = 0; i < n; ++i) {
-    if (u <= cumulative[i]) return i;
-  }
-  return n - 1;
-}
 
 struct CacheOutcome {
   double hit_rate;
@@ -57,6 +38,7 @@ CacheOutcome run_workload(world::WorldModel& world,
                           std::size_t catalog) {
   netsim::Rng rng =
       world.rng().split(centralised ? "cache-central" : "cache-dist");
+  const stats::ZipfSampler zipf(catalog);
   resolver::RecursiveResolver* central = nullptr;
   if (centralised) {
     // The Cloudflare PoP nearest to the first country's centroid.
@@ -80,7 +62,7 @@ CacheOutcome run_workload(world::WorldModel& world,
         centralised ? central : client->default_resolver;
 
     const auto name = world.origin().with_subdomain(
-        "popular-" + std::to_string(zipf(rng, catalog)));
+        "popular-" + std::to_string(zipf(rng)));
     const std::uint64_t before = resolver->stats().cache_hits;
 
     auto net = world.ctx();

@@ -1,0 +1,111 @@
+#include "client/connection_pool.h"
+
+#include <algorithm>
+
+namespace dohperf::client {
+
+std::string_view to_string(Acquire a) {
+  switch (a) {
+    case Acquire::kCold:
+      return "cold";
+    case Acquire::kResume:
+      return "resume";
+    case Acquire::kReuse:
+      return "reuse";
+  }
+  return "?";
+}
+
+ConnectionPool::Entry* ConnectionPool::find(const std::string& endpoint) {
+  for (Entry& e : entries_) {
+    if (e.endpoint == endpoint) return &e;
+  }
+  return nullptr;
+}
+
+const ConnectionPool::Entry* ConnectionPool::find(
+    const std::string& endpoint) const {
+  for (const Entry& e : entries_) {
+    if (e.endpoint == endpoint) return &e;
+  }
+  return nullptr;
+}
+
+Acquire ConnectionPool::acquire(const std::string& endpoint,
+                                netsim::SimTime now) {
+  Entry* entry = find(endpoint);
+  if (entry == nullptr) {
+    if (entries_.size() >= config_.max_entries && !entries_.empty()) {
+      // Evict the stalest endpoint — its ticket goes with it (a real
+      // client's ticket store is per-connection-entry, and an endpoint
+      // cold enough to be evicted has likely outlived its ticket anyway).
+      const auto stalest = std::min_element(
+          entries_.begin(), entries_.end(),
+          [](const Entry& a, const Entry& b) {
+            return a.last_used < b.last_used;
+          });
+      entries_.erase(stalest);
+      ++stats_.evictions;
+    }
+    entries_.push_back(Entry{endpoint});
+    entry = &entries_.back();
+  }
+
+  if (entry->connected) {
+    const bool idle_expired =
+        now - entry->last_used > config_.idle_timeout;
+    const bool exhausted =
+        entry->queries >= config_.max_queries_per_connection;
+    if (!idle_expired && !exhausted) {
+      ++stats_.reused;
+      return Acquire::kReuse;
+    }
+    // The connection is gone (NAT/keep-alive expiry) or must be retired
+    // (stream budget); fall through to the reconnect decision.
+    entry->connected = false;
+    entry->queries = 0;
+    if (idle_expired) ++stats_.expired;
+  }
+
+  const bool ticket_ok =
+      config_.session_tickets && entry->has_ticket &&
+      now - entry->ticket_issued <= config_.ticket_lifetime;
+  if (ticket_ok) {
+    ++stats_.resumed;
+    return Acquire::kResume;
+  }
+  ++stats_.cold;
+  return Acquire::kCold;
+}
+
+void ConnectionPool::established(const std::string& endpoint,
+                                 netsim::SimTime now) {
+  Entry* entry = find(endpoint);
+  if (entry == nullptr) {
+    entries_.push_back(Entry{endpoint});
+    entry = &entries_.back();
+  }
+  entry->connected = true;
+  entry->queries = 0;
+  entry->last_used = now;
+  if (config_.session_tickets) {
+    entry->has_ticket = true;
+    entry->ticket_issued = now;
+  }
+}
+
+void ConnectionPool::touch(const std::string& endpoint,
+                           netsim::SimTime now) {
+  if (Entry* entry = find(endpoint)) {
+    ++entry->queries;
+    entry->last_used = now;
+  }
+}
+
+int ConnectionPool::queries_on_connection(
+    const std::string& endpoint) const {
+  const Entry* entry = find(endpoint);
+  return entry != nullptr && entry->connected ? entry->queries : 0;
+}
+
+}  // namespace dohperf::client

@@ -1,0 +1,106 @@
+// Client-side DoH connection pool: keep-alive, session tickets, LRU.
+//
+// Deployed DoH clients (Firefox TRR, the dnscrypt-proxy/cloudflared
+// forwarders) hold persistent HTTPS connections to their resolver and
+// multiplex queries over them, so only the *first* query of a burst pays
+// connection setup; later queries ride the warm session, and an idle
+// timeout away from the last query the client can still come back with a
+// session ticket and skip the certificate exchange. This pool is the
+// bookkeeping for that pricing decision: given (endpoint, now) it
+// answers "full handshake, ticket resumption, or nothing?" and keeps the
+// per-connection query counts the warm-path observations record.
+//
+// The pool tracks time but never awaits: the caller owns the actual
+// transport objects and performs the handshakes it is told to.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netsim/time.h"
+
+namespace dohperf::client {
+
+/// Pool knobs ([reuse] in a CampaignSpec).
+struct PoolConfig {
+  /// Connections idle longer than this are dead (middlebox/NAT expiry,
+  /// server keep-alive timeout — Firefox's TRR default neighbourhood).
+  netsim::Duration idle_timeout = std::chrono::seconds(10);
+  /// Servers bound queries per connection (HTTP/2 stream budget, DoS
+  /// hygiene); the client reconnects past this.
+  int max_queries_per_connection = 100;
+  /// Distinct endpoints the pool will hold live connections to.
+  std::size_t max_entries = 4;
+  /// Whether the server issues session tickets (resumption possible).
+  bool session_tickets = true;
+  /// How long a ticket stays accepted after issuance.
+  netsim::Duration ticket_lifetime = std::chrono::hours(2);
+};
+
+/// What the caller must do to talk to the endpoint it asked about.
+enum class Acquire {
+  kCold,    ///< Full handshake (and pay bootstrap if the address is new).
+  kResume,  ///< Reconnect with a session ticket: tls_resume/quic_resume.
+  kReuse,   ///< Live connection: send immediately.
+};
+
+[[nodiscard]] std::string_view to_string(Acquire a);
+
+/// Lifetime accounting, mergeable by summation.
+struct PoolStats {
+  std::uint64_t cold = 0;
+  std::uint64_t reused = 0;
+  std::uint64_t resumed = 0;
+  std::uint64_t evictions = 0;  ///< LRU pressure at max_entries.
+  std::uint64_t expired = 0;    ///< Connections found dead on acquire.
+};
+
+/// One client's connection pool. Deterministic: state depends only on
+/// the sequence of (endpoint, now) calls.
+class ConnectionPool {
+ public:
+  explicit ConnectionPool(PoolConfig config = {}) : config_(config) {}
+
+  /// Decides how to reach `endpoint` at `now` and updates the pool's
+  /// accounting for that decision. On kCold/kResume the caller performs
+  /// the indicated handshake and then reports established(); on kReuse
+  /// the connection is immediately usable (touch() after the query).
+  [[nodiscard]] Acquire acquire(const std::string& endpoint,
+                                netsim::SimTime now);
+
+  /// Marks the endpoint's connection live after a successful handshake;
+  /// with session_tickets the server hands out a ticket valid from `now`.
+  void established(const std::string& endpoint, netsim::SimTime now);
+
+  /// Records one query completed on the endpoint's live connection.
+  void touch(const std::string& endpoint, netsim::SimTime now);
+
+  /// Queries completed on the endpoint's *current* connection (0 when
+  /// none live) — the per-observation query index source.
+  [[nodiscard]] int queries_on_connection(const std::string& endpoint) const;
+
+  [[nodiscard]] const PoolStats& stats() const { return stats_; }
+  [[nodiscard]] const PoolConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string endpoint;
+    bool connected = false;
+    int queries = 0;               ///< On the current connection.
+    netsim::SimTime last_used{};   ///< Last query / establishment.
+    bool has_ticket = false;
+    netsim::SimTime ticket_issued{};
+  };
+
+  [[nodiscard]] Entry* find(const std::string& endpoint);
+  [[nodiscard]] const Entry* find(const std::string& endpoint) const;
+
+  PoolConfig config_;
+  PoolStats stats_;
+  /// Small and scanned linearly; eviction picks the stalest last_used.
+  std::vector<Entry> entries_;
+};
+
+}  // namespace dohperf::client

@@ -28,11 +28,10 @@ void Cache::insert(netsim::SimTime now, const DomainName& name,
   entry.expires_at = now + std::chrono::seconds(min_ttl);
   entries_[key] = std::move(entry);
   ++stats_.insertions;
-  if (++inserts_since_purge_ >= kPurgeInterval &&
-      entries_.size() >= kPurgeInterval) {
-    inserts_since_purge_ = 0;
-    purge(now);
-  }
+  // Amortized expiry sweep every kPurgeInterval inserts, regardless of
+  // cache size — a small cache churning short-TTL entries still needs to
+  // shed the expired ones it never looks up again.
+  if (++inserts_since_purge_ >= kPurgeInterval) purge(now);
 }
 
 std::optional<std::vector<ResourceRecord>> Cache::lookup(
@@ -67,6 +66,7 @@ std::optional<std::vector<ResourceRecord>> Cache::lookup(
 }
 
 std::size_t Cache::purge(netsim::SimTime now) {
+  inserts_since_purge_ = 0;  // every sweep restarts the cadence clock
   std::size_t removed = 0;
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (now >= it->second.expires_at) {

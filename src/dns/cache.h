@@ -49,7 +49,9 @@ class Cache {
   [[nodiscard]] std::optional<std::vector<ResourceRecord>> lookup(
       netsim::SimTime now, const DomainName& name, RecordType type);
 
-  /// Drops expired entries; returns how many were removed.
+  /// Drops expired entries; returns how many were removed. Also restarts
+  /// the amortized-sweep cadence (inserts_since_purge_), so explicit and
+  /// pressure-relief purges count toward the every-kPurgeInterval rhythm.
   std::size_t purge(netsim::SimTime now);
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <exception>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
@@ -62,6 +63,10 @@ struct CampaignPlan {
   std::vector<std::string> provider_names;  ///< Canonical catalog order.
   std::vector<StrId> provider_ids;          ///< Parallel to the names.
   StringTable names;
+  /// Stateless shared-cache model ([cache] enabled; nullptr otherwise).
+  /// Built once on the main thread and shared read-only by every shard —
+  /// hit probabilities are pure functions, so no shard ever mutates it.
+  std::unique_ptr<const resolver::SharedCacheModel> cache_model;
 };
 
 /// A shard's window onto the world: the shared immutable model plus the
@@ -267,6 +272,11 @@ CampaignPlan build_plan(world::WorldModel& world,
     t.slot_base = plan.n_sessions;
     plan.n_sessions += static_cast<std::size_t>(t.count);
     plan.atlas.push_back(std::move(t));
+  }
+
+  if (config.cache.enabled) {
+    plan.cache_model =
+        std::make_unique<resolver::SharedCacheModel>(config.cache);
   }
   return plan;
 }
@@ -476,6 +486,72 @@ netsim::Task<void> measure_session(ShardView& view, const ExitState& st,
                                 before.brownout_delays}),
         rec.tdoh_ms, true);
     out.doh.push_back(rec);
+  }
+
+  // --- Warm path: steady-state pricing under [cache]/[reuse] ----------
+  // Disabled configs skip the whole block without touching net.rng, so
+  // the cold measurements above and the Do53 flow below see exactly the
+  // draw sequence they always did and datasets stay byte-identical.
+  if (config.cache.enabled || config.reuse.enabled) {
+    const resolver::SharedCacheModel* model = plan.cache_model.get();
+    const auto record_warm = [&](const WarmPathObservation& wobs,
+                                 const char* prefix) {
+      for (const WarmQueryObservation& q : wobs.queries) {
+        if (!q.valid()) continue;
+        // Per-query-index latency histograms; the tail shares one bucket
+        // so the histogram count stays bounded for long sessions.
+        const int index_bucket = std::min(q.query_index, 7);
+        if (net.metrics != nullptr) {
+          net.metrics->histogram(std::string(prefix) + "_warm_q" +
+                                 std::to_string(index_bucket))
+              .record(q.ms);
+        }
+        net.series.latency(std::string(prefix) + "_warm_ms",
+                           view.sim.now(), q.ms);
+      }
+      if (net.metrics != nullptr) {
+        net.metrics->counters.pool_cold += wobs.pool.cold;
+        net.metrics->counters.pool_reuses += wobs.pool.reused;
+        net.metrics->counters.pool_resumptions += wobs.pool.resumed;
+        net.metrics->counters.pool_evictions += wobs.pool.evictions;
+        if (!wobs.ok) ++net.metrics->counters.failures;
+      }
+      if (!wobs.ok) net.series.count("failure", view.sim.now());
+    };
+
+    for (std::size_t p = 0; p < view.world.providers().size(); ++p) {
+      anycast::Provider& provider = view.world.providers()[p];
+      if (st.provider_failed[p]) continue;
+      net.series.provider = provider.name();
+      const std::size_t pop_index = provider.route(
+          exit.site.position, task.true_country->region, net.rng);
+      WarmDohParams wp;
+      wp.vantage = exit.site;
+      wp.default_resolver = exit.default_resolver;
+      wp.doh = &view.doh(p, pop_index);
+      wp.doh_hostname = provider.config().doh_hostname;
+      wp.tls = view.world.config().tls_version;
+      wp.origin = view.world.origin();
+      wp.cache = model;
+      // Centralized deployment: the provider PoP aggregates the whole
+      // configured population behind one cache.
+      wp.population = config.cache.population;
+      wp.reuse = config.reuse;
+      record_warm(co_await doh_warm_path(net, std::move(wp)), "doh");
+    }
+
+    // Do53 counterpart: same think-time/query schedule, but UDP (no
+    // pool) and a *distributed* cache — only this ISP's share of the
+    // population warms the default resolver.
+    net.series.provider = "Do53";
+    WarmDo53Params dp;
+    dp.vantage = exit.site;
+    dp.resolver = exit.default_resolver;
+    dp.origin = view.world.origin();
+    dp.cache = model;
+    dp.population = config.cache.population * config.cache.isp_share;
+    dp.reuse = config.reuse;
+    record_warm(co_await do53_warm_path(net, std::move(dp)), "do53");
   }
 
   // --- Do53 via the default resolver ----------------------------------

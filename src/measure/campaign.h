@@ -30,6 +30,7 @@
 
 #include "measure/dataset.h"
 #include "measure/stream_sink.h"
+#include "measure/warm.h"
 #include "netsim/arena.h"
 #include "netsim/faultplan.h"
 #include "obs/flight_recorder.h"
@@ -85,6 +86,16 @@ struct CampaignConfig {
   /// always on (it is integer bookkeeping); `slo.enabled` gates alert
   /// evaluation and report outputs.
   obs::SloConfig slo;
+  /// Shared PoP cache model ([cache]). Disabled by default: no model is
+  /// built, no warm block runs, no session draw changes — datasets stay
+  /// bit-identical to builds without the feature.
+  resolver::SharedCacheConfig cache;
+  /// Connection-reuse / warm-path knobs ([reuse]). Enabling either this
+  /// or `cache` appends one warm DoH session per surviving provider and
+  /// one warm Do53 session to every measurement session; their latencies
+  /// land in per-query-index histograms and the *_warm series, never in
+  /// the cold dataset rows (fig4/fig5 are untouched by construction).
+  ReuseConfig reuse;
 };
 
 /// Per-shard self-profiling of one run: how the wall-clock work and the

@@ -4,6 +4,8 @@
 // DoH clients amortise reconnects).
 #pragma once
 
+#include <cmath>
+#include <limits>
 #include <string>
 
 #include "dns/name.h"
@@ -20,12 +22,14 @@ struct DirectDoqObservation {
   double connect_ms = 0.0;  ///< Combined QUIC transport+TLS handshake
                             ///< (zero when resumed with 0-RTT).
   double query_ms = 0.0;
-  double reuse_ms = 0.0;
+  /// NaN until the reuse query completes (see DirectDohObservation).
+  double reuse_ms = std::numeric_limits<double>::quiet_NaN();
 
   [[nodiscard]] double tdoq_ms() const {
     return dns_ms + connect_ms + query_ms;
   }
   [[nodiscard]] double tdoqr_ms() const { return reuse_ms; }
+  [[nodiscard]] bool has_reuse() const { return !std::isnan(reuse_ms); }
 };
 
 /// Runs a DoQ resolution (one reuse query included) against the PoP

@@ -7,6 +7,8 @@
 // DNS messages travel length-prefixed directly over the TLS session.
 #pragma once
 
+#include <cmath>
+#include <limits>
 #include <string>
 
 #include "dns/name.h"
@@ -23,12 +25,15 @@ struct DirectDotObservation {
   double connect_ms = 0.0;  ///< TCP handshake.
   double tls_ms = 0.0;      ///< TLS handshake.
   double query_ms = 0.0;    ///< First query on the session.
-  double reuse_ms = 0.0;    ///< Second query reusing the session.
+  /// Second query reusing the session; NaN until it completes (failed
+  /// first queries must not feed a 0 ms sample into the reuse CDF).
+  double reuse_ms = std::numeric_limits<double>::quiet_NaN();
 
   [[nodiscard]] double tdot_ms() const {
     return dns_ms + connect_ms + tls_ms + query_ms;
   }
   [[nodiscard]] double tdotr_ms() const { return reuse_ms; }
+  [[nodiscard]] bool has_reuse() const { return !std::isnan(reuse_ms); }
 };
 
 /// Runs a DoT resolution (plus one reuse query) against the PoP behind

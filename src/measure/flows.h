@@ -11,6 +11,8 @@
 // the exit node" for the validation experiments (paper Section 4).
 #pragma once
 
+#include <cmath>
+#include <limits>
 #include <string>
 
 #include "dns/name.h"
@@ -69,12 +71,16 @@ struct DirectDohObservation {
   double connect_ms = 0.0;
   double tls_ms = 0.0;
   double query_ms = 0.0;
-  double reuse_ms = 0.0;  ///< A second query on the same session.
+  /// A second query on the same session. NaN until that query actually
+  /// completes — a flow that fails mid-way must not contribute a bogus
+  /// 0 ms warm sample to the reuse CDF.
+  double reuse_ms = std::numeric_limits<double>::quiet_NaN();
 
   [[nodiscard]] double tdoh_ms() const {
     return dns_ms + connect_ms + tls_ms + query_ms;
   }
   [[nodiscard]] double tdohr_ms() const { return reuse_ms; }
+  [[nodiscard]] bool has_reuse() const { return !std::isnan(reuse_ms); }
 };
 
 [[nodiscard]] netsim::Task<DirectDohObservation> doh_direct(

@@ -89,6 +89,14 @@ void Metrics::merge(const Metrics& other) {
   counters.fallback_failed += other.counters.fallback_failed;
   counters.brownout_delays += other.counters.brownout_delays;
   counters.failures += other.counters.failures;
+  counters.tls_resumptions += other.counters.tls_resumptions;
+  counters.pool_cold += other.counters.pool_cold;
+  counters.pool_reuses += other.counters.pool_reuses;
+  counters.pool_resumptions += other.counters.pool_resumptions;
+  counters.pool_evictions += other.counters.pool_evictions;
+  counters.shared_cache_hits += other.counters.shared_cache_hits;
+  counters.shared_cache_misses += other.counters.shared_cache_misses;
+  counters.stub_cache_hits += other.counters.stub_cache_hits;
   for (const auto& [name, hist] : other.histograms_) {
     histograms_[name].merge(hist);
   }

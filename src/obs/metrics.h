@@ -78,6 +78,14 @@ struct MetricCounters {
   std::uint64_t fallback_failed = 0;  ///< Downgrades that failed anyway.
   std::uint64_t brownout_delays = 0;  ///< Server steps inflated by brownout.
   std::uint64_t failures = 0;        ///< Failed measurements.
+  std::uint64_t tls_resumptions = 0;  ///< Session-ticket 1-RTT handshakes.
+  std::uint64_t pool_cold = 0;       ///< Pool acquisitions: full handshake.
+  std::uint64_t pool_reuses = 0;     ///< Pool acquisitions: live keep-alive.
+  std::uint64_t pool_resumptions = 0;  ///< Pool acquisitions: via ticket.
+  std::uint64_t pool_evictions = 0;  ///< LRU evictions at pool capacity.
+  std::uint64_t shared_cache_hits = 0;    ///< Warm-path PoP cache hits.
+  std::uint64_t shared_cache_misses = 0;  ///< Warm-path PoP cache misses.
+  std::uint64_t stub_cache_hits = 0;  ///< Warm-path client-local hits.
 
   friend bool operator==(const MetricCounters&,
                          const MetricCounters&) = default;

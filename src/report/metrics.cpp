@@ -39,6 +39,14 @@ CsvWriter metrics_csv(const obs::Metrics& metrics) {
       {"fallback_failed", c.fallback_failed},
       {"brownout_delays", c.brownout_delays},
       {"failures", c.failures},
+      {"tls_resumptions", c.tls_resumptions},
+      {"pool_cold", c.pool_cold},
+      {"pool_reuses", c.pool_reuses},
+      {"pool_resumptions", c.pool_resumptions},
+      {"pool_evictions", c.pool_evictions},
+      {"shared_cache_hits", c.shared_cache_hits},
+      {"shared_cache_misses", c.shared_cache_misses},
+      {"stub_cache_hits", c.stub_cache_hits},
   };
   for (const auto& [name, value] : counters) {
     csv.add_row({"counter", name, format_u64(value)});

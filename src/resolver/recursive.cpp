@@ -35,7 +35,7 @@ netsim::Task<dns::Message> RecursiveResolver::resolve(
     ++stats_.cache_hits;
     // Hot-name hits are served from the frontend cache: cheap unless a
     // brownout episode has the whole frontend overloaded.
-    co_await net.process_at(site_, netsim::from_ms(0.5) + processing_ / 10);
+    co_await net.process_at(site_, cache_hit_cost());
     dns::Message resp = dns::Message::make_response(query);
     resp.answers = std::move(*cached);
     co_return resp;
@@ -46,7 +46,7 @@ netsim::Task<dns::Message> RecursiveResolver::resolve(
   if (auto negative =
           negative_cache_.lookup(net.sim.now(), q.name, q.type)) {
     ++stats_.negative_hits;
-    co_await net.process_at(site_, netsim::from_ms(0.5) + processing_ / 10);
+    co_await net.process_at(site_, cache_hit_cost());
     dns::Message resp =
         dns::Message::make_response(query, dns::Rcode::kNxDomain);
     resp.authorities = std::move(*negative);
@@ -54,7 +54,7 @@ netsim::Task<dns::Message> RecursiveResolver::resolve(
   }
   if (auto nodata = nodata_cache_.lookup(net.sim.now(), q.name, q.type)) {
     ++stats_.negative_hits;
-    co_await net.process_at(site_, netsim::from_ms(0.5) + processing_ / 10);
+    co_await net.process_at(site_, cache_hit_cost());
     dns::Message resp = dns::Message::make_response(query);
     resp.authorities = std::move(*nodata);
     co_return resp;

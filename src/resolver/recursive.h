@@ -63,6 +63,13 @@ class RecursiveResolver {
   [[nodiscard]] const ResolverStats& stats() const { return stats_; }
   [[nodiscard]] dns::Cache& cache() { return cache_; }
 
+  /// Server-side delay of a frontend-cache hit (what resolve() charges on
+  /// its hit path). Exposed so warm-path models that price hits without
+  /// touching resolver state stay consistent with the real hit path.
+  [[nodiscard]] netsim::Duration cache_hit_cost() const {
+    return netsim::from_ms(0.5) + processing_ / 10;
+  }
+
  private:
   std::string name_;
   netsim::Site site_;

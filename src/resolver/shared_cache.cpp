@@ -1,0 +1,40 @@
+#include "resolver/shared_cache.h"
+
+namespace dohperf::resolver {
+
+SharedCacheModel::SharedCacheModel(const SharedCacheConfig& config)
+    : config_(config),
+      zipf_(config.catalog_size, config.zipf_exponent) {}
+
+double SharedCacheModel::hit_probability(std::size_t rank,
+                                         double population) const {
+  if (population <= 0.0) return 0.0;
+  // Arrival rate of this name across the whole population (queries/s).
+  const double lambda = population *
+                        (config_.queries_per_user_per_hour / 3600.0) *
+                        zipf_.probability(rank);
+  const double lambda_ttl = lambda * config_.ttl_s;
+  return lambda_ttl / (1.0 + lambda_ttl);
+}
+
+double SharedCacheModel::expected_hit_rate(double population) const {
+  double rate = 0.0;
+  for (std::size_t r = 0; r < zipf_.size(); ++r) {
+    rate += zipf_.probability(r) * hit_probability(r, population);
+  }
+  return rate;
+}
+
+SharedCacheLookup SharedCacheModel::sample(netsim::Rng& rng,
+                                           double population) const {
+  SharedCacheLookup look;
+  look.rank = zipf_(rng);
+  look.hit = rng.bernoulli(hit_probability(look.rank, population));
+  // At steady state the record's age at query time is uniform over its
+  // lifetime. Drawn unconditionally so the rng stream shape does not
+  // depend on the hit coin (three uniforms per sample, always).
+  look.age_s = rng.uniform() * config_.ttl_s;
+  return look;
+}
+
+}  // namespace dohperf::resolver

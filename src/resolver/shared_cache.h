@@ -1,0 +1,92 @@
+// Steady-state shared-cache model for the warm path.
+//
+// The campaign's measured names are deliberate cache-busters, so the
+// resolver's *real* dns::Cache never captures the phenomenon the warm
+// path is about: millions of ordinary users hammering the same popular
+// names and keeping the resolver's cache warm for everyone. Simulating
+// those background users per-query would be both prohibitively expensive
+// and determinism-hostile (shards would race to warm shared state), so
+// the model is *stateless*: under Zipf-distributed popularity and
+// TTL-based expiry, a name of per-population arrival rate λ (queries/s)
+// and TTL T is cached at steady state with probability
+//
+//     h = λT / (1 + λT)
+//
+// (the cache holds the name for T seconds after each miss-triggered
+// refill; miss cycles are T + 1/λ long and the warm fraction is T of
+// that). Each warm-path query draws a rank from the Zipf popularity
+// model and flips a coin with that rank's h — a pure function of
+// (config, population, rng), so serial/1/2/4-shard runs stay
+// bit-identical and no cross-session cache state ever couples sessions.
+//
+// The same formula explains the paper's centralisation story: a
+// centralized DoH provider aggregates a whole country's population into
+// one PoP cache (large λ, high h even deep into the tail), while Do53
+// splits the same demand across many ISP resolvers (λ scaled by the
+// ISP's share, lower h) — hit rate rises monotonically with population.
+#pragma once
+
+#include <cstddef>
+
+#include "netsim/random.h"
+#include "stats/zipf.h"
+
+namespace dohperf::resolver {
+
+/// Knobs of the shared-cache model ([cache] in a CampaignSpec).
+struct SharedCacheConfig {
+  bool enabled = false;
+  /// Size of the popular-name catalog the background population queries.
+  std::size_t catalog_size = 10000;
+  /// Zipf popularity exponent over the catalog.
+  double zipf_exponent = 1.0;
+  /// Background client population warming the *centralized* cache.
+  double population = 1e6;
+  /// Fraction of that population behind one ISP resolver (the Do53
+  /// deployment splits demand across ~1/isp_share distributed caches).
+  double isp_share = 0.05;
+  /// Per-user background query rate against the catalog.
+  double queries_per_user_per_hour = 8.0;
+  /// TTL of the popular records (seconds) — the cache-warmth window.
+  double ttl_s = 60.0;
+};
+
+/// One sampled warm-path lookup.
+struct SharedCacheLookup {
+  std::size_t rank = 0;  ///< Popularity rank of the queried name.
+  bool hit = false;      ///< Whether the shared cache held it.
+  double age_s = 0.0;    ///< Record age at hit time (for TTL decay).
+};
+
+/// The stateless steady-state model. Immutable after construction, so a
+/// single instance is safely shared by every shard.
+class SharedCacheModel {
+ public:
+  explicit SharedCacheModel(const SharedCacheConfig& config);
+
+  /// Steady-state hit probability of `rank` under `population` users.
+  [[nodiscard]] double hit_probability(std::size_t rank,
+                                       double population) const;
+
+  /// Expected hit rate of a Zipf-distributed query stream: sum over the
+  /// catalog of p_r * h_r. Analytic — no sampling noise — which makes it
+  /// the right curve for the monotonicity-vs-population acceptance gate.
+  [[nodiscard]] double expected_hit_rate(double population) const;
+
+  /// Draws one lookup: Zipf rank, Bernoulli hit at that rank's
+  /// probability, record age uniform in [0, ttl). Consumes exactly three
+  /// uniforms from `rng` regardless of outcome.
+  [[nodiscard]] SharedCacheLookup sample(netsim::Rng& rng,
+                                         double population) const;
+
+  [[nodiscard]] const SharedCacheConfig& config() const { return config_; }
+  [[nodiscard]] const stats::ZipfSampler& popularity() const {
+    return zipf_;
+  }
+
+ private:
+  SharedCacheConfig config_;
+  stats::ZipfSampler zipf_;
+};
+
+}  // namespace dohperf::resolver

@@ -174,6 +174,39 @@ const FieldDef kFields[] = {
     DOHPERF_SPEC_FIELD("stream", "run_capacity", kInt, kPositive,
                        campaign.stream.run_capacity),
 
+    DOHPERF_SPEC_FIELD("cache", "enabled", kBool, kNoCheck,
+                       campaign.cache.enabled),
+    DOHPERF_SPEC_FIELD("cache", "catalog_size", kSizeT, kPositive,
+                       campaign.cache.catalog_size),
+    DOHPERF_SPEC_FIELD("cache", "zipf_exponent", kDouble, kPositive,
+                       campaign.cache.zipf_exponent),
+    DOHPERF_SPEC_FIELD("cache", "population", kDouble, kPositive,
+                       campaign.cache.population),
+    DOHPERF_SPEC_FIELD("cache", "isp_share", kDouble, kProbability,
+                       campaign.cache.isp_share),
+    DOHPERF_SPEC_FIELD("cache", "queries_per_user_per_hour", kDouble,
+                       kPositive, campaign.cache.queries_per_user_per_hour),
+    DOHPERF_SPEC_FIELD("cache", "ttl_s", kDouble, kPositive,
+                       campaign.cache.ttl_s),
+
+    DOHPERF_SPEC_FIELD("reuse", "enabled", kBool, kNoCheck,
+                       campaign.reuse.enabled),
+    DOHPERF_SPEC_FIELD("reuse", "queries_per_session", kInt, kPositive,
+                       campaign.reuse.queries_per_session),
+    DOHPERF_SPEC_FIELD("reuse", "think_time_ms", kDurationMs, kNonNegative,
+                       campaign.reuse.think_time),
+    DOHPERF_SPEC_FIELD("reuse", "idle_timeout_ms", kDurationMs, kPositive,
+                       campaign.reuse.pool.idle_timeout),
+    DOHPERF_SPEC_FIELD("reuse", "max_queries_per_connection", kInt,
+                       kPositive,
+                       campaign.reuse.pool.max_queries_per_connection),
+    DOHPERF_SPEC_FIELD("reuse", "pool_entries", kSizeT, kPositive,
+                       campaign.reuse.pool.max_entries),
+    DOHPERF_SPEC_FIELD("reuse", "session_tickets", kBool, kNoCheck,
+                       campaign.reuse.pool.session_tickets),
+    DOHPERF_SPEC_FIELD("reuse", "ticket_lifetime_ms", kDurationMs,
+                       kPositive, campaign.reuse.pool.ticket_lifetime),
+
     DOHPERF_SPEC_FIELD("outputs", "summary_json", kString, kNoCheck,
                        outputs.summary_json),
     DOHPERF_SPEC_FIELD("outputs", "fig4_csv", kString, kNoCheck,
@@ -198,9 +231,10 @@ const FieldDef kFields[] = {
 
 /// Section emission order for the canonical text (and the section-name
 /// whitelist, [sweep] aside).
-const char* const kSections[] = {"",          "world",  "campaign",
-                                 "faults",    "slo",    "anomalies",
-                                 "stream",    "outputs"};
+const char* const kSections[] = {"",       "world",     "campaign",
+                                 "faults", "slo",       "anomalies",
+                                 "stream", "cache",     "reuse",
+                                 "outputs"};
 
 std::string dotted(const FieldDef& f) {
   return f.section[0] == '\0' ? std::string(f.key)

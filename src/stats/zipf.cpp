@@ -1,0 +1,35 @@
+#include "stats/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dohperf::stats {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) : exponent_(s) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: empty catalog");
+  if (!(s > 0.0)) throw std::invalid_argument("ZipfSampler: exponent <= 0");
+  cumulative_.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cumulative_[i] = total;
+  }
+  total_ = total;
+  for (double& c : cumulative_) c /= total;
+  cumulative_.back() = 1.0;  // guard against rounding below u = 1.
+}
+
+std::size_t ZipfSampler::operator()(netsim::Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it =
+      std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<std::size_t>(it - cumulative_.begin());
+}
+
+double ZipfSampler::probability(std::size_t rank) const {
+  if (rank >= cumulative_.size()) return 0.0;
+  return 1.0 / std::pow(static_cast<double>(rank + 1), exponent_) / total_;
+}
+
+}  // namespace dohperf::stats

@@ -1,0 +1,37 @@
+// Zipf-distributed rank sampler — the popularity model behind every
+// cache-warmth computation (bench/ext_cache_hits, the shared PoP cache
+// in resolver/shared_cache). A value type: each instance owns its
+// cumulative table, so two workloads with the same catalog size keep
+// independent state and sampling is safe across shards.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netsim/random.h"
+
+namespace dohperf::stats {
+
+/// Samples ranks in [0, n) with P(rank = r) proportional to
+/// 1 / (r + 1)^s. The cumulative table is built once at construction;
+/// draws are an O(log n) inverse-CDF lookup.
+class ZipfSampler {
+ public:
+  explicit ZipfSampler(std::size_t n, double s = 1.0);
+
+  /// Draws one rank, consuming exactly one uniform from `rng`.
+  [[nodiscard]] std::size_t operator()(netsim::Rng& rng) const;
+
+  /// Exact probability mass of `rank` (0 when out of range).
+  [[nodiscard]] double probability(std::size_t rank) const;
+
+  [[nodiscard]] std::size_t size() const { return cumulative_.size(); }
+  [[nodiscard]] double exponent() const { return exponent_; }
+
+ private:
+  std::vector<double> cumulative_;  ///< Normalised CDF, ascending to 1.
+  double exponent_ = 1.0;
+  double total_ = 0.0;  ///< Unnormalised weight sum (for probability()).
+};
+
+}  // namespace dohperf::stats

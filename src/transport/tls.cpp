@@ -52,4 +52,36 @@ netsim::Task<TlsSession> tls_handshake(const Connection& lower,
   co_return session;
 }
 
+netsim::Task<TlsSession> tls_resume(const Connection& lower,
+                                    TlsVersion version) {
+  netsim::NetCtx& net = lower.net();
+  TlsSession session(lower, version);
+  session.resumed = true;
+  const obs::ScopedSpan span = net.span("tls_resume");
+  if (net.metrics != nullptr) ++net.metrics->counters.tls_resumptions;
+  const netsim::SimTime start = net.sim.now();
+
+  if (const netsim::Path* path = lower.underlying_path()) {
+    const netsim::RetryOutcome hello = co_await net.handshake_gate(
+        path->a(), path->b(), kHelloRetryPolicy);
+    if (!hello.delivered) {
+      session.established = false;
+      session.handshake_time = net.sim.now() - start;
+      session.established_at = net.sim.now();
+      co_return session;
+    }
+  }
+
+  // One abbreviated round trip for either version: ClientHello+PSK ->
+  // ServerHello..Finished (1.3), or ClientHello+ticket -> ServerHello/
+  // CCS/Finished (1.2's abbreviated handshake skips the second flight).
+  // No certificate travels, so both flights are small.
+  co_await lower.send_framed(kResumeClientHelloBytes);
+  co_await lower.recv_framed(kResumeServerHelloBytes);
+
+  session.handshake_time = net.sim.now() - start;
+  session.established_at = net.sim.now();
+  co_return session;
+}
+
 }  // namespace dohperf::transport

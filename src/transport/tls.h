@@ -26,6 +26,13 @@ inline constexpr std::size_t kClientFinishedBytes = 80;
 inline constexpr std::size_t kServerFinishedBytes = 32;  // CCS/Finished, 1.2
 inline constexpr std::size_t kRecordOverheadBytes = 29;  // per app record
 
+/// Abbreviated-handshake flight sizes: the resumption ClientHello carries
+/// a pre_shared_key extension (1.3) or session ticket (1.2), and the
+/// server reply omits the certificate chain entirely — which is why the
+/// resumed ServerHello is ~20x smaller than the full one.
+inline constexpr std::size_t kResumeClientHelloBytes = 368;
+inline constexpr std::size_t kResumeServerHelloBytes = 160;
+
 /// ClientHello retransmit schedule (the transport's loss recovery seen
 /// at handshake granularity). Engages only under an active fault episode
 /// (see NetCtx::handshake_gate).
@@ -52,6 +59,8 @@ class TlsSession : public LayeredConnection {
   /// False when the ClientHello retransmit schedule ran dry under a
   /// fault episode: no session keys exist and no record may travel.
   bool established = true;
+  /// True when the session was set up via tls_resume (session ticket).
+  bool resumed = false;
   TlsVersion version = TlsVersion::kTls13;
   netsim::Duration handshake_time{};
   netsim::SimTime established_at{};
@@ -63,6 +72,15 @@ class TlsSession : public LayeredConnection {
 /// round trip. The returned session keeps a reference to `lower`, which
 /// must outlive it.
 [[nodiscard]] netsim::Task<TlsSession> tls_handshake(
+    const Connection& lower, TlsVersion version = TlsVersion::kTls13);
+
+/// Session-ticket resumption: one round trip of abbreviated-handshake
+/// flights for either version (1.3 PSK mode; 1.2 abbreviated handshake),
+/// no certificate transfer. The sibling of quic_resume's 0-RTT — TCP+TLS
+/// cannot go below one RTT, so a resumed DoH connection still pays
+/// TCP connect + this, where QUIC pays nothing. The returned session has
+/// `resumed` set and keeps a reference to `lower`.
+[[nodiscard]] netsim::Task<TlsSession> tls_resume(
     const Connection& lower, TlsVersion version = TlsVersion::kTls13);
 
 }  // namespace dohperf::transport

@@ -5,6 +5,7 @@
 
 #include "measure/flows.h"
 #include "netsim/path.h"
+#include "obs/metrics.h"
 #include "proxy/tunnel.h"
 #include "transport/connection.h"
 #include "transport/quic.h"
@@ -152,6 +153,48 @@ TEST_F(StackFixture, TlsHandshakeWireSizes) {
   EXPECT_EQ(trace.events()[3].bytes,
             transport::kServerFinishedBytes +
                 transport::kRecordOverheadBytes);
+}
+
+TEST_F(StackFixture, TlsSessionResumptionIsOneRoundTrip) {
+  obs::Metrics metrics;
+  net.metrics = &metrics;
+  auto conn_task = transport::tcp_connect(net, a, b);
+  sim.run();
+  const transport::TcpConnection tcp = conn_task.result();
+
+  trace.clear();
+  const netsim::SimTime start = sim.now();
+  auto resumed = transport::tls_resume(tcp, transport::TlsVersion::kTls13);
+  sim.run();
+  ASSERT_TRUE(resumed.done());
+  const transport::TlsSession tls = resumed.result();
+
+  EXPECT_TRUE(tls.established);
+  EXPECT_TRUE(tls.resumed);
+  EXPECT_EQ(metrics.counters.tls_resumptions, 1u);
+
+  // Abbreviated exchange: ticket-bearing ClientHello out, combined
+  // ServerHello..Finished back — no certificate, two small flights.
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.events()[0].bytes, transport::kResumeClientHelloBytes);
+  EXPECT_EQ(trace.events()[1].bytes, transport::kResumeServerHelloBytes);
+
+  // Golden timing: exactly one round trip of the two flights (each leg
+  // truncated to the simulator's 1 us tick), with no fault episode the
+  // handshake gate is free.
+  const double expected =
+      latency.expected_one_way_ms(a, b, transport::kResumeClientHelloBytes) +
+      latency.expected_one_way_ms(b, a, transport::kResumeServerHelloBytes);
+  EXPECT_NEAR(netsim::ms_between(start, sim.now()), expected, 2e-3);
+  EXPECT_NEAR(netsim::to_ms(tls.handshake_time), expected, 2e-3);
+  EXPECT_EQ(tls.established_at, sim.now());
+
+  // The abbreviated handshake must be strictly cheaper than a full one.
+  auto full = transport::tls_handshake(tcp, transport::TlsVersion::kTls13);
+  sim.run();
+  EXPECT_FALSE(full.result().resumed);
+  EXPECT_GT(full.result().handshake_time, tls.handshake_time);
+  EXPECT_EQ(metrics.counters.tls_resumptions, 1u);  // full does not count
 }
 
 TEST_F(StackFixture, QuicZeroRttResumption) {

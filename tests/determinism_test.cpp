@@ -235,6 +235,60 @@ TEST(DeterminismTest, FaultMetricsIdenticalAcrossShardCounts) {
   EXPECT_TRUE(fault_metrics(4) == serial);
 }
 
+// --- Warm path ([cache]/[reuse]) --------------------------------------
+// The warm block samples the shared-cache model, walks a per-flow
+// connection pool, and records per-query-index histograms — all from the
+// session's private substream, with the model built once on the main
+// thread and shared read-only. Dataset, metrics, and series must stay
+// bit-identical at serial/1/2/4 shards with the whole feature on.
+CampaignConfig warm_config(int threads) {
+  CampaignConfig config = campaign_config(threads);
+  config.cache.enabled = true;
+  config.cache.population = 250000.0;
+  config.reuse.enabled = true;
+  config.reuse.queries_per_session = 4;
+  return config;
+}
+
+TEST(DeterminismTest, WarmCampaignBitIdenticalAcrossShardCounts) {
+  struct Outputs {
+    Dataset data;
+    obs::Metrics metrics;
+    obs::MetricSeries series;
+  };
+  const auto run = [](int threads) {
+    auto world = fresh_world();
+    Campaign campaign(*world, warm_config(threads));
+    Dataset data = threads == 0 ? campaign.run_serial() : campaign.run();
+    EXPECT_FALSE(data.doh().empty());
+    return Outputs{std::move(data), campaign.metrics(),
+                   campaign.series()};
+  };
+
+  const Outputs serial = run(0);
+  // The feature actually ran: shared-cache pricing and pooled reuse.
+  EXPECT_GT(serial.metrics.counters.shared_cache_hits, 0u);
+  EXPECT_GT(serial.metrics.counters.shared_cache_misses, 0u);
+  EXPECT_GT(serial.metrics.counters.pool_cold, 0u);
+  EXPECT_GT(serial.metrics.counters.pool_reuses, 0u);
+  ASSERT_NE(serial.metrics.find_histogram("doh_warm_q1"), nullptr);
+  EXPECT_GT(serial.metrics.find_histogram("doh_warm_q1")->count(), 0u);
+  ASSERT_NE(serial.metrics.find_histogram("do53_warm_q0"), nullptr);
+  EXPECT_GT(
+      serial.series.latencies().count({"doh_warm_ms", "Cloudflare", ""}),
+      0u);
+  EXPECT_GT(serial.series.latencies().count({"do53_warm_ms", "Do53", ""}),
+            0u);
+
+  for (const int threads : {1, 2, 4}) {
+    const Outputs sharded = run(threads);
+    expect_identical(sharded.data, serial.data);
+    EXPECT_TRUE(sharded.metrics == serial.metrics) << threads
+                                                   << " threads";
+    EXPECT_TRUE(sharded.series == serial.series) << threads << " threads";
+  }
+}
+
 // --- Observability outputs -------------------------------------------
 // The sim-time metric series and the anomaly flight recorder carry the
 // same bit-identity contract as the dataset: epoch-relative windows,

@@ -331,6 +331,57 @@ TEST(CacheTest, HitRateIsDerivedAndDivisionSafe) {
   EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.5);
 }
 
+TEST(CacheTest, AmortizedSweepFiresOnSmallCaches) {
+  // Regression: the sweep cadence used to be gated on size() >= 256, so
+  // a cache that stayed small (entries expiring between inserts, or a
+  // tight max_entries) never purged and expired entries lingered until
+  // an explicit purge. The cadence is now pure insert count.
+  Cache cache;
+  const auto name = DomainName::parse("short.a.com");
+  cache.insert(SimTime{}, name, RecordType::kA, records_with_ttl(1));
+  // 256 more inserts, all re-targeting one key so size() stays tiny; by
+  // insert 256 the sweep must have fired and evicted the expired entry.
+  const auto later = SimTime{} + std::chrono::seconds(5);
+  const auto refresh = DomainName::parse("churn.a.com");
+  for (int i = 0; i < 256; ++i) {
+    cache.insert(later, refresh, RecordType::kA, records_with_ttl(1000));
+  }
+  EXPECT_EQ(cache.size(), 1u);  // only churn.a.com survives
+  EXPECT_EQ(cache.stats().expirations, 1u);
+}
+
+TEST(CacheTest, ExplicitPurgeRestartsSweepCadence) {
+  // Regression: purge() now resets the insert counter, so an explicit
+  // (or pressure-relief) sweep postpones the next amortized one by a
+  // full interval instead of double-sweeping back to back.
+  Cache cache;
+  const auto doomed = DomainName::parse("doomed.a.com");
+  // 253 live inserts plus one short-TTL victim: counter at 254.
+  for (int i = 0; i < 253; ++i) {
+    cache.insert(SimTime{},
+                 DomainName::parse("n" + std::to_string(i) + ".a.com"),
+                 RecordType::kA, records_with_ttl(1000));
+  }
+  cache.insert(SimTime{}, doomed, RecordType::kA, records_with_ttl(1));
+  ASSERT_EQ(cache.stats().expirations, 0u);
+
+  // Explicit purge at t=5 s removes the victim and restarts the clock.
+  const auto later = SimTime{} + std::chrono::seconds(5);
+  EXPECT_EQ(cache.purge(later), 1u);
+
+  // Two more inserts. Without the reset the counter would hit 256 on the
+  // second one (at t=10 s) and sweep fresh.a.com (expired at t=6 s) out;
+  // with the reset the counter is only at 2, so the expired entry is
+  // still resident and only the explicit purge has expired anything.
+  cache.insert(later, DomainName::parse("fresh.a.com"), RecordType::kA,
+               records_with_ttl(1));
+  const auto even_later = SimTime{} + std::chrono::seconds(10);
+  cache.insert(even_later, DomainName::parse("last.a.com"), RecordType::kA,
+               records_with_ttl(1000));
+  EXPECT_EQ(cache.stats().expirations, 1u);
+  EXPECT_EQ(cache.size(), 255u);  // 253 live + fresh (dead, unswept) + last
+}
+
 TEST(CacheTest, OverwriteRefreshesEntry) {
   Cache cache;
   const auto name = DomainName::parse("host.a.com");

@@ -12,6 +12,7 @@
 #include "stats/logreg.h"
 #include "stats/matrix.h"
 #include "stats/summary.h"
+#include "stats/zipf.h"
 
 namespace dohperf::stats {
 namespace {
@@ -324,6 +325,65 @@ TEST(LogisticTest, SurvivesPerfectSeparation) {
   const auto fit = fit_logistic(x, y, names);
   EXPECT_TRUE(std::isfinite(fit.term("x").coef));
   EXPECT_GT(fit.term("x").coef, 0.0);
+}
+
+TEST(ZipfSamplerTest, ProbabilitiesSumToOneAndDecay) {
+  const ZipfSampler zipf(100, 1.0);
+  EXPECT_EQ(zipf.size(), 100u);
+  EXPECT_DOUBLE_EQ(zipf.exponent(), 1.0);
+  double total = 0.0;
+  for (std::size_t rank = 0; rank < zipf.size(); ++rank) {
+    const double p = zipf.probability(rank);
+    EXPECT_GT(p, 0.0);
+    if (rank > 0) EXPECT_LT(p, zipf.probability(rank - 1));
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // s = 1: p(rank 0) / p(rank 1) = 2 exactly.
+  EXPECT_NEAR(zipf.probability(0) / zipf.probability(1), 2.0, 1e-12);
+}
+
+TEST(ZipfSamplerTest, SameSeedSameDraws) {
+  const ZipfSampler zipf(1000, 1.0);
+  netsim::Rng a(7);
+  netsim::Rng b(7);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(zipf(a), zipf(b));
+}
+
+TEST(ZipfSamplerTest, EmpiricalFrequenciesMatchPmf) {
+  const ZipfSampler zipf(50, 1.0);
+  netsim::Rng rng(42);
+  const int n = 200000;
+  std::vector<int> counts(zipf.size(), 0);
+  for (int i = 0; i < n; ++i) {
+    const std::size_t rank = zipf(rng);
+    ASSERT_LT(rank, zipf.size());
+    ++counts[rank];
+  }
+  for (const std::size_t rank : {0u, 1u, 4u, 9u, 49u}) {
+    const double observed = static_cast<double>(counts[rank]) / n;
+    EXPECT_NEAR(observed, zipf.probability(rank), 0.01);
+  }
+}
+
+TEST(ZipfSamplerTest, SteeperExponentConcentratesHead) {
+  const ZipfSampler flat(100, 0.5);
+  const ZipfSampler steep(100, 2.0);
+  EXPECT_GT(steep.probability(0), flat.probability(0));
+  EXPECT_LT(steep.probability(99), flat.probability(99));
+}
+
+TEST(ZipfSamplerTest, SingleElementAlwaysRankZero) {
+  const ZipfSampler zipf(1, 1.0);
+  netsim::Rng rng(3);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(zipf(rng), 0u);
+  EXPECT_DOUBLE_EQ(zipf.probability(0), 1.0);
+}
+
+TEST(ZipfSamplerTest, RejectsDegenerateParameters) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, 0.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, -1.0), std::invalid_argument);
 }
 
 // Property sweep: OLS recovery across random planted models.

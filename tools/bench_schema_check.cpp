@@ -6,6 +6,7 @@
 //   dohperf-scenario-summary-v1   scenario::run() summaries
 //   dohperf-sweep-v1              scenario sweep driver reports
 //   dohperf-availability-v1       bench/ext_availability_slo summaries
+//   dohperf-warm-ladder-v1        bench/ext_encrypted_dns_ladder warm runs
 //
 //   bench_schema_check <path/to/artifact.json>
 #include <cstdio>
@@ -307,6 +308,85 @@ void check_availability(const Value& doc) {
   }
 }
 
+// ---- dohperf-warm-ladder-v1 -------------------------------------------
+
+/// One side of a cold/warm median block.
+void check_ladder_block(const Value& doc, const char* name,
+                        bool want_shrink) {
+  const Value* block = doc.get(name);
+  const std::string where = name;
+  if (block == nullptr || !block->is_object()) {
+    fail("missing \"" + where + "\" object");
+    return;
+  }
+  require_number(*block, "doh_median_ms", where);
+  require_number(*block, "do53_median_ms", where);
+  require_number(*block, "delta_ms", where, /*nonneg=*/false);
+  if (want_shrink) {
+    require_number(*block, "shrink", where, /*nonneg=*/false);
+  }
+}
+
+void check_warm_ladder(const Value& doc) {
+  require_hash(doc, "spec_hash", "document");
+  check_ladder_block(doc, "cold", /*want_shrink=*/false);
+  check_ladder_block(doc, "warm", /*want_shrink=*/true);
+
+  const Value* counters = doc.get("counters");
+  if (counters == nullptr || !counters->is_object()) {
+    fail("missing \"counters\" object");
+  } else {
+    for (const char* key :
+         {"doh_queries", "do53_queries", "shared_cache_hits",
+          "stub_cache_hits", "pool_cold", "pool_reuses",
+          "pool_resumptions"}) {
+      require_number(*counters, key, "counters");
+    }
+    if (counters->number_or("doh_queries", 0) <= 0) {
+      fail("counters.doh_queries must be > 0");
+    }
+  }
+
+  const Value* curve = doc.get("curve");
+  if (curve == nullptr || !curve->is_array() || curve->as_array().empty()) {
+    fail("missing or empty \"curve\" array");
+    return;
+  }
+  double prev_population = 0.0;
+  double prev_rate = -1.0;
+  std::size_t index = 0;
+  for (const Value& point : curve->as_array()) {
+    const std::string where = "curve[" + std::to_string(index) + "]";
+    if (!point.is_object()) {
+      fail(where + ": not an object");
+      ++index;
+      continue;
+    }
+    require_number(point, "population", where);
+    require_number(point, "expected_hit_rate", where);
+    const double population = point.number_or("population", 0.0);
+    const double rate = point.number_or("expected_hit_rate", -1.0);
+    if (population <= prev_population) {
+      fail(where + ": populations not strictly ascending");
+    }
+    if (rate < 0.0 || rate > 1.0) {
+      fail(where + ": expected_hit_rate outside [0, 1]");
+    }
+    if (rate < prev_rate) {
+      fail(where + ": hit rate not monotone nondecreasing in population");
+    }
+    prev_population = population;
+    prev_rate = rate;
+    ++index;
+  }
+
+  if (g_errors == 0) {
+    std::printf("bench_schema_check: dohperf-warm-ladder-v1 OK "
+                "(%zu curve point(s))\n",
+                curve->as_array().size());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -341,6 +421,8 @@ int main(int argc, char** argv) {
     check_sweep(*doc);
   } else if (schema == "dohperf-availability-v1") {
     check_availability(*doc);
+  } else if (schema == "dohperf-warm-ladder-v1") {
+    check_warm_ladder(*doc);
   } else {
     fail("unknown schema tag \"" + schema + "\"");
   }
