@@ -1,0 +1,279 @@
+// Extension — phase-exact attribution of the cold-vs-warm DoH gap.
+//
+// The warm-path ladder (ext_encrypted_dns_ladder) shows *that* steady
+// state collapses the DoH premium; this bench shows *where* the saved
+// milliseconds come from. It reruns the ladder's cold one-shot cells
+// (doh_direct / do53_direct) and warm session cells (doh_warm_path /
+// do53_warm_path) with an obs::AttributionLedger attached, writes both
+// attribution CSVs, and builds the differential waterfalls:
+//
+//   doh_cold_vs_warm        cold one-shot DoH  vs  warm queries 1+
+//   doh_warm_first_vs_rest  warm query 0 (cold start)  vs  queries 1+
+//
+// Every waterfall's per-phase deltas sum exactly to the end-to-end
+// delta (128-bit rational identity, report::make_waterfall). The
+// acceptance contract: in the doh_warm_first_vs_rest comparison —
+// same cache-hit odds on both sides, so connection bootstrap is the
+// *only* thing that changes — at least 80% of the improvement must be
+// attributed to handshake + tunnel phases, or the bench exits 1.
+// Results land in a "dohperf-attribution-v1" JSON summary.
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "measure/flows.h"
+#include "measure/warm.h"
+#include "report/attribution.h"
+#include "resolver/shared_cache.h"
+#include "resolver/stub.h"
+#include "support.h"
+
+using namespace dohperf;
+
+namespace {
+
+/// The connection-bootstrap phases of the taxonomy: every handshake
+/// variant, both resumption flavors, and the proxy tunnel.
+constexpr std::array<obs::Phase, 6> kBootstrapPhases = {
+    obs::Phase::kTcpHandshake, obs::Phase::kTlsHandshake,
+    obs::Phase::kQuicHandshake, obs::Phase::kTlsResume,
+    obs::Phase::kQuicResume,   obs::Phase::kTunnelConnect,
+};
+
+/// One A-vs-B comparison reduced to its JSON summary fields.
+struct Comparison {
+  std::string name;
+  std::string transport_a;
+  std::string transport_b;
+  report::Waterfall waterfall;
+  double bootstrap_delta_ms = 0.0;  ///< Handshake+tunnel share of delta.
+  double bootstrap_share = 0.0;     ///< |bootstrap| / |total|, clamped.
+};
+
+Comparison compare(const std::string& name,
+                   const report::AttributionTable& table_a,
+                   const std::string& transport_a,
+                   const report::AttributionTable& table_b,
+                   const std::string& transport_b) {
+  Comparison c;
+  c.name = name;
+  c.transport_a = transport_a;
+  c.transport_b = transport_b;
+  c.waterfall =
+      report::make_waterfall(report::aggregate(table_a, transport_a),
+                             report::aggregate(table_b, transport_b));
+  for (const report::WaterfallStep& step : c.waterfall.steps) {
+    for (const obs::Phase phase : kBootstrapPhases) {
+      if (step.phase == phase) c.bootstrap_delta_ms += step.delta_ms;
+    }
+  }
+  const double total = std::abs(c.waterfall.delta_total_ms);
+  if (total > 0.0) {
+    const double share = std::abs(c.bootstrap_delta_ms) / total;
+    c.bootstrap_share = share > 1.0 ? 1.0 : share;
+  }
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Extension: where the cold-vs-warm DoH milliseconds go\n\n");
+  auto& world = benchsupport::Env::instance().world();
+  auto& provider = world.providers()[0];
+
+  obs::AttributionLedger cold_ledger, warm_ledger;
+
+  resolver::SharedCacheConfig cache_config;
+  cache_config.enabled = true;
+  const resolver::SharedCacheModel model(cache_config);
+  measure::ReuseConfig reuse;
+  reuse.enabled = true;
+  reuse.queries_per_session = 8;
+
+  netsim::Rng rng = world.rng().split("attribution");
+  for (const auto& iso2 : world.countries()) {
+    const proxy::ExitNode* exit = world.brightdata().pick_exit(iso2, rng);
+    if (exit == nullptr) continue;
+    const geo::Country* country = geo::find_country(exit->true_iso2);
+    const std::size_t pop =
+        provider.route(exit->site.position, country->region, rng);
+    auto& server = world.doh_server(0, pop);
+
+    // --- Cold cells: the ladder's one-shot direct flows. ---------------
+    {
+      auto net = world.ctx();
+      net.attribution.ledger = &cold_ledger;
+      net.attribution.provider = provider.name();
+      net.attribution.country = iso2;
+      auto task = measure::doh_direct(
+          net, exit->site, exit->default_resolver, server,
+          provider.config().doh_hostname, transport::TlsVersion::kTls13,
+          world.origin());
+      world.sim().run();
+      (void)task.result();
+    }
+    {
+      auto net = world.ctx();
+      net.attribution.ledger = &cold_ledger;
+      net.attribution.provider = provider.name();
+      net.attribution.country = iso2;
+      auto task = measure::do53_direct(
+          net, exit->site, exit->default_resolver,
+          world.origin().with_subdomain(resolver::uuid_label(net.rng)));
+      world.sim().run();
+      (void)task.result();
+    }
+
+    // --- Warm cells: pooled sessions against warmed caches. ------------
+    {
+      auto net = world.ctx();
+      net.attribution.ledger = &warm_ledger;
+      net.attribution.provider = provider.name();
+      net.attribution.country = iso2;
+      measure::WarmDohParams params;
+      params.vantage = exit->site;
+      params.default_resolver = exit->default_resolver;
+      params.doh = &server;
+      params.doh_hostname = provider.config().doh_hostname;
+      params.tls = transport::TlsVersion::kTls13;
+      params.origin = world.origin();
+      params.cache = &model;
+      params.population = cache_config.population;
+      params.reuse = reuse;
+      auto task = measure::doh_warm_path(net, std::move(params));
+      world.sim().run();
+      (void)task.result();
+    }
+    {
+      auto net = world.ctx();
+      net.attribution.ledger = &warm_ledger;
+      net.attribution.provider = provider.name();
+      net.attribution.country = iso2;
+      measure::WarmDo53Params params;
+      params.vantage = exit->site;
+      params.resolver = exit->default_resolver;
+      params.origin = world.origin();
+      params.cache = &model;
+      params.population = cache_config.population * cache_config.isp_share;
+      params.reuse = reuse;
+      auto task = measure::do53_warm_path(net, std::move(params));
+      world.sim().run();
+      (void)task.result();
+    }
+  }
+
+  // --- Attribution CSV artifacts (loader round-trip on the way). -------
+  const std::string& spec_hash = benchsupport::Env::instance().spec_hash();
+  const std::string stamp =
+      "# dohperf-bench ext_attribution hash=" + spec_hash + "\n";
+  const auto write_csv = [&](const std::string& name,
+                             const obs::AttributionLedger& ledger) {
+    const std::string path = benchsupport::out_path(name);
+    std::ofstream out(path);
+    out << stamp << report::attribution_csv(ledger).str();
+    out.close();
+    std::printf("attribution CSV: %s\n", path.c_str());
+    return path;
+  };
+  write_csv("attribution_cold.csv", cold_ledger);
+  write_csv("attribution_warm.csv", warm_ledger);
+
+  const std::optional<report::AttributionTable> cold_table =
+      report::load_attribution_csv(
+          stamp + report::attribution_csv(cold_ledger).str());
+  const std::optional<report::AttributionTable> warm_table =
+      report::load_attribution_csv(
+          stamp + report::attribution_csv(warm_ledger).str());
+  if (!cold_table || !warm_table) {
+    std::fprintf(stderr, "FAIL: attribution CSV round-trip rejected\n");
+    return 1;
+  }
+
+  std::vector<Comparison> comparisons;
+  comparisons.push_back(compare("doh_cold_vs_warm", *cold_table,
+                                "doh_direct", *warm_table, "doh_warm"));
+  comparisons.push_back(compare("doh_warm_first_vs_rest", *warm_table,
+                                "doh_warm_first", *warm_table, "doh_warm"));
+  comparisons.push_back(compare("do53_cold_vs_warm", *cold_table,
+                                "do53_direct", *warm_table, "do53_warm"));
+
+  for (const Comparison& c : comparisons) {
+    std::printf("\n== %s ==\n", c.name.c_str());
+    std::fputs(report::waterfall_text(c.waterfall, c.transport_a,
+                                      c.transport_b)
+                   .c_str(),
+               stdout);
+    std::printf("handshake+tunnel delta: %.3f ms (%.1f%% of %.3f ms)\n",
+                c.bootstrap_delta_ms, c.bootstrap_share * 100.0,
+                c.waterfall.delta_total_ms);
+  }
+
+  // --- JSON summary (dohperf-attribution-v1) ---------------------------
+  constexpr double kMinShare = 0.8;
+  const Comparison& contract = comparisons[1];  // doh_warm_first_vs_rest
+  const bool contract_pass =
+      contract.waterfall.exact && contract.waterfall.delta_total_ms < 0.0 &&
+      contract.bootstrap_share >= kMinShare;
+
+  std::string json = "{\n  \"schema\": \"dohperf-attribution-v1\",\n";
+  json += "  \"spec_hash\": \"" + spec_hash + "\",\n";
+  json += "  \"comparisons\": [\n";
+  for (std::size_t i = 0; i < comparisons.size(); ++i) {
+    const Comparison& c = comparisons[i];
+    const report::Waterfall& w = c.waterfall;
+    json += "    {\"name\": \"" + c.name + "\",\n";
+    json += "     \"transport_a\": \"" + c.transport_a + "\",\n";
+    json += "     \"transport_b\": \"" + c.transport_b + "\",\n";
+    json += "     \"flows_a\": " + std::to_string(w.a.flows) + ",\n";
+    json += "     \"flows_b\": " + std::to_string(w.b.flows) + ",\n";
+    json += "     \"a_total_ms\": " + report::fmt(w.a_total_ms, 3) + ",\n";
+    json += "     \"b_total_ms\": " + report::fmt(w.b_total_ms, 3) + ",\n";
+    json += "     \"delta_ms\": " + report::fmt(w.delta_total_ms, 3) + ",\n";
+    json += "     \"handshake_tunnel_delta_ms\": " +
+            report::fmt(c.bootstrap_delta_ms, 3) + ",\n";
+    json += "     \"handshake_tunnel_share\": " +
+            report::fmt(c.bootstrap_share, 4) + ",\n";
+    json += std::string("     \"exact\": ") +
+            (w.exact ? "true" : "false") + "}";
+    json += i + 1 < comparisons.size() ? ",\n" : "\n";
+  }
+  json += "  ],\n";
+  json += "  \"contract\": {\"comparison\": \"" + contract.name + "\", ";
+  json += "\"min_share\": " + report::fmt(kMinShare, 2) + ", ";
+  json += "\"share\": " + report::fmt(contract.bootstrap_share, 4) + ", ";
+  json += std::string("\"pass\": ") + (contract_pass ? "true" : "false");
+  json += "}\n}\n";
+
+  const std::string json_path =
+      benchsupport::out_path("BENCH_attribution.json");
+  std::ofstream out(json_path);
+  out << json;
+  out.close();
+  std::printf("\nSummary JSON: %s\n", json_path.c_str());
+
+  // --- Acceptance contract ---------------------------------------------
+  int rc = 0;
+  for (const Comparison& c : comparisons) {
+    if (!c.waterfall.exact) {
+      std::fprintf(stderr,
+                   "FAIL: %s waterfall deltas do not sum to the "
+                   "end-to-end delta\n",
+                   c.name.c_str());
+      rc = 1;
+    }
+  }
+  if (!contract_pass) {
+    std::fprintf(stderr,
+                 "FAIL: %s attributes %.1f%% of the improvement to "
+                 "handshake+tunnel (need >= %.0f%%)\n",
+                 contract.name.c_str(), contract.bootstrap_share * 100.0,
+                 kMinShare * 100.0);
+    rc = 1;
+  }
+  return rc;
+}

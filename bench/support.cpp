@@ -7,26 +7,34 @@
 
 #include "geo/country.h"
 #include "measure/flows.h"
+#include "measure/warm.h"
 #include "obs/proc_stats.h"
 #include "obs/span.h"
 #include "obs/trace_export.h"
+#include "resolver/shared_cache.h"
 
 namespace dohperf::benchsupport {
 namespace {
+
+/// First enrolled exit node in world order (trace captures want any
+/// representative vantage, not a particular one).
+const proxy::ExitNode* first_exit(world::WorldModel& world) {
+  for (const std::string& iso2 : world.countries()) {
+    for (const std::uint64_t id : world.brightdata().exits_in(iso2)) {
+      if (const proxy::ExitNode* exit = world.brightdata().find(id)) {
+        return exit;
+      }
+    }
+  }
+  return nullptr;
+}
 
 /// Runs one fully-instrumented DoH-via-proxy flow (first enrolled exit,
 /// first provider) on the world's own simulator and writes a Perfetto
 /// trace JSON plus a JSONL span dump. Runs after the campaign with a
 /// private RNG substream, so the dataset is untouched.
 void capture_trace(world::WorldModel& world, const std::string& path) {
-  const proxy::ExitNode* exit = nullptr;
-  for (const std::string& iso2 : world.countries()) {
-    for (const std::uint64_t id : world.brightdata().exits_in(iso2)) {
-      exit = world.brightdata().find(id);
-      if (exit != nullptr) break;
-    }
-    if (exit != nullptr) break;
-  }
+  const proxy::ExitNode* exit = first_exit(world);
   if (exit == nullptr || world.providers().empty()) return;
 
   obs::SpanContext spans;
@@ -59,6 +67,53 @@ void capture_trace(world::WorldModel& world, const std::string& path) {
   obs::write_perfetto_trace(spans, path);
   obs::write_span_jsonl(spans, path + ".jsonl");
   std::fprintf(stderr, "trace: %zu spans -> %s (+ %s.jsonl)\n",
+               spans.spans().size(), path.c_str(), path.c_str());
+}
+
+/// Warm-path counterpart of capture_trace: one fully-instrumented warm
+/// DoH session (connection pool + shared cache enabled) so the trace
+/// exercises reuse/resumption spans and the per-iteration "warm_query"
+/// tiling that tools/trace_inspect's phase-sum check covers.
+void capture_warm_trace(world::WorldModel& world, const std::string& path) {
+  const proxy::ExitNode* exit = first_exit(world);
+  if (exit == nullptr || world.providers().empty()) return;
+
+  obs::SpanContext spans;
+  obs::Metrics metrics;
+  netsim::Rng rng = world.rng().split("trace-capture-warm");
+  netsim::NetCtx net{world.sim(), world.latency(), rng};
+  net.spans = &spans;
+  net.metrics = &metrics;
+
+  anycast::Provider& provider = world.providers()[0];
+  const geo::Country* country = geo::find_country(exit->true_iso2);
+  const std::size_t pop_index =
+      provider.route(exit->site.position, country->region, net.rng);
+
+  resolver::SharedCacheConfig cache_config;
+  cache_config.enabled = true;
+  const resolver::SharedCacheModel cache(cache_config);
+
+  measure::WarmDohParams params;
+  params.vantage = exit->site;
+  params.default_resolver = exit->default_resolver;
+  params.doh = &world.doh_server(0, pop_index);
+  params.doh_hostname = provider.config().doh_hostname;
+  params.tls = world.config().tls_version;
+  params.origin = world.origin();
+  params.cache = &cache;
+  params.population = cache_config.population;
+  params.reuse.enabled = true;
+  params.reuse.queries_per_session = 8;
+
+  netsim::Task<measure::WarmPathObservation> flow =
+      measure::doh_warm_path(net, std::move(params));
+  world.sim().run();
+  (void)flow.result();  // propagate exceptions
+
+  obs::write_perfetto_trace(spans, path);
+  obs::write_span_jsonl(spans, path + ".jsonl");
+  std::fprintf(stderr, "warm trace: %zu spans -> %s (+ %s.jsonl)\n",
                spans.spans().size(), path.c_str(), path.c_str());
 }
 
@@ -126,6 +181,9 @@ Env::Env() {
 
   if (const char* trace_path = std::getenv("DOHPERF_TRACE")) {
     capture_trace(*world_, trace_path);
+  }
+  if (const char* trace_path = std::getenv("DOHPERF_TRACE_WARM")) {
+    capture_warm_trace(*world_, trace_path);
   }
 }
 

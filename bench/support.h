@@ -18,6 +18,11 @@
 //                 trace JSON to the given path (plus a JSONL span dump at
 //                 <path>.jsonl). The campaign itself runs untraced, so
 //                 datasets are unaffected.
+// DOHPERF_TRACE_WARM
+//                 like DOHPERF_TRACE but captures one warm-path DoH
+//                 session (connection pool + shared cache enabled), so
+//                 the trace carries the per-query "warm_query" spans and
+//                 reuse/resumption phases.
 // DOHPERF_METRICS / DOHPERF_SERIES / DOHPERF_OPENMETRICS /
 // DOHPERF_ANOMALIES / DOHPERF_SUMMARY
 //                 become the spec's [outputs] entries; files are written

@@ -89,6 +89,10 @@ struct ShardView {
   /// (integer counts keyed by (provider, country, window)). nullptr on
   /// the anomaly replay pass so replays never double-record outcomes.
   obs::SloTracker* slo = nullptr;
+  /// Shard-private attribution ledger; same ownership and merge story
+  /// (integer microsecond sums and log-bucket sketches keyed by
+  /// (provider, country, transport)). nullptr on the replay pass.
+  obs::AttributionLedger* attribution = nullptr;
 
   resolver::DohServer& doh(std::size_t p, std::size_t i) {
     return replica ? replica->doh_server(p, i) : world.doh_server(p, i);
@@ -342,6 +346,11 @@ netsim::Task<void> measure_session(ShardView& view, const ExitState& st,
   const netsim::SimTime session_epoch = view.sim.now();
   net.series = {view.series, session_epoch, std::string(),
                 exit.advertised_iso2};
+  // Attribution labels follow the series labels: country fixed for the
+  // session, provider re-pointed before each flow. Flows install their
+  // own FlowAttribution; with no ledger the recorder is inert.
+  net.attribution.ledger = view.attribution;
+  net.attribution.country = exit.advertised_iso2;
 
   // Virtual campaign time: this session's slot on the multi-day axis.
   // A pure function of the slot, so SLO windows and recurring fault
@@ -398,6 +407,7 @@ netsim::Task<void> measure_session(ShardView& view, const ExitState& st,
   for (std::size_t p = 0; p < view.world.providers().size(); ++p) {
     anycast::Provider& provider = view.world.providers()[p];
     net.series.provider = provider.name();
+    net.attribution.provider = provider.name();
     const bool provider_out =
         net.faults != nullptr &&
         net.faults->provider_down(provider.name(), net.fault_now());
@@ -523,6 +533,7 @@ netsim::Task<void> measure_session(ShardView& view, const ExitState& st,
       anycast::Provider& provider = view.world.providers()[p];
       if (st.provider_failed[p]) continue;
       net.series.provider = provider.name();
+      net.attribution.provider = provider.name();
       const std::size_t pop_index = provider.route(
           exit.site.position, task.true_country->region, net.rng);
       WarmDohParams wp;
@@ -544,6 +555,7 @@ netsim::Task<void> measure_session(ShardView& view, const ExitState& st,
     // pool) and a *distributed* cache — only this ISP's share of the
     // population warms the default resolver.
     net.series.provider = "Do53";
+    net.attribution.provider = "Do53";
     WarmDo53Params dp;
     dp.vantage = exit.site;
     dp.resolver = exit.default_resolver;
@@ -556,6 +568,7 @@ netsim::Task<void> measure_session(ShardView& view, const ExitState& st,
 
   // --- Do53 via the default resolver ----------------------------------
   net.series.provider = "Do53";
+  net.attribution.provider = "Do53";
   Do53ProxyParams params;
   params.client = view.world.measurement_client();
   params.super_proxy = task.sp_site;
@@ -639,6 +652,9 @@ netsim::Task<void> atlas_session(ShardView& view, std::string iso2,
 
   const netsim::SimTime session_epoch = view.sim.now();
   net.series = {view.series, session_epoch, "Do53", iso2};
+  net.attribution.ledger = view.attribution;
+  net.attribution.provider = "Do53";
+  net.attribution.country = iso2;
 
   const proxy::AtlasProbe* probe =
       view.world.atlas().pick_probe(iso2, net.rng);
@@ -919,7 +935,8 @@ std::vector<ShardProfile> execute_campaign(
     const netsim::Rng& root, const CampaignPlan& plan, int shards,
     std::vector<SessionOutput>* retained, std::vector<StreamSink>* sinks,
     obs::Metrics& metrics, obs::MetricSeries& series,
-    obs::FlightRecorder& recorder, obs::SloTracker& slo) {
+    obs::FlightRecorder& recorder, obs::SloTracker& slo,
+    obs::AttributionLedger& attribution) {
   // One metrics registry, one sim-time series, and one flight recorder
   // per shard; sessions record without contention and everything merges
   // below in canonical shard order. Counter/bucket arithmetic is
@@ -933,13 +950,15 @@ std::vector<ShardProfile> execute_campaign(
       n_shards, obs::FlightRecorder(config.anomalies));
   std::vector<obs::SloTracker> shard_slo(n_shards,
                                          obs::SloTracker(config.slo));
+  std::vector<obs::AttributionLedger> shard_attribution(n_shards);
   std::vector<ShardProfile> profiles(n_shards);
 
   if (shards == 0) {
     // Serial reference path: the world's own simulator and servers.
     profiles[0] = run_shard(
         ShardView{world, world.sim(), nullptr, &shard_metrics[0],
-                  &shard_series[0], &shard_recorders[0], &shard_slo[0]},
+                  &shard_series[0], &shard_recorders[0], &shard_slo[0],
+                  &shard_attribution[0]},
         0, 1, config, root, plan, retained,
         sinks != nullptr ? &(*sinks)[0] : nullptr);
   } else {
@@ -957,7 +976,8 @@ std::vector<ShardProfile> execute_campaign(
           profiles[si] = run_shard(
               ShardView{world, replica->sim(), replica.get(),
                         &shard_metrics[si], &shard_series[si],
-                        &shard_recorders[si], &shard_slo[si]},
+                        &shard_recorders[si], &shard_slo[si],
+                        &shard_attribution[si]},
               s, shards, config, root, plan, retained,
               sinks != nullptr ? &(*sinks)[si] : nullptr);
         } catch (...) {
@@ -980,6 +1000,10 @@ std::vector<ShardProfile> execute_campaign(
   recorder.finalize();
   slo = obs::SloTracker(config.slo);
   for (const obs::SloTracker& t : shard_slo) slo.merge(t);
+  attribution.clear();
+  for (const obs::AttributionLedger& l : shard_attribution) {
+    attribution.merge(l);
+  }
   // Fill in the retained anomalies' span trees by deterministically
   // re-running just those sessions (≤ ring_capacity of them) with span
   // recording on — the hot path above examined every flow span-free.
@@ -1034,7 +1058,8 @@ Dataset Campaign::run_impl(int shards) {
   std::vector<SessionOutput> outputs(plan.n_sessions);
   std::vector<ShardProfile> profiles =
       execute_campaign(world_, config_, root, plan, shards, &outputs,
-                       nullptr, metrics_, series_, recorder_, slo_);
+                       nullptr, metrics_, series_, recorder_, slo_,
+                       attribution_);
 
   std::uint64_t events = 0;
   for (const ShardProfile& p : profiles) events += p.events;
@@ -1089,7 +1114,7 @@ StreamSink Campaign::run_streaming_impl(int shards) {
 
   std::vector<ShardProfile> profiles =
       execute_campaign(world_, config_, root, plan, shards, nullptr, &sinks,
-                       metrics_, series_, recorder_, slo_);
+                       metrics_, series_, recorder_, slo_, attribution_);
 
   std::uint64_t events = 0;
   for (const ShardProfile& p : profiles) events += p.events;

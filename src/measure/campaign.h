@@ -33,6 +33,7 @@
 #include "measure/warm.h"
 #include "netsim/arena.h"
 #include "netsim/faultplan.h"
+#include "obs/attribution.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/series.h"
@@ -178,6 +179,14 @@ class Campaign {
   /// flow's exit path. Same bit-identity contract as metrics().
   [[nodiscard]] const obs::SloTracker& slo() const { return slo_; }
 
+  /// Phase-exact latency attribution ledger of the most recent run:
+  /// per-(provider, country, transport) integer microsecond sums and
+  /// sketches whose phases partition each flow's end-to-end latency
+  /// exactly. Same bit-identity contract as metrics().
+  [[nodiscard]] const obs::AttributionLedger& attribution() const {
+    return attribution_;
+  }
+
   /// DOHPERF_THREADS from the environment, falling back to
   /// std::thread::hardware_concurrency() (minimum 1).
   [[nodiscard]] static int threads_from_env();
@@ -194,6 +203,7 @@ class Campaign {
   obs::MetricSeries series_;
   obs::FlightRecorder recorder_;
   obs::SloTracker slo_;
+  obs::AttributionLedger attribution_;
 };
 
 }  // namespace dohperf::measure

@@ -11,11 +11,15 @@ netsim::Task<DirectDoqObservation> doq_direct(
     resolver::DohServer& doh, std::string hostname,
     dns::DomainName origin, bool resumed) {
   const auto flow_span = net.span("doq_query");
+  obs::FlowAttributionScope attr_scope(net.attribution, net.sim, "doq");
   DirectDoqObservation obs;
   const netsim::Site pop = doh.site();
 
   if (!resumed) {
     // Bootstrap the server name via the default resolver (cache hit).
+    // Connection bootstrap: attributed to the QUIC handshake it gates.
+    const dohperf::obs::ScopedDnsRedirect boot_attr(
+        net.attribution, dohperf::obs::Phase::kQuicHandshake);
     const auto id = static_cast<std::uint16_t>(net.rng.next() & 0xFFFF);
     const resolver::StubResult bootstrap = co_await resolver::stub_resolve(
         net, vantage, *default_resolver,

@@ -12,11 +12,15 @@ netsim::Task<DirectDotObservation> dot_direct(
     resolver::DohServer& doh, std::string hostname,
     transport::TlsVersion tls, dns::DomainName origin) {
   const auto flow_span = net.span("dot_query");
+  obs::FlowAttributionScope attr_scope(net.attribution, net.sim, "dot");
   DirectDotObservation obs;
   const netsim::Site pop = doh.site();
 
   // Bootstrap the DoT hostname via the default resolver (cache hit).
+  // Connection bootstrap: attributed to the TCP handshake it gates.
   {
+    const dohperf::obs::ScopedDnsRedirect boot_attr(
+        net.attribution, dohperf::obs::Phase::kTcpHandshake);
     const auto id = static_cast<std::uint16_t>(net.rng.next() & 0xFFFF);
     const resolver::StubResult bootstrap = co_await resolver::stub_resolve(
         net, vantage, *default_resolver,

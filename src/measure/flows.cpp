@@ -22,8 +22,12 @@ using netsim::Task;
 using netsim::from_ms;
 using netsim::ms_between;
 // The flows name their observation locals `obs`, which shadows the
-// dohperf::obs namespace inside function scope; alias the guard type here.
+// dohperf::obs namespace inside function scope; alias the guard types here.
 using ScopedSpan = dohperf::obs::ScopedSpan;
+using ScopedPhase = dohperf::obs::ScopedPhase;
+using ScopedDnsRedirect = dohperf::obs::ScopedDnsRedirect;
+using FlowAttributionScope = dohperf::obs::FlowAttributionScope;
+using Phase = dohperf::obs::Phase;
 
 /// Resolver-side key-schedule cost during the tunnelled TLS handshake.
 constexpr double kResolverKeyScheduleMs = 0.3;
@@ -81,6 +85,7 @@ Task<DohProxyObservation> doh_via_proxy(NetCtx& net, DohProxyParams params) {
   // phases are opened back-to-back, so their durations sum exactly to
   // the root's — what tools/trace_inspect verifies on a capture.
   ScopedSpan flow_span = net.span("doh_query");
+  FlowAttributionScope attr_scope(net.attribution, net.sim, "doh");
 
   proxy::Tunnel tunnel(net, client, sp, exit);
 
@@ -103,6 +108,10 @@ Task<DohProxyObservation> doh_via_proxy(NetCtx& net, DohProxyParams params) {
   double dns_ms = 0.0;
   {
     const ScopedSpan bootstrap_span = net.span("bootstrap_dns");
+    // t3+t4 are part of tunnel establishment: the lookup exists only to
+    // learn where to CONNECT, so it counts as tunnel time.
+    const ScopedDnsRedirect boot_attr(net.attribution,
+                                      Phase::kTunnelConnect);
     dns_ms = co_await resolve_at(
         net, exit, params.exit->default_resolver,
         dns::Message::make_query(
@@ -135,6 +144,9 @@ Task<DohProxyObservation> doh_via_proxy(NetCtx& net, DohProxyParams params) {
   // ---- Steps 9-14: TLS handshake through the tunnel (phase
   // "handshake") -----------------------------------------------------
   ScopedSpan handshake_phase = net.span("handshake");
+  // The tunnelled handshake is inline (no transport::tls_handshake call),
+  // so it opens its own attribution frame here.
+  ScopedPhase handshake_attr = net.phase(Phase::kTlsHandshake);
   const SimTime handshake_start = net.sim.now();
   // The tunnelled handshake is modelled inline (no transport::
   // tls_handshake call), so count it here.
@@ -169,6 +181,7 @@ Task<DohProxyObservation> doh_via_proxy(NetCtx& net, DohProxyParams params) {
     co_await tls_leg.recv(transport::kServerFinishedBytes);
     co_await tls_tunnel.recv(transport::kServerFinishedBytes);
   }
+  handshake_attr.finish();
   handshake_phase.finish();
   net.series.latency("phase_handshake_ms", net.sim.now(),
                      ms_between(handshake_start, net.sim.now()));
@@ -218,11 +231,15 @@ Task<DirectDohObservation> doh_direct(NetCtx& net, Site vantage,
 
   if (net.metrics != nullptr) ++net.metrics->counters.doh_queries;
   ScopedSpan flow_span = net.span("doh_direct");
+  FlowAttributionScope attr_scope(net.attribution, net.sim, "doh_direct");
 
-  // Bootstrap (t3+t4).
+  // Bootstrap (t3+t4). Connection bootstrap, so the lookup's time lands
+  // in the TCP handshake phase it gates.
   const auto id = static_cast<std::uint16_t>(net.rng.next() & 0xFFFF);
   {
     const ScopedSpan bootstrap_span = net.span("bootstrap_dns");
+    const ScopedDnsRedirect boot_attr(net.attribution,
+                                      Phase::kTcpHandshake);
     obs.dns_ms = co_await resolve_at(
         net, vantage, default_resolver,
         dns::Message::make_query(id, dns::DomainName::parse(doh_hostname)));
@@ -277,6 +294,7 @@ Task<Do53ProxyObservation> do53_via_proxy(NetCtx& net,
 
   if (net.metrics != nullptr) ++net.metrics->counters.do53_queries;
   ScopedSpan flow_span = net.span("do53_query");
+  FlowAttributionScope attr_scope(net.attribution, net.sim, "do53");
 
   proxy::Tunnel tunnel(net, client, sp, exit);
 
@@ -294,12 +312,18 @@ Task<Do53ProxyObservation> do53_via_proxy(NetCtx& net,
     // exit node (paper Section 3.5).
     obs.resolved_at_super_proxy = true;
     const ScopedSpan sp_resolve_span = net.span("super_proxy_resolve");
+    // The Super Proxy goes straight to the authoritative server for the
+    // fresh probe name — a cache miss by construction.
+    const ScopedPhase resolve_attr = net.phase(Phase::kDnsCacheMiss);
     netsim::Path authority_path(net, sp, params.authority->site());
     authority_path.set_framing(transport::kUdpOverheadBytes,
                                transport::kUdpOverheadBytes);
     const SimTime start = net.sim.now();
     co_await authority_path.send(dns::wire_size(query));
-    co_await net.process(params.authority->processing_delay());
+    {
+      const ScopedPhase proc_attr = net.phase(Phase::kServerProcessing);
+      co_await net.process(params.authority->processing_delay());
+    }
     const dns::Message auth_resp = params.authority->handle(query, 0xFFFF);
     co_await authority_path.recv(dns::wire_size(auth_resp));
     dns_ms = ms_between(start, net.sim.now());
@@ -357,6 +381,7 @@ Task<double> do53_direct(NetCtx& net, Site vantage,
                          dns::DomainName name) {
   if (net.metrics != nullptr) ++net.metrics->counters.do53_queries;
   const ScopedSpan flow_span = net.span("do53_direct");
+  FlowAttributionScope attr_scope(net.attribution, net.sim, "do53_direct");
   const auto id = static_cast<std::uint16_t>(net.rng.next() & 0xFFFF);
   co_return co_await resolve_at(net, vantage, resolver,
                                 dns::Message::make_query(id, std::move(name)));

@@ -21,6 +21,10 @@ using netsim::Site;
 using netsim::Task;
 using netsim::ms_between;
 using ScopedSpan = dohperf::obs::ScopedSpan;
+using ScopedPhase = dohperf::obs::ScopedPhase;
+using ScopedDnsRedirect = dohperf::obs::ScopedDnsRedirect;
+using FlowAttributionScope = dohperf::obs::FlowAttributionScope;
+using Phase = dohperf::obs::Phase;
 
 /// Client-local (OS/browser) stub cache capacity. Tiny on purpose: a
 /// session only ever touches the head of the popularity catalog.
@@ -69,6 +73,11 @@ Task<WarmPathObservation> doh_warm_path(NetCtx& net, WarmDohParams params) {
 
   const int n = std::max(1, params.reuse.queries_per_session);
   for (int i = 0; i < n; ++i) {
+    // One direct child of the root per query iteration (think time
+    // included): consecutive spans abut, so the children tile the root
+    // exactly and tools/trace_inspect's phase-sum check passes on
+    // warm-path traces too.
+    const ScopedSpan warm_query_span = net.span("warm_query");
     if (i > 0 && think_ms > 0.0) {
       co_await net.process(netsim::from_ms(net.rng.exponential(think_ms)));
     }
@@ -95,8 +104,14 @@ Task<WarmPathObservation> doh_warm_path(NetCtx& net, WarmDohParams params) {
     }
 
     // The clock starts before any connection work, so query 0 (and any
-    // query that has to reconnect) prices its own setup.
+    // query that has to reconnect) prices its own setup. Each query is
+    // its own attributed flow — index 0 (always cold) separates from the
+    // warm remainder, and the pool outcome decides which handshake phase
+    // the setup lands in (cold: tcp+tls handshake, resume: tls_resume,
+    // reuse: neither).
     const SimTime start = net.sim.now();
+    FlowAttributionScope attr_scope(net.attribution, net.sim,
+                                    i == 0 ? "doh_warm_first" : "doh_warm");
     const client::Acquire how =
         pool.acquire(params.doh_hostname, net.sim.now());
     if (how == client::Acquire::kReuse) {
@@ -106,7 +121,11 @@ Task<WarmPathObservation> doh_warm_path(NetCtx& net, WarmDohParams params) {
       tcp.reset();
       if (how == client::Acquire::kCold) {
         // Bootstrap the resolver's address (a hot name — normally a
-        // cache hit at the default resolver).
+        // cache hit at the default resolver). Attribution-wise the
+        // lookup is connection bootstrap, so it lands in the TCP
+        // handshake phase it gates rather than in the DNS phases.
+        const ScopedDnsRedirect boot_attr(net.attribution,
+                                          Phase::kTcpHandshake);
         const auto id = static_cast<std::uint16_t>(net.rng.next() & 0xFFFF);
         const resolver::StubResult boot = co_await resolver::stub_resolve(
             net, params.vantage, *params.default_resolver,
@@ -140,6 +159,9 @@ Task<WarmPathObservation> doh_warm_path(NetCtx& net, WarmDohParams params) {
 
     const ScopedSpan query_span = net.span("doh_warm_exchange");
     if (params.cache != nullptr && look.hit) {
+      // The whole hit exchange counts as cache-hit resolution time (the
+      // frontend's compute carves itself out via process_at below).
+      const ScopedPhase hit_attr = net.phase(Phase::kDnsCacheHit);
       // Shared-cache hit: the frontend answers without recursing,
       // priced exactly like RecursiveResolver's real hit path. The
       // answer is synthesized (TTL decayed to the record's sampled age)
@@ -222,6 +244,8 @@ Task<WarmPathObservation> do53_warm_path(NetCtx& net,
 
   const int n = std::max(1, params.reuse.queries_per_session);
   for (int i = 0; i < n; ++i) {
+    // Same per-iteration tiling as the DoH side (trace_inspect contract).
+    const ScopedSpan warm_query_span = net.span("warm_query");
     if (i > 0 && think_ms > 0.0) {
       co_await net.process(netsim::from_ms(net.rng.exponential(think_ms)));
     }
@@ -245,7 +269,12 @@ Task<WarmPathObservation> do53_warm_path(NetCtx& net,
     }
 
     const SimTime start = net.sim.now();
+    FlowAttributionScope attr_scope(
+        net.attribution, net.sim,
+        i == 0 ? "do53_warm_first" : "do53_warm");
     if (params.cache != nullptr && look.hit) {
+      // The hit round trip is cache-hit resolution time end to end.
+      const ScopedPhase hit_attr = net.phase(Phase::kDnsCacheHit);
       // ISP-cache hit: one UDP round trip plus the frontend hit cost —
       // same pricing as the resolver's real hit path, same synthesized
       // (decayed) answer as the DoH side.

@@ -10,6 +10,7 @@
 #include "netsim/latency.h"
 #include "netsim/simulator.h"
 #include "netsim/task.h"
+#include "obs/attribution.h"
 #include "obs/metrics.h"
 #include "obs/series.h"
 #include "obs/span.h"
@@ -94,12 +95,22 @@ struct NetCtx {
   /// retry machines and brownout inflation record *when within the
   /// session* they fired, under whatever labels the owner last set.
   obs::SeriesRecorder series{};
+  /// Optional phase-attribution handle (null-safe when unset): flows
+  /// install a FlowAttributionScope and instrumented layers push exact
+  /// integer-microsecond phase frames, folded into the owner's ledger
+  /// under whatever labels the owner last set.
+  obs::AttributionRecorder attribution{};
 
   /// Opens a named span (no-op guard when no span context is attached).
   [[nodiscard]] obs::ScopedSpan span(std::string name) {
     return spans != nullptr
                ? obs::ScopedSpan(spans, sim, std::move(name))
                : obs::ScopedSpan();
+  }
+
+  /// Enters an attribution phase (no-op guard when no flow is active).
+  [[nodiscard]] obs::ScopedPhase phase(obs::Phase p) {
+    return obs::ScopedPhase(attribution, sim, p);
   }
 
   /// Simulates one message travelling a -> b; completes at arrival time.
@@ -137,8 +148,12 @@ struct NetCtx {
   /// covers the host's site. The multiplier path round-trips the
   /// duration through fractional milliseconds, so it is applied only
   /// when an episode is actually active — an idle or absent plan passes
-  /// `d` through bit-exactly.
+  /// `d` through bit-exactly. The sleep is attributed to
+  /// kServerProcessing, with the inflation excess carved out into
+  /// kBrownout afterwards (attribution schedules nothing and consumes no
+  /// draws, so timings are untouched).
   Task<void> process_at(const Site& where, Duration d) {
+    const Duration base = d;
     if (faults != nullptr) {
       const double multiplier =
           faults->processing_multiplier(where.position, fault_now());
@@ -148,7 +163,13 @@ struct NetCtx {
         series.count("brownout_delay", sim.now());
       }
     }
-    return process(d);
+    obs::ScopedPhase processing = phase(obs::Phase::kServerProcessing);
+    co_await process(d);
+    if (d > base) {
+      attribution.shift(processing.token(),
+                        static_cast<std::uint64_t>((d - base).count()),
+                        obs::Phase::kBrownout, sim.now());
+    }
   }
 
   /// Time since the attached fault plan's epoch.
@@ -200,6 +221,8 @@ struct NetCtx {
         }
         series.count("loss_retry", sim.now());
         const obs::ScopedSpan backoff_span = span("retry_backoff");
+        const obs::ScopedPhase backoff_phase =
+            phase(obs::Phase::kRetryBackoff);
         co_await sim.sleep(out.backoff);
       }
       co_return out;
@@ -253,6 +276,8 @@ struct NetCtx {
       series.count(handshake ? "handshake_retry" : "loss_retry", sim.now());
       {
         const obs::ScopedSpan backoff_span = span("retry_backoff");
+        const obs::ScopedPhase backoff_phase =
+            phase(obs::Phase::kRetryBackoff);
         co_await sim.sleep(timer);
       }
       out.backoff += timer;

@@ -21,6 +21,8 @@ netsim::Task<void> Tunnel::recv_framed(std::size_t wire_bytes) const {
 netsim::Task<void> Tunnel::connect_to_super_proxy(
     const transport::HttpRequest& connect_req) {
   const obs::ScopedSpan span = net().span("tunnel_connect");
+  const obs::ScopedPhase attr =
+      net().phase(obs::Phase::kTunnelConnect);
   co_await client_sp_.send(connect_req.wire_size());
   overheads_ = BrightDataNetwork::sample_overheads(net().rng);
   co_await net().process(netsim::from_ms(overheads_.total_ms()));
@@ -29,6 +31,8 @@ netsim::Task<void> Tunnel::connect_to_super_proxy(
 netsim::Task<void> Tunnel::forward_connect(
     const transport::HttpRequest& connect_req) const {
   const obs::ScopedSpan span = net().span("tunnel_forward");
+  const obs::ScopedPhase attr =
+      net().phase(obs::Phase::kTunnelConnect);
   co_await sp_exit_.send(connect_req.wire_size());
   co_await net().process(netsim::from_ms(kExitForwardingMs));
 }
@@ -36,6 +40,8 @@ netsim::Task<void> Tunnel::forward_connect(
 netsim::Task<std::string> Tunnel::send_established_reply(
     const TunTimeline& tun) const {
   const obs::ScopedSpan span = net().span("tunnel_established_reply");
+  const obs::ScopedPhase attr =
+      net().phase(obs::Phase::kTunnelConnect);
   if (net().metrics != nullptr) {
     ++net().metrics->counters.tunnels_established;
   }

@@ -1,0 +1,310 @@
+#include "report/attribution.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+namespace dohperf::report {
+namespace {
+
+std::string format_ms(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  return buf;
+}
+
+std::string escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+bool parse_u64(const std::string& cell, std::uint64_t& out) {
+  if (cell.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(cell.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+/// Strips leading '#'-comment lines (spec provenance stamps).
+std::string_view skip_comments(std::string_view text) {
+  while (!text.empty() && text.front() == '#') {
+    const std::size_t nl = text.find('\n');
+    if (nl == std::string_view::npos) return {};
+    text.remove_prefix(nl + 1);
+  }
+  return text;
+}
+
+double mean_ms(std::uint64_t us, std::uint64_t flows) {
+  return flows == 0 ? 0.0
+                    : static_cast<double>(us) /
+                          static_cast<double>(flows) / 1000.0;
+}
+
+}  // namespace
+
+void AttributionCell::merge(const AttributionCell& other) {
+  flows += other.flows;
+  total_us += other.total_us;
+  for (int p = 0; p < obs::kPhaseCount; ++p) phase_us[p] += other.phase_us[p];
+}
+
+bool AttributionCell::consistent() const {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t us : phase_us) sum += us;
+  return sum == total_us;
+}
+
+CsvWriter attribution_csv(const obs::AttributionLedger& ledger) {
+  CsvWriter csv({"provider", "country", "transport", "phase", "flows", "us",
+                 "p50_ms", "p90_ms", "p99_ms"});
+  for (const auto& [key, entry] : ledger.entries()) {
+    for (const obs::Phase phase : obs::kPhases) {
+      const obs::PhaseAggregate& agg =
+          entry.phases[static_cast<std::size_t>(phase)];
+      csv.add_row({key.provider, key.country, key.transport,
+                   std::string(obs::phase_name(phase)),
+                   std::to_string(entry.flows), std::to_string(agg.us),
+                   format_ms(agg.sketch.quantile_ms(0.5)),
+                   format_ms(agg.sketch.quantile_ms(0.9)),
+                   format_ms(agg.sketch.quantile_ms(0.99))});
+    }
+    csv.add_row({key.provider, key.country, key.transport, "total",
+                 std::to_string(entry.flows), std::to_string(entry.total_us),
+                 format_ms(entry.total_sketch.quantile_ms(0.5)),
+                 format_ms(entry.total_sketch.quantile_ms(0.9)),
+                 format_ms(entry.total_sketch.quantile_ms(0.99))});
+  }
+  return csv;
+}
+
+std::optional<AttributionTable> load_attribution_csv(std::string_view text) {
+  const auto rows = parse_csv(skip_comments(text));
+  if (!rows || rows->empty()) return std::nullopt;
+  const std::vector<std::string>& header = rows->front();
+  if (header.size() < 6 || header[0] != "provider" ||
+      header[1] != "country" || header[2] != "transport" ||
+      header[3] != "phase" || header[4] != "flows" || header[5] != "us") {
+    return std::nullopt;
+  }
+
+  AttributionTable table;
+  // Totals read from the "total" rows, checked against the phase sums.
+  std::map<obs::AttributionKey, std::uint64_t> declared_totals;
+  for (std::size_t r = 1; r < rows->size(); ++r) {
+    const std::vector<std::string>& row = (*rows)[r];
+    if (row.size() < 6) return std::nullopt;
+    obs::AttributionKey key{row[0], row[1], row[2]};
+    std::uint64_t flows = 0;
+    std::uint64_t us = 0;
+    if (!parse_u64(row[4], flows) || !parse_u64(row[5], us)) {
+      return std::nullopt;
+    }
+    AttributionCell& cell = table[key];
+    cell.flows = flows;
+    if (row[3] == "total") {
+      cell.total_us = us;
+      declared_totals[key] = us;
+      continue;
+    }
+    obs::Phase phase;
+    if (!obs::parse_phase(row[3], phase)) return std::nullopt;
+    cell.phase_us[static_cast<std::size_t>(phase)] = us;
+  }
+
+  for (const auto& [key, cell] : table) {
+    const auto total = declared_totals.find(key);
+    if (total == declared_totals.end()) return std::nullopt;
+    if (!cell.consistent()) return std::nullopt;
+  }
+  return table;
+}
+
+AttributionCell aggregate(const AttributionTable& table,
+                          std::string_view transport) {
+  AttributionCell out;
+  for (const auto& [key, cell] : table) {
+    if (!transport.empty() && key.transport != transport) continue;
+    out.merge(cell);
+  }
+  return out;
+}
+
+Waterfall make_waterfall(const AttributionCell& a, const AttributionCell& b) {
+  Waterfall w;
+  w.a = a;
+  w.b = b;
+  w.a_total_ms = mean_ms(a.total_us, a.flows);
+  w.b_total_ms = mean_ms(b.total_us, b.flows);
+  w.delta_total_ms = w.b_total_ms - w.a_total_ms;
+
+  // Exactness over the common denominator flows_a * flows_b: the phase
+  // numerators must sum to the end-to-end numerator with no remainder.
+  using int128 = __int128;
+  const auto na = static_cast<int128>(a.flows);
+  const auto nb = static_cast<int128>(b.flows);
+  int128 numer_sum = 0;
+  for (int p = 0; p < obs::kPhaseCount; ++p) {
+    WaterfallStep& step = w.steps[static_cast<std::size_t>(p)];
+    step.phase = obs::kPhases[static_cast<std::size_t>(p)];
+    step.a_ms = mean_ms(a.phase_us[p], a.flows);
+    step.b_ms = mean_ms(b.phase_us[p], b.flows);
+    step.delta_ms = step.b_ms - step.a_ms;
+    numer_sum += static_cast<int128>(b.phase_us[p]) * na -
+                 static_cast<int128>(a.phase_us[p]) * nb;
+  }
+  const int128 total_numer = static_cast<int128>(b.total_us) * na -
+                             static_cast<int128>(a.total_us) * nb;
+  w.exact = numer_sum == total_numer;
+  return w;
+}
+
+std::string waterfall_text(const Waterfall& w, std::string_view label_a,
+                           std::string_view label_b) {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof line, "%-18s %12.*s %12.*s %12s\n", "phase",
+                static_cast<int>(label_a.size()), label_a.data(),
+                static_cast<int>(label_b.size()), label_b.data(),
+                "delta_ms");
+  out += line;
+  for (const WaterfallStep& step : w.steps) {
+    if (step.a_ms == 0.0 && step.b_ms == 0.0) continue;
+    std::snprintf(line, sizeof line, "%-18s %12.3f %12.3f %+12.3f\n",
+                  std::string(obs::phase_name(step.phase)).c_str(),
+                  step.a_ms, step.b_ms, step.delta_ms);
+    out += line;
+  }
+  std::snprintf(line, sizeof line, "%-18s %12.3f %12.3f %+12.3f\n", "total",
+                w.a_total_ms, w.b_total_ms, w.delta_total_ms);
+  out += line;
+  std::snprintf(line, sizeof line, "exact: %s\n", w.exact ? "yes" : "NO");
+  out += line;
+  return out;
+}
+
+std::string waterfall_svg(const Waterfall& w, std::string_view label_a,
+                          std::string_view label_b) {
+  // Bars for the phases that moved, plus the end-to-end delta at the
+  // bottom. Scale: widest |delta| spans half the chart width.
+  struct Bar {
+    std::string name;
+    double delta_ms = 0.0;
+  };
+  std::vector<Bar> bars;
+  double max_abs = 0.0;
+  for (const WaterfallStep& step : w.steps) {
+    if (step.a_ms == 0.0 && step.b_ms == 0.0) continue;
+    bars.push_back({std::string(obs::phase_name(step.phase)),
+                    step.delta_ms});
+    if (std::abs(step.delta_ms) > max_abs) max_abs = std::abs(step.delta_ms);
+  }
+  bars.push_back({"total", w.delta_total_ms});
+  if (std::abs(w.delta_total_ms) > max_abs) {
+    max_abs = std::abs(w.delta_total_ms);
+  }
+  if (max_abs == 0.0) max_abs = 1.0;
+
+  constexpr int kWidth = 860;
+  constexpr int kLeft = 170;
+  constexpr int kRowH = 26;
+  const int mid = kLeft + (kWidth - kLeft - 20) / 2;
+  const double scale = static_cast<double>(kWidth - kLeft - 40) / 2.0 /
+                       max_abs;
+  const int height = 60 + static_cast<int>(bars.size()) * kRowH;
+
+  std::string svg;
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" "
+                "height=\"%d\" font-family=\"sans-serif\" "
+                "font-size=\"12\">\n",
+                kWidth, height);
+  svg += buf;
+  std::snprintf(buf, sizeof buf,
+                "<text x=\"%d\" y=\"18\">Latency delta waterfall: %.*s "
+                "&#8594; %.*s (negative = faster)</text>\n",
+                kLeft, static_cast<int>(label_a.size()), label_a.data(),
+                static_cast<int>(label_b.size()), label_b.data());
+  svg += buf;
+  std::snprintf(buf, sizeof buf,
+                "<line x1=\"%d\" y1=\"30\" x2=\"%d\" y2=\"%d\" "
+                "stroke=\"#888\"/>\n",
+                mid, mid, height - 10);
+  svg += buf;
+  int y = 40;
+  for (const Bar& bar : bars) {
+    const bool total = bar.name == "total";
+    const double width_px = std::abs(bar.delta_ms) * scale;
+    const int x = bar.delta_ms < 0
+                      ? mid - static_cast<int>(width_px)
+                      : mid;
+    const char* color = total ? "#444" : bar.delta_ms < 0 ? "#2a7" : "#c44";
+    std::snprintf(buf, sizeof buf,
+                  "<text x=\"%d\" y=\"%d\" text-anchor=\"end\">%s</text>\n",
+                  kLeft - 8, y + 14, bar.name.c_str());
+    svg += buf;
+    std::snprintf(buf, sizeof buf,
+                  "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" "
+                  "fill=\"%s\"/>\n",
+                  x, y + 3, std::max(1, static_cast<int>(width_px)),
+                  kRowH - 10, color);
+    svg += buf;
+    std::snprintf(buf, sizeof buf,
+                  "<text x=\"%d\" y=\"%d\">%+.3f ms</text>\n",
+                  (bar.delta_ms < 0 ? mid : mid + static_cast<int>(width_px)) +
+                      6,
+                  y + 14, bar.delta_ms);
+    svg += buf;
+    y += kRowH;
+  }
+  svg += "</svg>\n";
+  return svg;
+}
+
+std::string attribution_openmetrics_text(
+    const obs::AttributionLedger& ledger) {
+  std::string out;
+  if (ledger.entries().empty()) return out;
+  out += "# TYPE dohperf_attribution_flows_total gauge\n";
+  for (const auto& [key, entry] : ledger.entries()) {
+    out += "dohperf_attribution_flows_total{provider=\"" +
+           escape_label(key.provider) + "\",country=\"" +
+           escape_label(key.country) + "\",transport=\"" +
+           escape_label(key.transport) + "\"} " +
+           std::to_string(entry.flows) + "\n";
+  }
+  out += "# TYPE dohperf_attribution_us_total gauge\n";
+  for (const auto& [key, entry] : ledger.entries()) {
+    for (const obs::Phase phase : obs::kPhases) {
+      const obs::PhaseAggregate& agg =
+          entry.phases[static_cast<std::size_t>(phase)];
+      if (agg.us == 0) continue;
+      out += "dohperf_attribution_us_total{provider=\"" +
+             escape_label(key.provider) + "\",country=\"" +
+             escape_label(key.country) + "\",transport=\"" +
+             escape_label(key.transport) + "\",phase=\"" +
+             std::string(obs::phase_name(phase)) + "\"} " +
+             std::to_string(agg.us) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace dohperf::report

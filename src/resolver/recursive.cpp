@@ -24,6 +24,10 @@ netsim::Task<dns::Message> RecursiveResolver::resolve(
     netsim::NetCtx& net, dns::Message query, std::uint32_t client_address) {
   ++stats_.queries;
   const obs::ScopedSpan span = net.span("recursive_resolve");
+  // Provisionally a miss (the common cache-buster case); every hit
+  // branch relabels the live frames — this one and any stub_resolve
+  // frame beneath — so the whole resolution path carries the outcome.
+  const obs::ScopedPhase attr = net.phase(obs::Phase::kDnsCacheMiss);
 
   if (query.questions.empty()) {
     ++stats_.failures;
@@ -33,6 +37,8 @@ netsim::Task<dns::Message> RecursiveResolver::resolve(
 
   if (auto cached = cache_.lookup(net.sim.now(), q.name, q.type)) {
     ++stats_.cache_hits;
+    net.attribution.relabel_open(obs::Phase::kDnsCacheMiss,
+                                 obs::Phase::kDnsCacheHit);
     // Hot-name hits are served from the frontend cache: cheap unless a
     // brownout episode has the whole frontend overloaded.
     co_await net.process_at(site_, cache_hit_cost());
@@ -46,6 +52,8 @@ netsim::Task<dns::Message> RecursiveResolver::resolve(
   if (auto negative =
           negative_cache_.lookup(net.sim.now(), q.name, q.type)) {
     ++stats_.negative_hits;
+    net.attribution.relabel_open(obs::Phase::kDnsCacheMiss,
+                                 obs::Phase::kDnsCacheHit);
     co_await net.process_at(site_, cache_hit_cost());
     dns::Message resp =
         dns::Message::make_response(query, dns::Rcode::kNxDomain);
@@ -54,6 +62,8 @@ netsim::Task<dns::Message> RecursiveResolver::resolve(
   }
   if (auto nodata = nodata_cache_.lookup(net.sim.now(), q.name, q.type)) {
     ++stats_.negative_hits;
+    net.attribution.relabel_open(obs::Phase::kDnsCacheMiss,
+                                 obs::Phase::kDnsCacheHit);
     co_await net.process_at(site_, cache_hit_cost());
     dns::Message resp = dns::Message::make_response(query);
     resp.authorities = std::move(*nodata);

@@ -9,6 +9,7 @@
 #include "anycast/catalog.h"
 #include "obs/proc_stats.h"
 #include "report/anomalies.h"
+#include "report/attribution.h"
 #include "report/metrics.h"
 #include "report/slo.h"
 #include "report/table.h"
@@ -72,6 +73,7 @@ RunResult run(const CampaignSpec& spec, world::WorldModel& world) {
   result.series = campaign.series();
   result.anomalies = campaign.anomalies();
   result.slo = campaign.slo();
+  result.attribution = campaign.attribution();
   if (spec.campaign.slo.enabled) {
     result.slo_alerts = result.slo.evaluate();
   }
@@ -259,13 +261,23 @@ void write_outputs(RunResult& result) {
     emit_csv(outputs.slo_alerts_csv,
              report::slo_alerts_csv(result.slo_alerts));
   }
+  if (!outputs.attribution_csv.empty()) {
+    emit_csv(outputs.attribution_csv,
+             report::attribution_csv(result.attribution));
+  }
   if (!outputs.openmetrics.empty()) {
     std::string om = report::openmetrics_text(result.series);
+    // Extra gauge blocks join the series exposition inside the same
+    // document frame (before "# EOF").
+    std::string gauges;
     if (result.spec.campaign.slo.enabled) {
-      // The SLO gauges join the series exposition inside the same
-      // document frame (before "# EOF").
+      gauges += report::slo_openmetrics_text(result.slo);
+    }
+    if (!result.attribution.empty()) {
+      gauges += report::attribution_openmetrics_text(result.attribution);
+    }
+    if (!gauges.empty()) {
       const std::size_t eof = om.rfind("# EOF\n");
-      const std::string gauges = report::slo_openmetrics_text(result.slo);
       if (eof != std::string::npos) {
         om.insert(eof, gauges);
       } else {

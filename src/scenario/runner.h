@@ -31,6 +31,8 @@ struct RunResult {
   obs::MetricSeries series;
   obs::FlightRecorder anomalies;
   obs::SloTracker slo;
+  /// Phase-exact latency attribution ledger (merged across shards).
+  obs::AttributionLedger attribution;
   /// Burn-rate alert events, evaluated post-merge when the spec's [slo]
   /// section is enabled (empty otherwise).
   std::vector<obs::SloAlert> slo_alerts;

@@ -225,6 +225,8 @@ const FieldDef kFields[] = {
                        outputs.availability_csv),
     DOHPERF_SPEC_FIELD("outputs", "slo_alerts_csv", kString, kNoCheck,
                        outputs.slo_alerts_csv),
+    DOHPERF_SPEC_FIELD("outputs", "attribution_csv", kString, kNoCheck,
+                       outputs.attribution_csv),
 };
 
 #undef DOHPERF_SPEC_FIELD
@@ -886,6 +888,9 @@ void apply_env_overrides(CampaignSpec& spec) {
   }
   if (const char* value = std::getenv("DOHPERF_SUMMARY")) {
     spec.outputs.summary_json = value;
+  }
+  if (const char* value = std::getenv("DOHPERF_ATTRIBUTION")) {
+    spec.outputs.attribution_csv = value;
   }
 }
 

@@ -54,6 +54,7 @@ struct OutputsSpec {
   std::string anomalies_dir; ///< Flight-recorder dumps directory.
   std::string availability_csv;  ///< Per-(provider, country) SLO table.
   std::string slo_alerts_csv;    ///< Burn-rate alert events.
+  std::string attribution_csv;   ///< Phase-exact latency attribution.
 };
 
 /// Everything one campaign run needs.
@@ -137,6 +138,7 @@ bool set_key(CampaignSpec& spec, const std::string& dotted_key,
 ///   DOHPERF_OPENMETRICS  -> outputs.openmetrics
 ///   DOHPERF_ANOMALIES    -> outputs.anomalies_dir
 ///   DOHPERF_SUMMARY      -> outputs.summary_json
+///   DOHPERF_ATTRIBUTION  -> outputs.attribution_csv
 /// DOHPERF_THREADS needs no mapping: campaign.threads = 0 already means
 /// "take it from the environment" (Campaign::threads_from_env).
 void apply_env_overrides(CampaignSpec& spec);

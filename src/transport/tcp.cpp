@@ -7,6 +7,7 @@ netsim::Task<TcpConnection> tcp_connect(netsim::NetCtx& net,
                                         const netsim::Site& server) {
   TcpConnection conn{netsim::Path(net, client, server)};
   const obs::ScopedSpan span = net.span("tcp_handshake");
+  const obs::ScopedPhase attr = net.phase(obs::Phase::kTcpHandshake);
   if (net.metrics != nullptr) ++net.metrics->counters.tcp_handshakes;
   const netsim::SimTime start = net.sim.now();
   const netsim::RetryOutcome syn =

@@ -17,6 +17,7 @@ netsim::Task<TlsSession> tls_handshake(const Connection& lower,
   netsim::NetCtx& net = lower.net();
   TlsSession session(lower, version);
   const obs::ScopedSpan span = net.span("tls_handshake");
+  const obs::ScopedPhase attr = net.phase(obs::Phase::kTlsHandshake);
   if (net.metrics != nullptr) ++net.metrics->counters.tls_handshakes;
   const netsim::SimTime start = net.sim.now();
 
@@ -58,6 +59,7 @@ netsim::Task<TlsSession> tls_resume(const Connection& lower,
   TlsSession session(lower, version);
   session.resumed = true;
   const obs::ScopedSpan span = net.span("tls_resume");
+  const obs::ScopedPhase attr = net.phase(obs::Phase::kTlsResume);
   if (net.metrics != nullptr) ++net.metrics->counters.tls_resumptions;
   const netsim::SimTime start = net.sim.now();
 

@@ -104,6 +104,8 @@ netsim::Task<PageLoadResult> load_page(netsim::NetCtx& net,
                                        const PageLoadContext& ctx,
                                        PageSpec spec, DnsMode mode) {
   const auto flow_span = net.span("pageload");
+  obs::FlowAttributionScope attr_scope(net.attribution, net.sim,
+                                       "pageload");
   PageLoadResult result;
   const SimTime page_start = net.sim.now();
 

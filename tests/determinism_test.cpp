@@ -19,6 +19,7 @@
 #include "obs/metrics.h"
 #include "obs/series.h"
 #include "obs/slo.h"
+#include "report/attribution.h"
 #include "report/csv.h"
 #include "report/slo.h"
 #include "report/table.h"
@@ -255,14 +256,15 @@ TEST(DeterminismTest, WarmCampaignBitIdenticalAcrossShardCounts) {
     Dataset data;
     obs::Metrics metrics;
     obs::MetricSeries series;
+    std::string attribution;
   };
   const auto run = [](int threads) {
     auto world = fresh_world();
     Campaign campaign(*world, warm_config(threads));
     Dataset data = threads == 0 ? campaign.run_serial() : campaign.run();
     EXPECT_FALSE(data.doh().empty());
-    return Outputs{std::move(data), campaign.metrics(),
-                   campaign.series()};
+    return Outputs{std::move(data), campaign.metrics(), campaign.series(),
+                   report::attribution_csv(campaign.attribution()).str()};
   };
 
   const Outputs serial = run(0);
@@ -279,6 +281,13 @@ TEST(DeterminismTest, WarmCampaignBitIdenticalAcrossShardCounts) {
       0u);
   EXPECT_GT(serial.series.latencies().count({"do53_warm_ms", "Do53", ""}),
             0u);
+  // The attribution ledger saw the warm cells (query 0 vs steady state)
+  // and every rendered cell is a closed partition.
+  EXPECT_NE(serial.attribution.find("doh_warm_first"), std::string::npos);
+  EXPECT_NE(serial.attribution.find("doh_warm"), std::string::npos);
+  const auto table = report::load_attribution_csv(serial.attribution);
+  ASSERT_TRUE(table.has_value());
+  EXPECT_TRUE(report::aggregate(*table).consistent());
 
   for (const int threads : {1, 2, 4}) {
     const Outputs sharded = run(threads);
@@ -286,6 +295,8 @@ TEST(DeterminismTest, WarmCampaignBitIdenticalAcrossShardCounts) {
     EXPECT_TRUE(sharded.metrics == serial.metrics) << threads
                                                    << " threads";
     EXPECT_TRUE(sharded.series == serial.series) << threads << " threads";
+    EXPECT_EQ(sharded.attribution, serial.attribution)
+        << threads << " threads";
   }
 }
 
@@ -343,6 +354,7 @@ TEST(DeterminismTest, ObservabilityOutputsBitIdenticalAcrossShardCounts) {
     obs::FlightRecorder anomalies;
     std::string fig4;
     std::string fig5;
+    std::string attribution;
   };
   const auto run = [](int threads) {
     auto world = fresh_world();
@@ -351,7 +363,8 @@ TEST(DeterminismTest, ObservabilityOutputsBitIdenticalAcrossShardCounts) {
         threads == 0 ? campaign.run_serial() : campaign.run();
     EXPECT_FALSE(data.doh().empty());
     return Outputs{campaign.series(), campaign.anomalies(), fig4_csv(data),
-                   fig5_csv(data)};
+                   fig5_csv(data),
+                   report::attribution_csv(campaign.attribution()).str()};
   };
 
   const Outputs serial = run(0);
@@ -380,6 +393,10 @@ TEST(DeterminismTest, ObservabilityOutputsBitIdenticalAcrossShardCounts) {
         << threads << " threads";
     EXPECT_EQ(sharded.fig4, serial.fig4) << threads << " threads";
     EXPECT_EQ(sharded.fig5, serial.fig5) << threads << " threads";
+    // Retry-heavy fault campaign: the phase decomposition CSV carries
+    // the same bit-identity contract as the figure CSVs.
+    EXPECT_EQ(sharded.attribution, serial.attribution)
+        << threads << " threads";
   }
 }
 

@@ -7,6 +7,7 @@
 //   dohperf-sweep-v1              scenario sweep driver reports
 //   dohperf-availability-v1       bench/ext_availability_slo summaries
 //   dohperf-warm-ladder-v1        bench/ext_encrypted_dns_ladder warm runs
+//   dohperf-attribution-v1        bench/ext_attribution phase waterfalls
 //
 //   bench_schema_check <path/to/artifact.json>
 #include <cstdio>
@@ -387,6 +388,83 @@ void check_warm_ladder(const Value& doc) {
   }
 }
 
+// ---- dohperf-attribution-v1 -------------------------------------------
+
+/// Requires `obj[key]` to be the boolean literal `true` — the exactness
+/// and contract flags are structural invariants, not free data.
+void require_true(const Value& obj, const std::string& key,
+                  const std::string& where) {
+  const Value* v = obj.get(key);
+  if (v == nullptr || !v->is_bool()) {
+    fail(where + ": missing or non-boolean \"" + key + "\"");
+    return;
+  }
+  if (!v->as_bool()) fail(where + ": \"" + key + "\" is false");
+}
+
+void check_attribution(const Value& doc) {
+  require_hash(doc, "spec_hash", "document");
+
+  const Value* comparisons = doc.get("comparisons");
+  if (comparisons == nullptr || !comparisons->is_array() ||
+      comparisons->as_array().empty()) {
+    fail("missing or empty \"comparisons\" array");
+    return;
+  }
+  std::size_t index = 0;
+  for (const Value& comparison : comparisons->as_array()) {
+    const std::string where = "comparisons[" + std::to_string(index) + "]";
+    ++index;
+    if (!comparison.is_object()) {
+      fail(where + ": not an object");
+      continue;
+    }
+    require_string(comparison, "name", where);
+    require_string(comparison, "transport_a", where);
+    require_string(comparison, "transport_b", where);
+    require_number(comparison, "flows_a", where);
+    require_number(comparison, "flows_b", where);
+    if (comparison.number_or("flows_a", 0) <= 0 ||
+        comparison.number_or("flows_b", 0) <= 0) {
+      fail(where + ": flows must be > 0 on both sides");
+    }
+    require_number(comparison, "a_total_ms", where);
+    require_number(comparison, "b_total_ms", where);
+    require_number(comparison, "delta_ms", where, /*nonneg=*/false);
+    require_number(comparison, "handshake_tunnel_delta_ms", where,
+                   /*nonneg=*/false);
+    // The per-phase waterfall deltas summed to the end-to-end delta in
+    // 128-bit rational arithmetic; anything else is artifact corruption.
+    require_true(comparison, "exact", where);
+    const double share = comparison.number_or("handshake_tunnel_share", -1.0);
+    if (share < 0.0 || share > 1.0) {
+      fail(where + ": \"handshake_tunnel_share\" outside [0, 1]");
+    }
+  }
+
+  const Value* contract = doc.get("contract");
+  if (contract == nullptr || !contract->is_object()) {
+    fail("missing \"contract\" object");
+  } else {
+    require_string(*contract, "comparison", "contract");
+    const double min_share = contract->number_or("min_share", -1.0);
+    if (min_share <= 0.0 || min_share > 1.0) {
+      fail("contract.min_share outside (0, 1]");
+    }
+    const double share = contract->number_or("share", -1.0);
+    if (share < 0.0 || share > 1.0) {
+      fail("contract.share outside [0, 1]");
+    }
+    require_true(*contract, "pass", "contract");
+  }
+
+  if (g_errors == 0) {
+    std::printf("bench_schema_check: dohperf-attribution-v1 OK "
+                "(%zu comparison(s))\n",
+                comparisons->as_array().size());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -423,6 +501,8 @@ int main(int argc, char** argv) {
     check_availability(*doc);
   } else if (schema == "dohperf-warm-ladder-v1") {
     check_warm_ladder(*doc);
+  } else if (schema == "dohperf-attribution-v1") {
+    check_attribution(*doc);
   } else {
     fail("unknown schema tag \"" + schema + "\"");
   }

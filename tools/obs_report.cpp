@@ -3,7 +3,8 @@
 // into one self-contained HTML page.
 //
 //   obs_report <timeseries.csv> <anomalies_dir | -> <out.html>
-//              [availability.csv] [slo_alerts.csv]
+//              [availability.csv | -] [slo_alerts.csv | -]
+//              [attribution_a.csv attribution_b.csv]
 //
 // The timeseries CSV is report::timeseries_csv output. The anomalies
 // directory is report::write_anomaly_dumps output (anomalies.csv plus
@@ -22,6 +23,12 @@
 // `# dohperf-spec` provenance stamp, the page title cites the spec
 // hash so the report is traceable to the scenario that produced it.
 //
+// When a pair of attribution CSVs (report::attribution_csv output, e.g.
+// a cold and a warm run) is supplied, the page adds a phase-attribution
+// waterfall section: the per-phase A-vs-B delta chart whose bars sum
+// exactly to the end-to-end delta. Pass "-" for the availability /
+// alerts slots to supply attribution CSVs without an SLO section.
+//
 // Malformed input — CSV that does not parse, a dump trace_load
 // rejects — exits 1 with a one-line diagnostic; nothing partial is
 // written.
@@ -37,6 +44,7 @@
 #include <vector>
 
 #include "obs/trace_load.h"
+#include "report/attribution.h"
 #include "report/csv.h"
 
 namespace {
@@ -231,17 +239,24 @@ std::string svg_polyline(const std::vector<std::pair<double, double>>& pts,
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 4 || argc > 6) {
+  if (argc < 4 || argc == 7 || argc > 8) {
     std::fprintf(stderr,
                  "usage: obs_report <timeseries.csv> <anomalies_dir | -> "
-                 "<out.html> [availability.csv] [slo_alerts.csv]\n");
+                 "<out.html> [availability.csv | -] [slo_alerts.csv | -] "
+                 "[attribution_a.csv attribution_b.csv]\n");
     return 1;
   }
+  const auto optional_arg = [&](int i) -> std::string {
+    if (argc <= i) return "";
+    return std::string(argv[i]) == "-" ? "" : argv[i];
+  };
   const std::string series_path = argv[1];
   const std::string anomalies_dir = argv[2];
   const std::string out_path = argv[3];
-  const std::string availability_path = argc > 4 ? argv[4] : "";
-  const std::string alerts_path = argc > 5 ? argv[5] : "";
+  const std::string availability_path = optional_arg(4);
+  const std::string alerts_path = optional_arg(5);
+  const std::string attribution_a_path = argc > 7 ? argv[6] : "";
+  const std::string attribution_b_path = argc > 7 ? argv[7] : "";
 
   // --- Load the metric series CSV. -------------------------------------
   const std::optional<std::string> series_text = read_file(series_path);
@@ -702,6 +717,37 @@ int main(int argc, char** argv) {
                             ? "; no alerts CSV supplied"
                             : "") +
             ".</p>\n" + burn_svg;
+  }
+
+  // --- Phase-attribution waterfall (optional CSV pair). ----------------
+  if (!attribution_a_path.empty()) {
+    const auto load_attribution = [](const std::string& path) {
+      const std::optional<std::string> text = read_file(path);
+      if (!text) die(path + ": cannot read file");
+      const std::optional<dohperf::report::AttributionTable> table =
+          dohperf::report::load_attribution_csv(*text);
+      if (!table) die(path + ": malformed attribution CSV");
+      return *table;
+    };
+    const dohperf::report::AttributionCell cell_a =
+        dohperf::report::aggregate(load_attribution(attribution_a_path));
+    const dohperf::report::AttributionCell cell_b =
+        dohperf::report::aggregate(load_attribution(attribution_b_path));
+    if (cell_a.flows == 0) die(attribution_a_path + ": no flows");
+    if (cell_b.flows == 0) die(attribution_b_path + ": no flows");
+    const dohperf::report::Waterfall waterfall =
+        dohperf::report::make_waterfall(cell_a, cell_b);
+    html += "<h2>Latency attribution waterfall</h2>\n";
+    html += dohperf::report::waterfall_svg(waterfall, attribution_a_path,
+                                           attribution_b_path);
+    html += "<p class=\"note\">Per-phase mean latency delta, " +
+            html_escape(attribution_b_path) + " minus " +
+            html_escape(attribution_a_path) +
+            " (green = faster in B, red = slower). The phase bars sum "
+            "exactly to the end-to-end delta (" +
+            format_ms(waterfall.delta_total_ms) + "ms; exactness " +
+            (waterfall.exact ? "verified" : "<b>VIOLATED</b>") +
+            " in integer arithmetic).</p>\n";
   }
 
   html += "<h2>Anomalous flows</h2>\n";
